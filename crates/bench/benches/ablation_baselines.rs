@@ -1,0 +1,54 @@
+//! E6: the §3.3 data-complexity hypothesis — in the labeled graph query
+//! setting, HHK-style removal bookkeeping and the Ma et al. sweep share
+//! the same worst-case data complexity; the benchmark compares both
+//! (plus the SOI solver) on the Fig. 6 query cores over LUBM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualsim_bench::bench_datasets;
+use dualsim_core::baseline::{dual_simulation_hhk, dual_simulation_ma};
+use dualsim_core::{build_sois, solve, SolverConfig};
+use dualsim_datagen::workloads::lubm_queries;
+use dualsim_query::Query;
+use std::hint::black_box;
+
+fn baselines(c: &mut Criterion) {
+    let data = bench_datasets();
+    let db = &data.lubm;
+    let cfg = SolverConfig::default();
+    let mut group = c.benchmark_group("ablation_baselines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for bench in lubm_queries()
+        .into_iter()
+        .filter(|b| matches!(b.id, "L0" | "L1" | "L2"))
+    {
+        let core = Query::Bgp(bench.query.mandatory_core());
+        let sois = build_sois(db, &core);
+        group.bench_with_input(BenchmarkId::new("ma", bench.id), &sois, |b, sois| {
+            b.iter(|| {
+                for soi in sois {
+                    black_box(dual_simulation_ma(db, soi));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hhk", bench.id), &sois, |b, sois| {
+            b.iter(|| {
+                for soi in sois {
+                    black_box(dual_simulation_hhk(db, soi));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparqlsim", bench.id), &sois, |b, sois| {
+            b.iter(|| {
+                for soi in sois {
+                    black_box(solve(db, soi, &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation for the Sect.-6 fingerprint extension: one-off quotient
+//! construction cost vs. the per-query speedup of solving on the
+//! quotient instead of the original database (constant-free L-cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualsim_bench::bench_datasets;
+use dualsim_core::{build_sois, solve, QuotientIndex, SolverConfig};
+use dualsim_query::parse;
+use std::hint::black_box;
+
+fn quotient(c: &mut Criterion) {
+    let data = bench_datasets();
+    let db = &data.lubm;
+    // Fingerprint the relational predicates only (unique literals carry
+    // no structure worth indexing).
+    let attribute_labels = [
+        "ub:name",
+        "ub:emailAddress",
+        "ub:telephone",
+        "ub:researchInterest",
+        "ub:title",
+    ];
+    let relational: Vec<u32> = (0..db.num_labels() as u32)
+        .filter(|&l| !attribute_labels.contains(&db.label_name(l)))
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_quotient");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    group.bench_function("build_fingerprint", |b| {
+        b.iter(|| black_box(QuotientIndex::build_for_labels(db, &relational)))
+    });
+
+    let index = QuotientIndex::build_for_labels(db, &relational);
+    let cfg = SolverConfig {
+        early_exit: false,
+        ..SolverConfig::default()
+    };
+    let queries = [
+        (
+            "L0",
+            "{ ?s ub:advisor ?p . ?p ub:teacherOf ?c . ?s ub:takesCourse ?c }",
+        ),
+        (
+            "L2",
+            "{ ?x ub:memberOf ?d . ?x ub:takesCourse ?c . \
+              ?t ub:teacherOf ?c . ?t ub:worksFor ?d }",
+        ),
+    ];
+    for (id, text) in queries {
+        let query = parse(text).unwrap();
+        let soi = build_sois(db, &query).remove(0);
+        group.bench_with_input(BenchmarkId::new("solve_direct", id), &soi, |b, soi| {
+            b.iter(|| black_box(solve(db, soi, &cfg)))
+        });
+        let qdb = index.quotient();
+        let qsoi = build_sois(qdb, &query).remove(0);
+        group.bench_with_input(BenchmarkId::new("solve_quotient", id), &qsoi, |b, qsoi| {
+            b.iter(|| black_box(solve(qdb, qsoi, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, quotient);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E7: ablation of the §3.3 heuristics — evaluation strategy (row-wise /
+//! column-wise / adaptive) × inequality ordering (query order /
+//! sparsity-first) × initialization (Eq. 12 / Eq. 13). The paper claims
+//! "there is not a single heuristic that fits all input patterns and
+//! databases"; the spread across queries here shows exactly that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualsim_bench::bench_datasets;
+use dualsim_core::{build_sois, solve, EvalStrategy, IneqOrdering, InitMode, SolverConfig};
+use dualsim_datagen::workloads::all_queries;
+use std::hint::black_box;
+
+fn strategies(c: &mut Criterion) {
+    let data = bench_datasets();
+    let configs = [
+        ("rowwise", EvalStrategy::RowWise),
+        ("colwise", EvalStrategy::ColumnWise),
+        ("adaptive", EvalStrategy::Adaptive),
+    ];
+    let orderings = [
+        ("query-order", IneqOrdering::QueryOrder),
+        ("sparsity", IneqOrdering::SparsityFirst),
+    ];
+    let mut group = c.benchmark_group("ablation_strategies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    // A representative slice: the two Fig. 6 queries, the other cyclic
+    // LUBM query, and two DBpedia shapes.
+    for bench in all_queries()
+        .into_iter()
+        .filter(|b| matches!(b.id, "L0" | "L1" | "L2" | "D4" | "B2" | "B14"))
+    {
+        let db = data.for_query(&bench);
+        let sois = build_sois(db, &bench.query);
+        for (sname, strategy) in configs {
+            for (oname, ordering) in orderings {
+                let cfg = SolverConfig {
+                    strategy,
+                    ordering,
+                    init: InitMode::Summaries,
+                    early_exit: true,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{sname}/{oname}"), bench.id),
+                    &sois,
+                    |b, sois| {
+                        b.iter(|| {
+                            for soi in sois {
+                                black_box(solve(db, soi, &cfg));
+                            }
+                        })
+                    },
+                );
+            }
+        }
+        // Initialization ablation on the adaptive/sparsity configuration.
+        let cfg12 = SolverConfig {
+            init: InitMode::AllOnes,
+            ..SolverConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("adaptive/sparsity/init-eq12", bench.id),
+            &sois,
+            |b, sois| {
+                b.iter(|| {
+                    for soi in sois {
+                        black_box(solve(db, soi, &cfg12));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, strategies);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E8: micro-benchmarks of the §3.2 bit kernel — the two `×b` evaluation
+//! strategies at different χ densities, and the basic vector operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dualsim_bitmatrix::{BitMatrix, BitVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn random_matrix(rng: &mut StdRng, nnz: usize) -> BitMatrix {
+    let edges: Vec<(u32, u32)> = (0..nnz)
+        .map(|_| (rng.gen_range(0..N as u32), rng.gen_range(0..N as u32)))
+        .collect();
+    BitMatrix::from_edges(N, &edges)
+}
+
+fn random_vec(rng: &mut StdRng, ones: usize) -> BitVec {
+    let idx: Vec<u32> = (0..ones).map(|_| rng.gen_range(0..N as u32)).collect();
+    BitVec::from_indices(N, &idx)
+}
+
+fn bitops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let matrix = random_matrix(&mut rng, 400_000);
+    let transpose = matrix.transpose();
+
+    let mut group = c.benchmark_group("bitops");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    for &density in &[100usize, 10_000, 90_000] {
+        let x = random_vec(&mut rng, density);
+        let keep = random_vec(&mut rng, density);
+        group.throughput(Throughput::Elements(density as u64));
+        group.bench_with_input(BenchmarkId::new("multiply_rowwise", density), &x, |b, x| {
+            let mut out = BitVec::zeros(N);
+            b.iter(|| {
+                matrix.multiply_into(x, &mut out);
+                black_box(&out);
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("retain_colwise", density),
+            &(&keep, &x),
+            |b, (keep, x)| {
+                b.iter(|| {
+                    let mut k = (*keep).clone();
+                    transpose.retain_intersecting_rows(&mut k, x);
+                    black_box(&k);
+                })
+            },
+        );
+    }
+
+    let a = random_vec(&mut rng, N / 3);
+    let b2 = random_vec(&mut rng, N / 3);
+    group.bench_function("and_assign", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.and_assign(&b2);
+            black_box(&x);
+        })
+    });
+    group.bench_function("count_ones", |b| b.iter(|| black_box(a.count_ones())));
+    group.bench_function("is_subset_of", |b| {
+        b.iter(|| black_box(a.is_subset_of(&b2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bitops);
+criterion_main!(benches);

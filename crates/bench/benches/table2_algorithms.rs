@@ -1,0 +1,45 @@
+//! Table 2 (E1): SPARQLSIM (the SOI fixpoint solver) vs. the Ma et al.
+//! passive algorithm on the BGP cores of queries B0–B19 over the
+//! DBpedia-style dataset. The paper reports SPARQLSIM winning every row,
+//! often by an order of magnitude — the benchmark reproduces the
+//! relative shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualsim_bench::bench_datasets;
+use dualsim_core::baseline::dual_simulation_ma;
+use dualsim_core::{build_sois, solve, SolverConfig};
+use dualsim_datagen::workloads::dbsb_queries;
+use dualsim_query::Query;
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    let data = bench_datasets();
+    let db = &data.dbpedia;
+    let cfg = SolverConfig::default();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for bench in dbsb_queries() {
+        let core = Query::Bgp(bench.query.mandatory_core());
+        let sois = build_sois(db, &core);
+        group.bench_with_input(BenchmarkId::new("sparqlsim", bench.id), &sois, |b, sois| {
+            b.iter(|| {
+                for soi in sois {
+                    black_box(solve(db, soi, &cfg));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ma", bench.id), &sois, |b, sois| {
+            b.iter(|| {
+                for soi in sois {
+                    black_box(dual_simulation_ma(db, soi));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 3 (E2): the pruning computation (`t_SPARQLSIM`) for every
+//! workload query L0–L5, D0–D5, B0–B19. The counts of the table
+//! (results, required triples, triples after pruning) come from
+//! `experiments table3`; this bench measures the pruning time column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualsim_bench::bench_datasets;
+use dualsim_core::{prune, SolverConfig};
+use dualsim_datagen::workloads::all_queries;
+use std::hint::black_box;
+
+fn table3(c: &mut Criterion) {
+    let data = bench_datasets();
+    let cfg = SolverConfig::default();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for bench in all_queries() {
+        let db = data.for_query(&bench);
+        group.bench_with_input(
+            BenchmarkId::new("prune", bench.id),
+            &bench.query,
+            |b, query| b.iter(|| black_box(prune(db, query, &cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 4 (E3): query evaluation times of the hash-join engine (the
+//! RDFox stand-in) on the full vs. the pruned database. The paper's
+//! headline row is L1, where pruning avoids a huge intermediate join
+//! table and wins by more than an order of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualsim_bench::bench_datasets;
+use dualsim_core::{prune, SolverConfig};
+use dualsim_datagen::workloads::all_queries;
+use dualsim_engine::{Engine, HashJoinEngine};
+use std::hint::black_box;
+
+fn table4(c: &mut Criterion) {
+    let data = bench_datasets();
+    let cfg = SolverConfig::default();
+    let engine = HashJoinEngine;
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for bench in all_queries() {
+        let db = data.for_query(&bench);
+        group.bench_with_input(
+            BenchmarkId::new("full", bench.id),
+            &bench.query,
+            |b, query| b.iter(|| black_box(engine.evaluate(db, query))),
+        );
+        let pruned = prune(db, &bench.query, &cfg).pruned_db(db);
+        group.bench_with_input(
+            BenchmarkId::new("pruned", bench.id),
+            &bench.query,
+            |b, query| b.iter(|| black_box(engine.evaluate(&pruned, query))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

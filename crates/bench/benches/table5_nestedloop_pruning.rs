@@ -1,0 +1,40 @@
+//! Table 5 (E4): query evaluation times of the nested-loop engine (the
+//! Virtuoso stand-in) on the full vs. the pruned database. The paper
+//! reports smaller (sometimes negative) gains than for RDFox because the
+//! adaptive join order already avoids the worst intermediates — the same
+//! pattern this engine shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualsim_bench::bench_datasets;
+use dualsim_core::{prune, SolverConfig};
+use dualsim_datagen::workloads::all_queries;
+use dualsim_engine::{Engine, NestedLoopEngine};
+use std::hint::black_box;
+
+fn table5(c: &mut Criterion) {
+    let data = bench_datasets();
+    let cfg = SolverConfig::default();
+    let engine = NestedLoopEngine;
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for bench in all_queries() {
+        let db = data.for_query(&bench);
+        group.bench_with_input(
+            BenchmarkId::new("full", bench.id),
+            &bench.query,
+            |b, query| b.iter(|| black_box(engine.evaluate(db, query))),
+        );
+        let pruned = prune(db, &bench.query, &cfg).pruned_db(db);
+        group.bench_with_input(
+            BenchmarkId::new("pruned", bench.id),
+            &bench.query,
+            |b, query| b.iter(|| black_box(engine.evaluate(&pruned, query))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table5);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Regenerates the paper's evaluation tables as text.
+//!
+//! ```text
+//! experiments [table2|table3|table4|table5|iterations|all]
+//! ```
+//!
+//! Dataset sizes: `DUALSIM_LUBM_UNIS` (default 15) and
+//! `DUALSIM_DBPEDIA_ENTITIES` (default 20000).
+
+use dualsim_bench::{
+    default_datasets, render_table, run_iterations, run_pruning_power, run_simulation_spectrum,
+    run_table2, run_table3, run_table45, secs, Datasets,
+};
+use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    eprintln!("generating datasets …");
+    let data = default_datasets();
+    eprintln!(
+        "LUBM: {} triples / {} nodes; DBpedia: {} triples / {} nodes",
+        data.lubm.num_triples(),
+        data.lubm.num_nodes(),
+        data.dbpedia.num_triples(),
+        data.dbpedia.num_nodes()
+    );
+    match which.as_str() {
+        "table2" => table2(&data),
+        "table3" => table3(&data),
+        "table4" => table4(&data),
+        "table5" => table5(&data),
+        "iterations" => iterations(&data),
+        "pruning-power" => pruning_power(&data),
+        "spectrum" => spectrum(&data),
+        "all" => {
+            table2(&data);
+            table3(&data);
+            table4(&data);
+            table5(&data);
+            iterations(&data);
+            pruning_power(&data);
+            spectrum(&data);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment {other:?}; expected \
+                 table2|table3|table4|table5|iterations|pruning-power|spectrum|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table2(data: &Datasets) {
+    println!("\n== Table 2: SPARQLSIM vs. Ma et al. on BGP cores of B0–B19 (seconds) ==\n");
+    let rows = run_table2(&data.dbpedia, 3);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_owned(),
+                secs(r.t_sparqlsim),
+                secs(r.t_ma),
+                format!(
+                    "{:.1}x",
+                    r.t_ma.as_secs_f64() / r.t_sparqlsim.as_secs_f64().max(1e-9)
+                ),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["Query", "tSPARQLSIM", "tMA ET AL.", "speedup"], &table)
+    );
+}
+
+fn table3(data: &Datasets) {
+    println!(
+        "\n== Table 3: result sizes, required triples, pruning time, triples after pruning ==\n"
+    );
+    let rows = run_table3(data, &NestedLoopEngine);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_owned(),
+                r.results.to_string(),
+                r.required.to_string(),
+                secs(r.t_sparqlsim),
+                r.kept.to_string(),
+                r.iterations.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Query",
+                "Result No.",
+                "Req. Triples",
+                "tSPARQLSIM",
+                "Tripl. aft. Pruning",
+                "Iterations",
+            ],
+            &table
+        )
+    );
+}
+
+fn table4(data: &Datasets) {
+    println!(
+        "\n== Table 4: query times, hash-join engine (RDFox stand-in), full vs. pruned (seconds) ==\n"
+    );
+    print_table45(run_table45(data, &HashJoinEngine, 3));
+}
+
+fn table5(data: &Datasets) {
+    println!(
+        "\n== Table 5: query times, nested-loop engine (Virtuoso stand-in), full vs. pruned (seconds) ==\n"
+    );
+    print_table45(run_table45(data, &NestedLoopEngine, 3));
+}
+
+fn print_table45(rows: Vec<dualsim_bench::Table45Row>) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_owned(),
+                secs(r.t_db),
+                secs(r.t_pruned),
+                secs(r.t_total),
+                r.results.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Query", "tDB", "tDB pruned", "tpruned+tSIM", "results"],
+            &table
+        )
+    );
+}
+
+fn pruning_power(data: &Datasets) {
+    println!("\n== Ablation: dual vs. plain forward simulation pruning (kept triples) ==\n");
+    let rows = run_pruning_power(data);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let factor = if r.dual_kept == 0 {
+                "—".to_owned()
+            } else {
+                format!("{:.2}x", r.forward_kept as f64 / r.dual_kept as f64)
+            };
+            vec![
+                r.id.to_owned(),
+                r.dual_kept.to_string(),
+                r.forward_kept.to_string(),
+                factor,
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Query", "dual kept", "forward kept", "forward/dual"],
+            &table
+        )
+    );
+}
+
+fn spectrum(data: &Datasets) {
+    println!(
+        "\n== Simulation spectrum: total candidates Σ|χ| on selective connected BGP cores ==\n"
+    );
+    let rows = run_simulation_spectrum(data);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_owned(),
+                r.strong.to_string(),
+                r.dual.to_string(),
+                r.forward.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["Query", "strong", "dual", "forward"], &table)
+    );
+}
+
+fn iterations(data: &Datasets) {
+    println!("\n== §5.3: solver iterations per LUBM query ==\n");
+    let rows = run_iterations(data);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_owned(),
+                r.iterations.to_string(),
+                r.updates.to_string(),
+                r.kept.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["Query", "Iterations", "Updates", "Kept triples"], &table)
+    );
+}

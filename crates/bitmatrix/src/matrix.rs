@@ -1,0 +1,297 @@
+//! Square boolean adjacency matrices with compressed rows.
+//!
+//! A [`BitMatrix`] stores one adjacency matrix `F^a` (or `B^a`) of
+//! Sect. 3.2 in compressed sparse row form: row `i` is the sorted run of
+//! column indices whose bit is one. This is the same information as the
+//! paper's gap-length encoded bit rows and keeps the memory footprint
+//! proportional to the number of edges rather than `|V|²`.
+
+use crate::BitVec;
+
+/// A `dim × dim` boolean matrix with compressed (sorted, deduplicated)
+/// rows.
+#[derive(Clone, Debug)]
+pub struct BitMatrix {
+    dim: usize,
+    /// CSR offsets: row `i` occupies `targets[offsets[i]..offsets[i+1]]`.
+    offsets: Box<[u32]>,
+    /// Concatenated sorted column indices of all rows.
+    targets: Box<[u32]>,
+    /// Row summary: bit `i` set iff row `i` is non-empty. For a forward
+    /// matrix `F^a` this is the vector `f^a` of Eq. (13).
+    summary: BitVec,
+}
+
+impl BitMatrix {
+    /// Builds a matrix from an edge list of `(row, col)` pairs.
+    /// Duplicates are removed; the input order is irrelevant.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= dim` or if the number of entries
+    /// overflows `u32`.
+    pub fn from_edges(dim: usize, edges: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0u32; dim + 1];
+        for &(r, c) in edges {
+            assert!(
+                (r as usize) < dim && (c as usize) < dim,
+                "edge ({r},{c}) out of bounds {dim}"
+            );
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..dim {
+            counts[i + 1] += counts[i];
+        }
+        let nnz = counts[dim] as usize;
+        assert!(nnz <= u32::MAX as usize, "too many matrix entries");
+        let mut targets = vec![0u32; nnz];
+        let mut cursor = counts.clone();
+        for &(r, c) in edges {
+            let slot = cursor[r as usize] as usize;
+            targets[slot] = c;
+            cursor[r as usize] += 1;
+        }
+        // Sort and deduplicate each row, then re-compact the CSR arrays.
+        let mut dedup_targets = Vec::with_capacity(nnz);
+        let mut offsets = vec![0u32; dim + 1];
+        for i in 0..dim {
+            let row = &mut targets[counts[i] as usize..counts[i + 1] as usize];
+            row.sort_unstable();
+            let start = dedup_targets.len();
+            for &c in row.iter() {
+                if dedup_targets.len() == start || *dedup_targets.last().unwrap() != c {
+                    dedup_targets.push(c);
+                }
+            }
+            offsets[i + 1] = dedup_targets.len() as u32;
+        }
+        let mut summary = BitVec::zeros(dim);
+        for i in 0..dim {
+            if offsets[i] != offsets[i + 1] {
+                summary.set(i);
+            }
+        }
+        BitMatrix {
+            dim,
+            offsets: offsets.into_boxed_slice(),
+            targets: dedup_targets.into_boxed_slice(),
+            summary,
+        }
+    }
+
+    /// Matrix dimension (rows == columns == data-graph node count).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored one-entries (== number of `a`-labeled edges).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted column indices of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of one-entries in row `i`.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Entry test `A(i, j) == 1`.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.row(i).binary_search(&(j as u32)).is_ok()
+    }
+
+    /// Row summary vector: bit `i` set iff row `i` is non-empty
+    /// (the `f^a` / `b^a` vectors of the Eq. (13) initialization).
+    #[inline]
+    pub fn row_summary(&self) -> &BitVec {
+        &self.summary
+    }
+
+    /// Number of rows with at least one entry.
+    pub fn nonempty_rows(&self) -> usize {
+        self.summary.count_ones()
+    }
+
+    /// Row-wise bit-matrix multiplication `out = x ×b A` (Eq. (9)):
+    /// `out` is the union of the rows of `A` selected by the set bits of
+    /// `x`. Returns the number of rows OR-ed (a work measure for the
+    /// solver statistics).
+    ///
+    /// # Panics
+    /// Panics if the vector lengths differ from `dim`.
+    pub fn multiply_into(&self, x: &BitVec, out: &mut BitVec) -> usize {
+        assert_eq!(x.len(), self.dim);
+        assert_eq!(out.len(), self.dim);
+        out.clear_all();
+        let mut rows = 0usize;
+        for i in x.iter_ones() {
+            out.set_indices(self.row(i));
+            rows += 1;
+        }
+        rows
+    }
+
+    /// Column-wise evaluation helper: clears every bit `j` of `keep` whose
+    /// row `j` of `self` does **not** intersect `probe`.
+    ///
+    /// With `self = B^a` (the transpose of `F^a`) and `probe = χ_S(v)`,
+    /// this computes `keep ∧ (χ_S(v) ×b F^a)` without materializing the
+    /// product — the column-wise strategy of Sect. 3.3. Returns
+    /// `(changed, rows_probed)`.
+    pub fn retain_intersecting_rows(&self, keep: &mut BitVec, probe: &BitVec) -> (bool, usize) {
+        assert_eq!(keep.len(), self.dim);
+        assert_eq!(probe.len(), self.dim);
+        let mut removed: Vec<u32> = Vec::new();
+        let mut probed = 0usize;
+        for j in keep.iter_ones() {
+            probed += 1;
+            if !probe.intersects_indices(self.row(j)) {
+                removed.push(j as u32);
+            }
+        }
+        for &j in &removed {
+            keep.clear(j as usize);
+        }
+        (!removed.is_empty(), probed)
+    }
+
+    /// Heap bytes held by the CSR arrays and the summary vector — the
+    /// per-label matrix memory the paper's §5.1 accounting reports.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<u32>()
+            + self.summary.heap_bytes()
+    }
+
+    /// Builds the transposed matrix.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut edges = Vec::with_capacity(self.nnz());
+        for i in 0..self.dim {
+            for &j in self.row(i) {
+                edges.push((j, i as u32));
+            }
+        }
+        BitMatrix::from_edges(self.dim, &edges)
+    }
+
+    /// Iterator over all `(row, col)` one-entries.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.dim).flat_map(move |i| self.row(i).iter().map(move |&j| (i as u32, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BitMatrix {
+        // 0 -> {1, 2}, 1 -> {0}, 3 -> {3}; row 2 and 4 empty.
+        BitMatrix::from_edges(5, &[(0, 2), (0, 1), (1, 0), (3, 3), (0, 1)])
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deduplicated() {
+        let m = sample();
+        assert_eq!(m.row(0), &[1, 2]);
+        assert_eq!(m.row(1), &[0]);
+        assert_eq!(m.row(2), &[] as &[u32]);
+        assert_eq!(m.row(3), &[3]);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn get_checks_membership() {
+        let m = sample();
+        assert!(m.get(0, 1) && m.get(0, 2) && m.get(1, 0) && m.get(3, 3));
+        assert!(!m.get(0, 0) && !m.get(2, 2) && !m.get(4, 4));
+    }
+
+    #[test]
+    fn row_summary_marks_nonempty_rows() {
+        let m = sample();
+        assert_eq!(m.row_summary().to_indices(), vec![0, 1, 3]);
+        assert_eq!(m.nonempty_rows(), 3);
+    }
+
+    #[test]
+    fn multiply_matches_paper_example() {
+        // The born_in forward matrix of Fig. 2(a): rows director1 (1) and
+        // director2 (2) point at place (0).
+        let f = BitMatrix::from_edges(5, &[(1, 0), (2, 0)]);
+        let b = f.transpose();
+        let all = BitVec::ones(5);
+        let mut r = BitVec::zeros(5);
+        // χ(director) ×b F^born_in = (1,0,0,0,0)
+        f.multiply_into(&all, &mut r);
+        assert_eq!(r.to_indices(), vec![0]);
+        // χ(place) ×b B^born_in = (0,1,1,0,0)
+        b.multiply_into(&all, &mut r);
+        assert_eq!(r.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn multiply_with_empty_vector_is_empty() {
+        let m = sample();
+        let x = BitVec::zeros(5);
+        let mut out = BitVec::ones(5);
+        m.multiply_into(&x, &mut out);
+        assert!(out.none_set());
+    }
+
+    #[test]
+    fn retain_intersecting_rows_equals_column_wise_product() {
+        let f = sample();
+        let b = f.transpose();
+        let x = BitVec::from_indices(5, &[0, 3]);
+        // Row-wise product.
+        let mut rowwise = BitVec::zeros(5);
+        f.multiply_into(&x, &mut rowwise);
+        // Column-wise: start from all candidates, retain those whose
+        // B-row intersects x.
+        let mut colwise = BitVec::ones(5);
+        b.retain_intersecting_rows(&mut colwise, &x);
+        assert_eq!(rowwise, colwise);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        for i in 0..5 {
+            assert_eq!(m.row(i), tt.row(i));
+        }
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let m = sample();
+        let entries: Vec<_> = m.entries().collect();
+        let m2 = BitMatrix::from_edges(5, &entries);
+        for i in 0..5 {
+            assert_eq!(m.row(i), m2.row(i));
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = BitMatrix::from_edges(4, &[]);
+        assert_eq!(m.nnz(), 0);
+        assert!(m.row_summary().none_set());
+        let mut out = BitVec::ones(4);
+        m.multiply_into(&BitVec::ones(4), &mut out);
+        assert!(out.none_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        BitMatrix::from_edges(3, &[(0, 3)]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the bit kernel: algebraic laws of the vector
+//! operations and equivalence of the two `×b` evaluation strategies.
+
+use crate::{BitMatrix, BitVec, RleBitVec};
+use proptest::prelude::*;
+
+const LEN: usize = 150;
+
+fn arb_bitvec() -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(0u32..LEN as u32, 0..60)
+        .prop_map(|idx| BitVec::from_indices(LEN, &idx))
+}
+
+fn arb_matrix() -> impl Strategy<Value = BitMatrix> {
+    proptest::collection::vec((0u32..LEN as u32, 0u32..LEN as u32), 0..400)
+        .prop_map(|edges| BitMatrix::from_edges(LEN, &edges))
+}
+
+/// Reference implementation of `x ×b A` straight from the footnote-2
+/// definition: `out(j) = 1` iff `∃i. x(i) ∧ A(i,j)`.
+fn naive_multiply(m: &BitMatrix, x: &BitVec) -> BitVec {
+    let mut out = BitVec::zeros(m.dim());
+    for i in 0..m.dim() {
+        if x.get(i) {
+            for &j in m.row(i) {
+                out.set(j as usize);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn and_is_intersection(a in arb_bitvec(), b in arb_bitvec()) {
+        let mut c = a.clone();
+        c.and_assign(&b);
+        for i in 0..LEN {
+            prop_assert_eq!(c.get(i), a.get(i) && b.get(i));
+        }
+        prop_assert!(c.is_subset_of(&a) && c.is_subset_of(&b));
+    }
+
+    #[test]
+    fn or_is_union(a in arb_bitvec(), b in arb_bitvec()) {
+        let mut c = a.clone();
+        c.or_assign(&b);
+        for i in 0..LEN {
+            prop_assert_eq!(c.get(i), a.get(i) || b.get(i));
+        }
+        prop_assert!(a.is_subset_of(&c) && b.is_subset_of(&c));
+    }
+
+    #[test]
+    fn and_not_is_difference(a in arb_bitvec(), b in arb_bitvec()) {
+        let mut c = a.clone();
+        c.and_not_assign(&b);
+        for i in 0..LEN {
+            prop_assert_eq!(c.get(i), a.get(i) && !b.get(i));
+        }
+        prop_assert!(!c.intersects(&b));
+    }
+
+    #[test]
+    fn change_reporting_is_accurate(a in arb_bitvec(), b in arb_bitvec()) {
+        let mut c = a.clone();
+        let changed = c.and_assign(&b);
+        prop_assert_eq!(changed, c != a);
+    }
+
+    #[test]
+    fn subset_iff_intersection_is_identity(a in arb_bitvec(), b in arb_bitvec()) {
+        let mut c = a.clone();
+        c.and_assign(&b);
+        prop_assert_eq!(a.is_subset_of(&b), c == a);
+    }
+
+    #[test]
+    fn intersects_iff_nonempty_intersection(a in arb_bitvec(), b in arb_bitvec()) {
+        let mut c = a.clone();
+        c.and_assign(&b);
+        prop_assert_eq!(a.intersects(&b), c.any_set());
+    }
+
+    #[test]
+    fn iter_ones_round_trips(a in arb_bitvec()) {
+        let idx = a.to_indices();
+        let rebuilt = BitVec::from_indices(LEN, &idx);
+        prop_assert_eq!(&rebuilt, &a);
+        prop_assert_eq!(idx.len(), a.count_ones());
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "ascending, no dups");
+    }
+
+    #[test]
+    fn rowwise_multiply_matches_definition(m in arb_matrix(), x in arb_bitvec()) {
+        let mut out = BitVec::zeros(LEN);
+        m.multiply_into(&x, &mut out);
+        prop_assert_eq!(out, naive_multiply(&m, &x));
+    }
+
+    #[test]
+    fn columnwise_equals_rowwise(m in arb_matrix(), x in arb_bitvec(), keep in arb_bitvec()) {
+        // Row-wise: keep ∧ (x ×b m)
+        let mut product = BitVec::zeros(LEN);
+        m.multiply_into(&x, &mut product);
+        let mut expected = keep.clone();
+        expected.and_assign(&product);
+        // Column-wise via the transpose.
+        let t = m.transpose();
+        let mut actual = keep.clone();
+        t.retain_intersecting_rows(&mut actual, &x);
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn transpose_flips_entries(m in arb_matrix()) {
+        let t = m.transpose();
+        for (i, j) in m.entries() {
+            prop_assert!(t.get(j as usize, i as usize));
+        }
+        prop_assert_eq!(m.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn row_summary_matches_rows(m in arb_matrix()) {
+        for i in 0..m.dim() {
+            prop_assert_eq!(m.row_summary().get(i), !m.row(i).is_empty());
+        }
+    }
+
+    /// RLE ↔ dense conversion is lossless.
+    #[test]
+    fn rle_round_trips(a in arb_bitvec()) {
+        let rle = RleBitVec::from_bitvec(&a);
+        prop_assert_eq!(rle.to_bitvec(), a.clone());
+        prop_assert_eq!(rle.count_ones(), a.count_ones());
+        prop_assert_eq!(rle.iter_ones().collect::<Vec<_>>(), a.iter_ones().collect::<Vec<_>>());
+        for i in 0..LEN {
+            prop_assert_eq!(rle.get(i), a.get(i));
+        }
+    }
+
+    /// Every RLE set operation agrees with its dense counterpart.
+    #[test]
+    fn rle_operations_match_dense(a in arb_bitvec(), b in arb_bitvec()) {
+        let (ra, rb) = (RleBitVec::from_bitvec(&a), RleBitVec::from_bitvec(&b));
+        let mut and_dense = a.clone();
+        and_dense.and_assign(&b);
+        prop_assert_eq!(ra.and(&rb).to_bitvec(), and_dense);
+        let mut or_dense = a.clone();
+        or_dense.or_assign(&b);
+        prop_assert_eq!(ra.or(&rb).to_bitvec(), or_dense);
+        prop_assert_eq!(ra.is_subset_of(&rb), a.is_subset_of(&b));
+        prop_assert_eq!(ra.intersects(&rb), a.intersects(&b));
+    }
+
+    /// Runs are maximal: consecutive indices never split across runs, so
+    /// the run count is exactly the number of 0→1 transitions.
+    #[test]
+    fn rle_runs_are_maximal(a in arb_bitvec()) {
+        let rle = RleBitVec::from_bitvec(&a);
+        let mut transitions = 0usize;
+        let mut prev = false;
+        for i in 0..LEN {
+            let cur = a.get(i);
+            if cur && !prev {
+                transitions += 1;
+            }
+            prev = cur;
+        }
+        prop_assert_eq!(rle.num_runs(), transitions);
+    }
+
+    #[test]
+    fn multiply_result_within_row_summary_of_transpose(m in arb_matrix(), x in arb_bitvec()) {
+        // Every node reachable by a forward product has an incoming edge,
+        // i.e. the product is bounded by b^a = row summary of the transpose.
+        let mut out = BitVec::zeros(LEN);
+        m.multiply_into(&x, &mut out);
+        prop_assert!(out.is_subset_of(m.transpose().row_summary()));
+    }
+}

@@ -1,0 +1,331 @@
+//! Gap-length (run-length) encoded bit vectors.
+//!
+//! Sect. 3.3 of the paper notes that "due to bit-vector storage
+//! techniques, such as gap-length encoding, the worst memory consumption
+//! might not occur with the label storing the most bits", referring to
+//! the BitMat storage structure of Atre et al. This module provides that
+//! representation: a sorted list of `[start, start+len)` runs of one
+//! bits. It is the storage of choice for χ rows that are either very
+//! sparse or consist of long contiguous runs (dictionary-encoded
+//! databases cluster nodes of one type in contiguous id ranges, which is
+//! exactly when run-length encoding shines).
+//!
+//! [`RleBitVec`] supports the operations the SOI solver needs —
+//! intersection, union, subset and intersection tests, popcount — and
+//! converts losslessly to and from [`BitVec`].
+
+use crate::BitVec;
+
+/// A run of consecutive one bits `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    start: u32,
+    len: u32,
+}
+
+impl Run {
+    #[inline]
+    fn end(&self) -> u32 {
+        self.start + self.len
+    }
+}
+
+/// A fixed-length bit vector stored as sorted, non-adjacent runs of one
+/// bits (gap-length encoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RleBitVec {
+    runs: Vec<Run>,
+    len: usize,
+}
+
+impl RleBitVec {
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        RleBitVec {
+            runs: Vec::new(),
+            len,
+        }
+    }
+
+    /// Creates a vector of `len` one bits (a single run).
+    pub fn ones(len: usize) -> Self {
+        let runs = if len == 0 {
+            Vec::new()
+        } else {
+            vec![Run {
+                start: 0,
+                len: len as u32,
+            }]
+        };
+        RleBitVec { runs, len }
+    }
+
+    /// Builds from sorted-or-unsorted indices.
+    pub fn from_indices(len: usize, indices: &[u32]) -> Self {
+        let mut sorted = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut runs: Vec<Run> = Vec::new();
+        for &i in &sorted {
+            assert!((i as usize) < len, "bit index {i} out of bounds {len}");
+            match runs.last_mut() {
+                Some(run) if run.end() == i => run.len += 1,
+                _ => runs.push(Run { start: i, len: 1 }),
+            }
+        }
+        RleBitVec { runs, len }
+    }
+
+    /// Lossless conversion from a dense vector.
+    pub fn from_bitvec(v: &BitVec) -> Self {
+        let mut runs: Vec<Run> = Vec::new();
+        for i in v.iter_ones() {
+            let i = i as u32;
+            match runs.last_mut() {
+                Some(run) if run.end() == i => run.len += 1,
+                _ => runs.push(Run { start: i, len: 1 }),
+            }
+        }
+        RleBitVec { runs, len: v.len() }
+    }
+
+    /// Lossless conversion to a dense vector.
+    pub fn to_bitvec(&self) -> BitVec {
+        let mut out = BitVec::zeros(self.len);
+        for run in &self.runs {
+            for i in run.start..run.end() {
+                out.set(i as usize);
+            }
+        }
+        out
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs — the compressed size (2 × u32 per run).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.runs.iter().map(|r| r.len as usize).sum()
+    }
+
+    /// `true` iff no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        let i = i as u32;
+        // Last run starting at or before i.
+        match self.runs.partition_point(|r| r.start <= i) {
+            0 => false,
+            p => i < self.runs[p - 1].end(),
+        }
+    }
+
+    /// Iterator over set-bit indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|r| (r.start..r.end()).map(|i| i as usize))
+    }
+
+    /// Intersection with another RLE vector.
+    pub fn and(&self, other: &RleBitVec) -> RleBitVec {
+        self.check_len(other);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (a, b) = (&self.runs[i], &other.runs[j]);
+            let start = a.start.max(b.start);
+            let end = a.end().min(b.end());
+            if start < end {
+                out.push(Run {
+                    start,
+                    len: end - start,
+                });
+            }
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        RleBitVec {
+            runs: out,
+            len: self.len,
+        }
+    }
+
+    /// Union with another RLE vector.
+    pub fn or(&self, other: &RleBitVec) -> RleBitVec {
+        self.check_len(other);
+        let mut out: Vec<Run> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let push = |run: Run, out: &mut Vec<Run>| match out.last_mut() {
+            Some(last) if last.end() >= run.start => {
+                let end = last.end().max(run.end());
+                last.len = end - last.start;
+            }
+            _ => out.push(run),
+        };
+        while i < self.runs.len() || j < other.runs.len() {
+            let take_left = match (self.runs.get(i), other.runs.get(j)) {
+                (Some(a), Some(b)) => a.start <= b.start,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_left {
+                push(self.runs[i], &mut out);
+                i += 1;
+            } else {
+                push(other.runs[j], &mut out);
+                j += 1;
+            }
+        }
+        RleBitVec {
+            runs: out,
+            len: self.len,
+        }
+    }
+
+    /// Subset test `self ≤ other`.
+    pub fn is_subset_of(&self, other: &RleBitVec) -> bool {
+        self.check_len(other);
+        // Every run of self must be covered by a single run of other
+        // (runs are maximal, so a covering run cannot be split).
+        let mut j = 0usize;
+        for a in &self.runs {
+            while j < other.runs.len() && other.runs[j].end() < a.end() {
+                j += 1;
+            }
+            match other.runs.get(j) {
+                Some(b) if b.start <= a.start && a.end() <= b.end() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// `true` iff `self ∩ other ≠ ∅`.
+    pub fn intersects(&self, other: &RleBitVec) -> bool {
+        self.check_len(other);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (a, b) = (&self.runs[i], &other.runs[j]);
+            if a.start.max(b.start) < a.end().min(b.end()) {
+                return true;
+            }
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    fn check_len(&self, other: &RleBitVec) {
+        assert_eq!(
+            self.len, other.len,
+            "bit-vector length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_coalesced() {
+        let v = RleBitVec::from_indices(20, &[3, 4, 5, 9, 10, 15]);
+        assert_eq!(v.num_runs(), 3);
+        assert_eq!(v.count_ones(), 6);
+    }
+
+    #[test]
+    fn get_honours_run_boundaries() {
+        let v = RleBitVec::from_indices(20, &[3, 4, 5, 9]);
+        assert!(!v.get(2));
+        assert!(v.get(3) && v.get(4) && v.get(5));
+        assert!(!v.get(6) && !v.get(8));
+        assert!(v.get(9));
+        assert!(!v.get(19));
+    }
+
+    #[test]
+    fn bitvec_round_trip() {
+        let dense = BitVec::from_indices(130, &[0, 1, 2, 64, 65, 129]);
+        let rle = RleBitVec::from_bitvec(&dense);
+        assert_eq!(rle.num_runs(), 3);
+        assert_eq!(rle.to_bitvec(), dense);
+    }
+
+    #[test]
+    fn and_intersects_runs() {
+        let a = RleBitVec::from_indices(30, &[0, 1, 2, 3, 10, 11, 12]);
+        let b = RleBitVec::from_indices(30, &[2, 3, 4, 11]);
+        let c = a.and(&b);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![2, 3, 11]);
+    }
+
+    #[test]
+    fn or_merges_adjacent_runs() {
+        let a = RleBitVec::from_indices(30, &[0, 1, 2]);
+        let b = RleBitVec::from_indices(30, &[3, 4, 5]);
+        let c = a.or(&b);
+        assert_eq!(c.num_runs(), 1, "adjacent runs must coalesce");
+        assert_eq!(c.count_ones(), 6);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let big = RleBitVec::from_indices(30, &[1, 2, 3, 4, 5, 20, 21]);
+        let small = RleBitVec::from_indices(30, &[2, 3, 21]);
+        let other = RleBitVec::from_indices(30, &[10]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.intersects(&big));
+        assert!(!other.intersects(&big));
+        assert!(RleBitVec::zeros(30).is_subset_of(&other));
+    }
+
+    #[test]
+    fn ones_is_a_single_run() {
+        let v = RleBitVec::ones(100);
+        assert_eq!(v.num_runs(), 1);
+        assert_eq!(v.count_ones(), 100);
+        assert_eq!(RleBitVec::ones(0).num_runs(), 0);
+    }
+
+    #[test]
+    fn compression_wins_on_clustered_ids() {
+        // A type-cluster: 10 000 consecutive nodes share a class. Dense
+        // storage: 100 000 bits = 12.5 kB; RLE: one run = 8 bytes.
+        let dense = {
+            let mut v = BitVec::zeros(100_000);
+            for i in 40_000..50_000 {
+                v.set(i);
+            }
+            v
+        };
+        let rle = RleBitVec::from_bitvec(&dense);
+        assert_eq!(rle.num_runs(), 1);
+        assert_eq!(rle.count_ones(), 10_000);
+    }
+}

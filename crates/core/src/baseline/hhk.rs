@@ -1,0 +1,223 @@
+//! An HHK-style dual-simulation algorithm (Henzinger, Henzinger & Kopke
+//! \[17\]), adapted to the labeled pattern/data-graph setting of
+//! Sect. 3.3.
+//!
+//! The crux of HHK is the bookkeeping that avoids re-scanning stable
+//! candidates: for every pattern edge `(v, a, w)` the algorithm maintains
+//! per data node the number of `a`-successors still simulating `w` (and
+//! symmetrically predecessors simulating `v`). When a candidate is
+//! removed, only the affected counters are decremented, and candidates
+//! whose counter reaches zero are removed in turn. This realizes the
+//! removal-set maintenance the paper's complexity discussion attributes
+//! to HHK; the paper's hypothesis (§3.3) is that in the labeled graph
+//! query setting this bookkeeping does not beat the Ma et al. sweep by a
+//! wide margin — the ablation benchmark `ablation_baselines` measures it.
+
+use crate::Soi;
+use dualsim_bitmatrix::BitVec;
+use dualsim_graph::GraphDb;
+
+/// Work counters of one HHK run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HhkStats {
+    /// Candidates removed over the whole run.
+    pub removals: usize,
+    /// Counter decrements performed.
+    pub counter_updates: usize,
+}
+
+/// Computes the largest dual simulation between the BGP pattern of `soi`
+/// and `db` with counter-based removal propagation.
+///
+/// # Panics
+/// Panics if `soi` is not a plain BGP system.
+pub fn dual_simulation_hhk(db: &GraphDb, soi: &Soi) -> (Vec<BitVec>, HhkStats) {
+    assert!(
+        soi.is_plain_bgp(),
+        "the HHK baseline only handles plain BGP systems"
+    );
+    let n = db.num_nodes();
+    let mut stats = HhkStats::default();
+
+    // Initial candidates: summary-filtered like Eq. (13) — HHK
+    // initializes simulators from local successor structure.
+    let mut sim: Vec<BitVec> = soi
+        .vars
+        .iter()
+        .map(|var| match var.pinned {
+            Some(Some(node)) => BitVec::from_indices(n, &[node]),
+            Some(None) => BitVec::zeros(n),
+            None => BitVec::ones(n),
+        })
+        .collect();
+    for e in &soi.edges {
+        match e.label {
+            Some(a) => {
+                sim[e.src].and_assign(db.f_summary(a));
+                sim[e.dst].and_assign(db.b_summary(a));
+            }
+            None => {
+                sim[e.src].clear_all();
+                sim[e.dst].clear_all();
+            }
+        }
+    }
+
+    // Per pattern edge: fwd_count[u] = |F^a(u) ∩ sim(dst)| governs u's
+    // membership in sim(src); bwd_count[o] = |B^a(o) ∩ sim(src)| governs
+    // o's membership in sim(dst).
+    let mut fwd_counts: Vec<Vec<u32>> = Vec::with_capacity(soi.edges.len());
+    let mut bwd_counts: Vec<Vec<u32>> = Vec::with_capacity(soi.edges.len());
+    for e in &soi.edges {
+        let (mut fc, mut bc) = (vec![0u32; n], vec![0u32; n]);
+        if let Some(a) = e.label {
+            for (u, o) in db.label_pairs(a) {
+                if sim[e.dst].get(o as usize) {
+                    fc[u as usize] += 1;
+                }
+                if sim[e.src].get(u as usize) {
+                    bc[o as usize] += 1;
+                }
+            }
+        }
+        fwd_counts.push(fc);
+        bwd_counts.push(bc);
+    }
+
+    // Seed the work list with initially inconsistent candidates.
+    let mut queue: Vec<(usize, u32)> = Vec::new();
+    for (ei, e) in soi.edges.iter().enumerate() {
+        if e.label.is_none() {
+            continue;
+        }
+        let drops: Vec<u32> = sim[e.src]
+            .iter_ones()
+            .filter(|&u| fwd_counts[ei][u] == 0)
+            .map(|u| u as u32)
+            .collect();
+        for u in drops {
+            if sim[e.src].get(u as usize) {
+                sim[e.src].clear(u as usize);
+                queue.push((e.src, u));
+            }
+        }
+        let drops: Vec<u32> = sim[e.dst]
+            .iter_ones()
+            .filter(|&o| bwd_counts[ei][o] == 0)
+            .map(|o| o as u32)
+            .collect();
+        for o in drops {
+            if sim[e.dst].get(o as usize) {
+                sim[e.dst].clear(o as usize);
+                queue.push((e.dst, o));
+            }
+        }
+    }
+
+    // Propagate removals through the counters.
+    while let Some((pvar, d)) = queue.pop() {
+        stats.removals += 1;
+        for (ei, e) in soi.edges.iter().enumerate() {
+            let Some(a) = e.label else { continue };
+            // d left sim(dst): every a-predecessor of d loses one
+            // supporting successor for its sim(src) membership.
+            if e.dst == pvar {
+                for &u in db.in_neighbors(d, a) {
+                    stats.counter_updates += 1;
+                    let c = &mut fwd_counts[ei][u as usize];
+                    *c = c.saturating_sub(1);
+                    if *c == 0 && sim[e.src].get(u as usize) {
+                        sim[e.src].clear(u as usize);
+                        queue.push((e.src, u));
+                    }
+                }
+            }
+            // d left sim(src): every a-successor of d loses one
+            // supporting predecessor for its sim(dst) membership.
+            if e.src == pvar {
+                for &o in db.out_neighbors(d, a) {
+                    stats.counter_updates += 1;
+                    let c = &mut bwd_counts[ei][o as usize];
+                    *c = c.saturating_sub(1);
+                    if *c == 0 && sim[e.dst].get(o as usize) {
+                        sim[e.dst].clear(o as usize);
+                        queue.push((e.dst, o));
+                    }
+                }
+            }
+        }
+    }
+
+    (sim, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::dual_simulation_ma;
+    use crate::check::is_largest_solution;
+    use crate::{build_sois, solve, SolverConfig};
+    use dualsim_graph::{GraphDb, GraphDbBuilder};
+    use dualsim_query::parse;
+
+    fn sample_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("a", "p", "b").unwrap();
+        b.add_triple("b", "p", "c").unwrap();
+        b.add_triple("c", "p", "a").unwrap();
+        b.add_triple("a", "q", "c").unwrap();
+        b.add_triple("d", "p", "d").unwrap();
+        b.add_triple("e", "q", "a").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn hhk_computes_the_largest_solution() {
+        let db = sample_db();
+        for text in [
+            "{ ?x p ?y }",
+            "{ ?x p ?y . ?y p ?z . ?x q ?z }",
+            "{ ?x p ?x }",
+            "{ ?x q ?y . ?y p ?z }",
+        ] {
+            let soi = build_sois(&db, &parse(text).unwrap()).remove(0);
+            let (chi, _) = dual_simulation_hhk(&db, &soi);
+            assert!(is_largest_solution(&db, &soi, &chi), "query {text}");
+        }
+    }
+
+    #[test]
+    fn hhk_agrees_with_ma_and_the_solver() {
+        let db = sample_db();
+        let cfg = SolverConfig {
+            early_exit: false,
+            ..SolverConfig::default()
+        };
+        for text in ["{ ?x p ?y . ?y q ?z }", "{ ?x p ?y . ?y p ?x }"] {
+            let soi = build_sois(&db, &parse(text).unwrap()).remove(0);
+            let (hhk_chi, _) = dual_simulation_hhk(&db, &soi);
+            let (ma_chi, _) = dual_simulation_ma(&db, &soi);
+            let sol = solve(&db, &soi, &cfg);
+            assert_eq!(hhk_chi, ma_chi, "query {text}");
+            assert_eq!(hhk_chi, sol.chi, "query {text}");
+        }
+    }
+
+    #[test]
+    fn hhk_handles_unknown_labels() {
+        let db = sample_db();
+        let soi = build_sois(&db, &parse("{ ?x nolabel ?y . ?x p ?z }").unwrap()).remove(0);
+        let (chi, _) = dual_simulation_hhk(&db, &soi);
+        // x and y die from the unknown label; z follows because its
+        // p-predecessors must simulate x.
+        assert!(chi.iter().all(|c| c.none_set()));
+    }
+
+    #[test]
+    fn hhk_counts_removals() {
+        let db = sample_db();
+        let soi = build_sois(&db, &parse("{ ?x p ?y . ?y q ?z }").unwrap()).remove(0);
+        let (_, stats) = dual_simulation_hhk(&db, &soi);
+        assert!(stats.removals > 0);
+    }
+}

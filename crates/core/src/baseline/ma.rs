@@ -1,0 +1,212 @@
+//! The dual-simulation algorithm of Ma et al. \[20\], adjusted to
+//! edge-labeled graphs (Sect. 3.3 of the paper).
+//!
+//! The algorithm follows the *single passive strategy* the paper
+//! criticizes: starting from the full candidate relation `S₀ = V₁ × V₂`,
+//! it repeatedly sweeps over **all** pattern edges and **all** current
+//! candidates, removing every candidate that violates Def. 2, until a
+//! whole sweep makes no change. No work list, no stability tracking, no
+//! bit-parallel products — per-candidate adjacency scans only. This is
+//! the comparison subject of Table 2.
+
+use crate::Soi;
+use dualsim_bitmatrix::BitVec;
+use dualsim_graph::GraphDb;
+
+/// Work counters of one Ma et al. run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaStats {
+    /// Full sweeps over the pattern edges (the final sweep that detects
+    /// stability included).
+    pub passes: usize,
+    /// Candidate membership checks (the inner `F^a(v') ∩ sim(w) ≠ ∅`
+    /// scans).
+    pub checks: usize,
+    /// Candidates removed.
+    pub removals: usize,
+}
+
+/// Computes the largest dual simulation between the BGP pattern of `soi`
+/// and `db` with the naive fixpoint of Ma et al.
+///
+/// Constant pinnings are honoured so that results stay comparable with
+/// the SOI solver on queries that mention constants.
+///
+/// # Panics
+/// Panics if `soi` is not a plain BGP system (`OPTIONAL` handling is the
+/// paper's contribution and has no Ma et al. counterpart).
+pub fn dual_simulation_ma(db: &GraphDb, soi: &Soi) -> (Vec<BitVec>, MaStats) {
+    assert!(
+        soi.is_plain_bgp(),
+        "the Ma et al. baseline only handles plain BGP systems"
+    );
+    let n = db.num_nodes();
+    let mut stats = MaStats::default();
+    // S₀ = V₁ × V₂ (constants restricted up front).
+    let mut sim: Vec<Vec<bool>> = soi
+        .vars
+        .iter()
+        .map(|var| match var.pinned {
+            Some(Some(node)) => {
+                let mut row = vec![false; n];
+                row[node as usize] = true;
+                row
+            }
+            Some(None) => vec![false; n],
+            None => vec![true; n],
+        })
+        .collect();
+
+    loop {
+        stats.passes += 1;
+        let mut changed = false;
+        for e in &soi.edges {
+            let Some(a) = e.label else {
+                for idx in [e.src, e.dst] {
+                    for slot in sim[idx].iter_mut() {
+                        if *slot {
+                            *slot = false;
+                            stats.removals += 1;
+                            changed = true;
+                        }
+                    }
+                }
+                continue;
+            };
+            // Def. 2(i): v' must have an a-successor simulating the
+            // pattern edge's object.
+            for v in 0..n {
+                if !sim[e.src][v] {
+                    continue;
+                }
+                stats.checks += 1;
+                let ok = db
+                    .out_neighbors(v as u32, a)
+                    .iter()
+                    .any(|&o| sim[e.dst][o as usize]);
+                if !ok {
+                    sim[e.src][v] = false;
+                    stats.removals += 1;
+                    changed = true;
+                }
+            }
+            // Def. 2(ii): w' must have an a-predecessor simulating the
+            // pattern edge's subject.
+            for w in 0..n {
+                if !sim[e.dst][w] {
+                    continue;
+                }
+                stats.checks += 1;
+                let ok = db
+                    .in_neighbors(w as u32, a)
+                    .iter()
+                    .any(|&u| sim[e.src][u as usize]);
+                if !ok {
+                    sim[e.dst][w] = false;
+                    stats.removals += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let chi = sim
+        .into_iter()
+        .map(|row| {
+            let idx: Vec<u32> = row
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i as u32))
+                .collect();
+            BitVec::from_indices(n, &idx)
+        })
+        .collect();
+    (chi, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::is_largest_solution;
+    use crate::{build_sois, solve, EvalStrategy, IneqOrdering, InitMode, SolverConfig};
+    use dualsim_graph::GraphDbBuilder;
+    use dualsim_query::parse;
+
+    fn sample_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("a", "p", "b").unwrap();
+        b.add_triple("b", "p", "c").unwrap();
+        b.add_triple("c", "p", "a").unwrap();
+        b.add_triple("a", "q", "c").unwrap();
+        b.add_triple("d", "p", "d").unwrap();
+        b.finish()
+    }
+    use dualsim_graph::GraphDb;
+
+    #[test]
+    fn ma_computes_the_largest_solution() {
+        let db = sample_db();
+        for text in [
+            "{ ?x p ?y }",
+            "{ ?x p ?y . ?y p ?z . ?x q ?z }",
+            "{ ?x p ?x }",
+        ] {
+            let soi = build_sois(&db, &parse(text).unwrap()).remove(0);
+            let (chi, _) = dual_simulation_ma(&db, &soi);
+            assert!(is_largest_solution(&db, &soi, &chi), "query {text}");
+        }
+    }
+
+    #[test]
+    fn ma_agrees_with_the_soi_solver() {
+        let db = sample_db();
+        let cfg = SolverConfig {
+            strategy: EvalStrategy::Adaptive,
+            ordering: IneqOrdering::SparsityFirst,
+            init: InitMode::Summaries,
+            early_exit: false,
+        };
+        for text in [
+            "{ ?x p ?y . ?y p ?z }",
+            "{ ?x p ?y . ?x q ?z }",
+            "{ ?x p ?y . ?y p ?x }",
+        ] {
+            let soi = build_sois(&db, &parse(text).unwrap()).remove(0);
+            let (ma_chi, _) = dual_simulation_ma(&db, &soi);
+            let sol = solve(&db, &soi, &cfg);
+            assert_eq!(ma_chi, sol.chi, "query {text}");
+        }
+    }
+
+    #[test]
+    fn ma_respects_constants() {
+        let db = sample_db();
+        let soi = build_sois(&db, &parse("{ ?x p b }").unwrap()).remove(0);
+        let (chi, _) = dual_simulation_ma(&db, &soi);
+        let x = soi.vars_for("x")[0];
+        assert_eq!(chi[x].to_indices(), vec![db.node_id("a").unwrap()]);
+    }
+
+    #[test]
+    fn ma_counts_work() {
+        let db = sample_db();
+        let soi = build_sois(&db, &parse("{ ?x p ?y . ?y q ?z }").unwrap()).remove(0);
+        let (_, stats) = dual_simulation_ma(&db, &soi);
+        assert!(
+            stats.passes >= 2,
+            "at least one changing and one stable pass"
+        );
+        assert!(stats.checks > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "plain BGP")]
+    fn ma_rejects_optional_systems() {
+        let db = sample_db();
+        let soi = build_sois(&db, &parse("{ ?x p ?y OPTIONAL { ?x q ?z } }").unwrap()).remove(0);
+        let _ = dual_simulation_ma(&db, &soi);
+    }
+}

@@ -1,0 +1,13 @@
+//! Baseline dual-simulation algorithms the paper compares against
+//! (Sect. 3.3 / Table 2).
+//!
+//! Both baselines accept the same [`crate::Soi`] representation as the
+//! fast solver but only for plain BGP systems (no optional variables):
+//! the published algorithms operate on pattern graphs, not on SPARQL
+//! operators.
+
+mod hhk;
+mod ma;
+
+pub use hhk::{dual_simulation_hhk, HhkStats};
+pub use ma::{dual_simulation_ma, MaStats};

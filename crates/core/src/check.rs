@@ -1,0 +1,202 @@
+//! Direct validation of candidate relations against Def. 2.
+//!
+//! Used by the test suite to certify that every algorithm in this crate
+//! (SOI solver, Ma et al., HHK) returns an actual dual simulation, and
+//! that claimed-largest solutions really are maximal.
+
+use crate::{PatternEdge, Soi};
+use dualsim_bitmatrix::BitVec;
+use dualsim_graph::GraphDb;
+
+/// Checks whether the relation `S = {(v, d) | d ∈ chi[v]}` is a dual
+/// simulation between the pattern graph (the edges of `soi`) and `db`
+/// per Def. 2, i.e. for every pattern edge `(v, a, w)`:
+///
+/// * every `v' ∈ χ(v)` has an `a`-successor in `χ(w)` (condition (i));
+/// * every `w' ∈ χ(w)` has an `a`-predecessor in `χ(v)` (condition (ii)).
+///
+/// A pattern edge whose label is absent from the database admits no
+/// candidates at all on either side.
+pub fn is_dual_simulation(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+    soi.edges.iter().all(|e| edge_respected(db, e, chi, true))
+}
+
+/// Checks condition (i) only — plain forward simulation, the notion the
+/// [`crate::SimulationKind::Forward`] systems characterize.
+pub fn is_forward_simulation(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+    soi.edges.iter().all(|e| edge_respected(db, e, chi, false))
+}
+
+fn edge_respected(db: &GraphDb, e: &PatternEdge, chi: &[BitVec], dual: bool) -> bool {
+    let Some(a) = e.label else {
+        return chi[e.src].none_set() && (!dual || chi[e.dst].none_set());
+    };
+    let fwd_ok = chi[e.src]
+        .iter_ones()
+        .all(|v| chi[e.dst].intersects_indices(db.out_neighbors(v as u32, a)));
+    if !dual {
+        return fwd_ok;
+    }
+    let bwd_ok = chi[e.dst]
+        .iter_ones()
+        .all(|w| chi[e.src].intersects_indices(db.in_neighbors(w as u32, a)));
+    fwd_ok && bwd_ok
+}
+
+/// Checks that `chi` also respects the constant pinnings and subset
+/// inequalities of the system, i.e. is a valid assignment for the whole
+/// SOI and not just for the pattern edges. Honours the system's
+/// [`crate::SimulationKind`].
+pub fn is_valid_assignment(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+    let sim_ok = match soi.kind {
+        crate::SimulationKind::Dual => is_dual_simulation(db, soi, chi),
+        crate::SimulationKind::Forward => is_forward_simulation(db, soi, chi),
+    };
+    if !sim_ok {
+        return false;
+    }
+    for (idx, var) in soi.vars.iter().enumerate() {
+        if let Some(pin) = var.pinned {
+            let ok = match pin {
+                Some(node) => chi[idx].iter_ones().all(|d| d == node as usize),
+                None => chi[idx].none_set(),
+            };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    soi.ineqs.iter().all(|ineq| match *ineq {
+        crate::Inequality::Subset { sub, sup } => chi[sub].is_subset_of(&chi[sup]),
+        crate::Inequality::Edge { .. } => true, // covered by Def. 2 above
+    })
+}
+
+/// Computes the largest solution by the slowest obviously-correct means:
+/// start from the full relation (respecting constant pinnings) and delete
+/// violating pairs until the Def.-2 conditions and all subset
+/// inequalities hold. This is the reference oracle the fast algorithms
+/// are property-tested against; it is deliberately written straight from
+/// the definition with no shared code.
+pub fn naive_largest_solution(db: &GraphDb, soi: &Soi) -> Vec<BitVec> {
+    let n = db.num_nodes();
+    let mut chi: Vec<BitVec> = soi
+        .vars
+        .iter()
+        .map(|var| match var.pinned {
+            Some(Some(node)) => BitVec::from_indices(n, &[node]),
+            Some(None) => BitVec::zeros(n),
+            None => BitVec::ones(n),
+        })
+        .collect();
+    let dual = soi.kind == crate::SimulationKind::Dual;
+    loop {
+        let mut changed = false;
+        for e in &soi.edges {
+            let Some(a) = e.label else {
+                changed |= chi[e.src].any_set() || (dual && chi[e.dst].any_set());
+                chi[e.src].clear_all();
+                if dual {
+                    chi[e.dst].clear_all();
+                }
+                continue;
+            };
+            let drop_src: Vec<usize> = chi[e.src]
+                .iter_ones()
+                .filter(|&v| !chi[e.dst].intersects_indices(db.out_neighbors(v as u32, a)))
+                .collect();
+            for v in drop_src {
+                chi[e.src].clear(v);
+                changed = true;
+            }
+            if !dual {
+                continue;
+            }
+            let drop_dst: Vec<usize> = chi[e.dst]
+                .iter_ones()
+                .filter(|&w| !chi[e.src].intersects_indices(db.in_neighbors(w as u32, a)))
+                .collect();
+            for w in drop_dst {
+                chi[e.dst].clear(w);
+                changed = true;
+            }
+        }
+        for ineq in &soi.ineqs {
+            if let crate::Inequality::Subset { sub, sup } = *ineq {
+                let sup_chi = chi[sup].clone();
+                changed |= chi[sub].and_assign(&sup_chi);
+            }
+        }
+        if !changed {
+            return chi;
+        }
+    }
+}
+
+/// `true` iff `chi` is exactly the largest solution of the system —
+/// validity plus maximality, certified against the reference oracle.
+pub fn is_largest_solution(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+    is_valid_assignment(db, soi, chi) && chi == naive_largest_solution(db, soi).as_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_sois, solve, SolverConfig};
+    use dualsim_graph::GraphDbBuilder;
+    use dualsim_query::parse;
+
+    fn db_and_soi(text: &str) -> (GraphDb, Soi) {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("a", "p", "b").unwrap();
+        b.add_triple("b", "p", "c").unwrap();
+        b.add_triple("c", "q", "a").unwrap();
+        b.add_triple("b", "q", "b").unwrap();
+        let db = b.finish();
+        let soi = build_sois(&db, &parse(text).unwrap()).remove(0);
+        (db, soi)
+    }
+    use dualsim_graph::GraphDb;
+
+    #[test]
+    fn solver_output_is_a_dual_simulation() {
+        let (db, soi) = db_and_soi("{ ?x p ?y . ?y q ?z }");
+        let sol = solve(&db, &soi, &SolverConfig::default());
+        assert!(is_dual_simulation(&db, &soi, &sol.chi));
+        assert!(is_valid_assignment(&db, &soi, &sol.chi));
+    }
+
+    #[test]
+    fn solver_output_is_the_largest_solution() {
+        let (db, soi) = db_and_soi("{ ?x p ?y . ?y q ?z }");
+        let cfg = SolverConfig {
+            early_exit: false,
+            ..SolverConfig::default()
+        };
+        let sol = solve(&db, &soi, &cfg);
+        assert!(is_largest_solution(&db, &soi, &sol.chi));
+    }
+
+    #[test]
+    fn too_large_relations_are_rejected() {
+        let (db, soi) = db_and_soi("{ ?x p ?y . ?y q ?z }");
+        let n = db.num_nodes();
+        let all: Vec<_> = (0..soi.vars.len())
+            .map(|_| dualsim_bitmatrix::BitVec::ones(n))
+            .collect();
+        assert!(!is_dual_simulation(&db, &soi, &all));
+    }
+
+    #[test]
+    fn empty_relation_is_a_dual_simulation_but_not_largest() {
+        // Def. 2's trivial case: S = ∅ certifies any two graphs, yet it
+        // is not the largest solution here because p-edges exist.
+        let (db, soi) = db_and_soi("{ ?x p ?y }");
+        let n = db.num_nodes();
+        let empty: Vec<_> = (0..soi.vars.len())
+            .map(|_| dualsim_bitmatrix::BitVec::zeros(n))
+            .collect();
+        assert!(is_dual_simulation(&db, &soi, &empty));
+        assert!(!is_largest_solution(&db, &soi, &empty));
+    }
+}

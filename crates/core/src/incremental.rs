@@ -1,0 +1,183 @@
+//! Incremental maintenance of the largest dual simulation under triple
+//! deletions.
+//!
+//! The largest dual simulation is *monotone in the database edges*: any
+//! dual simulation w.r.t. a sub-database is also one w.r.t. the original,
+//! so deleting triples can only shrink the largest solution. The current
+//! solution therefore remains a valid **starting relation** for the
+//! fixpoint after deletions — the solver converges to the new largest
+//! solution without re-seeding from `V₁ × V₂` (see
+//! [`crate::solve_from`]), typically touching only the neighbourhood of
+//! the deleted triples.
+//!
+//! Insertions are the hard direction (the solution can grow, so the
+//! previous χ is no longer an upper bound); [`IncrementalDualSim`] falls
+//! back to a cold solve for them, which is both sound and complete.
+//! This mirrors the classic split in incremental simulation maintenance
+//! (cf. Fan et al.'s incremental graph pattern matching line of work the
+//! paper builds on).
+
+use crate::{solve, solve_from, Soi, Solution, SolverConfig};
+use dualsim_graph::{GraphDb, Triple};
+
+/// A maintained largest-solution instance for one SOI.
+#[derive(Debug, Clone)]
+pub struct IncrementalDualSim {
+    soi: Soi,
+    config: SolverConfig,
+    solution: Solution,
+    /// `true` while the stored solution matches the last database seen.
+    warm: bool,
+}
+
+impl IncrementalDualSim {
+    /// Solves from scratch and starts maintenance.
+    pub fn new(db: &GraphDb, soi: Soi, config: SolverConfig) -> Self {
+        let solution = solve(db, &soi, &config);
+        IncrementalDualSim {
+            soi,
+            config,
+            solution,
+            warm: true,
+        }
+    }
+
+    /// The maintained solution.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// The maintained system.
+    pub fn soi(&self) -> &Soi {
+        &self.soi
+    }
+
+    /// Re-establishes the largest solution after triples were **deleted**
+    /// (`db_after` must be the old database minus `deleted`). Warm-starts
+    /// from the previous solution.
+    ///
+    /// Returns the number of candidates dropped by the update.
+    pub fn apply_deletions(&mut self, db_after: &GraphDb, deleted: &[Triple]) -> usize {
+        debug_assert!(
+            deleted.iter().all(|t| !db_after.contains_triple(*t)),
+            "deleted triples must be absent from db_after"
+        );
+        let before: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
+        // The previous χ is an upper bound of the new largest solution;
+        // early exit stays valid because emptiness is monotone too.
+        let initial = self.solution.chi.clone();
+        self.solution = solve_from(db_after, &self.soi, &self.config, initial);
+        self.warm = true;
+        let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
+        before.saturating_sub(after)
+    }
+
+    /// Re-establishes the largest solution after arbitrary changes
+    /// (insertions included): cold re-solve.
+    pub fn apply_insertions(&mut self, db_after: &GraphDb) {
+        self.solution = solve(db_after, &self.soi, &self.config);
+        self.warm = false;
+    }
+
+    /// `true` iff the last update was served by the warm-start path.
+    pub fn last_update_was_warm(&self) -> bool {
+        self.warm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_sois;
+    use dualsim_graph::GraphDbBuilder;
+    use dualsim_query::parse;
+
+    fn db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("a", "p", "b").unwrap();
+        b.add_triple("b", "q", "c").unwrap();
+        b.add_triple("d", "p", "e").unwrap();
+        b.add_triple("e", "q", "f").unwrap();
+        b.add_triple("g", "p", "h").unwrap();
+        b.finish()
+    }
+
+    fn cfg() -> SolverConfig {
+        SolverConfig {
+            early_exit: false,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn deletion_warm_start_matches_cold_solve() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let mut inc = IncrementalDualSim::new(&db, soi.clone(), cfg());
+
+        // Delete the (d,p,e) edge: the d→e→f chain dies.
+        let deleted: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) == "d").collect();
+        let remaining: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) != "d").collect();
+        let db_after = db.with_triples(&remaining);
+
+        let dropped = inc.apply_deletions(&db_after, &deleted);
+        assert!(dropped > 0);
+        assert!(inc.last_update_was_warm());
+        let cold = solve(&db_after, &soi, &cfg());
+        assert_eq!(inc.solution().chi, cold.chi, "warm == cold after deletion");
+    }
+
+    #[test]
+    fn chained_deletions_stay_consistent() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let mut inc = IncrementalDualSim::new(&db, soi.clone(), cfg());
+
+        let mut triples: Vec<Triple> = db.triples().collect();
+        // Remove one triple at a time; warm result must always equal cold.
+        while let Some(victim) = triples.pop() {
+            let db_after = db.with_triples(&triples);
+            inc.apply_deletions(&db_after, &[victim]);
+            let cold = solve(&db_after, &soi, &cfg());
+            assert_eq!(inc.solution().chi, cold.chi, "after removing {victim:?}");
+        }
+        assert!(inc.solution().chi.iter().all(|c| c.none_set()));
+    }
+
+    #[test]
+    fn insertions_fall_back_to_cold_solve() {
+        let small = {
+            let mut b = GraphDbBuilder::new();
+            b.add_node("a", dualsim_graph::NodeKind::Iri).unwrap();
+            b.add_node("b", dualsim_graph::NodeKind::Iri).unwrap();
+            b.add_node("c", dualsim_graph::NodeKind::Iri).unwrap();
+            b.intern_label("p");
+            b.intern_label("q");
+            b.add_triple("a", "p", "b").unwrap();
+            b.finish()
+        };
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&small, &q).remove(0);
+        let mut inc = IncrementalDualSim::new(&small, soi.clone(), cfg());
+        assert!(
+            inc.solution().chi.iter().all(|c| c.none_set()),
+            "no q edge yet"
+        );
+
+        // Insert (b,q,c): the chain appears; a cold solve is required.
+        let mut triples: Vec<Triple> = small.triples().collect();
+        let p_q = small.label_id("q").unwrap();
+        triples.push(Triple::new(
+            small.node_id("b").unwrap(),
+            p_q,
+            small.node_id("c").unwrap(),
+        ));
+        let db_after = small.with_triples(&triples);
+        inc.apply_insertions(&db_after);
+        assert!(!inc.last_update_was_warm());
+        let x = soi.vars_for("x")[0];
+        assert!(inc.solution().chi[x].get(small.node_id("a").unwrap() as usize));
+    }
+}

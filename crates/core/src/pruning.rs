@@ -1,0 +1,437 @@
+//! Per-query database pruning (Sect. 5.2).
+//!
+//! Given the largest solution of every union-free branch of a query, a
+//! database triple `(o, a, o')` survives iff some pattern edge
+//! `(v, a, w)` admits it, i.e. `o ∈ χ(v)` and `o' ∈ χ(w)`. By the
+//! soundness results (Thm. 1/2) every triple witnessing any SPARQL match
+//! is admitted, so no match is lost (Def. 3).
+//!
+//! For **well-designed** queries (and all OPTIONAL-free ones) this makes
+//! re-evaluation on the pruned database return *exactly* the original
+//! result set — what Tables 4/5 exploit. For non-well-designed queries
+//! the pruned evaluation is an over-approximation: removing a triple that
+//! witnessed no match can unblock a compatibility conflict and create
+//! spurious rows (cf. the §5.3 "possibly unwanted results" discussion and
+//! the `nonmonotone_counterexample` integration test). Downstream
+//! processing must re-check candidate rows in that fragment.
+
+use crate::{solve, Soi, Solution, SolveStats, SolverConfig};
+use dualsim_graph::{GraphDb, Triple};
+use dualsim_query::Query;
+use std::time::{Duration, Instant};
+
+/// Outcome of pruning a database for one query.
+#[derive(Debug, Clone)]
+pub struct PruneReport {
+    /// The surviving triples, sorted and deduplicated.
+    pub kept_triples: Vec<Triple>,
+    /// Solver statistics per union-free branch.
+    pub branch_stats: Vec<SolveStats>,
+    /// Time spent computing the largest solutions (the dominant part of
+    /// `t_SPARQLSIM` in Table 3).
+    pub solve_time: Duration,
+    /// Time spent materializing the surviving triples.
+    pub extract_time: Duration,
+}
+
+impl PruneReport {
+    /// Number of triples after pruning (the last column of Table 3).
+    pub fn num_kept(&self) -> usize {
+        self.kept_triples.len()
+    }
+
+    /// Total pruning time (`t_SPARQLSIM`).
+    pub fn total_time(&self) -> Duration {
+        self.solve_time + self.extract_time
+    }
+
+    /// Fraction of the database removed by pruning, in `[0, 1]`.
+    pub fn prune_ratio(&self, db: &GraphDb) -> f64 {
+        if db.num_triples() == 0 {
+            return 0.0;
+        }
+        1.0 - self.kept_triples.len() as f64 / db.num_triples() as f64
+    }
+
+    /// Materializes the pruned database (shared vocabulary, stable ids).
+    pub fn pruned_db(&self, db: &GraphDb) -> GraphDb {
+        db.with_triples(&self.kept_triples)
+    }
+
+    /// Sum of solver iterations across branches (the §5.3 metric: two for
+    /// L1, more than thirty for L0).
+    pub fn iterations(&self) -> usize {
+        self.branch_stats.iter().map(|s| s.iterations).sum()
+    }
+}
+
+/// Solves every union-free branch of `query` against `db` and returns the
+/// per-branch systems and solutions. The building block for [`prune`]
+/// and for experiment harnesses that need χ or solver statistics.
+pub fn solve_query(db: &GraphDb, query: &Query, config: &SolverConfig) -> Vec<(Soi, Solution)> {
+    solve_query_with(db, query, config, crate::SimulationKind::Dual)
+}
+
+/// Like [`solve_query`] with an explicit [`crate::SimulationKind`].
+pub fn solve_query_with(
+    db: &GraphDb,
+    query: &Query,
+    config: &SolverConfig,
+    kind: crate::SimulationKind,
+) -> Vec<(Soi, Solution)> {
+    crate::build_sois_with(db, query, kind)
+        .into_iter()
+        .map(|soi| {
+            let solution = solve(db, &soi, config);
+            (soi, solution)
+        })
+        .collect()
+}
+
+/// Prunes `db` for `query`: keeps exactly the triples admitted by some
+/// pattern edge of some union-free branch under the branch's largest
+/// solution.
+pub fn prune(db: &GraphDb, query: &Query, config: &SolverConfig) -> PruneReport {
+    prune_with(db, query, config, crate::SimulationKind::Dual, 1)
+}
+
+/// Like [`prune`], but with the triple extraction fanned out over
+/// `threads` worker threads (one unit of work per pattern edge). The
+/// result is identical to the sequential run — the paper advertises the
+/// bit-matrix formulation as amenable to "massive parallelization
+/// techniques of bit-matrix operations", and the extraction step is the
+/// embarrassingly parallel part of the pipeline.
+pub fn prune_with_threads(
+    db: &GraphDb,
+    query: &Query,
+    config: &SolverConfig,
+    threads: usize,
+) -> PruneReport {
+    prune_with(db, query, config, crate::SimulationKind::Dual, threads)
+}
+
+/// The fully general pruning entry point: explicit simulation kind and
+/// extraction parallelism. [`crate::SimulationKind::Forward`] prunes by
+/// plain simulation (the Panda \[31\] notion), which keeps at least as
+/// many triples as dual simulation — an ablation for the paper's claim
+/// that dual simulation prunes more effectively.
+pub fn prune_with(
+    db: &GraphDb,
+    query: &Query,
+    config: &SolverConfig,
+    kind: crate::SimulationKind,
+    threads: usize,
+) -> PruneReport {
+    let solve_start = Instant::now();
+    let branches = solve_query_with(db, query, config, kind);
+    let solve_time = solve_start.elapsed();
+
+    let extract_start = Instant::now();
+    // One unit of work per pattern edge of every non-empty branch.
+    let mut units: Vec<(&crate::Soi, &Solution, usize)> = Vec::new();
+    for (soi, solution) in &branches {
+        if solution.is_certainly_empty() {
+            continue; // the branch admits no matches, nothing to keep
+        }
+        for edge_idx in 0..soi.edges.len() {
+            units.push((soi, solution, edge_idx));
+        }
+    }
+    let threads = threads.max(1).min(units.len().max(1));
+    let mut kept: Vec<Triple> = if threads <= 1 {
+        let mut out = Vec::new();
+        for &(soi, solution, edge_idx) in &units {
+            extract_edge(db, soi, solution, edge_idx, &mut out);
+        }
+        out
+    } else {
+        let chunk = units.len().div_ceil(threads);
+        let mut partials = std::thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for &(soi, solution, edge_idx) in chunk {
+                            extract_edge(db, soi, solution, edge_idx, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("extraction worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let total = partials.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in &mut partials {
+            out.append(p);
+        }
+        out
+    };
+    kept.sort_unstable();
+    kept.dedup();
+    let extract_time = extract_start.elapsed();
+
+    PruneReport {
+        kept_triples: kept,
+        branch_stats: branches.into_iter().map(|(_, s)| s.stats).collect(),
+        solve_time,
+        extract_time,
+    }
+}
+
+/// Collects the database triples admitted by one pattern edge,
+/// enumerating from the smaller χ side.
+fn extract_edge(
+    db: &GraphDb,
+    soi: &crate::Soi,
+    solution: &Solution,
+    edge_idx: usize,
+    out: &mut Vec<Triple>,
+) {
+    let e = &soi.edges[edge_idx];
+    let Some(a) = e.label else { return };
+    let src = &solution.chi[e.src];
+    let dst = &solution.chi[e.dst];
+    if src.count_ones() <= dst.count_ones() {
+        for s in src.iter_ones() {
+            for &o in db.out_neighbors(s as u32, a) {
+                if dst.get(o as usize) {
+                    out.push(Triple::new(s as u32, a, o));
+                }
+            }
+        }
+    } else {
+        for o in dst.iter_ones() {
+            for &s in db.in_neighbors(o as u32, a) {
+                if src.get(s as usize) {
+                    out.push(Triple::new(s, a, o as u32));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualsim_graph::GraphDbBuilder;
+    use dualsim_query::parse;
+
+    /// The Fig. 1(a) database (see `solver::tests` for the edge
+    /// directions rationale).
+    fn fig1_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("B. De Palma", "directed", "Mission: Impossible")
+            .unwrap();
+        b.add_triple("B. De Palma", "worked_with", "D. Koepp")
+            .unwrap();
+        b.add_triple("B. De Palma", "born_in", "Newark").unwrap();
+        b.add_triple("Mission: Impossible", "awarded", "Oscar")
+            .unwrap();
+        b.add_triple("Mission: Impossible", "genre", "Action")
+            .unwrap();
+        b.add_triple("Goldfinger", "genre", "Action").unwrap();
+        b.add_triple("G. Hamilton", "directed", "Goldfinger")
+            .unwrap();
+        b.add_triple("G. Hamilton", "born_in", "Paris").unwrap();
+        b.add_triple("G. Hamilton", "worked_with", "H. Saltzman")
+            .unwrap();
+        b.add_triple("Thunderball", "sequel_of", "Goldfinger")
+            .unwrap();
+        b.add_triple("From Russia with Love", "prequel_of", "Goldfinger")
+            .unwrap();
+        b.add_triple("Thunderball", "awarded", "BAFTA Awards")
+            .unwrap();
+        b.add_triple("H. Saltzman", "born_in", "Saint John")
+            .unwrap();
+        b.add_triple("T. Young", "directed", "From Russia with Love")
+            .unwrap();
+        b.add_triple("T. Young", "directed", "Thunderball").unwrap();
+        b.add_triple("P.R. Hunt", "worked_with", "T. Young")
+            .unwrap();
+        b.add_triple("D. Koepp", "directed", "Mortdecai").unwrap();
+        b.add_attribute("Newark", "population", "277140").unwrap();
+        b.add_attribute("Paris", "population", "2220445").unwrap();
+        b.add_attribute("Saint John", "population", "70063")
+            .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn x1_pruning_keeps_the_two_bold_subgraphs() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed ?m . ?d worked_with ?c }").unwrap();
+        let report = prune(&db, &q, &SolverConfig::default());
+        // Exactly the four triples of the two (X1) matches survive.
+        assert_eq!(report.num_kept(), 4);
+        let pruned = report.pruned_db(&db);
+        assert!(pruned.contains_triple(Triple::new(
+            db.node_id("B. De Palma").unwrap(),
+            db.label_id("directed").unwrap(),
+            db.node_id("Mission: Impossible").unwrap(),
+        )));
+        assert!(report.prune_ratio(&db) > 0.7);
+    }
+
+    #[test]
+    fn unsatisfiable_queries_prune_everything() {
+        let db = fig1_db();
+        let q = parse("{ ?m awarded ?a . ?m born_in ?p }").unwrap();
+        let report = prune(&db, &q, &SolverConfig::default());
+        assert_eq!(report.num_kept(), 0);
+        assert_eq!(report.prune_ratio(&db), 1.0);
+        assert!(report.branch_stats[0].emptied_mandatory);
+    }
+
+    #[test]
+    fn union_pruning_is_the_union_of_branch_prunings() {
+        let db = fig1_db();
+        let q_union = parse("{ { ?d directed ?m } UNION { ?x sequel_of ?y } }").unwrap();
+        let report = prune(&db, &q_union, &SolverConfig::default());
+        let directed = prune(
+            &db,
+            &parse("{ ?d directed ?m }").unwrap(),
+            &SolverConfig::default(),
+        );
+        let sequel = prune(
+            &db,
+            &parse("{ ?x sequel_of ?y }").unwrap(),
+            &SolverConfig::default(),
+        );
+        let mut expected: Vec<Triple> = directed
+            .kept_triples
+            .iter()
+            .chain(sequel.kept_triples.iter())
+            .copied()
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(report.kept_triples, expected);
+        assert_eq!(report.branch_stats.len(), 2);
+    }
+
+    #[test]
+    fn optional_pruning_keeps_optional_evidence() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed ?m OPTIONAL { ?d worked_with ?c } }").unwrap();
+        let report = prune(&db, &q, &SolverConfig::default());
+        // All directed triples survive (every director matches), plus the
+        // worked_with triples of directors.
+        let directed = db.label_id("directed").unwrap();
+        let worked_with = db.label_id("worked_with").unwrap();
+        let kept_directed = report
+            .kept_triples
+            .iter()
+            .filter(|t| t.p == directed)
+            .count();
+        let kept_ww = report
+            .kept_triples
+            .iter()
+            .filter(|t| t.p == worked_with)
+            .count();
+        assert_eq!(kept_directed, 5, "all five directed triples survive");
+        assert_eq!(kept_ww, 2, "De Palma's and Hamilton's coworker edges");
+        // P.R. Hunt's worked_with edge points at T. Young, who is a
+        // director, so it survives as optional evidence? No: the renamed
+        // optional subject ?d@… must itself be a director (subset
+        // inequality), and P.R. Hunt directed nothing.
+        let hunt = db.node_id("P.R. Hunt").unwrap();
+        assert!(!report
+            .kept_triples
+            .iter()
+            .any(|t| t.p == worked_with && t.s == hunt));
+    }
+
+    #[test]
+    fn pruning_is_idempotent() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed ?m . ?d worked_with ?c }").unwrap();
+        let cfg = SolverConfig::default();
+        let once = prune(&db, &q, &cfg);
+        let pruned = once.pruned_db(&db);
+        let twice = prune(&pruned, &q, &cfg);
+        assert_eq!(once.kept_triples, twice.kept_triples);
+    }
+
+    #[test]
+    fn forward_simulation_prunes_no_more_than_dual() {
+        let db = fig1_db();
+        let cfg = SolverConfig::default();
+        for text in [
+            "{ ?d directed ?m . ?d worked_with ?c }",
+            "{ ?d directed ?m . ?m awarded ?prize }",
+            "{ ?d born_in ?c . ?c population ?p }",
+        ] {
+            let q = parse(text).unwrap();
+            let dual = prune(&db, &q, &cfg);
+            let forward = prune_with(&db, &q, &cfg, crate::SimulationKind::Forward, 1);
+            for t in &dual.kept_triples {
+                assert!(
+                    forward.kept_triples.contains(t),
+                    "{text}: dual keeps {t:?} that forward pruned"
+                );
+            }
+            assert!(
+                forward.num_kept() >= dual.num_kept(),
+                "{text}: forward ({}) must keep at least as much as dual ({})",
+                forward.num_kept(),
+                dual.num_kept()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_pruning_is_strictly_weaker_somewhere() {
+        // ?m awarded ?prize: dual requires prizes to have incoming
+        // awarded edges from movie candidates; forward-only places no
+        // requirement on ?prize at all — and crucially none on ?m's
+        // objects, so the unreachable 'Oscar'/'BAFTA' stay while dual
+        // restricts further up the chain too.
+        let db = fig1_db();
+        let cfg = SolverConfig::default();
+        let q = parse("{ ?d directed ?m . ?m genre ?g . ?p prequel_of ?m }").unwrap();
+        let dual = prune(&db, &q, &cfg);
+        let forward = prune_with(&db, &q, &cfg, crate::SimulationKind::Forward, 1);
+        assert!(
+            forward.num_kept() > dual.num_kept(),
+            "forward {} vs dual {}",
+            forward.num_kept(),
+            dual.num_kept()
+        );
+    }
+
+    #[test]
+    fn parallel_pruning_matches_sequential() {
+        let db = fig1_db();
+        let cfg = SolverConfig::default();
+        for text in [
+            "{ ?d directed ?m . ?d worked_with ?c }",
+            "{ ?d directed ?m OPTIONAL { ?d worked_with ?c } }",
+            "{ { ?d directed ?m } UNION { ?x sequel_of ?y } }",
+            "{ ?m awarded ?a . ?m born_in ?p }",
+        ] {
+            let q = parse(text).unwrap();
+            let sequential = prune(&db, &q, &cfg);
+            for threads in [2, 4, 16] {
+                let parallel = prune_with_threads(&db, &q, &cfg, threads);
+                assert_eq!(
+                    sequential.kept_triples, parallel.kept_triples,
+                    "{text} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed ?m }").unwrap();
+        let report = prune(&db, &q, &SolverConfig::default());
+        assert!(report.total_time() >= report.solve_time);
+        assert_eq!(report.iterations(), report.branch_stats[0].iterations);
+    }
+}

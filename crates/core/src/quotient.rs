@@ -1,0 +1,323 @@
+//! Simulation-quotient database fingerprints (the Sect. 6 extension).
+//!
+//! The related-work section observes that join-ahead pruning indexes on
+//! XML data are built from bisimulation equivalence classes and that
+//! "it would be sufficient to produce dual simulation equivalence
+//! classes, which promises to obtain a much smaller database
+//! fingerprint". This module implements that idea:
+//!
+//! * [`QuotientIndex::build`] computes the coarsest partition of the
+//!   database nodes that is stable under *both* adjacency directions
+//!   (forward/backward bisimulation) by signature refinement;
+//! * the quotient graph — one node per block, an `a`-edge between blocks
+//!   iff some members are `a`-connected — is itself a [`GraphDb`], so the
+//!   entire SOI machinery runs on it unchanged;
+//! * [`QuotientIndex::expand`] lifts a quotient solution back to the
+//!   original node universe.
+//!
+//! Bisimilar nodes are indistinguishable to dual simulation, so the
+//! largest dual simulation of any *constant-free* pattern over the
+//! quotient, expanded, equals the largest dual simulation over the
+//! original database (property-tested in `tests/soundness_props.rs`).
+//! With constants the quotient result is still a sound
+//! over-approximation: a pinned node is represented by its whole block.
+
+use dualsim_bitmatrix::BitVec;
+use dualsim_graph::{GraphDb, GraphDbBuilder, NodeId};
+use std::collections::HashMap;
+
+/// A forward/backward-bisimulation quotient of a database.
+#[derive(Debug, Clone)]
+pub struct QuotientIndex {
+    block_of: Vec<u32>,
+    num_blocks: usize,
+    quotient: GraphDb,
+    labels: Vec<dualsim_graph::LabelId>,
+    /// Refinement rounds until the partition stabilized.
+    pub rounds: usize,
+}
+
+impl QuotientIndex {
+    /// Computes the quotient over the full label alphabet.
+    pub fn build(db: &GraphDb) -> Self {
+        let labels: Vec<_> = (0..db.num_labels() as u32).collect();
+        Self::build_for_labels(db, &labels)
+    }
+
+    /// Computes the quotient over a label sub-alphabet.
+    ///
+    /// Databases with unique attribute literals (names, e-mails)
+    /// fingerprint poorly under the full alphabet — every entity's
+    /// literal is distinct, so every entity block is a singleton.
+    /// Restricting the fingerprint to the *relational* predicates
+    /// recovers the structural regularity; the full-abstraction guarantee
+    /// then applies to queries that mention only fingerprinted labels.
+    ///
+    /// Computes the coarsest stable partition by iterated signature
+    /// refinement: two nodes stay in one block as long as they reach the
+    /// same blocks over the same (selected) labels in both directions.
+    /// Terminates after at most `|V|` rounds; each round is
+    /// `O(|E| log |E|)`.
+    pub fn build_for_labels(db: &GraphDb, labels: &[dualsim_graph::LabelId]) -> Self {
+        let n = db.num_nodes();
+        let mut block_of: Vec<u32> = vec![0; n];
+        let mut num_blocks = 1usize.min(n);
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); n];
+            for &label in labels {
+                for (s, o) in db.label_pairs(label) {
+                    // Encode (label, direction, neighbour block).
+                    let fwd = ((label as u64) << 33) | (block_of[o as usize] as u64);
+                    let bwd = ((label as u64) << 33) | (1 << 32) | (block_of[s as usize] as u64);
+                    signatures[s as usize].push(fwd);
+                    signatures[o as usize].push(bwd);
+                }
+            }
+            let mut table: HashMap<(u32, Vec<u64>), u32> = HashMap::with_capacity(num_blocks * 2);
+            let mut next: Vec<u32> = vec![0; n];
+            for v in 0..n {
+                let sig = &mut signatures[v];
+                sig.sort_unstable();
+                sig.dedup();
+                // Refinement: the new block is keyed by (old block, sig),
+                // so blocks only ever split.
+                let key = (block_of[v], std::mem::take(sig));
+                let fresh = table.len() as u32;
+                next[v] = *table.entry(key).or_insert(fresh);
+            }
+            let new_count = table.len();
+            block_of = next;
+            if new_count == num_blocks {
+                break;
+            }
+            num_blocks = new_count;
+        }
+        let quotient = build_quotient_db(db, &block_of, num_blocks, labels);
+        QuotientIndex {
+            block_of,
+            num_blocks,
+            quotient,
+            labels: labels.to_vec(),
+            rounds,
+        }
+    }
+
+    /// The fingerprinted label sub-alphabet (original label ids).
+    pub fn labels(&self) -> &[dualsim_graph::LabelId] {
+        &self.labels
+    }
+
+    /// Number of equivalence classes (fingerprint size in nodes).
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// The block of an original node.
+    pub fn block_of(&self, node: NodeId) -> u32 {
+        self.block_of[node as usize]
+    }
+
+    /// The quotient database. Block `b` is the node named `block{b}`;
+    /// labels carry the original predicate names, so queries run
+    /// unchanged.
+    pub fn quotient(&self) -> &GraphDb {
+        &self.quotient
+    }
+
+    /// Compression factor in nodes (original / blocks).
+    pub fn node_compression(&self) -> f64 {
+        if self.num_blocks == 0 {
+            return 1.0;
+        }
+        self.block_of.len() as f64 / self.num_blocks as f64
+    }
+
+    /// Lifts a χ over quotient nodes back to original nodes: an original
+    /// node is a candidate iff its block is.
+    pub fn expand(&self, quotient_chi: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.block_of.len());
+        for (node, &block) in self.block_of.iter().enumerate() {
+            let q = self
+                .quotient
+                .node_id(&block_name(block))
+                .expect("every block is a quotient node");
+            if quotient_chi.get(q as usize) {
+                out.set(node);
+            }
+        }
+        out
+    }
+}
+
+fn block_name(b: u32) -> String {
+    format!("block{b}")
+}
+
+fn build_quotient_db(
+    db: &GraphDb,
+    block_of: &[u32],
+    num_blocks: usize,
+    labels: &[dualsim_graph::LabelId],
+) -> GraphDb {
+    let mut b = GraphDbBuilder::new();
+    // Intern blocks in order so block b gets a stable node name.
+    for block in 0..num_blocks as u32 {
+        b.add_node(&block_name(block), dualsim_graph::NodeKind::Iri)
+            .unwrap();
+    }
+    for &label in labels {
+        let name = db.label_name(label).to_owned();
+        b.intern_label(&name);
+        let mut edges: Vec<(u32, u32)> = db
+            .label_pairs(label)
+            .map(|(s, o)| (block_of[s as usize], block_of[o as usize]))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        for (s, o) in edges {
+            b.add_triple(&block_name(s), &name, &block_name(o)).unwrap();
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_sois, solve, SolverConfig};
+    use dualsim_query::parse;
+
+    fn chain_db() -> GraphDb {
+        // Two isomorphic chains a→b→c and d→e→f: blocks must pair up.
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("a", "p", "b").unwrap();
+        b.add_triple("b", "p", "c").unwrap();
+        b.add_triple("d", "p", "e").unwrap();
+        b.add_triple("e", "p", "f").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn isomorphic_substructures_share_blocks() {
+        let db = chain_db();
+        let q = QuotientIndex::build(&db);
+        assert_eq!(q.num_blocks(), 3, "head, middle, tail");
+        assert_eq!(
+            q.block_of(db.node_id("a").unwrap()),
+            q.block_of(db.node_id("d").unwrap())
+        );
+        assert_eq!(
+            q.block_of(db.node_id("b").unwrap()),
+            q.block_of(db.node_id("e").unwrap())
+        );
+        assert_ne!(
+            q.block_of(db.node_id("a").unwrap()),
+            q.block_of(db.node_id("b").unwrap())
+        );
+        assert_eq!(q.quotient().num_triples(), 2);
+        assert!((q.node_compression() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn quotient_solution_expands_to_the_original_solution() {
+        let db = chain_db();
+        let index = QuotientIndex::build(&db);
+        let query = parse("{ ?x p ?y . ?y p ?z }").unwrap();
+        let cfg = SolverConfig::default();
+        // Direct solution.
+        let soi = build_sois(&db, &query).remove(0);
+        let direct = solve(&db, &soi, &cfg);
+        // Quotient solution, expanded.
+        let qsoi = build_sois(index.quotient(), &query).remove(0);
+        let qsol = solve(index.quotient(), &qsoi, &cfg);
+        for var in ["x", "y", "z"] {
+            let expanded = index.expand(&qsol.var_solution(&qsoi, var));
+            assert_eq!(expanded, direct.var_solution(&soi, var), "?{var}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_nodes_split() {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("movie1", "genre", "Action").unwrap();
+        b.add_triple("movie2", "genre", "Action").unwrap();
+        b.add_triple("director", "directed", "movie1").unwrap();
+        let db = b.finish();
+        let q = QuotientIndex::build(&db);
+        // movie1 (directed + genre) and movie2 (genre only) must split.
+        assert_ne!(
+            q.block_of(db.node_id("movie1").unwrap()),
+            q.block_of(db.node_id("movie2").unwrap())
+        );
+    }
+
+    #[test]
+    fn refinement_terminates_on_cycles() {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("a", "p", "b").unwrap();
+        b.add_triple("b", "p", "a").unwrap();
+        let db = b.finish();
+        let q = QuotientIndex::build(&db);
+        // Perfectly symmetric 2-cycle: one block.
+        assert_eq!(q.num_blocks(), 1);
+        assert_eq!(q.quotient().num_triples(), 1, "self-loop block");
+    }
+
+    #[test]
+    fn empty_database_has_empty_quotient() {
+        let db = GraphDbBuilder::new().finish();
+        let q = QuotientIndex::build(&db);
+        assert_eq!(q.num_blocks(), 0);
+        assert_eq!(q.quotient().num_triples(), 0);
+    }
+
+    #[test]
+    fn label_restricted_fingerprints_ignore_attribute_edges() {
+        // Bisimulation sees structure, not literal values: whether a
+        // movie *has* a title edge splits blocks under the full alphabet;
+        // restricting the fingerprint to `genre` merges them again.
+        let mut b = GraphDbBuilder::new();
+        for i in 0..4 {
+            b.add_triple(&format!("m{i}"), "genre", "Action").unwrap();
+        }
+        b.add_attribute("m0", "title", "unique title 0").unwrap();
+        b.add_attribute("m1", "title", "unique title 1").unwrap();
+        let db = b.finish();
+        let full = QuotientIndex::build(&db);
+        // titled movies, untitled movies, titles, Action.
+        assert_eq!(full.num_blocks(), 4);
+        assert_ne!(
+            full.block_of(db.node_id("m0").unwrap()),
+            full.block_of(db.node_id("m2").unwrap())
+        );
+        let genre = db.label_id("genre").unwrap();
+        let structural = QuotientIndex::build_for_labels(&db, &[genre]);
+        // movies, Action, edge-less title literals.
+        assert_eq!(structural.num_blocks(), 3);
+        assert_eq!(
+            structural.block_of(db.node_id("m0").unwrap()),
+            structural.block_of(db.node_id("m2").unwrap())
+        );
+        assert_eq!(structural.labels(), &[genre]);
+    }
+
+    #[test]
+    fn constants_over_approximate_via_blocks() {
+        let db = chain_db();
+        let index = QuotientIndex::build(&db);
+        let query = parse("{ ?x p b }").unwrap();
+        let cfg = SolverConfig::default();
+        let soi = build_sois(&db, &query).remove(0);
+        let direct = solve(&db, &soi, &cfg);
+        // On the quotient the constant b does not exist by name; solving
+        // the variable-only core over-approximates: the expansion of the
+        // unconstrained query covers the constant-constrained solution.
+        let core = parse("{ ?x p ?o }").unwrap();
+        let qsoi = build_sois(index.quotient(), &core).remove(0);
+        let qsol = solve(index.quotient(), &qsoi, &cfg);
+        let expanded = index.expand(&qsol.var_solution(&qsoi, "x"));
+        assert!(direct.var_solution(&soi, "x").is_subset_of(&expanded));
+    }
+}

@@ -1,0 +1,744 @@
+//! Construction of the system of inequalities (SOI) from S-queries.
+//!
+//! For a BGP, every variable becomes an SOI variable and every triple
+//! pattern `(v, a, w)` contributes the two inequalities of Eq. (11):
+//!
+//! ```text
+//! w ≤ v ×b F^a      and      v ≤ w ×b B^a
+//! ```
+//!
+//! `AND` and `OPTIONAL` combine sub-SOIs per Lemmas 3–5: variable
+//! occurrences that are *mandatory* on both sides are unified; an
+//! occurrence that is optional on one side but mandatory on the other is
+//! renamed to a fresh surrogate `v_Q2` tied to its syntactically closest
+//! mandatory occurrence by a subset inequality `v_Q2 ≤ v` (Eqs. (14)/(15));
+//! optional sibling occurrences stay independent (Sect. 4.4). Constants
+//! pin their variable to a singleton, the Sect.-4.5 alteration of Eq. (12).
+
+use dualsim_graph::{GraphDb, LabelId, NodeId, NodeKind};
+use dualsim_query::{Query, Term, TriplePattern};
+use std::collections::BTreeMap;
+
+/// One variable of the system of inequalities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoiVar {
+    /// Debug name: the query variable, possibly suffixed for renamed
+    /// optional occurrences (e.g. `v3@opt1`), or the constant's text.
+    pub name: String,
+    /// The query variable this SOI variable stands for; `None` for
+    /// constant-pinned helper variables.
+    pub origin: Option<String>,
+    /// `true` iff the variable belongs to the mandatory skeleton of the
+    /// query (not created under any `OPTIONAL` right operand). If the
+    /// solution of a mandatory variable becomes empty, the query has no
+    /// matches at all and the whole database can be pruned.
+    pub mandatory: bool,
+    /// For constants: the database node this variable is pinned to
+    /// (`None` inside if the constant does not occur in the database,
+    /// which empties the variable at initialization).
+    pub pinned: Option<Option<NodeId>>,
+}
+
+/// A pattern edge `(src, a, dst)`, kept for the pruning step: a database
+/// triple survives iff some pattern edge admits it (Sect. 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternEdge {
+    /// SOI variable in subject position.
+    pub src: usize,
+    /// Edge label, `None` if the predicate does not occur in the
+    /// database alphabet (the edge then admits no triples).
+    pub label: Option<LabelId>,
+    /// SOI variable in object position.
+    pub dst: usize,
+}
+
+/// One inequality of the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inequality {
+    /// `target ≤ source ×b M` with `M = F^label` (if `forward`) or
+    /// `B^label` — Eq. (11). A `label` of `None` denotes the empty
+    /// matrix (predicate absent from the database).
+    Edge {
+        /// Variable being constrained.
+        target: usize,
+        /// Variable whose χ selects the matrix rows.
+        source: usize,
+        /// Edge label.
+        label: Option<LabelId>,
+        /// `true` for `F^a`, `false` for `B^a`.
+        forward: bool,
+    },
+    /// `sub ≤ sup` — the optional-variable dependency of Eqs. (14)/(15).
+    Subset {
+        /// The renamed optional occurrence.
+        sub: usize,
+        /// Its syntactically closest mandatory occurrence.
+        sup: usize,
+    },
+}
+
+/// Which simulation the system characterizes.
+///
+/// The paper's contribution is **dual** simulation (both Def. 2
+/// conditions). Plain **forward** simulation — condition (i) only, the
+/// notion used by simulation-based systems like Panda \[31\] — drops the
+/// backward inequalities; it is strictly weaker, so its pruning keeps at
+/// least as many triples ("we rely on dual simulation being more
+/// effective in pruning unnecessary triples", Sect. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimulationKind {
+    /// Both Def. 2 conditions (the paper's setting).
+    #[default]
+    Dual,
+    /// Condition (i) only: candidates of `v` must have matching
+    /// successors; objects are unconstrained by incoming edges.
+    Forward,
+}
+
+/// The system of inequalities of one union-free query (Sect. 3.2/4).
+#[derive(Debug, Clone)]
+pub struct Soi {
+    /// The variables `Var` of the system.
+    pub vars: Vec<SoiVar>,
+    /// The inequalities `Eq` of the system.
+    pub ineqs: Vec<Inequality>,
+    /// All pattern edges, for pruning.
+    pub edges: Vec<PatternEdge>,
+    /// Top-level exposure: for every query variable, the SOI variables
+    /// whose solutions together form the solution for that variable
+    /// (a single mandatory occurrence, or the independent optional
+    /// surrogates — cf. the `x_P2`/`x_P3` discussion in Sect. 4.4).
+    pub scope: BTreeMap<String, Vec<usize>>,
+    /// Simulation variant this system encodes.
+    pub kind: SimulationKind,
+}
+
+impl Soi {
+    /// `true` iff the system stems from a plain BGP: no subset
+    /// inequalities and no optional variables. The baseline algorithms
+    /// (Ma et al., HHK) only accept such systems.
+    pub fn is_plain_bgp(&self) -> bool {
+        self.vars.iter().all(|v| v.mandatory)
+            && self
+                .ineqs
+                .iter()
+                .all(|i| matches!(i, Inequality::Edge { .. }))
+    }
+
+    /// Number of SOI variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The SOI variables exposed for a query variable.
+    pub fn vars_for(&self, query_var: &str) -> &[usize] {
+        self.scope.get(query_var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` iff the pattern graph (variables plus constants, edges
+    /// undirected) is connected and non-empty — the precondition of
+    /// strong simulation's ball construction.
+    pub fn pattern_is_connected(&self) -> bool {
+        let n = self.vars.len();
+        if n == 0 || self.edges.is_empty() {
+            return false;
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.src].push(e.dst);
+            adj[e.dst].push(e.src);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1usize;
+        while let Some(v) = stack.pop() {
+            for &u in &adj[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    reached += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        reached == n
+    }
+}
+
+/// Builds one SOI per union-free branch of `query` (Prop. 3 splits
+/// `UNION` first). Labels and constants are resolved against `db`.
+pub fn build_sois(db: &GraphDb, query: &Query) -> Vec<Soi> {
+    build_sois_with(db, query, SimulationKind::Dual)
+}
+
+/// Like [`build_sois`] with an explicit [`SimulationKind`]. With
+/// [`SimulationKind::Forward`] each pattern edge contributes only the
+/// condition-(i) inequality `v ≤ w ×b B^a` (candidates of the subject
+/// must reach a candidate of the object).
+pub fn build_sois_with(db: &GraphDb, query: &Query, kind: SimulationKind) -> Vec<Soi> {
+    query
+        .union_normal_form()
+        .iter()
+        .map(|branch| {
+            let mut soi = build_union_free(db, branch);
+            if kind == SimulationKind::Forward {
+                soi.ineqs.retain(|ineq| match ineq {
+                    // Keep subset dependencies and exactly the
+                    // successor-existence inequalities. `forward: false`
+                    // is the `s ≤ o ×b B^a` direction, which encodes
+                    // Def. 2(i) (see Prop. 2's proof).
+                    Inequality::Edge { forward, .. } => !*forward,
+                    Inequality::Subset { .. } => true,
+                });
+                soi.kind = SimulationKind::Forward;
+            }
+            soi
+        })
+        .collect()
+}
+
+/// Exposure of one query variable by a sub-SOI.
+///
+/// Invariant: if `mandatory` is `Some`, `optional` is empty — every
+/// optional occurrence is linked (`≤`) to its closest mandatory
+/// occurrence the moment the two meet in a combination step.
+#[derive(Debug, Clone, Default)]
+struct Exposure {
+    mandatory: Option<usize>,
+    optional: Vec<usize>,
+}
+
+impl Exposure {
+    fn exposed(&self) -> Vec<usize> {
+        match self.mandatory {
+            Some(m) => vec![m],
+            None => self.optional.clone(),
+        }
+    }
+}
+
+type Scope = BTreeMap<String, Exposure>;
+
+struct Builder<'a> {
+    db: &'a GraphDb,
+    vars: Vec<SoiVar>,
+    /// Union-find parent links: unification of mandatory occurrences
+    /// (Lemma 3) merges SOI variables.
+    parent: Vec<usize>,
+    ineqs: Vec<Inequality>,
+    edges: Vec<PatternEdge>,
+}
+
+impl<'a> Builder<'a> {
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+            self.vars[ra].mandatory |= self.vars[rb].mandatory;
+            // Unified variables must agree on pinning; two distinct
+            // constants can never unify because constants are never
+            // exposed as query variables.
+            debug_assert!(self.vars[rb].pinned.is_none() || self.vars[ra].pinned.is_none());
+            if self.vars[ra].pinned.is_none() {
+                self.vars[ra].pinned = self.vars[rb].pinned.take();
+            }
+        }
+        ra
+    }
+
+    fn fresh(&mut self, name: String, origin: Option<String>, mandatory: bool) -> usize {
+        let idx = self.vars.len();
+        self.vars.push(SoiVar {
+            name,
+            origin,
+            mandatory,
+            pinned: None,
+        });
+        self.parent.push(idx);
+        idx
+    }
+
+    fn fresh_constant(&mut self, term: &Term, mandatory: bool) -> usize {
+        let (name, node) = match term {
+            Term::Iri(iri) => (iri.clone(), self.db.node_id(iri)),
+            Term::Literal(l) => {
+                let node = self
+                    .db
+                    .node_id(l)
+                    .filter(|&n| self.db.node_kind(n) == NodeKind::Literal);
+                (format!("\"{l}\""), node)
+            }
+            Term::Var(_) => unreachable!("constants only"),
+        };
+        let idx = self.fresh(name, None, mandatory);
+        self.vars[idx].pinned = Some(node);
+        idx
+    }
+
+    /// Builds the sub-SOI of `q`; `in_optional` records whether `q` sits
+    /// under the right operand of some `OPTIONAL` (for the mandatory
+    /// flag used by the early-exit rule).
+    fn build(&mut self, q: &Query, in_optional: bool) -> Scope {
+        match q {
+            Query::Bgp(tps) => self.build_bgp(tps, in_optional),
+            Query::And(a, b) => {
+                let sa = self.build(a, in_optional);
+                let sb = self.build(b, in_optional);
+                self.combine_and(sa, sb)
+            }
+            Query::Optional(a, b) => {
+                let sa = self.build(a, in_optional);
+                let sb = self.build(b, true);
+                self.combine_optional(sa, sb)
+            }
+            Query::Union(..) => {
+                unreachable!("UNION must be removed by union_normal_form before SOI construction")
+            }
+        }
+    }
+
+    /// Resolves (or creates) the SOI variable of a term within one BGP.
+    fn resolve_term(
+        &mut self,
+        local: &mut BTreeMap<Term, usize>,
+        scope: &mut Scope,
+        term: &Term,
+        mandatory: bool,
+    ) -> usize {
+        if let Some(&idx) = local.get(term) {
+            return idx;
+        }
+        let idx = match term {
+            Term::Var(v) => {
+                let idx = self.fresh(v.clone(), Some(v.clone()), mandatory);
+                scope.insert(
+                    v.clone(),
+                    Exposure {
+                        mandatory: Some(idx),
+                        optional: Vec::new(),
+                    },
+                );
+                idx
+            }
+            constant => self.fresh_constant(constant, mandatory),
+        };
+        local.insert(term.clone(), idx);
+        idx
+    }
+
+    fn build_bgp(&mut self, tps: &[TriplePattern], in_optional: bool) -> Scope {
+        let mandatory = !in_optional;
+        let mut local: BTreeMap<Term, usize> = BTreeMap::new();
+        let mut scope = Scope::new();
+        for tp in tps {
+            let s = self.resolve_term(&mut local, &mut scope, &tp.s, mandatory);
+            let o = self.resolve_term(&mut local, &mut scope, &tp.o, mandatory);
+            let label = self.db.label_id(&tp.p);
+            self.edges.push(PatternEdge {
+                src: s,
+                label,
+                dst: o,
+            });
+            // Eq. (11): o ≤ s ×b F^a and s ≤ o ×b B^a.
+            self.ineqs.push(Inequality::Edge {
+                target: o,
+                source: s,
+                label,
+                forward: true,
+            });
+            self.ineqs.push(Inequality::Edge {
+                target: s,
+                source: o,
+                label,
+                forward: false,
+            });
+        }
+        scope
+    }
+
+    /// Lemma 3 / Lemma 5: conjunction unifies mandatory occurrences and
+    /// ties optional occurrences to a mandatory sibling if one exists.
+    fn combine_and(&mut self, mut sa: Scope, sb: Scope) -> Scope {
+        for (var, eb) in sb {
+            match sa.remove(&var) {
+                None => {
+                    sa.insert(var, eb);
+                }
+                Some(ea) => {
+                    let merged = match (ea.mandatory, eb.mandatory) {
+                        (Some(ma), Some(mb)) => {
+                            let root = self.union(ma, mb);
+                            Exposure {
+                                mandatory: Some(root),
+                                optional: Vec::new(),
+                            }
+                        }
+                        (Some(m), None) => {
+                            self.link_optionals(&var, &eb.optional, m);
+                            Exposure {
+                                mandatory: Some(m),
+                                optional: Vec::new(),
+                            }
+                        }
+                        (None, Some(m)) => {
+                            self.link_optionals(&var, &ea.optional, m);
+                            Exposure {
+                                mandatory: Some(m),
+                                optional: Vec::new(),
+                            }
+                        }
+                        (None, None) => {
+                            // Optional siblings stay independent
+                            // (Sect. 4.4: x_P2 and x_P3 carry no
+                            // interdependency).
+                            let mut optional = ea.optional;
+                            optional.extend(eb.optional);
+                            Exposure {
+                                mandatory: None,
+                                optional,
+                            }
+                        }
+                    };
+                    sa.insert(var, merged);
+                }
+            }
+        }
+        sa
+    }
+
+    /// Lemma 4 and the Sect. 4.4 general case: occurrences inside the
+    /// optional operand are renamed surrogates; if the mandatory operand
+    /// binds the variable, each surrogate is tied to it by `v_Q2 ≤ v`.
+    fn combine_optional(&mut self, mut sa: Scope, sb: Scope) -> Scope {
+        for (var, eb) in sb {
+            match sa.remove(&var) {
+                None => {
+                    // The variable only occurs in the optional part: it is
+                    // optional for the combined query (mand(Q1 OPT Q2) =
+                    // mand(Q1)), so demote a mandatory occurrence of the
+                    // sub-query to an exposed optional surrogate.
+                    sa.insert(
+                        var,
+                        Exposure {
+                            mandatory: None,
+                            optional: eb.exposed(),
+                        },
+                    );
+                }
+                Some(ea) => {
+                    let merged = match ea.mandatory {
+                        Some(m) => {
+                            // Closest mandatory occurrence: every exposed
+                            // node of the optional side becomes ≤ m.
+                            self.link_optionals(&var, &eb.exposed(), m);
+                            Exposure {
+                                mandatory: Some(m),
+                                optional: Vec::new(),
+                            }
+                        }
+                        None => {
+                            // Both occurrences are optional: keep them
+                            // independent but exposed for a farther-out
+                            // mandatory occurrence.
+                            let mut optional = ea.optional;
+                            optional.extend(eb.exposed());
+                            Exposure {
+                                mandatory: None,
+                                optional,
+                            }
+                        }
+                    };
+                    sa.insert(var, merged);
+                }
+            }
+        }
+        sa
+    }
+
+    fn link_optionals(&mut self, var: &str, optionals: &[usize], mandatory: usize) {
+        for &o in optionals {
+            self.ineqs.push(Inequality::Subset {
+                sub: o,
+                sup: mandatory,
+            });
+            // Rename for debuggability: mark the surrogate.
+            if !self.vars[o].name.contains('@') {
+                self.vars[o].name = format!("{var}@opt{o}");
+            }
+        }
+    }
+
+    /// Resolves union-find roots and compacts variable indices.
+    fn finish(mut self, scope: Scope) -> Soi {
+        let n = self.vars.len();
+        let root_of: Vec<usize> = (0..n).map(|i| self.find(i)).collect();
+        let mut dense = vec![usize::MAX; n];
+        let mut vars = Vec::new();
+        for &r in &root_of {
+            if dense[r] == usize::MAX {
+                dense[r] = vars.len();
+                vars.push(self.vars[r].clone());
+            }
+        }
+        let map = |i: usize| dense[root_of[i]];
+        let mut ineqs = Vec::with_capacity(self.ineqs.len());
+        for ineq in &self.ineqs {
+            let mapped = match *ineq {
+                Inequality::Edge {
+                    target,
+                    source,
+                    label,
+                    forward,
+                } => Inequality::Edge {
+                    target: map(target),
+                    source: map(source),
+                    label,
+                    forward,
+                },
+                Inequality::Subset { sub, sup } => {
+                    let (sub, sup) = (map(sub), map(sup));
+                    if sub == sup {
+                        continue; // trivially satisfied
+                    }
+                    Inequality::Subset { sub, sup }
+                }
+            };
+            if !ineqs.contains(&mapped) {
+                ineqs.push(mapped);
+            }
+        }
+        let mut edges: Vec<PatternEdge> = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            let mapped = PatternEdge {
+                src: map(e.src),
+                label: e.label,
+                dst: map(e.dst),
+            };
+            if !edges.contains(&mapped) {
+                edges.push(mapped);
+            }
+        }
+        let scope = scope
+            .into_iter()
+            .map(|(var, exp)| {
+                let mut nodes: Vec<usize> = exp.exposed().into_iter().map(map).collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                (var, nodes)
+            })
+            .collect();
+        Soi {
+            vars,
+            ineqs,
+            edges,
+            scope,
+            kind: SimulationKind::Dual,
+        }
+    }
+}
+
+fn build_union_free(db: &GraphDb, query: &Query) -> Soi {
+    debug_assert!(query.is_union_free());
+    let mut builder = Builder {
+        db,
+        vars: Vec::new(),
+        parent: Vec::new(),
+        ineqs: Vec::new(),
+        edges: Vec::new(),
+    };
+    let scope = builder.build(query, false);
+    builder.finish(scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualsim_graph::GraphDbBuilder;
+    use dualsim_query::{parse, tp};
+
+    fn tiny_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("n1", "a", "n2").unwrap();
+        b.add_triple("n1", "b", "n3").unwrap();
+        b.add_triple("n3", "c", "n4").unwrap();
+        b.add_triple("n2", "directed", "n5").unwrap();
+        b.add_triple("n2", "worked_with", "n6").unwrap();
+        b.finish()
+    }
+
+    fn soi_of(text: &str) -> Soi {
+        let db = tiny_db();
+        let sois = build_sois(&db, &parse(text).unwrap());
+        assert_eq!(sois.len(), 1);
+        sois.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn bgp_produces_two_inequalities_per_edge() {
+        // Query (X1): two pattern edges → four Edge inequalities, three
+        // variables (director shared), Fig. 3 analogue.
+        let soi = soi_of("{ ?d directed ?m . ?d worked_with ?c }");
+        assert_eq!(soi.num_vars(), 3);
+        assert_eq!(soi.ineqs.len(), 4);
+        assert_eq!(soi.edges.len(), 2);
+        assert!(soi.is_plain_bgp());
+        assert_eq!(soi.vars_for("d").len(), 1);
+    }
+
+    #[test]
+    fn shared_variables_across_and_are_unified() {
+        // Lemma 3: the two BGPs of Fig. 4(a), G1 = {(v,knows,w)} and
+        // G2 = {(w,knows,v)}, unified over shared variables.
+        let db = tiny_db();
+        let q = dualsim_query::Query::bgp(vec![tp("?v", "a", "?w")])
+            .and(dualsim_query::Query::bgp(vec![tp("?w", "a", "?v")]));
+        let soi = &build_sois(&db, &q)[0];
+        assert_eq!(soi.num_vars(), 2, "v and w must be shared");
+        assert_eq!(soi.ineqs.len(), 4);
+        assert!(soi.is_plain_bgp());
+    }
+
+    #[test]
+    fn optional_introduces_surrogate_and_subset() {
+        // Query (X2): ?d is mandatory (directed) and optional
+        // (worked_with); the optional occurrence becomes ?d@… ≤ ?d.
+        let soi = soi_of("{ ?d directed ?m OPTIONAL { ?d worked_with ?c } }");
+        assert_eq!(soi.num_vars(), 4, "d, m, d-surrogate, c");
+        let subsets: Vec<_> = soi
+            .ineqs
+            .iter()
+            .filter(|i| matches!(i, Inequality::Subset { .. }))
+            .collect();
+        assert_eq!(subsets.len(), 1);
+        // The exposed solution variable for d is the mandatory occurrence.
+        assert_eq!(soi.vars_for("d").len(), 1);
+        let d = soi.vars_for("d")[0];
+        assert!(soi.vars[d].mandatory);
+        // c is optional-only.
+        let c = soi.vars_for("c")[0];
+        assert!(!soi.vars[c].mandatory);
+    }
+
+    #[test]
+    fn x3_renames_v3_and_keeps_both_occurrences() {
+        // (X3): ({(v1,a,v2)} OPT {(v3,b,v2)}) AND {(v3,c,v4)} — v3 occurs
+        // optional first, mandatory second; Lemma 5 adds v3' ≤ v3.
+        let soi = soi_of("{ { ?v1 a ?v2 OPTIONAL { ?v3 b ?v2 } } { ?v3 c ?v4 } }");
+        // v1, v2, v2-surrogate, v3-opt, v3, v4.
+        assert_eq!(soi.num_vars(), 6);
+        let subsets: Vec<_> = soi
+            .ineqs
+            .iter()
+            .filter_map(|i| match i {
+                Inequality::Subset { sub, sup } => Some((*sub, *sup)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(subsets.len(), 2, "v2o ≤ v2m and v3o ≤ v3m");
+        for (sub, sup) in subsets {
+            assert!(!soi.vars[sub].mandatory);
+            assert!(soi.vars[sup].mandatory);
+        }
+        // The exposed v3 is the mandatory one from the AND's right clause.
+        let v3 = soi.vars_for("v3")[0];
+        assert!(soi.vars[v3].mandatory);
+    }
+
+    #[test]
+    fn nested_optionals_link_to_syntactically_closest() {
+        // R = R1 OPT (R2 OPT R3) with z in R2 and R3 (Sect. 4.4): the R3
+        // occurrence links to the R2 occurrence, which (z ∉ vars(R1))
+        // stays an exposed optional surrogate.
+        let soi = soi_of("{ ?x a ?y OPTIONAL { ?z b ?x OPTIONAL { ?z c ?w } } }");
+        let subsets = soi
+            .ineqs
+            .iter()
+            .filter(|i| matches!(i, Inequality::Subset { .. }))
+            .count();
+        // x gets xR2 ≤ x (x occurs in R2 and mand(R1)); z gets zR3 ≤ zR2.
+        assert_eq!(subsets, 2);
+        // z is exposed through its (optional) R2 occurrence only — the
+        // R3 occurrence is subsumed via zR3 ≤ zR2.
+        assert_eq!(soi.vars_for("z").len(), 1);
+    }
+
+    #[test]
+    fn sibling_optionals_stay_independent() {
+        // P = (P1 OPT P2) OPT P3 with x in P2 and P3 but not P1: both
+        // surrogates are exposed, no interdependency (Sect. 4.4).
+        let soi = soi_of("{ ?y a ?u OPTIONAL { ?x b ?y } OPTIONAL { ?x c ?y } }");
+        assert_eq!(
+            soi.vars_for("x").len(),
+            2,
+            "x_P2 and x_P3 must both be exposed"
+        );
+        // Only the two y-surrogate links exist; none between the x's.
+        let subsets: Vec<(usize, usize)> = soi
+            .ineqs
+            .iter()
+            .filter_map(|i| match i {
+                Inequality::Subset { sub, sup } => Some((*sub, *sup)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(subsets.len(), 2);
+        let y = soi.vars_for("y")[0];
+        assert!(subsets.iter().all(|&(_, sup)| sup == y));
+    }
+
+    #[test]
+    fn constants_are_pinned() {
+        let soi = soi_of("{ ?m directed n5 . ?m a ?x }");
+        let pinned: Vec<_> = soi.vars.iter().filter(|v| v.pinned.is_some()).collect();
+        assert_eq!(pinned.len(), 1);
+        let db = tiny_db();
+        assert_eq!(pinned[0].pinned, Some(db.node_id("n5")));
+        assert_eq!(pinned[0].origin, None);
+    }
+
+    #[test]
+    fn unknown_constants_pin_to_nothing() {
+        let soi = soi_of("{ ?m directed unknown_node }");
+        let pinned: Vec<_> = soi.vars.iter().filter(|v| v.pinned.is_some()).collect();
+        assert_eq!(pinned[0].pinned, Some(None));
+    }
+
+    #[test]
+    fn unknown_labels_are_none() {
+        let soi = soi_of("{ ?x no_such_label ?y }");
+        assert!(matches!(soi.ineqs[0], Inequality::Edge { label: None, .. }));
+        assert!(soi.edges[0].label.is_none());
+    }
+
+    #[test]
+    fn union_splits_into_branches() {
+        let db = tiny_db();
+        let q = parse("{ { ?x a ?y } UNION { ?x b ?y } }").unwrap();
+        let sois = build_sois(&db, &q);
+        assert_eq!(sois.len(), 2);
+        assert!(sois.iter().all(|s| s.num_vars() == 2));
+    }
+
+    #[test]
+    fn repeated_variable_in_one_pattern_is_one_soi_var() {
+        // Self-loop pattern (v, a, v).
+        let soi = soi_of("{ ?v a ?v }");
+        assert_eq!(soi.num_vars(), 1);
+        assert_eq!(soi.ineqs.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_inequalities_are_deduplicated() {
+        let soi = soi_of("{ ?v a ?w . ?v a ?w }");
+        assert_eq!(soi.ineqs.len(), 2);
+    }
+}

@@ -1,0 +1,663 @@
+//! The SOI fixpoint solver (Sect. 3.2) with the Sect. 3.3 evaluation
+//! strategies.
+//!
+//! Starting from the initial assignment (Eq. (12), or the tighter
+//! Eq. (13) summary initialization), the solver repeatedly picks an
+//! *unstable* inequality, re-evaluates it, intersects the target variable
+//! with the product, and re-marks every inequality whose right-hand side
+//! mentions the updated variable. The process terminates in the unique
+//! largest solution — the largest dual simulation (Prop. 2).
+//!
+//! Two degrees of freedom are exposed, matching the paper's discussion:
+//!
+//! * the **order** in which unstable inequalities are evaluated
+//!   ([`IneqOrdering`]): syntactic query order, or matrices with more
+//!   empty columns first (sparsity ⇒ early shrinking);
+//! * the **evaluation strategy** per multiplication ([`EvalStrategy`]):
+//!   row-wise, column-wise, or the adaptive rule "row-wise iff the
+//!   source χ has fewer bits set than the target χ".
+
+use crate::{Inequality, Soi};
+use dualsim_bitmatrix::BitVec;
+use dualsim_graph::GraphDb;
+
+/// How each bit-matrix multiplication is evaluated (Sect. 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Always OR together the matrix rows selected by the source χ.
+    RowWise,
+    /// Always probe candidate bits of the target χ against the transpose.
+    ColumnWise,
+    /// Row-wise iff `|χ(source)| ≤ |χ(target)|` — the paper's dynamic
+    /// fewer-iterations heuristic.
+    Adaptive,
+}
+
+/// Order in which unstable inequalities are picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IneqOrdering {
+    /// The syntactic order of the query's triple patterns.
+    QueryOrder,
+    /// Inequalities whose matrix has more empty columns first, aiming to
+    /// shrink the simulation as early as possible (Sect. 3.3).
+    SparsityFirst,
+}
+
+/// Initialization of the candidate relation `S₀`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitMode {
+    /// `v ≤ 1` for every variable (Eq. (12)).
+    AllOnes,
+    /// The syntactic optimization of Eq. (13): only nodes supporting the
+    /// incident edge labels are candidates.
+    Summaries,
+}
+
+/// Solver configuration; [`SolverConfig::default`] is the configuration
+/// used for all headline experiments (adaptive strategy, sparsity-first
+/// ordering, summary initialization, early exit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Multiplication strategy.
+    pub strategy: EvalStrategy,
+    /// Inequality evaluation order.
+    pub ordering: IneqOrdering,
+    /// Initial candidate relation.
+    pub init: InitMode,
+    /// Abort as soon as a *mandatory* variable loses all candidates: the
+    /// query then has no matches and everything can be pruned. Turn this
+    /// off to obtain the mathematical largest solution even for
+    /// unsatisfiable (components of) queries.
+    pub early_exit: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            strategy: EvalStrategy::Adaptive,
+            ordering: IneqOrdering::SparsityFirst,
+            init: InitMode::Summaries,
+            early_exit: true,
+        }
+    }
+}
+
+/// Work counters of one solver run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Full stabilization passes over the inequality list — the paper's
+    /// "iterations" (L1 needs 2, L0 more than 30).
+    pub iterations: usize,
+    /// Individual inequality evaluations.
+    pub evaluations: usize,
+    /// Evaluations that shrank a variable.
+    pub updates: usize,
+    /// Multiplications evaluated row-wise.
+    pub rowwise: usize,
+    /// Multiplications evaluated column-wise.
+    pub colwise: usize,
+    /// Total candidates after initialization (Σ|χ(v)|).
+    pub initial_candidates: usize,
+    /// Total candidates at the fixpoint.
+    pub final_candidates: usize,
+    /// A mandatory variable lost all candidates (no matches exist).
+    pub emptied_mandatory: bool,
+}
+
+/// The largest solution of a system of inequalities.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// χ per SOI variable (indexed like `soi.vars`).
+    pub chi: Vec<BitVec>,
+    /// Work counters.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Union of the χ of all SOI variables exposed for query variable
+    /// `var` — the paper's final solution per query variable (renamed
+    /// surrogates are subsumed via their subset inequalities, extreme
+    /// cases expose several independent surrogates, Sect. 4.4).
+    pub fn var_solution(&self, soi: &Soi, var: &str) -> BitVec {
+        let n = self.chi.first().map(BitVec::len).unwrap_or(0);
+        let mut out = BitVec::zeros(n);
+        for &idx in soi.vars_for(var) {
+            out.or_assign(&self.chi[idx]);
+        }
+        out
+    }
+
+    /// `true` iff some mandatory variable has no candidates, i.e. the
+    /// query's result set is certainly empty.
+    pub fn is_certainly_empty(&self) -> bool {
+        self.stats.emptied_mandatory
+    }
+}
+
+/// Computes the largest solution of `soi` over `db` (Sect. 3.2
+/// algorithm). See [`SolverConfig`] for the tunable heuristics.
+pub fn solve(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Solution {
+    let n = db.num_nodes();
+    let mut chi: Vec<BitVec> = Vec::with_capacity(soi.vars.len());
+    for var in &soi.vars {
+        chi.push(match var.pinned {
+            Some(Some(node)) => BitVec::from_indices(n, &[node]),
+            Some(None) => BitVec::zeros(n), // constant absent from the DB
+            None => BitVec::ones(n),
+        });
+    }
+    solve_from(db, soi, config, chi)
+}
+
+/// Runs the fixpoint from a caller-provided starting relation.
+///
+/// `initial_chi` must be a *superset* of the largest solution (e.g. the
+/// previous solution after triples were **deleted** — the largest dual
+/// simulation is monotone in the database edges, so it can only shrink);
+/// the fixpoint then converges to the new largest solution without
+/// re-seeding from `V₁ × V₂`. This is the warm-start primitive behind
+/// incremental maintenance.
+///
+/// # Panics
+/// Panics if `initial_chi` has the wrong arity or vector lengths.
+pub fn solve_from(
+    db: &GraphDb,
+    soi: &Soi,
+    config: &SolverConfig,
+    initial_chi: Vec<BitVec>,
+) -> Solution {
+    let n = db.num_nodes();
+    let nv = soi.vars.len();
+    assert_eq!(initial_chi.len(), nv, "one χ per SOI variable");
+    for c in &initial_chi {
+        assert_eq!(c.len(), n, "χ length must match the node count");
+    }
+    let mut stats = SolveStats::default();
+
+    // ---- Initialization: Eq. (12) / Eq. (13) plus constant pinning. ----
+    let mut chi = initial_chi;
+    if config.init == InitMode::Summaries {
+        let dual = soi.kind == crate::SimulationKind::Dual;
+        for e in &soi.edges {
+            match e.label {
+                Some(a) => {
+                    chi[e.src].and_assign(db.f_summary(a));
+                    if dual {
+                        // Forward-only simulation puts no incoming-edge
+                        // requirement on objects (Def. 2(ii) is dropped).
+                        chi[e.dst].and_assign(db.b_summary(a));
+                    }
+                }
+                None => {
+                    // The predicate does not occur in the database: no
+                    // node supports the edge.
+                    chi[e.src].clear_all();
+                    if dual {
+                        chi[e.dst].clear_all();
+                    }
+                }
+            }
+        }
+    }
+    let mut counts: Vec<usize> = chi.iter().map(BitVec::count_ones).collect();
+    stats.initial_candidates = counts.iter().sum();
+
+    if let Some(result) = check_empty_mandatory(soi, &mut chi, &counts, &mut stats, config) {
+        return result;
+    }
+
+    // ---- Dependency lists: ineqs to re-mark when a variable shrinks. ----
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for (i, ineq) in soi.ineqs.iter().enumerate() {
+        let rhs = match *ineq {
+            Inequality::Edge { source, .. } => source,
+            Inequality::Subset { sup, .. } => sup,
+        };
+        dependents[rhs].push(i as u32);
+    }
+
+    // ---- Evaluation order. ----
+    let mut order: Vec<u32> = (0..soi.ineqs.len() as u32).collect();
+    if config.ordering == IneqOrdering::SparsityFirst {
+        // Fewer non-empty columns of the multiplied matrix first. The
+        // columns of F^a that contain a bit are exactly the set bits of
+        // b^a (and vice versa), so the key is the popcount of the
+        // opposite-direction summary.
+        let key = |i: u32| -> usize {
+            match soi.ineqs[i as usize] {
+                Inequality::Subset { .. } => 0,
+                Inequality::Edge { label: None, .. } => 0,
+                Inequality::Edge {
+                    label: Some(a),
+                    forward,
+                    ..
+                } => {
+                    if forward {
+                        db.b_summary(a).count_ones()
+                    } else {
+                        db.f_summary(a).count_ones()
+                    }
+                }
+            }
+        };
+        order.sort_by_key(|&i| (key(i), i));
+    }
+
+    // ---- Fixpoint loop (step 2 of the Sect. 3.2 algorithm). ----
+    let mut unstable = vec![true; soi.ineqs.len()];
+    let mut n_unstable = soi.ineqs.len();
+    let mut scratch = BitVec::zeros(n);
+    while n_unstable > 0 {
+        stats.iterations += 1;
+        for &i in &order {
+            if !unstable[i as usize] {
+                continue;
+            }
+            unstable[i as usize] = false;
+            n_unstable -= 1;
+            stats.evaluations += 1;
+            let updated = match soi.ineqs[i as usize] {
+                Inequality::Edge {
+                    target,
+                    source,
+                    label,
+                    forward,
+                } => {
+                    let changed = match label {
+                        None => {
+                            let had = counts[target] > 0;
+                            chi[target].clear_all();
+                            had
+                        }
+                        Some(a) => {
+                            let row_wise = match config.strategy {
+                                EvalStrategy::RowWise => true,
+                                EvalStrategy::ColumnWise => false,
+                                EvalStrategy::Adaptive => counts[source] <= counts[target],
+                            };
+                            if row_wise {
+                                stats.rowwise += 1;
+                                let matrix = if forward {
+                                    db.forward(a)
+                                } else {
+                                    db.backward(a)
+                                };
+                                matrix.multiply_into(&chi[source], &mut scratch);
+                                chi[target].and_assign(&scratch)
+                            } else {
+                                stats.colwise += 1;
+                                // Column j of F^a is row j of B^a: probe
+                                // the transpose.
+                                let transpose = if forward {
+                                    db.backward(a)
+                                } else {
+                                    db.forward(a)
+                                };
+                                if source == target {
+                                    // Self-loop pattern edge (v, a, v):
+                                    // probe against a snapshot so the
+                                    // evaluation reads the pre-update χ.
+                                    scratch.copy_from(&chi[source]);
+                                    transpose
+                                        .retain_intersecting_rows(&mut chi[target], &scratch)
+                                        .0
+                                } else {
+                                    let (probe, target_chi) = split_pair(&mut chi, source, target);
+                                    transpose.retain_intersecting_rows(target_chi, probe).0
+                                }
+                            }
+                        }
+                    };
+                    changed.then_some(target)
+                }
+                Inequality::Subset { sub, sup } => {
+                    let (sup_chi, sub_chi) = split_pair(&mut chi, sup, sub);
+                    sub_chi.and_assign(sup_chi).then_some(sub)
+                }
+            };
+            if let Some(v) = updated {
+                stats.updates += 1;
+                counts[v] = chi[v].count_ones();
+                if counts[v] == 0 && soi.vars[v].mandatory {
+                    stats.emptied_mandatory = true;
+                    if config.early_exit {
+                        return empty_solution(&mut chi, stats);
+                    }
+                }
+                // Re-mark every inequality whose right-hand side mentions
+                // the shrunk variable — including the current one for
+                // self-loop patterns (v, a, v), whose product may have
+                // shrunk along with χ(v).
+                for &j in &dependents[v] {
+                    if !unstable[j as usize] {
+                        unstable[j as usize] = true;
+                        n_unstable += 1;
+                    }
+                }
+            }
+        }
+    }
+    stats.final_candidates = counts.iter().sum();
+    Solution { chi, stats }
+}
+
+/// Immutable/mutable split borrow of two distinct vector slots.
+fn split_pair(chi: &mut [BitVec], read: usize, write: usize) -> (&BitVec, &mut BitVec) {
+    assert_ne!(read, write, "inequality with identical sides");
+    if read < write {
+        let (lo, hi) = chi.split_at_mut(write);
+        (&lo[read], &mut hi[0])
+    } else {
+        let (lo, hi) = chi.split_at_mut(read);
+        (&hi[0], &mut lo[write])
+    }
+}
+
+fn check_empty_mandatory(
+    soi: &Soi,
+    chi: &mut [BitVec],
+    counts: &[usize],
+    stats: &mut SolveStats,
+    config: &SolverConfig,
+) -> Option<Solution> {
+    for (v, var) in soi.vars.iter().enumerate() {
+        if counts[v] == 0 && var.mandatory {
+            stats.emptied_mandatory = true;
+            if config.early_exit {
+                return Some(empty_solution(chi, stats.clone()));
+            }
+        }
+    }
+    None
+}
+
+fn empty_solution(chi: &mut [BitVec], mut stats: SolveStats) -> Solution {
+    for v in chi.iter_mut() {
+        v.clear_all();
+    }
+    stats.final_candidates = 0;
+    Solution {
+        chi: chi.to_vec(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_sois;
+    use dualsim_graph::{GraphDb, GraphDbBuilder};
+    use dualsim_query::parse;
+
+    /// The example database of Fig. 1(a). Edge directions follow the
+    /// paper's narrative: only B. De Palma and G. Hamilton have both an
+    /// outgoing `directed` and an outgoing `worked_with` edge, so the
+    /// largest dual simulation of (X1) is exactly relation (2).
+    fn fig1_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("B. De Palma", "directed", "Mission: Impossible")
+            .unwrap();
+        b.add_triple("B. De Palma", "worked_with", "D. Koepp")
+            .unwrap();
+        b.add_triple("B. De Palma", "born_in", "Newark").unwrap();
+        b.add_triple("Mission: Impossible", "awarded", "Oscar")
+            .unwrap();
+        b.add_triple("Mission: Impossible", "genre", "Action")
+            .unwrap();
+        b.add_triple("Goldfinger", "genre", "Action").unwrap();
+        b.add_triple("G. Hamilton", "directed", "Goldfinger")
+            .unwrap();
+        b.add_triple("G. Hamilton", "born_in", "Paris").unwrap();
+        b.add_triple("G. Hamilton", "worked_with", "H. Saltzman")
+            .unwrap();
+        b.add_triple("Thunderball", "sequel_of", "Goldfinger")
+            .unwrap();
+        b.add_triple("From Russia with Love", "prequel_of", "Goldfinger")
+            .unwrap();
+        b.add_triple("Thunderball", "awarded", "BAFTA Awards")
+            .unwrap();
+        b.add_triple("H. Saltzman", "born_in", "Saint John")
+            .unwrap();
+        b.add_triple("T. Young", "directed", "From Russia with Love")
+            .unwrap();
+        b.add_triple("T. Young", "directed", "Thunderball").unwrap();
+        b.add_triple("P.R. Hunt", "worked_with", "T. Young")
+            .unwrap();
+        b.add_triple("D. Koepp", "directed", "Mortdecai").unwrap();
+        b.add_attribute("Newark", "population", "277140").unwrap();
+        b.add_attribute("Paris", "population", "2220445").unwrap();
+        b.add_attribute("Saint John", "population", "70063")
+            .unwrap();
+        b.finish()
+    }
+
+    fn names(db: &GraphDb, v: &dualsim_bitmatrix::BitVec) -> Vec<String> {
+        v.iter_ones()
+            .map(|i| db.node_name(i as u32).to_owned())
+            .collect()
+    }
+
+    /// Dual simulation (2) of the paper: solving (X1) against Fig. 1(a)
+    /// keeps exactly the two bold subgraphs.
+    #[test]
+    fn x1_against_fig1_reproduces_simulation_2() {
+        let db = fig1_db();
+        let q = parse("{ ?director directed ?movie . ?director worked_with ?coworker }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(&db, soi, &SolverConfig::default());
+        assert!(!sol.is_certainly_empty());
+        let mut directors = names(&db, &sol.var_solution(soi, "director"));
+        directors.sort();
+        assert_eq!(directors, vec!["B. De Palma", "G. Hamilton"]);
+        let mut movies = names(&db, &sol.var_solution(soi, "movie"));
+        movies.sort();
+        assert_eq!(movies, vec!["Goldfinger", "Mission: Impossible"]);
+        let mut coworkers = names(&db, &sol.var_solution(soi, "coworker"));
+        coworkers.sort();
+        assert_eq!(coworkers, vec!["D. Koepp", "H. Saltzman"]);
+    }
+
+    /// The Fig. 4 example (adapted from Ma et al.): the largest dual
+    /// simulation of P = {(v,knows,w),(w,knows,v)} in K contains p4 for v
+    /// even though p4 belongs to no homomorphic match.
+    #[test]
+    fn fig4_p4_is_not_discriminated() {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("p1", "knows", "p2").unwrap();
+        b.add_triple("p2", "knows", "p1").unwrap();
+        b.add_triple("p3", "knows", "p2").unwrap();
+        b.add_triple("p2", "knows", "p3").unwrap();
+        b.add_triple("p3", "knows", "p4").unwrap();
+        b.add_triple("p4", "knows", "p1").unwrap();
+        let db = b.finish();
+        let q = parse("{ ?v knows ?w . ?w knows ?v }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(&db, soi, &SolverConfig::default());
+        let v = sol.var_solution(soi, "v");
+        assert!(v.get(db.node_id("p4").unwrap() as usize));
+        assert_eq!(v.count_ones(), 4, "all four nodes dual-simulate v");
+    }
+
+    #[test]
+    fn unsatisfiable_query_empties_everything_with_early_exit() {
+        let db = fig1_db();
+        // `awarded` sources are movies; movies are never born anywhere.
+        let q = parse("{ ?m awarded ?a . ?m born_in ?p }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(&db, soi, &SolverConfig::default());
+        assert!(sol.is_certainly_empty());
+        assert!(sol.chi.iter().all(|c| c.none_set()));
+    }
+
+    #[test]
+    fn disconnected_components_survive_without_early_exit() {
+        let db = fig1_db();
+        let q = parse("{ ?m awarded ?a . ?m born_in ?p . ?x genre ?g }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let cfg = SolverConfig {
+            early_exit: false,
+            ..SolverConfig::default()
+        };
+        let sol = solve(&db, soi, &cfg);
+        assert!(sol.stats.emptied_mandatory);
+        // The satisfiable genre-component keeps its candidates in the
+        // largest solution even though the query as a whole has no match.
+        assert!(sol.var_solution(soi, "x").any_set());
+        assert!(sol.var_solution(soi, "m").none_set());
+    }
+
+    #[test]
+    fn unknown_predicate_empties_incident_variables() {
+        let db = fig1_db();
+        let q = parse("{ ?x no_such_predicate ?y }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(&db, soi, &SolverConfig::default());
+        assert!(sol.is_certainly_empty());
+    }
+
+    #[test]
+    fn constants_restrict_solutions() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed <Mission: Impossible> }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(&db, soi, &SolverConfig::default());
+        assert_eq!(names(&db, &sol.var_solution(soi, "d")), vec!["B. De Palma"]);
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let db = fig1_db();
+        let queries = [
+            "{ ?d directed ?m . ?d worked_with ?c }",
+            "{ ?d directed ?m . ?m awarded ?prize . ?d born_in ?city }",
+            "{ ?a directed ?m . ?m sequel_of ?m2 . ?b directed ?m2 }",
+        ];
+        for text in queries {
+            let q = parse(text).unwrap();
+            let soi = &build_sois(&db, &q)[0];
+            let mut solutions = Vec::new();
+            for strategy in [
+                EvalStrategy::RowWise,
+                EvalStrategy::ColumnWise,
+                EvalStrategy::Adaptive,
+            ] {
+                for ordering in [IneqOrdering::QueryOrder, IneqOrdering::SparsityFirst] {
+                    for init in [InitMode::AllOnes, InitMode::Summaries] {
+                        let cfg = SolverConfig {
+                            strategy,
+                            ordering,
+                            init,
+                            early_exit: false,
+                        };
+                        solutions.push(solve(&db, soi, &cfg).chi);
+                    }
+                }
+            }
+            for s in &solutions[1..] {
+                assert_eq!(s, &solutions[0], "strategies disagree on {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_init_starts_tighter_than_all_ones() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed ?m . ?d worked_with ?c }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let ones = solve(
+            &db,
+            soi,
+            &SolverConfig {
+                init: InitMode::AllOnes,
+                ..SolverConfig::default()
+            },
+        );
+        let summ = solve(&db, soi, &SolverConfig::default());
+        assert!(summ.stats.initial_candidates < ones.stats.initial_candidates);
+        assert_eq!(summ.stats.final_candidates, ones.stats.final_candidates);
+    }
+
+    #[test]
+    fn optional_subset_inequality_is_enforced() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed ?m OPTIONAL { ?d worked_with ?c } }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(&db, soi, &SolverConfig::default());
+        // The mandatory director solution contains T. Young (directed),
+        // and the optional surrogate is a subset of it.
+        let d = soi.vars_for("d")[0];
+        let surrogate = (0..soi.vars.len())
+            .find(|&i| i != d && soi.vars[i].origin.as_deref() == Some("d"))
+            .expect("renamed optional occurrence of d");
+        assert!(sol.chi[surrogate].is_subset_of(&sol.chi[d]));
+        assert!(sol.var_solution(soi, "d").count_ones() >= 4);
+    }
+
+    #[test]
+    fn stats_reflect_the_chosen_strategy() {
+        let db = fig1_db();
+        let q = parse("{ ?d directed ?m . ?d worked_with ?c }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let row = solve(
+            &db,
+            soi,
+            &SolverConfig {
+                strategy: EvalStrategy::RowWise,
+                ..SolverConfig::default()
+            },
+        );
+        assert!(row.stats.rowwise > 0);
+        assert_eq!(row.stats.colwise, 0);
+        let col = solve(
+            &db,
+            soi,
+            &SolverConfig {
+                strategy: EvalStrategy::ColumnWise,
+                ..SolverConfig::default()
+            },
+        );
+        assert!(col.stats.colwise > 0);
+        assert_eq!(col.stats.rowwise, 0);
+        // Evaluations cover at least every inequality once; updates never
+        // exceed evaluations; the fixpoint shrinks or keeps candidates.
+        for sol in [&row, &col] {
+            assert!(sol.stats.evaluations >= soi.ineqs.len());
+            assert!(sol.stats.updates <= sol.stats.evaluations);
+            assert!(sol.stats.final_candidates <= sol.stats.initial_candidates);
+            assert!(sol.stats.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn colwise_handles_self_loop_patterns() {
+        // Regression: the column-wise path on (v, a, v) needs a snapshot
+        // instead of an aliased split borrow.
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("x", "p", "x").unwrap();
+        b.add_triple("a", "p", "b").unwrap();
+        let db = b.finish();
+        let q = parse("{ ?v p ?v }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(
+            &db,
+            soi,
+            &SolverConfig {
+                strategy: EvalStrategy::ColumnWise,
+                early_exit: false,
+                ..SolverConfig::default()
+            },
+        );
+        let v = soi.vars_for("v")[0];
+        assert_eq!(sol.chi[v].to_indices(), vec![db.node_id("x").unwrap()]);
+    }
+
+    #[test]
+    fn empty_bgp_solves_trivially() {
+        let db = fig1_db();
+        let q = parse("{ }").unwrap();
+        let soi = &build_sois(&db, &q)[0];
+        let sol = solve(&db, soi, &SolverConfig::default());
+        assert!(sol.chi.is_empty());
+        assert!(!sol.is_certainly_empty());
+    }
+}

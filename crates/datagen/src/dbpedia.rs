@@ -1,0 +1,199 @@
+//! A DBpedia-shaped synthetic generator.
+//!
+//! DBpedia's relevant structural properties for dual simulation
+//! (Sect. 5.2: "In DBpedia, predicates usually have a much higher
+//! selectivity … we usually perform the computation for these queries in
+//! only a split-second"):
+//!
+//! * a large predicate alphabet with Zipf-distributed usage — most
+//!   predicates label few edges (high selectivity);
+//! * `rdf:type` as a dominant predicate over a class hierarchy;
+//! * hub entities with high in-degree;
+//! * literal-valued attribute predicates, some with shared value pools.
+
+use dualsim_graph::{GraphDb, GraphDbBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the DBpedia-style generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbpediaConfig {
+    /// Number of entity nodes.
+    pub entities: usize,
+    /// Number of relation (object-to-object) predicates.
+    pub relation_labels: usize,
+    /// Number of attribute (object-to-literal) predicates.
+    pub attribute_labels: usize,
+    /// Number of `rdf:type` classes.
+    pub classes: usize,
+    /// Average relation edges per entity.
+    pub avg_degree: f64,
+    /// RNG seed; equal configurations generate identical databases.
+    pub seed: u64,
+}
+
+impl Default for DbpediaConfig {
+    fn default() -> Self {
+        DbpediaConfig {
+            entities: 20_000,
+            relation_labels: 120,
+            attribute_labels: 30,
+            classes: 40,
+            avg_degree: 3.0,
+            seed: 11,
+        }
+    }
+}
+
+/// Samples an index in `0..weights.len()` proportionally to `weights`
+/// using a pre-computed cumulative table.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf weights `1 / (rank + 1)^s`.
+    fn new(n: usize, s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x)
+    }
+}
+
+/// Generates a DBpedia-style database.
+pub fn generate_dbpedia(cfg: &DbpediaConfig) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphDbBuilder::new();
+    let n = cfg.entities.max(1);
+    let entities: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+
+    // rdf:type over a Zipf-distributed class hierarchy.
+    let class_dist = Zipf::new(cfg.classes.max(1), 1.1);
+    for e in &entities {
+        let c = class_dist.sample(&mut rng);
+        b.add_triple(e, "rdf:type", &format!("class{c}")).unwrap();
+    }
+
+    // Relation edges with Zipf-distributed predicate usage and per-label
+    // hub targets.
+    let label_dist = Zipf::new(cfg.relation_labels.max(1), 1.0);
+    let hubs: Vec<usize> = (0..cfg.relation_labels.max(1))
+        .map(|l| (l * 131 + 17) % n)
+        .collect();
+    let n_edges = (n as f64 * cfg.avg_degree) as usize;
+    for _ in 0..n_edges {
+        let src = rng.gen_range(0..n);
+        let label = label_dist.sample(&mut rng);
+        let dst = if rng.gen_bool(0.25) {
+            hubs[label]
+        } else {
+            rng.gen_range(0..n)
+        };
+        b.add_triple(&entities[src], &format!("rel{label}"), &entities[dst])
+            .unwrap();
+    }
+
+    // Attribute edges: attr0 is a unique name; the others draw from
+    // shared value pools of Zipf-decreasing breadth.
+    let attr_dist = Zipf::new(cfg.attribute_labels.max(1), 1.0);
+    for (i, e) in entities.iter().enumerate() {
+        if rng.gen_bool(0.8) {
+            b.add_attribute(e, "attr0", &format!("label of e{i}"))
+                .unwrap();
+        }
+        let extra = rng.gen_range(0..=2);
+        for _ in 0..extra {
+            let a = attr_dist.sample(&mut rng);
+            if a == 0 {
+                continue; // attr0 stays unique
+            }
+            let pool = 10 + 1000 / (a + 1);
+            let value = format!("value{}-{}", a, rng.gen_range(0..pool));
+            b.add_attribute(e, &format!("attr{a}"), &value).unwrap();
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DbpediaConfig {
+        DbpediaConfig {
+            entities: 2000,
+            relation_labels: 40,
+            attribute_labels: 10,
+            classes: 15,
+            avg_degree: 3.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_dbpedia(&small());
+        let b = generate_dbpedia(&small());
+        assert_eq!(
+            a.triples().collect::<Vec<_>>(),
+            b.triples().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn predicate_usage_is_skewed() {
+        let db = generate_dbpedia(&small());
+        let rel0 = db.label_id("rel0").unwrap();
+        let rel_rare = db.label_id("rel39");
+        let head = db.num_label_triples(rel0);
+        let tail = rel_rare.map(|l| db.num_label_triples(l)).unwrap_or(0);
+        assert!(
+            head > 5 * tail.max(1),
+            "Zipf head {head} should dwarf tail {tail}"
+        );
+    }
+
+    #[test]
+    fn types_cover_all_entities() {
+        let db = generate_dbpedia(&small());
+        let ty = db.label_id("rdf:type").unwrap();
+        assert_eq!(db.num_label_triples(ty), 2000);
+    }
+
+    #[test]
+    fn hubs_have_high_in_degree() {
+        let db = generate_dbpedia(&small());
+        let rel0 = db.label_id("rel0").unwrap();
+        let max_in = (0..db.num_nodes() as u32)
+            .map(|v| db.in_neighbors(v, rel0).len())
+            .max()
+            .unwrap();
+        let edges = db.num_label_triples(rel0);
+        assert!(
+            max_in * 5 > edges,
+            "a hub should attract a large share: max_in={max_in}, edges={edges}"
+        );
+    }
+
+    #[test]
+    fn literals_only_in_object_position() {
+        let db = generate_dbpedia(&small());
+        for t in db.triples() {
+            assert_eq!(
+                db.node_kind(t.s),
+                dualsim_graph::NodeKind::Iri,
+                "subjects are IRIs"
+            );
+        }
+    }
+}

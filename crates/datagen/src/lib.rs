@@ -1,0 +1,34 @@
+//! Deterministic dataset generators and benchmark workloads.
+//!
+//! The paper evaluates on DBpedia 2016-10 (751 M triples) and LUBM-10000
+//! (1.38 B triples) — both out of reach for a laptop-scale reproduction,
+//! and the B/D/L query texts are only sketched (Fig. 6 shows the L0/L1
+//! cores). This crate substitutes:
+//!
+//! * [`generate_lubm`] — a faithful scaled-down LUBM generator: the
+//!   published schema (universities, departments, faculty, students,
+//!   courses, publications) with 18 predicates, low label selectivity,
+//!   and the cross-university degree/membership links that trigger the
+//!   §5.3 L1 over-approximation;
+//! * [`generate_dbpedia`] — a DBpedia-shaped generator: many predicates
+//!   with Zipf-distributed selectivity, hub nodes, class hierarchy via
+//!   `rdf:type`, and literal attributes;
+//! * [`workloads`] — the L0–L5, D0–D5 and B0–B19 benchmark queries,
+//!   written to exhibit the same per-row phenomena as the paper's tables
+//!   (empty results, cyclic low-selectivity patterns, OPTIONAL parts,
+//!   constants);
+//! * [`paper`] — the worked examples of the paper (Fig. 1, 2, 4, 5 and
+//!   queries (X1)–(X3)) as reusable fixtures.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod workloads;
+
+mod dbpedia;
+mod lubm;
+mod social;
+
+pub use dbpedia::{generate_dbpedia, DbpediaConfig};
+pub use lubm::{generate_lubm, LubmConfig, LUBM_PREDICATES};
+pub use social::{generate_social, SocialConfig};

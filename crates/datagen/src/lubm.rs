@@ -1,0 +1,348 @@
+//! A deterministic, scaled-down LUBM generator (Guo, Pan & Heflin
+//! \[15\]).
+//!
+//! The generator reproduces the structural properties the paper's LUBM
+//! experiments depend on:
+//!
+//! * a small predicate alphabet (18 predicates) spread over many edges —
+//!   the low label selectivity behind L0's 30+ solver iterations;
+//! * highly repetitive subgraphs across departments and universities —
+//!   the low diversity behind dual simulation's L1 over-approximation;
+//! * cross-university `undergraduateDegreeFrom` links (only a minority of
+//!   graduate students got their degree from their current university) —
+//!   the exact trigger of the §5.3 counterexample.
+//!
+//! Entity names are hierarchical (`uni3/dept2/grad5`); class objects use
+//! the `ub:` prefix (`ub:Publication`), matching the workload queries.
+
+use dualsim_graph::{GraphDb, GraphDbBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the LUBM generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LubmConfig {
+    /// Number of universities (the LUBM scale factor).
+    pub universities: usize,
+    /// RNG seed; equal configurations generate identical databases.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 5,
+            seed: 7,
+        }
+    }
+}
+
+/// All 18 LUBM predicates emitted by the generator.
+pub const LUBM_PREDICATES: [&str; 18] = [
+    "rdf:type",
+    "ub:subOrganizationOf",
+    "ub:memberOf",
+    "ub:worksFor",
+    "ub:headOf",
+    "ub:advisor",
+    "ub:teacherOf",
+    "ub:takesCourse",
+    "ub:teachingAssistantOf",
+    "ub:publicationAuthor",
+    "ub:undergraduateDegreeFrom",
+    "ub:mastersDegreeFrom",
+    "ub:doctoralDegreeFrom",
+    "ub:name",
+    "ub:emailAddress",
+    "ub:telephone",
+    "ub:researchInterest",
+    "ub:title",
+];
+
+/// Generates a LUBM-style database.
+pub fn generate_lubm(cfg: &LubmConfig) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphDbBuilder::new();
+    let n_uni = cfg.universities.max(1);
+    let unis: Vec<String> = (0..n_uni).map(|u| format!("uni{u}")).collect();
+    for uni in &unis {
+        b.add_triple(uni, "rdf:type", "ub:University").unwrap();
+    }
+    // All graduate students generated so far, for cross-department
+    // stray co-authorships, and all courses, for cross-department
+    // enrollment (which is what makes the L0/L2 cycles selective: a
+    // student taking a course outside their department breaks the
+    // teacher-works-for-the-same-department cycle and must be eroded by
+    // the solver, iteration by iteration).
+    let mut all_grads: Vec<String> = Vec::new();
+    let mut all_courses: Vec<String> = Vec::new();
+
+    for (u, uni) in unis.iter().enumerate() {
+        let n_dept = rng.gen_range(3..=6);
+        for d in 0..n_dept {
+            let dept = format!("{uni}/dept{d}");
+            b.add_triple(&dept, "rdf:type", "ub:Department").unwrap();
+            b.add_triple(&dept, "ub:subOrganizationOf", uni).unwrap();
+
+            // ---- Faculty ----
+            let mut faculty: Vec<String> = Vec::new();
+            let mut professors: Vec<String> = Vec::new();
+            let groups: [(&str, usize); 4] = [
+                ("ub:FullProfessor", rng.gen_range(2..=4)),
+                ("ub:AssociateProfessor", rng.gen_range(3..=5)),
+                ("ub:AssistantProfessor", rng.gen_range(3..=5)),
+                ("ub:Lecturer", rng.gen_range(1..=3)),
+            ];
+            for (class, count) in groups {
+                for i in 0..count {
+                    let short = class.trim_start_matches("ub:").to_lowercase();
+                    let name = format!("{dept}/{short}{i}");
+                    b.add_triple(&name, "rdf:type", class).unwrap();
+                    b.add_triple(&name, "ub:worksFor", &dept).unwrap();
+                    // Degrees point at random universities: the
+                    // cross-university links of real LUBM.
+                    for degree in [
+                        "ub:undergraduateDegreeFrom",
+                        "ub:mastersDegreeFrom",
+                        "ub:doctoralDegreeFrom",
+                    ] {
+                        let target = &unis[rng.gen_range(0..n_uni)];
+                        b.add_triple(&name, degree, target).unwrap();
+                    }
+                    b.add_attribute(&name, "ub:name", &format!("Name of {name}"))
+                        .unwrap();
+                    b.add_attribute(&name, "ub:emailAddress", &format!("{name}@{uni}.edu"))
+                        .unwrap();
+                    b.add_attribute(&name, "ub:telephone", &format!("+1-555-{u:03}-{d}{i:02}"))
+                        .unwrap();
+                    let interest = format!("research{}", rng.gen_range(0..20));
+                    b.add_attribute(&name, "ub:researchInterest", &interest)
+                        .unwrap();
+                    if class != "ub:Lecturer" {
+                        professors.push(name.clone());
+                    }
+                    faculty.push(name);
+                }
+            }
+            // The first full professor heads the department.
+            b.add_triple(&faculty[0], "ub:headOf", &dept).unwrap();
+
+            // ---- Courses ----
+            let mut courses: Vec<String> = Vec::new();
+            let mut grad_courses: Vec<String> = Vec::new();
+            let n_courses = faculty.len() + rng.gen_range(2..=6);
+            for c in 0..n_courses {
+                let graduate = rng.gen_bool(0.3);
+                let (name, class) = if graduate {
+                    (format!("{dept}/gradcourse{c}"), "ub:GraduateCourse")
+                } else {
+                    (format!("{dept}/course{c}"), "ub:Course")
+                };
+                b.add_triple(&name, "rdf:type", class).unwrap();
+                let teacher = &faculty[rng.gen_range(0..faculty.len())];
+                b.add_triple(teacher, "ub:teacherOf", &name).unwrap();
+                b.add_attribute(&name, "ub:title", &format!("Title of {name}"))
+                    .unwrap();
+                if graduate {
+                    grad_courses.push(name.clone());
+                }
+                courses.push(name);
+            }
+
+            // ---- Undergraduate students ----
+            let n_ug = faculty.len() * 4;
+            for s in 0..n_ug {
+                let name = format!("{dept}/ug{s}");
+                b.add_triple(&name, "rdf:type", "ub:UndergraduateStudent")
+                    .unwrap();
+                b.add_triple(&name, "ub:memberOf", &dept).unwrap();
+                for _ in 0..rng.gen_range(2..=4) {
+                    // ~15% cross-department enrollment (real LUBM lets
+                    // students take courses anywhere in the university).
+                    let course = if !all_courses.is_empty() && rng.gen_bool(0.15) {
+                        &all_courses[rng.gen_range(0..all_courses.len())]
+                    } else {
+                        &courses[rng.gen_range(0..courses.len())]
+                    };
+                    b.add_triple(&name, "ub:takesCourse", course).unwrap();
+                }
+                if rng.gen_bool(0.3) {
+                    let advisor = &professors[rng.gen_range(0..professors.len())];
+                    b.add_triple(&name, "ub:advisor", advisor).unwrap();
+                }
+                b.add_attribute(&name, "ub:name", &format!("Name of {name}"))
+                    .unwrap();
+            }
+
+            // ---- Graduate students ----
+            let n_grad = faculty.len();
+            let mut dept_grads: Vec<String> = Vec::new();
+            for s in 0..n_grad {
+                let name = format!("{dept}/grad{s}");
+                b.add_triple(&name, "rdf:type", "ub:GraduateStudent")
+                    .unwrap();
+                b.add_triple(&name, "ub:memberOf", &dept).unwrap();
+                let advisor = &professors[rng.gen_range(0..professors.len())];
+                b.add_triple(&name, "ub:advisor", advisor).unwrap();
+                let takes = rng.gen_range(1..=3);
+                for _ in 0..takes {
+                    let course = if !all_courses.is_empty() && rng.gen_bool(0.15) {
+                        &all_courses[rng.gen_range(0..all_courses.len())]
+                    } else if grad_courses.is_empty() {
+                        &courses[rng.gen_range(0..courses.len())]
+                    } else {
+                        &grad_courses[rng.gen_range(0..grad_courses.len())]
+                    };
+                    b.add_triple(&name, "ub:takesCourse", course).unwrap();
+                }
+                // 20% got their undergraduate degree here, 80% elsewhere —
+                // the minority is what makes L1's joins selective while
+                // dual simulation still connects the majority's subgraphs.
+                let degree_uni = if rng.gen_bool(0.2) {
+                    uni.clone()
+                } else {
+                    unis[rng.gen_range(0..n_uni)].clone()
+                };
+                b.add_triple(&name, "ub:undergraduateDegreeFrom", &degree_uni)
+                    .unwrap();
+                if rng.gen_bool(0.25) {
+                    let course = &courses[rng.gen_range(0..courses.len())];
+                    b.add_triple(&name, "ub:teachingAssistantOf", course)
+                        .unwrap();
+                }
+                b.add_attribute(&name, "ub:name", &format!("Name of {name}"))
+                    .unwrap();
+                dept_grads.push(name);
+            }
+
+            // ---- Publications ----
+            for (p, prof) in professors.iter().enumerate() {
+                for k in 0..rng.gen_range(1..=4) {
+                    let name = format!("{dept}/pub{p}-{k}");
+                    b.add_triple(&name, "rdf:type", "ub:Publication").unwrap();
+                    b.add_triple(&name, "ub:publicationAuthor", prof).unwrap();
+                    for _ in 0..rng.gen_range(0..=2) {
+                        let grad = &dept_grads[rng.gen_range(0..dept_grads.len())];
+                        b.add_triple(&name, "ub:publicationAuthor", grad).unwrap();
+                    }
+                    // Occasional stray co-author from elsewhere: the
+                    // "third author" of the §5.3 counterexample.
+                    if !all_grads.is_empty() && rng.gen_bool(0.1) {
+                        let stray = &all_grads[rng.gen_range(0..all_grads.len())];
+                        b.add_triple(&name, "ub:publicationAuthor", stray).unwrap();
+                    }
+                }
+            }
+            all_grads.extend(dept_grads);
+            all_courses.extend(courses);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = LubmConfig::default();
+        let a = generate_lubm(&cfg);
+        let b = generate_lubm(&cfg);
+        assert_eq!(a.num_triples(), b.num_triples());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        let ta: Vec<_> = a.triples().collect();
+        let tb: Vec<_> = b.triples().collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_lubm(&LubmConfig {
+            universities: 3,
+            seed: 1,
+        });
+        let b = generate_lubm(&LubmConfig {
+            universities: 3,
+            seed: 2,
+        });
+        assert_ne!(
+            a.triples().collect::<Vec<_>>(),
+            b.triples().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn exactly_the_lubm_alphabet_is_used() {
+        let db = generate_lubm(&LubmConfig::default());
+        assert_eq!(db.num_labels(), 18);
+        for p in LUBM_PREDICATES {
+            assert!(db.label_id(p).is_some(), "predicate {p} missing");
+        }
+    }
+
+    #[test]
+    fn scale_grows_with_universities() {
+        let small = generate_lubm(&LubmConfig {
+            universities: 2,
+            seed: 7,
+        });
+        let large = generate_lubm(&LubmConfig {
+            universities: 8,
+            seed: 7,
+        });
+        assert!(large.num_triples() > 3 * small.num_triples());
+    }
+
+    #[test]
+    fn schema_relations_hold() {
+        let db = generate_lubm(&LubmConfig {
+            universities: 3,
+            seed: 7,
+        });
+        let sub = db.label_id("ub:subOrganizationOf").unwrap();
+        let ty = db.label_id("rdf:type").unwrap();
+        let uni_class = db.node_id("ub:University").unwrap();
+        // Every subOrganizationOf target is a typed university.
+        for (_, target) in db.label_pairs(sub) {
+            assert!(db.out_neighbors(target, ty).contains(&uni_class));
+        }
+        // Publications have at least one author.
+        let pub_class = db.node_id("ub:Publication").unwrap();
+        let author = db.label_id("ub:publicationAuthor").unwrap();
+        for (publication, class) in db.label_pairs(ty) {
+            if class == pub_class {
+                assert!(!db.out_neighbors(publication, author).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn cross_university_degrees_exist() {
+        let db = generate_lubm(&LubmConfig {
+            universities: 4,
+            seed: 7,
+        });
+        let deg = db.label_id("ub:undergraduateDegreeFrom").unwrap();
+        let member = db.label_id("ub:memberOf").unwrap();
+        let sub = db.label_id("ub:subOrganizationOf").unwrap();
+        let mut same = 0usize;
+        let mut cross = 0usize;
+        for (student, degree_uni) in db.label_pairs(deg) {
+            // Only graduate students are members of a department.
+            let Some(&dept) = db.out_neighbors(student, member).first() else {
+                continue;
+            };
+            let Some(&own_uni) = db.out_neighbors(dept, sub).first() else {
+                continue;
+            };
+            if own_uni == degree_uni {
+                same += 1;
+            } else {
+                cross += 1;
+            }
+        }
+        assert!(same > 0, "some students stay at their university");
+        assert!(cross > same, "most degrees are from elsewhere");
+    }
+}

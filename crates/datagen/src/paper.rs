@@ -1,0 +1,155 @@
+//! The worked examples of the paper as reusable fixtures.
+//!
+//! Single source of truth for the Fig. 1(a) movie database, the Fig. 2
+//! patterns, the Fig. 4 graphs (adapted from Ma et al.), the Fig. 5
+//! database of the (X3) discussion, and queries (X1)–(X3).
+
+use dualsim_graph::{GraphDb, GraphDbBuilder};
+use dualsim_query::{parse, Query};
+
+/// The example graph database of Fig. 1(a).
+///
+/// Edge directions follow the paper's narrative: only B. De Palma and
+/// G. Hamilton carry both an outgoing `directed` and an outgoing
+/// `worked_with` edge, so the largest dual simulation of (X1) is exactly
+/// relation (2) of Sect. 2 and the result set of (X1) consists of the two
+/// bold subgraphs.
+pub fn fig1_db() -> GraphDb {
+    let mut b = GraphDbBuilder::new();
+    b.add_triple("B. De Palma", "directed", "Mission: Impossible")
+        .unwrap();
+    b.add_triple("B. De Palma", "worked_with", "D. Koepp")
+        .unwrap();
+    b.add_triple("B. De Palma", "born_in", "Newark").unwrap();
+    b.add_triple("Mission: Impossible", "awarded", "Oscar")
+        .unwrap();
+    b.add_triple("Mission: Impossible", "genre", "Action")
+        .unwrap();
+    b.add_triple("Goldfinger", "genre", "Action").unwrap();
+    b.add_triple("G. Hamilton", "directed", "Goldfinger")
+        .unwrap();
+    b.add_triple("G. Hamilton", "born_in", "Paris").unwrap();
+    b.add_triple("G. Hamilton", "worked_with", "H. Saltzman")
+        .unwrap();
+    b.add_triple("Thunderball", "sequel_of", "Goldfinger")
+        .unwrap();
+    b.add_triple("From Russia with Love", "prequel_of", "Goldfinger")
+        .unwrap();
+    b.add_triple("Thunderball", "awarded", "BAFTA Awards")
+        .unwrap();
+    b.add_triple("H. Saltzman", "born_in", "Saint John")
+        .unwrap();
+    b.add_triple("T. Young", "directed", "From Russia with Love")
+        .unwrap();
+    b.add_triple("T. Young", "directed", "Thunderball").unwrap();
+    b.add_triple("P.R. Hunt", "worked_with", "T. Young")
+        .unwrap();
+    b.add_triple("D. Koepp", "directed", "Mortdecai").unwrap();
+    b.add_attribute("Newark", "population", "277140").unwrap();
+    b.add_attribute("Paris", "population", "2220445").unwrap();
+    b.add_attribute("Saint John", "population", "70063")
+        .unwrap();
+    b.finish()
+}
+
+/// Query (X1): directors with a movie and a coworker.
+pub fn query_x1() -> Query {
+    parse("SELECT * WHERE { ?director directed ?movie . ?director worked_with ?coworker . }")
+        .expect("(X1) is valid")
+}
+
+/// Query (X2): (X1) with the coworker requirement optional.
+pub fn query_x2() -> Query {
+    parse(
+        "SELECT * WHERE { ?director directed ?movie . \
+         OPTIONAL { ?director worked_with ?coworker . } }",
+    )
+    .expect("(X2) is valid")
+}
+
+/// The graph pattern of Fig. 2(a): two directors born in the same place.
+pub fn fig2a_pattern() -> Query {
+    parse(
+        "{ ?director1 born_in ?place . ?director2 born_in ?place . \
+           ?director1 worked_with ?coworker . ?director2 directed ?movie }",
+    )
+    .expect("Fig. 2(a) is valid")
+}
+
+/// The graph pattern of Fig. 2(b): one director with a birthplace,
+/// coworker and movie.
+pub fn fig2b_pattern() -> Query {
+    parse(
+        "{ ?director born_in ?place . ?director worked_with ?coworker . \
+           ?director directed ?movie }",
+    )
+    .expect("Fig. 2(b) is valid")
+}
+
+/// The graph database K of Fig. 4(b) (example adapted from Ma et al.):
+/// two `knows`-2-cycles p1↔p2 and p2↔p3 plus the chord p3→p4→p1.
+pub fn fig4_db() -> GraphDb {
+    let mut b = GraphDbBuilder::new();
+    b.add_triple("p1", "knows", "p2").unwrap();
+    b.add_triple("p2", "knows", "p1").unwrap();
+    b.add_triple("p2", "knows", "p3").unwrap();
+    b.add_triple("p3", "knows", "p2").unwrap();
+    b.add_triple("p3", "knows", "p4").unwrap();
+    b.add_triple("p4", "knows", "p1").unwrap();
+    b.finish()
+}
+
+/// The pattern P of Fig. 4(a): v and w know each other.
+pub fn fig4_pattern() -> Query {
+    parse("{ ?v knows ?w . ?w knows ?v }").expect("Fig. 4(a) is valid")
+}
+
+/// The graph database of Fig. 5(a).
+pub fn fig5_db() -> GraphDb {
+    let mut b = GraphDbBuilder::new();
+    b.add_triple("1", "a", "2").unwrap();
+    b.add_triple("1", "a", "3").unwrap();
+    b.add_triple("4", "b", "2").unwrap();
+    b.add_triple("4", "c", "5").unwrap();
+    b.add_triple("5", "d", "6").unwrap();
+    b.finish()
+}
+
+/// Query (X3), the canonical non-well-designed pattern:
+/// `({(v1,a,v2)} OPTIONAL {(v3,b,v2)}) AND {(v3,c,v4)}`.
+pub fn query_x3() -> Query {
+    parse("{ { ?v1 a ?v2 OPTIONAL { ?v3 b ?v2 } } { ?v3 c ?v4 } }").expect("(X3) is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_the_paper_counts() {
+        let db = fig1_db();
+        assert_eq!(db.num_triples(), 20);
+        assert_eq!(db.num_labels(), 8);
+    }
+
+    #[test]
+    fn x3_is_not_well_designed() {
+        assert!(!query_x3().is_well_designed());
+        assert!(query_x1().is_well_designed());
+        assert!(query_x2().is_well_designed());
+    }
+
+    #[test]
+    fn fig4_is_the_ma_counterexample_shape() {
+        let db = fig4_db();
+        assert_eq!(db.num_triples(), 6);
+        assert_eq!(db.num_labels(), 1);
+    }
+
+    #[test]
+    fn patterns_parse_to_bgps() {
+        assert_eq!(fig2a_pattern().num_triple_patterns(), 4);
+        assert_eq!(fig2b_pattern().num_triple_patterns(), 3);
+        assert_eq!(fig4_pattern().num_triple_patterns(), 2);
+    }
+}

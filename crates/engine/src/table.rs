@@ -1,0 +1,150 @@
+//! Result-set representation: partial mappings `μ : vars(Q) → O_DB`.
+
+use dualsim_graph::{GraphDb, NodeId};
+use std::collections::HashMap;
+
+/// One match: for every query variable either a bound node or `None`
+/// (unbound — possible only for variables from optional patterns).
+/// Indexed by the positions of a [`VarTable`].
+pub type Row = Vec<Option<NodeId>>;
+
+/// The query's variable universe in canonical (sorted) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarTable {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl VarTable {
+    /// Builds a table from the canonical sorted variable list.
+    pub fn new(names: Vec<String>) -> Self {
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        VarTable { names, index }
+    }
+
+    /// Position of variable `name`.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// All variable names in canonical order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff the query has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A set of matches (`⟦Q⟧_DB` under set semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultSet {
+    /// Variable universe.
+    pub vars: VarTable,
+    /// Deduplicated, sorted rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Builds a result set, normalizing (sorting and deduplicating) the
+    /// rows so two result sets are equal iff they denote the same set of
+    /// mappings.
+    pub fn new(vars: VarTable, mut rows: Vec<Row>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        ResultSet { vars, rows }
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff there are no matches.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The binding of `var` in row `row`, if bound.
+    pub fn binding(&self, row: usize, var: &str) -> Option<NodeId> {
+        let pos = self.vars.position(var)?;
+        self.rows[row][pos]
+    }
+
+    /// Renders every row as `var=name` pairs — for tests and examples.
+    pub fn to_named_rows(&self, db: &GraphDb) -> Vec<Vec<(String, String)>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        b.map(|node| (self.vars.names()[i].clone(), db.node_name(node).to_owned()))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// `true` iff some row binds exactly the given `var=name` pairs (and
+    /// nothing else) — a convenience for assertions against the paper's
+    /// worked examples.
+    pub fn contains_named(&self, db: &GraphDb, bindings: &[(&str, &str)]) -> bool {
+        let expect: Option<Row> = (|| {
+            let mut row: Row = vec![None; self.vars.len()];
+            for (var, name) in bindings {
+                let pos = self.vars.position(var)?;
+                row[pos] = Some(db.node_id(name)?);
+            }
+            Some(row)
+        })();
+        match expect {
+            Some(row) => self.rows.binary_search(&row).is_ok(),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_table_positions() {
+        let vt = VarTable::new(vec!["a".into(), "b".into()]);
+        assert_eq!(vt.position("a"), Some(0));
+        assert_eq!(vt.position("b"), Some(1));
+        assert_eq!(vt.position("c"), None);
+        assert_eq!(vt.len(), 2);
+    }
+
+    #[test]
+    fn result_sets_normalize_rows() {
+        let vt = VarTable::new(vec!["x".into()]);
+        let a = ResultSet::new(
+            vt.clone(),
+            vec![vec![Some(2)], vec![Some(1)], vec![Some(2)]],
+        );
+        let b = ResultSet::new(vt, vec![vec![Some(1)], vec![Some(2)]]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_set() {
+        let vt = VarTable::new(vec![]);
+        let r = ResultSet::new(vt, vec![]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the graph substrate: adjacency-map duality,
+//! N-Triples round trips, and pruning-view invariants.
+
+use crate::{parse_ntriples, write_ntriples, GraphDb, GraphDbBuilder, Triple};
+use proptest::prelude::*;
+
+fn arb_db() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec((0u8..15, 0u8..4, 0u8..15), 0..60).prop_map(|triples| {
+        let mut b = GraphDbBuilder::new();
+        for (s, p, o) in triples {
+            b.add_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"))
+                .unwrap();
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    /// Forward and backward adjacency maps are transposes of each other:
+    /// `w ∈ F^a(v) ⟺ v ∈ B^a(w)`.
+    #[test]
+    fn adjacency_maps_are_dual(db in arb_db()) {
+        for t in db.triples() {
+            prop_assert!(db.out_neighbors(t.s, t.p).contains(&t.o));
+            prop_assert!(db.in_neighbors(t.o, t.p).contains(&t.s));
+            prop_assert!(db.contains_triple(t));
+        }
+        for label in 0..db.num_labels() as u32 {
+            let fwd: usize = (0..db.num_nodes() as u32)
+                .map(|v| db.out_neighbors(v, label).len())
+                .sum();
+            let bwd: usize = (0..db.num_nodes() as u32)
+                .map(|v| db.in_neighbors(v, label).len())
+                .sum();
+            prop_assert_eq!(fwd, bwd);
+            prop_assert_eq!(fwd, db.num_label_triples(label));
+        }
+    }
+
+    /// Summary vectors mark exactly the nodes with incident edges.
+    #[test]
+    fn summaries_match_adjacency(db in arb_db()) {
+        for label in 0..db.num_labels() as u32 {
+            for v in 0..db.num_nodes() {
+                prop_assert_eq!(
+                    db.f_summary(label).get(v),
+                    !db.out_neighbors(v as u32, label).is_empty()
+                );
+                prop_assert_eq!(
+                    db.b_summary(label).get(v),
+                    !db.in_neighbors(v as u32, label).is_empty()
+                );
+            }
+        }
+    }
+
+    /// Serializing and re-parsing preserves the triple multiset at the
+    /// name level.
+    #[test]
+    fn ntriples_round_trip(db in arb_db()) {
+        let text = write_ntriples(&db);
+        let db2 = parse_ntriples(&text).unwrap();
+        prop_assert_eq!(db.num_triples(), db2.num_triples());
+        let names = |db: &GraphDb| {
+            let mut v: Vec<(String, String, String)> = db
+                .triples()
+                .map(|t| (
+                    db.node_name(t.s).to_owned(),
+                    db.label_name(t.p).to_owned(),
+                    db.node_name(t.o).to_owned(),
+                ))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(names(&db), names(&db2));
+    }
+
+    /// `with_triples` behaves as a filter: the derived database contains
+    /// exactly the requested subset, over the same vocabulary.
+    #[test]
+    fn with_triples_is_a_filter(db in arb_db(), keep_mask in proptest::collection::vec(any::<bool>(), 60)) {
+        let all: Vec<Triple> = db.triples().collect();
+        let kept: Vec<Triple> = all
+            .iter()
+            .zip(keep_mask.iter().cycle())
+            .filter_map(|(t, &keep)| keep.then_some(*t))
+            .collect();
+        let derived = db.with_triples(&kept);
+        prop_assert_eq!(derived.num_triples(), kept.len());
+        prop_assert_eq!(derived.num_nodes(), db.num_nodes());
+        for t in &kept {
+            prop_assert!(derived.contains_triple(*t));
+        }
+        for t in &all {
+            if !kept.contains(t) {
+                prop_assert!(!derived.contains_triple(*t));
+            }
+        }
+    }
+
+    /// Memory accounting is consistent and grows with edges.
+    #[test]
+    fn memory_footprint_is_additive(db in arb_db()) {
+        let total: usize = (0..db.num_labels() as u32)
+            .map(|l| db.label_memory(l))
+            .sum();
+        prop_assert_eq!(db.memory_footprint(), total);
+    }
+}

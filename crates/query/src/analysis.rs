@@ -1,0 +1,244 @@
+//! Structural query analysis: shape classification and complexity
+//! statistics.
+//!
+//! The paper's evaluation narrative constantly refers to query *shapes* —
+//! "the cyclic shape of the queries and the low selectivity of the
+//! predicates … explains the long runtime" (§5.2), star-shaped DBpedia
+//! benchmark queries, chains, and so on. This module makes those notions
+//! first-class so workloads and experiment reports can state them
+//! mechanically.
+
+use crate::{Query, Term};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The shape of a query's mandatory-core pattern graph (viewed as an
+/// undirected multigraph over its terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// No triple patterns at all.
+    Empty,
+    /// Connected, every node on at most two edges, acyclic — includes the
+    /// single-pattern case.
+    Chain,
+    /// Connected, one hub node incident to every edge (at least two).
+    Star,
+    /// Connected, every node on exactly two edges, as many edges as
+    /// nodes — the L0 triangle is the canonical example.
+    Cycle,
+    /// Connected and acyclic but neither chain nor star.
+    Tree,
+    /// Everything else: disconnected, or cyclic beyond a pure cycle.
+    Complex,
+}
+
+/// Structural statistics of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Triple patterns over the whole query (all operators).
+    pub triple_patterns: usize,
+    /// Distinct variables.
+    pub variables: usize,
+    /// Distinct constants (IRIs and literals).
+    pub constants: usize,
+    /// Maximum `OPTIONAL` nesting depth (0 = no optional parts).
+    pub optional_depth: usize,
+    /// Number of union-free branches the union normal form produces.
+    pub union_branches: usize,
+    /// Shape of the mandatory core.
+    pub shape: Shape,
+    /// Whether the query is well designed (Pérez et al.).
+    pub well_designed: bool,
+}
+
+/// Computes [`QueryStats`] for a query.
+pub fn analyze(query: &Query) -> QueryStats {
+    let vars = query.vars();
+    let mut constants: BTreeSet<&Term> = BTreeSet::new();
+    collect_constants(query, &mut constants);
+    QueryStats {
+        triple_patterns: query.num_triple_patterns(),
+        variables: vars.len(),
+        constants: constants.len(),
+        optional_depth: optional_depth(query),
+        union_branches: union_branches(query),
+        shape: shape_of_core(query),
+        well_designed: query.is_well_designed(),
+    }
+}
+
+fn collect_constants<'q>(q: &'q Query, out: &mut BTreeSet<&'q Term>) {
+    match q {
+        Query::Bgp(tps) => {
+            for t in tps {
+                if t.s.is_constant() {
+                    out.insert(&t.s);
+                }
+                if t.o.is_constant() {
+                    out.insert(&t.o);
+                }
+            }
+        }
+        Query::And(a, b) | Query::Optional(a, b) | Query::Union(a, b) => {
+            collect_constants(a, out);
+            collect_constants(b, out);
+        }
+    }
+}
+
+fn optional_depth(q: &Query) -> usize {
+    match q {
+        Query::Bgp(_) => 0,
+        Query::And(a, b) | Query::Union(a, b) => optional_depth(a).max(optional_depth(b)),
+        Query::Optional(a, b) => optional_depth(a).max(optional_depth(b) + 1),
+    }
+}
+
+fn union_branches(q: &Query) -> usize {
+    match q {
+        Query::Bgp(_) => 1,
+        Query::And(a, b) | Query::Optional(a, b) => union_branches(a) * union_branches(b),
+        Query::Union(a, b) => union_branches(a) + union_branches(b),
+    }
+}
+
+/// Classifies the mandatory core's undirected multigraph shape.
+pub fn shape_of_core(query: &Query) -> Shape {
+    let core = query.mandatory_core();
+    if core.is_empty() {
+        return Shape::Empty;
+    }
+    // Index the terms.
+    let mut ids: BTreeMap<&Term, usize> = BTreeMap::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for tp in &core {
+        let n = ids.len();
+        let s = *ids.entry(&tp.s).or_insert(n);
+        let n = ids.len();
+        let o = *ids.entry(&tp.o).or_insert(n);
+        edges.push((s, o));
+    }
+    let n = ids.len();
+    let m = edges.len();
+    let mut degree = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(s, o) in &edges {
+        degree[s] += 1;
+        adj[s].push(o);
+        if s != o {
+            degree[o] += 1;
+            adj[o].push(s);
+        }
+    }
+    // Connectivity.
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([0usize]);
+    seen[0] = true;
+    let mut reached = 1usize;
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                reached += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    if reached < n {
+        return Shape::Complex;
+    }
+    let acyclic = m == n - 1;
+    let pure_cycle = m == n && degree.iter().all(|&d| d == 2);
+    if pure_cycle {
+        return Shape::Cycle;
+    }
+    if acyclic {
+        if degree.iter().all(|&d| d <= 2) {
+            return Shape::Chain;
+        }
+        if m >= 2 && degree.contains(&m) {
+            return Shape::Star;
+        }
+        return Shape::Tree;
+    }
+    Shape::Complex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, tp};
+
+    fn shape(text: &str) -> Shape {
+        shape_of_core(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn shapes_are_classified() {
+        assert_eq!(shape("{ }"), Shape::Empty);
+        assert_eq!(shape("{ ?a p ?b }"), Shape::Chain);
+        assert_eq!(shape("{ ?a p ?b . ?b q ?c }"), Shape::Chain);
+        assert_eq!(shape("{ ?a p ?b . ?a q ?c . ?a r ?d }"), Shape::Star);
+        assert_eq!(
+            shape("{ ?a p ?b . ?b q ?c . ?c r ?a }"),
+            Shape::Cycle,
+            "the L0 triangle"
+        );
+        assert_eq!(
+            shape("{ ?a p ?b . ?b q ?c . ?b q2 ?d . ?d r ?e }"),
+            Shape::Tree
+        );
+        assert_eq!(
+            shape("{ ?a p ?b . ?c q ?d }"),
+            Shape::Complex,
+            "disconnected"
+        );
+        assert_eq!(
+            shape("{ ?a p ?b . ?b q ?c . ?c r ?a . ?a s ?d }"),
+            Shape::Complex,
+            "cycle plus appendix"
+        );
+    }
+
+    #[test]
+    fn two_edge_star_counts_as_chain() {
+        // Degree-2 hub: path classification wins (standard convention).
+        assert_eq!(shape("{ ?a p ?b . ?a q ?c }"), Shape::Chain);
+    }
+
+    #[test]
+    fn constants_are_graph_nodes() {
+        // ?a → const ← ?b is a chain through the constant.
+        assert_eq!(shape("{ ?a p c0 . ?b q c0 }"), Shape::Chain);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        assert_eq!(shape("{ ?a p ?a }"), Shape::Complex);
+    }
+
+    #[test]
+    fn stats_cover_all_dimensions() {
+        let q = parse(
+            "{ { ?a p ?b OPTIONAL { ?a q ?c OPTIONAL { ?c r lit } } } \
+               UNION { ?a s ?d } }",
+        )
+        .unwrap();
+        let stats = analyze(&q);
+        assert_eq!(stats.triple_patterns, 4);
+        assert_eq!(stats.variables, 4);
+        assert_eq!(stats.constants, 1);
+        assert_eq!(stats.optional_depth, 2);
+        assert_eq!(stats.union_branches, 2);
+        assert!(stats.well_designed);
+    }
+
+    #[test]
+    fn optional_core_shape_ignores_optional_parts() {
+        let q = crate::Query::bgp(vec![tp("?a", "p", "?b")]).optional(crate::Query::bgp(vec![
+            tp("?a", "q", "?c"),
+            tp("?c", "r", "?d"),
+        ]));
+        assert_eq!(shape_of_core(&q), Shape::Chain);
+        assert_eq!(analyze(&q).optional_depth, 1);
+    }
+}

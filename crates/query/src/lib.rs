@@ -1,0 +1,40 @@
+//! The SPARQL fragment **S** of Sect. 4: union-free queries built from
+//! basic graph patterns with `AND` and `OPTIONAL`, plus `UNION` which is
+//! compiled away by the union-normal-form rewriting (Prop. 3).
+//!
+//! The crate provides
+//!
+//! * an [`ast`](crate::Query) close to the paper's grammar
+//!   `Q ::= G | Q AND Q | Q OPTIONAL Q` (extended with `UNION`),
+//! * the variable functions `vars` and `mand` (Sect. 4.3) and the
+//!   well-designedness check of Pérez et al. (Sect. 4.5),
+//! * a recursive-descent [`parse`] function for a SPARQL-like concrete
+//!   syntax (`SELECT * WHERE { … }` with `OPTIONAL`/`UNION` and both
+//!   `<iri>` and bare-word constants), and
+//! * [`Query::union_normal_form`], splitting any query into union-free
+//!   branches processed separately by the SOI machinery.
+//!
+//! ```
+//! use dualsim_query::parse;
+//!
+//! let q = parse(
+//!     "SELECT * WHERE { ?director directed ?movie . \
+//!                       ?director worked_with ?coworker . }",
+//! ).unwrap();
+//! assert_eq!(q.var_names(), ["coworker", "director", "movie"]);
+//! assert!(q.is_well_designed());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod ast;
+mod normalize;
+mod parser;
+
+pub use analysis::{analyze, QueryStats, Shape};
+pub use ast::{tp, Query, Term, TriplePattern};
+pub use parser::{parse, ParseError};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,121 @@
+//! Union-normal-form rewriting (Prop. 3 of the paper / Prop. 3.8 of
+//! Pérez et al.).
+//!
+//! Every query is rewritten into a list of *union-free* queries that are
+//! processed separately by the SOI machinery; the pruning of the original
+//! query is the union of the per-branch prunings (Sect. 4.2).
+
+use crate::Query;
+
+impl Query {
+    /// Splits the query into union-free branches.
+    ///
+    /// The rewriting distributes `UNION` out of both operands of `AND`
+    /// and out of the mandatory (left) operand of `OPTIONAL` — both exact
+    /// equivalences [Pérez et al., Prop. 1]. A `UNION` inside the
+    /// *optional* operand is also distributed,
+    /// `Q1 OPTIONAL (Q2 UNION Q3) ⇝ (Q1 OPTIONAL Q2) ∪ (Q1 OPTIONAL Q3)`,
+    /// which is **not** an equivalence in general but yields a superset
+    /// of the original result set in which every original match occurs
+    /// unchanged: any `μ1 ∪ μ2` with `μ2` from `Q2` (or `Q3`) survives in
+    /// the corresponding branch, and any bare `μ1` survives in both.
+    /// Since dual simulation processing computes a sound
+    /// *over*-approximation anyway (Theorem 2), soundness of the pruning
+    /// is preserved; the branches may only retain extra triples.
+    ///
+    /// The result is never empty; a union-free query yields itself.
+    pub fn union_normal_form(&self) -> Vec<Query> {
+        match self {
+            Query::Bgp(_) => vec![self.clone()],
+            Query::Union(a, b) => {
+                let mut out = a.union_normal_form();
+                out.extend(b.union_normal_form());
+                out
+            }
+            Query::And(a, b) => cross(a, b, Query::and),
+            Query::Optional(a, b) => cross(a, b, Query::optional),
+        }
+    }
+}
+
+fn cross(a: &Query, b: &Query, combine: fn(Query, Query) -> Query) -> Vec<Query> {
+    let left = a.union_normal_form();
+    let right = b.union_normal_form();
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in &left {
+        for r in &right {
+            out.push(combine(l.clone(), r.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{tp, Query};
+
+    fn b(name: &str) -> Query {
+        Query::Bgp(vec![tp("?x", name, "?y")])
+    }
+
+    #[test]
+    fn union_free_queries_pass_through() {
+        let q = b("a").and(b("b")).optional(b("c"));
+        assert_eq!(q.union_normal_form(), vec![q]);
+    }
+
+    #[test]
+    fn top_level_unions_are_flattened() {
+        let q = b("a").union(b("b")).union(b("c"));
+        assert_eq!(q.union_normal_form(), vec![b("a"), b("b"), b("c")]);
+    }
+
+    #[test]
+    fn union_distributes_over_and() {
+        let q = b("a").union(b("b")).and(b("c"));
+        assert_eq!(
+            q.union_normal_form(),
+            vec![b("a").and(b("c")), b("b").and(b("c"))]
+        );
+        let q2 = b("a").and(b("b").union(b("c")));
+        assert_eq!(
+            q2.union_normal_form(),
+            vec![b("a").and(b("b")), b("a").and(b("c"))]
+        );
+    }
+
+    #[test]
+    fn union_distributes_over_optional_left() {
+        let q = b("a").union(b("b")).optional(b("c"));
+        assert_eq!(
+            q.union_normal_form(),
+            vec![b("a").optional(b("c")), b("b").optional(b("c"))]
+        );
+    }
+
+    #[test]
+    fn union_in_optional_right_is_approximated() {
+        let q = b("a").optional(b("b").union(b("c")));
+        assert_eq!(
+            q.union_normal_form(),
+            vec![b("a").optional(b("b")), b("a").optional(b("c"))]
+        );
+    }
+
+    #[test]
+    fn nested_unions_multiply_out() {
+        let q = b("a").union(b("b")).and(b("c").union(b("d")));
+        assert_eq!(q.union_normal_form().len(), 4);
+    }
+
+    #[test]
+    fn branches_are_union_free() {
+        let q = b("a")
+            .union(b("b"))
+            .and(b("c").union(b("d")))
+            .optional(b("e").union(b("f")));
+        for branch in q.union_normal_form() {
+            assert!(branch.is_union_free());
+        }
+    }
+}

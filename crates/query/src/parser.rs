@@ -1,0 +1,491 @@
+//! Recursive-descent parser for the concrete SPARQL-like syntax.
+//!
+//! Supported grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query   := [ 'SELECT' '*' 'WHERE' ] group
+//! group   := '{' item* '}'
+//! item    := triple '.'?
+//!          | 'OPTIONAL' group
+//!          | group ( 'UNION' group )*
+//! triple  := term predicate term
+//! term    := '?'name | '<'iri'>' | bareword | '"'literal'"'
+//! ```
+//!
+//! Group items follow SPARQL's left-fold semantics: adjacent triples form
+//! one BGP; a sub-group is joined with `AND`; `OPTIONAL` applies to
+//! everything accumulated so far. Variable predicates are rejected —
+//! dual simulation operates over a fixed edge alphabet (Sect. 2).
+
+use crate::{Query, Term, TriplePattern};
+
+/// A parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LBrace,
+    RBrace,
+    Dot,
+    Star,
+    Select,
+    Where,
+    Optional,
+    Union,
+    Var(String),
+    Iri(String),
+    Literal(String),
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(input: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut lx = Lexer { input, pos: 0 };
+        let mut out = Vec::new();
+        while let Some(tok) = lx.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = bytes[self.pos];
+        let tok = match c {
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Star
+            }
+            b'?' => {
+                self.pos += 1;
+                let name = self.take_word();
+                if name.is_empty() {
+                    return Err(self.err(start, "expected variable name after '?'"));
+                }
+                Tok::Var(name)
+            }
+            b'<' => {
+                self.pos += 1;
+                let Some(end) = self.input[self.pos..].find('>') else {
+                    return Err(self.err(start, "unterminated IRI"));
+                };
+                let iri = self.input[self.pos..self.pos + end].to_owned();
+                self.pos += end + 1;
+                Tok::Iri(iri)
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut value = String::new();
+                loop {
+                    let Some(ch) = self.input[self.pos..].chars().next() else {
+                        return Err(self.err(start, "unterminated literal"));
+                    };
+                    self.pos += ch.len_utf8();
+                    match ch {
+                        '"' => break,
+                        '\\' => {
+                            let Some(esc) = self.input[self.pos..].chars().next() else {
+                                return Err(self.err(start, "dangling escape"));
+                            };
+                            self.pos += esc.len_utf8();
+                            match esc {
+                                'n' => value.push('\n'),
+                                't' => value.push('\t'),
+                                '"' => value.push('"'),
+                                '\\' => value.push('\\'),
+                                other => {
+                                    return Err(self.err(start, format!("unknown escape \\{other}")))
+                                }
+                            }
+                        }
+                        other => value.push(other),
+                    }
+                }
+                Tok::Literal(value)
+            }
+            _ if is_word_char(c) => {
+                let word = self.take_word();
+                match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Tok::Select,
+                    "WHERE" => Tok::Where,
+                    "OPTIONAL" => Tok::Optional,
+                    "UNION" => Tok::Union,
+                    _ => Tok::Iri(word),
+                }
+            }
+            other => {
+                return Err(self.err(start, format!("unexpected character {:?}", other as char)))
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+
+    fn take_word(&mut self) -> String {
+        let bytes = self.input.as_bytes();
+        let start = self.pos;
+        while self.pos < bytes.len() && is_word_char(bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_owned()
+    }
+
+    fn err(&self, position: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+fn is_word_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b':' | b'/' | b'#' | b'-')
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<(usize, Tok)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some((_, t)) if t == want => Ok(()),
+            Some((p, t)) => Err(ParseError {
+                position: p,
+                message: format!("expected {what}, found {t:?}"),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        if self.peek() == Some(&Tok::Select) {
+            self.next();
+            self.expect(Tok::Star, "'*' (only SELECT * is supported)")?;
+            self.expect(Tok::Where, "'WHERE'")?;
+        }
+        let q = self.group()?;
+        if let Some((p, t)) = self.next() {
+            return Err(ParseError {
+                position: p,
+                message: format!("trailing input after query: {t:?}"),
+            });
+        }
+        Ok(q)
+    }
+
+    /// `'{' item* '}'` with SPARQL's left-fold combination of items.
+    fn group(&mut self) -> Result<Query, ParseError> {
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut acc: Option<Query> = None;
+        let mut pending: Vec<TriplePattern> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated group, expected '}'")),
+                Some(Tok::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Optional) => {
+                    self.next();
+                    let inner = self.group()?;
+                    flush(&mut acc, &mut pending);
+                    let left = acc.take().unwrap_or(Query::Bgp(Vec::new()));
+                    acc = Some(left.optional(inner));
+                }
+                Some(Tok::LBrace) => {
+                    let sub = self.group_with_unions()?;
+                    flush(&mut acc, &mut pending);
+                    acc = Some(match acc.take() {
+                        None => sub,
+                        Some(a) => a.and(sub),
+                    });
+                }
+                Some(Tok::Union) => {
+                    return Err(self.err("UNION must follow a braced group"));
+                }
+                Some(Tok::Dot) => {
+                    self.next(); // stray separators are tolerated
+                }
+                _ => {
+                    let t = self.triple()?;
+                    pending.push(t);
+                    if self.peek() == Some(&Tok::Dot) {
+                        self.next();
+                    }
+                }
+            }
+        }
+        flush(&mut acc, &mut pending);
+        Ok(acc.unwrap_or(Query::Bgp(Vec::new())))
+    }
+
+    /// `group ('UNION' group)*`, left-associative.
+    fn group_with_unions(&mut self) -> Result<Query, ParseError> {
+        let mut q = self.group()?;
+        while self.peek() == Some(&Tok::Union) {
+            self.next();
+            q = q.union(self.group()?);
+        }
+        Ok(q)
+    }
+
+    fn triple(&mut self) -> Result<TriplePattern, ParseError> {
+        let s = self.term("subject")?;
+        let p = match self.next() {
+            Some((_, Tok::Iri(p))) => p,
+            Some((p, Tok::Var(v))) => {
+                return Err(ParseError {
+                    position: p,
+                    message: format!(
+                        "variable predicate ?{v} is not supported: dual simulation \
+                         requires a fixed edge alphabet"
+                    ),
+                })
+            }
+            Some((p, t)) => {
+                return Err(ParseError {
+                    position: p,
+                    message: format!("expected predicate, found {t:?}"),
+                })
+            }
+            None => return Err(self.err("expected predicate, found end of input")),
+        };
+        let o = self.term("object")?;
+        Ok(TriplePattern::new(s, p, o))
+    }
+
+    fn term(&mut self, what: &str) -> Result<Term, ParseError> {
+        match self.next() {
+            Some((_, Tok::Var(v))) => Ok(Term::Var(v)),
+            Some((_, Tok::Iri(iri))) => Ok(Term::Iri(iri)),
+            Some((_, Tok::Literal(l))) => Ok(Term::Literal(l)),
+            Some((p, t)) => Err(ParseError {
+                position: p,
+                message: format!("expected {what} term, found {t:?}"),
+            }),
+            None => Err(self.err(format!("expected {what} term, found end of input"))),
+        }
+    }
+}
+
+fn flush(acc: &mut Option<Query>, pending: &mut Vec<TriplePattern>) {
+    if pending.is_empty() {
+        return;
+    }
+    let bgp = Query::Bgp(std::mem::take(pending));
+    *acc = Some(match acc.take() {
+        None => bgp,
+        Some(a) => a.and(bgp),
+    });
+}
+
+/// Parses a query in the concrete syntax described in the module docs.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = Lexer::tokenize(input)?;
+    Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    }
+    .query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tp;
+
+    #[test]
+    fn parses_query_x1() {
+        let q = parse(
+            "SELECT * WHERE { ?director directed ?movie . \
+             ?director worked_with ?coworker . }",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![
+                tp("?director", "directed", "?movie"),
+                tp("?director", "worked_with", "?coworker"),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_query_x2_optional() {
+        let q = parse(
+            "SELECT * WHERE { ?director directed ?movie . \
+             OPTIONAL { ?director worked_with ?coworker . } }",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![tp("?director", "directed", "?movie")]).optional(Query::Bgp(vec![tp(
+                "?director",
+                "worked_with",
+                "?coworker"
+            )]))
+        );
+    }
+
+    #[test]
+    fn parses_query_x3_shape() {
+        let q =
+            parse("SELECT * WHERE { { ?v1 a ?v2 OPTIONAL { ?v3 b ?v2 } } { ?v3 c ?v4 } }").unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![tp("?v1", "a", "?v2")])
+                .optional(Query::Bgp(vec![tp("?v3", "b", "?v2")]))
+                .and(Query::Bgp(vec![tp("?v3", "c", "?v4")]))
+        );
+    }
+
+    #[test]
+    fn parses_unions() {
+        let q = parse("{ { ?x a ?y } UNION { ?x b ?y } UNION { ?x c ?y } }").unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![tp("?x", "a", "?y")])
+                .union(Query::Bgp(vec![tp("?x", "b", "?y")]))
+                .union(Query::Bgp(vec![tp("?x", "c", "?y")]))
+        );
+    }
+
+    #[test]
+    fn select_clause_is_optional() {
+        let a = parse("{ ?x p ?y }").unwrap();
+        let b = parse("select * where { ?x p ?y }").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iris_literals_and_prefixed_names() {
+        let q = parse("{ ?m type ub:Publication . <Saint John> population \"70063\" }").unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![
+                tp("?m", "type", "ub:Publication"),
+                tp("Saint John", "population", "\"70063\""),
+            ])
+        );
+    }
+
+    #[test]
+    fn leading_optional_gets_empty_left_side() {
+        let q = parse("{ OPTIONAL { ?x p ?y } }").unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![]).optional(Query::Bgp(vec![tp("?x", "p", "?y")]))
+        );
+    }
+
+    #[test]
+    fn variable_predicates_are_rejected() {
+        let err = parse("{ ?s ?p ?o }").unwrap_err();
+        assert!(err.message.contains("fixed edge alphabet"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_point_at_offenders() {
+        let err = parse("{ ?s p }").unwrap_err();
+        assert_eq!(err.position, 7, "{err}");
+    }
+
+    #[test]
+    fn unterminated_group_is_an_error() {
+        assert!(parse("{ ?s p ?o").is_err());
+        assert!(parse("{").is_err());
+    }
+
+    #[test]
+    fn escaped_literals() {
+        let q = parse(r#"{ ?s p "a\"b\\c\n" }"#).unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![TriplePattern::new(
+                Term::Var("s".into()),
+                "p",
+                Term::Literal("a\"b\\c\n".into())
+            )])
+        );
+    }
+
+    #[test]
+    fn triples_after_group_start_new_bgp() {
+        let q = parse("{ { ?a p ?b } ?c q ?d }").unwrap();
+        assert_eq!(
+            q,
+            Query::Bgp(vec![tp("?a", "p", "?b")]).and(Query::Bgp(vec![tp("?c", "q", "?d")]))
+        );
+    }
+
+    #[test]
+    fn union_without_left_group_is_an_error() {
+        assert!(parse("{ UNION { ?a p ?b } }").is_err());
+    }
+}

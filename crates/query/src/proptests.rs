@@ -1,0 +1,131 @@
+//! Property tests for the query layer: parse/print round trips and
+//! invariants of `vars`, `mand`, and the union normal form.
+
+use crate::{parse, Query, Term, TriplePattern};
+use proptest::prelude::*;
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => (0u8..6).prop_map(|i| Term::Var(format!("v{i}"))),
+        1 => (0u8..4).prop_map(|i| Term::Iri(format!("const{i}"))),
+        1 => (0u8..3).prop_map(|i| Term::Literal(format!("lit \"{i}\"\\"))),
+    ]
+}
+
+fn arb_tp() -> impl Strategy<Value = TriplePattern> {
+    (arb_term(), 0u8..5, arb_term()).prop_map(|(s, p, o)| TriplePattern::new(s, format!("p{p}"), o))
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let leaf = proptest::collection::vec(arb_tp(), 0..4).prop_map(Query::Bgp);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.optional(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.union(b)),
+        ]
+    })
+}
+
+proptest! {
+    /// The Display output is valid concrete syntax and parses back to the
+    /// identical AST.
+    #[test]
+    fn display_parse_round_trip(q in arb_query()) {
+        let text = q.to_string();
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("{e}\nin: {text}"));
+        prop_assert_eq!(reparsed, q);
+    }
+
+    /// `mand(Q) ⊆ vars(Q)` always holds.
+    #[test]
+    fn mand_is_subset_of_vars(q in arb_query()) {
+        let vars = q.vars();
+        prop_assert!(q.mand().iter().all(|v| vars.contains(v)));
+    }
+
+    /// Union normal form yields only union-free branches, preserves the
+    /// total triple-pattern multiset size per branch shape, and is the
+    /// identity on union-free input.
+    #[test]
+    fn union_normal_form_is_union_free(q in arb_query()) {
+        let branches = q.union_normal_form();
+        prop_assert!(!branches.is_empty());
+        for b in &branches {
+            prop_assert!(b.is_union_free());
+        }
+        if q.is_union_free() {
+            prop_assert_eq!(branches, vec![q]);
+        }
+    }
+
+    /// Every variable of every branch occurs in the original query.
+    #[test]
+    fn union_normal_form_invents_no_variables(q in arb_query()) {
+        let vars = q.vars();
+        for b in q.union_normal_form() {
+            for v in b.vars() {
+                prop_assert!(vars.contains(v));
+            }
+        }
+    }
+
+    /// The parser never panics, whatever bytes it is fed — it either
+    /// parses or returns a positioned error.
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Token-shaped garbage exercises deeper parser paths, still without
+    /// panicking.
+    #[test]
+    fn parser_survives_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just(".".to_owned()),
+                Just("OPTIONAL".to_owned()),
+                Just("UNION".to_owned()),
+                Just("SELECT".to_owned()),
+                Just("WHERE".to_owned()),
+                Just("*".to_owned()),
+                Just("?v".to_owned()),
+                Just("<iri>".to_owned()),
+                Just("\"lit\"".to_owned()),
+                Just("word".to_owned()),
+            ],
+            0..24,
+        )
+    ) {
+        let _ = parse(&tokens.join(" "));
+    }
+
+    /// BGPs and AND-only queries are always well designed.
+    #[test]
+    fn and_only_queries_are_well_designed(
+        tps in proptest::collection::vec(arb_tp(), 0..4),
+        more in proptest::collection::vec(proptest::collection::vec(arb_tp(), 0..3), 0..3),
+    ) {
+        let mut q = Query::Bgp(tps);
+        for m in more {
+            q = q.and(Query::Bgp(m));
+        }
+        prop_assert!(q.is_well_designed());
+    }
+
+    /// The mandatory core of a union-free query contains exactly the
+    /// triple patterns reachable without entering an OPTIONAL right
+    /// operand, hence its variables are `⊇ mand(Q)`.
+    #[test]
+    fn mandatory_core_covers_mand(q in arb_query()) {
+        if q.is_union_free() {
+            let core = Query::Bgp(q.mandatory_core());
+            let core_vars = core.vars();
+            for v in q.mand() {
+                prop_assert!(core_vars.contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The Sect. 5 pipeline on generated LUBM data: generate, prune per
+//! query, evaluate on full vs. pruned database, and report the §5.3
+//! iteration contrast between L0 and L1.
+//!
+//! ```text
+//! cargo run --release --example lubm_pipeline [universities]
+//! ```
+
+use dualsim::core::{prune, SolverConfig};
+use dualsim::datagen::workloads::lubm_queries;
+use dualsim::datagen::{generate_lubm, LubmConfig};
+use dualsim::engine::{Engine, HashJoinEngine};
+use std::time::Instant;
+
+fn main() {
+    let universities: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let start = Instant::now();
+    let db = generate_lubm(&LubmConfig {
+        universities,
+        seed: 7,
+    });
+    println!(
+        "LUBM({universities}): {} triples, {} nodes, {} predicates (generated in {:?})\n",
+        db.num_triples(),
+        db.num_nodes(),
+        db.num_labels(),
+        start.elapsed()
+    );
+
+    let cfg = SolverConfig::default();
+    let engine = HashJoinEngine;
+    println!(
+        "{:<4} {:>9} {:>9} {:>6} {:>11} {:>11} {:>11}",
+        "id", "kept", "pruned%", "iters", "t_sim", "t_full", "t_pruned"
+    );
+    for bench in lubm_queries() {
+        let report = prune(&db, &bench.query, &cfg);
+        let pruned_db = report.pruned_db(&db);
+
+        let t0 = Instant::now();
+        let full = engine.evaluate(&db, &bench.query);
+        let t_full = t0.elapsed();
+
+        let t1 = Instant::now();
+        let pruned = engine.evaluate(&pruned_db, &bench.query);
+        let t_pruned = t1.elapsed();
+
+        assert_eq!(full, pruned, "{}: soundness violated", bench.id);
+        println!(
+            "{:<4} {:>9} {:>8.1}% {:>6} {:>11.6} {:>11.6} {:>11.6}",
+            bench.id,
+            report.num_kept(),
+            100.0 * report.prune_ratio(&db),
+            report.iterations(),
+            report.total_time().as_secs_f64(),
+            t_full.as_secs_f64(),
+            t_pruned.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nNote the §5.3 contrast: the cyclic low-selectivity L0 needs many solver\n\
+         iterations, while L1 stabilizes in very few but keeps far more triples\n\
+         than its matches require (dual simulation's over-approximation)."
+    );
+}

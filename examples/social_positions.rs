@@ -1,0 +1,73 @@
+//! Social position detection — the application that motivates
+//! simulation-based matching in the paper's introduction (cf.
+//! Brynielsson et al. \[8\]): find everyone who *occupies a position*,
+//! i.e. whose neighbourhood mirrors a pattern of relations, without
+//! requiring exact subgraph isomorphism.
+//!
+//! ```text
+//! cargo run --example social_positions
+//! ```
+
+use dualsim::core::{prune, solve_query, SolverConfig};
+use dualsim::datagen::{generate_social, SocialConfig};
+use dualsim::engine::{Engine, NestedLoopEngine};
+use dualsim::query::parse;
+
+fn main() {
+    let db = generate_social(&SocialConfig::default());
+    println!(
+        "social network: {} nodes, {} edges, {} relation types\n",
+        db.num_nodes(),
+        db.num_triples(),
+        db.num_labels()
+    );
+
+    // (name, position variable, pattern)
+    let positions = [
+        (
+            "manager",
+            "m",
+            "{ ?m leads ?team . ?e member_of ?team . ?e reports_to ?m }",
+        ),
+        (
+            "connector",
+            "x",
+            "{ ?x collaborates_with ?a . ?a member_of ?t1 . \
+               ?x collaborates_with ?b . ?b member_of ?t2 }",
+        ),
+        ("trusted lead", "m", "{ ?m leads ?team . ?p endorses ?m }"),
+        (
+            "second-line report",
+            "e",
+            "{ ?e reports_to ?m . ?m reports_to ?mm }",
+        ),
+    ];
+
+    let cfg = SolverConfig::default();
+    let engine = NestedLoopEngine;
+    println!(
+        "{:<20} {:>10} {:>9} {:>9} {:>9}",
+        "position", "candidates", "matches", "kept", "pruned%"
+    );
+    for (name, position_var, text) in positions {
+        let query = parse(text).unwrap();
+        let branches = solve_query(&db, &query, &cfg);
+        let (soi, sol) = &branches[0];
+        let candidates = sol.var_solution(soi, position_var).count_ones();
+        let report = prune(&db, &query, &cfg);
+        let matches = engine.count(&report.pruned_db(&db), &query);
+        println!(
+            "{:<20} {:>10} {:>9} {:>9} {:>8.1}%",
+            name,
+            candidates,
+            matches,
+            report.num_kept(),
+            100.0 * report.prune_ratio(&db)
+        );
+    }
+    println!(
+        "\n'candidates' counts nodes dual-simulating the position variable —\n\
+         the simulation-based notion of occupying a position, a superset of\n\
+         the nodes appearing in exact matches."
+    );
+}

@@ -1,0 +1,353 @@
+//! `sparqlsim` — command-line dual simulation processing, mirroring the
+//! paper's prototype of the same name.
+//!
+//! ```text
+//! sparqlsim stats  --data DB.nt
+//! sparqlsim solve  --data DB.nt (--query Q.rq | --query-text '…') [--strategy S] [--no-early-exit]
+//! sparqlsim prune  --data DB.nt (--query Q.rq | --query-text '…') [--output PRUNED.nt]
+//! sparqlsim eval   --data DB.nt (--query Q.rq | --query-text '…') [--engine nested|hash] [--limit N] [--pruned]
+//! ```
+//!
+//! `solve` prints the largest dual simulation per query variable,
+//! `prune` writes/reports the per-query pruning (Sect. 5.2), and `eval`
+//! runs one of the reference engines, optionally on the pruned database.
+
+use dualsim::core::{prune, solve_query, EvalStrategy, SolverConfig};
+use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
+use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
+use dualsim::query::{parse, Query};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: sparqlsim <command> --data FILE.nt [options]
+
+commands:
+  stats        print database statistics
+  solve        compute the largest dual simulation for a query
+  prune        prune the database for a query (Sect. 5.2)
+  eval         evaluate a query with a reference engine
+  fingerprint  build the simulation-quotient index (Sect. 6 extension)
+
+options:
+  --data FILE.nt        N-Triples database (required)
+  --query FILE.rq       query file (SPARQL-S concrete syntax)
+  --query-text 'Q'      query given inline
+  --strategy S          rowwise | colwise | adaptive   (default adaptive)
+  --no-early-exit       keep solving after a mandatory variable empties
+  --output FILE.nt      prune: write the pruned database as N-Triples
+  --engine E            eval: nested | hash            (default nested)
+  --limit N             eval: print at most N rows     (default 20)
+  --pruned              eval: evaluate on the pruned database
+  --exclude-labels L,M  fingerprint: predicates to leave out of the index";
+
+/// Parsed command line.
+struct Opts {
+    command: String,
+    data: Option<String>,
+    query: Option<String>,
+    query_text: Option<String>,
+    strategy: EvalStrategy,
+    early_exit: bool,
+    output: Option<String>,
+    engine: String,
+    limit: usize,
+    pruned: bool,
+    exclude_labels: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        command: args.first().cloned().ok_or("missing command")?,
+        data: None,
+        query: None,
+        query_text: None,
+        strategy: EvalStrategy::Adaptive,
+        early_exit: true,
+        output: None,
+        engine: "nested".to_owned(),
+        limit: 20,
+        pruned: false,
+        exclude_labels: Vec::new(),
+    };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--data" => opts.data = Some(value()?),
+            "--query" => opts.query = Some(value()?),
+            "--query-text" => opts.query_text = Some(value()?),
+            "--output" => opts.output = Some(value()?),
+            "--engine" => opts.engine = value()?,
+            "--limit" => {
+                opts.limit = value()?.parse().map_err(|e| format!("--limit: {e}"))?;
+            }
+            "--strategy" => {
+                opts.strategy = match value()?.as_str() {
+                    "rowwise" => EvalStrategy::RowWise,
+                    "colwise" => EvalStrategy::ColumnWise,
+                    "adaptive" => EvalStrategy::Adaptive,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                };
+            }
+            "--no-early-exit" => opts.early_exit = false,
+            "--pruned" => opts.pruned = true,
+            "--exclude-labels" => {
+                opts.exclude_labels = value()?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_args(args)?;
+    let data_path = opts.data.as_deref().ok_or("--data is required")?;
+    let text =
+        std::fs::read_to_string(data_path).map_err(|e| format!("reading {data_path}: {e}"))?;
+    let db = parse_ntriples(&text).map_err(|e| e.to_string())?;
+
+    match opts.command.as_str() {
+        "stats" => cmd_stats(&db),
+        "solve" => cmd_solve(&db, &load_query(&opts)?, &config(&opts)),
+        "prune" => cmd_prune(
+            &db,
+            &load_query(&opts)?,
+            &config(&opts),
+            opts.output.as_deref(),
+        ),
+        "eval" => cmd_eval(&db, &load_query(&opts)?, &opts),
+        "fingerprint" => cmd_fingerprint(&db, &opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_fingerprint(db: &GraphDb, opts: &Opts) -> Result<(), String> {
+    use dualsim::core::QuotientIndex;
+    let labels: Vec<u32> = (0..db.num_labels() as u32)
+        .filter(|&l| !opts.exclude_labels.iter().any(|x| x == db.label_name(l)))
+        .collect();
+    let started = std::time::Instant::now();
+    let index = QuotientIndex::build_for_labels(db, &labels);
+    println!(
+        "fingerprint over {} of {} predicates:",
+        labels.len(),
+        db.num_labels()
+    );
+    println!(
+        "  {} blocks for {} nodes ({:.2}x compression)",
+        index.num_blocks(),
+        db.num_nodes(),
+        index.node_compression()
+    );
+    println!(
+        "  quotient: {} triples (original {})",
+        index.quotient().num_triples(),
+        db.num_triples()
+    );
+    println!(
+        "  {} refinement rounds in {:?}",
+        index.rounds,
+        started.elapsed()
+    );
+    Ok(())
+}
+
+fn config(opts: &Opts) -> SolverConfig {
+    SolverConfig {
+        strategy: opts.strategy,
+        early_exit: opts.early_exit,
+        ..SolverConfig::default()
+    }
+}
+
+fn load_query(opts: &Opts) -> Result<Query, String> {
+    let text = match (&opts.query, &opts.query_text) {
+        (Some(path), None) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        }
+        (None, Some(text)) => text.clone(),
+        _ => return Err("exactly one of --query / --query-text is required".into()),
+    };
+    parse(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(db: &GraphDb) -> Result<(), String> {
+    println!("nodes     : {}", db.num_nodes());
+    println!("triples   : {}", db.num_triples());
+    println!("predicates: {}", db.num_labels());
+    println!(
+        "matrices  : {:.1} KiB (forward + backward adjacency)",
+        db.memory_footprint() as f64 / 1024.0
+    );
+    let mut labels: Vec<(usize, String)> = (0..db.num_labels() as u32)
+        .map(|l| (db.num_label_triples(l), db.label_name(l).to_owned()))
+        .collect();
+    labels.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
+    println!("top predicates:");
+    for (count, name) in labels.into_iter().take(10) {
+        println!("  {count:>9}  {name}");
+    }
+    Ok(())
+}
+
+fn cmd_solve(db: &GraphDb, query: &Query, cfg: &SolverConfig) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let branches = solve_query(db, query, cfg);
+    let elapsed = started.elapsed();
+    for (i, (soi, solution)) in branches.iter().enumerate() {
+        if branches.len() > 1 {
+            println!("— union branch {i} —");
+        }
+        for var in query.vars() {
+            let chi = solution.var_solution(soi, var);
+            let count = chi.count_ones();
+            let preview: Vec<&str> = chi
+                .iter_ones()
+                .take(5)
+                .map(|n| db.node_name(n as u32))
+                .collect();
+            let ellipsis = if count > 5 { ", …" } else { "" };
+            println!(
+                "?{var}: {count} candidates [{}{ellipsis}]",
+                preview.join(", ")
+            );
+        }
+        let s = &solution.stats;
+        println!(
+            "iterations={} updates={} rowwise={} colwise={} empty={}",
+            s.iterations, s.updates, s.rowwise, s.colwise, s.emptied_mandatory
+        );
+    }
+    println!("solved in {elapsed:?}");
+    Ok(())
+}
+
+fn cmd_prune(
+    db: &GraphDb,
+    query: &Query,
+    cfg: &SolverConfig,
+    output: Option<&str>,
+) -> Result<(), String> {
+    let report = prune(db, query, cfg);
+    println!(
+        "kept {} of {} triples ({:.2}% pruned) in {:?} ({} iterations)",
+        report.num_kept(),
+        db.num_triples(),
+        100.0 * report.prune_ratio(db),
+        report.total_time(),
+        report.iterations()
+    );
+    if let Some(path) = output {
+        let pruned = report.pruned_db(db);
+        std::fs::write(path, write_ntriples(&pruned))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("pruned database written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> {
+    let engine: Box<dyn Engine> = match opts.engine.as_str() {
+        "nested" => Box::new(NestedLoopEngine),
+        "hash" => Box::new(HashJoinEngine),
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    let cfg = config(opts);
+    let target;
+    let db = if opts.pruned {
+        let report = prune(db, query, &cfg);
+        println!(
+            "pruning kept {} of {} triples in {:?}",
+            report.num_kept(),
+            db.num_triples(),
+            report.total_time()
+        );
+        target = report.pruned_db(db);
+        &target
+    } else {
+        db
+    };
+    let started = std::time::Instant::now();
+    let results = engine.evaluate(db, query);
+    println!(
+        "{} matches in {:?} ({} engine)",
+        results.len(),
+        started.elapsed(),
+        engine.name()
+    );
+    for row in results.to_named_rows(db).into_iter().take(opts.limit) {
+        let rendered: Vec<String> = row.iter().map(|(v, n)| format!("?{v}={n}")).collect();
+        println!("  {}", rendered.join("  "));
+    }
+    if results.len() > opts.limit {
+        println!("  … ({} more rows)", results.len() - opts.limit);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_reads_flags() {
+        let args: Vec<String> = [
+            "prune",
+            "--data",
+            "db.nt",
+            "--query-text",
+            "{ ?a p ?b }",
+            "--strategy",
+            "rowwise",
+            "--no-early-exit",
+            "--limit",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.command, "prune");
+        assert_eq!(opts.data.as_deref(), Some("db.nt"));
+        assert_eq!(opts.strategy, EvalStrategy::RowWise);
+        assert!(!opts.early_exit);
+        assert_eq!(opts.limit, 7);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flags() {
+        let args: Vec<String> = ["solve", "--nope"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn query_source_must_be_unambiguous() {
+        let both: Vec<String> = ["solve", "--data", "x", "--query", "a", "--query-text", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_args(&both).unwrap();
+        assert!(load_query(&opts).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the `sparqlsim` command-line tool: the binary is
+//! driven exactly as a user would, over a temporary N-Triples file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn movie_nt() -> &'static str {
+    "<B. De Palma> <directed> <Mission: Impossible> .\n\
+     <B. De Palma> <worked_with> <D. Koepp> .\n\
+     <G. Hamilton> <directed> <Goldfinger> .\n\
+     <G. Hamilton> <worked_with> <H. Saltzman> .\n\
+     <T. Young> <directed> <Thunderball> .\n\
+     <Saint John> <population> \"70063\" .\n"
+}
+
+fn write_db(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dualsim-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, movie_nt()).unwrap();
+    path
+}
+
+fn sparqlsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sparqlsim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn stats_reports_database_shape() {
+    let db = write_db("stats.nt");
+    let out = sparqlsim(&["stats", "--data", db.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("triples   : 6"), "{text}");
+    assert!(text.contains("predicates: 3"), "{text}");
+    assert!(text.contains("directed"), "{text}");
+}
+
+#[test]
+fn solve_prints_candidates_per_variable() {
+    let db = write_db("solve.nt");
+    let out = sparqlsim(&[
+        "solve",
+        "--data",
+        db.to_str().unwrap(),
+        "--query-text",
+        "{ ?d directed ?m . ?d worked_with ?c }",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("?d: 2 candidates"), "{text}");
+    assert!(text.contains("B. De Palma"), "{text}");
+    assert!(!text.contains("T. Young"), "no worked_with edge: {text}");
+}
+
+#[test]
+fn prune_writes_a_loadable_pruned_database() {
+    let db = write_db("prune.nt");
+    let out_path = std::env::temp_dir().join("dualsim-cli-tests/pruned.nt");
+    let out = sparqlsim(&[
+        "prune",
+        "--data",
+        db.to_str().unwrap(),
+        "--query-text",
+        "{ ?d directed ?m . ?d worked_with ?c }",
+        "--output",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("kept 4 of 6 triples"), "{text}");
+    let pruned_text = std::fs::read_to_string(&out_path).unwrap();
+    let pruned = dualsim::graph::parse_ntriples(&pruned_text).unwrap();
+    assert_eq!(pruned.num_triples(), 4);
+}
+
+#[test]
+fn eval_prints_matches_with_and_without_pruning() {
+    let db = write_db("eval.nt");
+    for extra in [&[][..], &["--pruned"][..]] {
+        let mut args = vec![
+            "eval",
+            "--data",
+            db.to_str().unwrap(),
+            "--query-text",
+            "{ ?d directed ?m . ?d worked_with ?c }",
+            "--engine",
+            "hash",
+        ];
+        args.extend_from_slice(extra);
+        let out = sparqlsim(&args);
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("2 matches"), "{text}");
+        assert!(text.contains("?d=B. De Palma"), "{text}");
+    }
+}
+
+#[test]
+fn rowwise_and_colwise_strategies_agree() {
+    let db = write_db("strategies.nt");
+    let mut outputs = Vec::new();
+    for strategy in ["rowwise", "colwise"] {
+        let out = sparqlsim(&[
+            "solve",
+            "--data",
+            db.to_str().unwrap(),
+            "--query-text",
+            "{ ?d directed ?m }",
+            "--strategy",
+            strategy,
+        ]);
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).unwrap();
+        let counts: Vec<&str> = text.lines().filter(|l| l.contains("candidates")).collect();
+        outputs.push(counts.join("\n"));
+    }
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+#[test]
+fn fingerprint_reports_compression() {
+    let db = write_db("fingerprint.nt");
+    let out = sparqlsim(&[
+        "fingerprint",
+        "--data",
+        db.to_str().unwrap(),
+        "--exclude-labels",
+        "population",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("fingerprint over 2 of 3 predicates"),
+        "{text}"
+    );
+    assert!(text.contains("blocks"), "{text}");
+}
+
+#[test]
+fn unknown_flags_fail_with_usage() {
+    let out = sparqlsim(&["solve", "--bogus"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("usage"), "{text}");
+}
+
+#[test]
+fn missing_data_file_is_reported() {
+    let out = sparqlsim(&["stats", "--data", "/nonexistent/definitely-not-here.nt"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("reading"), "{text}");
+}
