@@ -18,7 +18,25 @@ use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
 use dualsim::query::{parse, Query};
 use std::process::ExitCode;
 
+/// Restores the default `SIGPIPE` disposition so `sparqlsim … | head`
+/// terminates quietly instead of panicking on a closed stdout.
+#[cfg(unix)]
+fn restore_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_sigpipe() {}
+
 fn main() -> ExitCode {
+    restore_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,

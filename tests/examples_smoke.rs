@@ -1,0 +1,39 @@
+//! Smoke tests keeping the `examples/` directory honest: every example
+//! must keep compiling, and the quickstart must actually run and produce
+//! its headline output. Both tests shell out to the same `cargo` that is
+//! running the test suite, against this workspace's manifest.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn cargo(args: &[&str]) -> Output {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    Command::new(cargo)
+        .args(args)
+        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .output()
+        .expect("cargo invocation runs")
+}
+
+#[test]
+fn all_examples_compile() {
+    let out = cargo(&["build", "--examples"]);
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    let out = cargo(&["run", "-q", "--example", "quickstart"]);
+    assert!(
+        out.status.success(),
+        "quickstart failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("largest dual simulation"), "{text}");
+    assert!(text.contains("pruning"), "{text}");
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no cargo-registry access, so this crate
+//! provides the subset of the `criterion 0.5` API used by the workspace's
+//! benches: [`Criterion::benchmark_group`] with sample-size / warm-up /
+//! measurement-time / throughput knobs, [`BenchmarkGroup::bench_with_input`]
+//! and [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up, the
+//! per-iteration cost is estimated, and `sample_size` timed samples are
+//! taken; the median per-iteration time (and throughput, when set) is
+//! printed. There is no statistical analysis, plotting, or baseline
+//! comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to benchmark functions.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let (sample_size, warm_up, measurement) = (
+            self.default_sample_size,
+            self.default_warm_up,
+            self.default_measurement,
+        );
+        run_benchmark(&label, sample_size, warm_up, measurement, None, f);
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm a benchmark up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total time budget the samples should roughly fill.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares the work per iteration, enabling a throughput report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`, handing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f` without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Units of work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+/// `cargo bench -- <filter>` support: non-flag command-line arguments are
+/// substring filters on the benchmark label.
+fn matches_filter(label: &str) -> bool {
+    use std::sync::OnceLock;
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    let filters = FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    });
+    filters.is_empty() || filters.iter().any(|f| label.contains(f.as_str()))
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !matches_filter(label) {
+        return;
+    }
+    // Warm up and estimate the per-iteration cost.
+    let mut iters: u64 = 1;
+    let mut per_iter = Duration::from_secs(1);
+    let warm_start = Instant::now();
+    loop {
+        let elapsed = time_once(&mut f, iters);
+        if !elapsed.is_zero() {
+            per_iter = elapsed / iters as u32;
+        }
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+
+    // Pick an iteration count so that `sample_size` samples roughly fill
+    // the measurement budget, then sample.
+    let budget_per_sample = measurement / sample_size as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1 << 10
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+    let mut samples: Vec<Duration> = (0..sample_size)
+        .map(|_| time_once(&mut f, iters_per_sample) / iters_per_sample as u32)
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+
+    match throughput {
+        Some(Throughput::Elements(n)) if !median.is_zero() => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("{label:<60} {median:>12.2?}/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if !median.is_zero() => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("{label:<60} {median:>12.2?}/iter {rate:>14.0} B/s");
+        }
+        _ => println!("{label:<60} {median:>12.2?}/iter"),
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags such as `--bench`
+            // (ignored); non-flag arguments act as substring filters on
+            // benchmark labels, matching real criterion's behavior.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(15));
+        group.throughput(Throughput::Elements(64));
+        let data: Vec<u64> = (0..64).collect();
+        group.bench_with_input(BenchmarkId::new("sum", 64), &data, |b, data| {
+            b.iter(|| data.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no cargo-registry access, so this crate
+//! reimplements the subset of the `proptest 1.x` API used by the
+//! workspace's property tests:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//!   [`Strategy::prop_recursive`] and [`Strategy::boxed`];
+//! * range, tuple, [`Just`] and [`collection::vec`] strategies plus
+//!   [`any`] (for `bool`);
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * [`test_runner::Config`] / `ProptestConfig::with_cases`, honouring a
+//!   `PROPTEST_CASES` environment override.
+//!
+//! Differences from real proptest: generation is plain random testing
+//! driven by a per-test deterministic seed — there is **no shrinking**,
+//! and `prop_assert*` simply panic (reporting the case number via the
+//! panic location). That is sufficient for CI-style pass/fail property
+//! checking while keeping the stub dependency-free.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (only `Vec` is needed here).
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything that can describe the permitted lengths of a generated `Vec`.
+    pub trait IntoSizeRange {
+        /// Returns the `(min, max)` inclusive length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Generates a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy::new(element, min, max)
+    }
+}
+
+/// Generates a value of `A` via its canonical strategy (`any::<bool>()` etc.).
+pub fn any<A: strategy::Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Property-test entry point: wraps `fn name(x in strategy, ...) { body }`
+/// items into `#[test]` functions that run the body over `Config::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal tt-muncher behind [`proptest!`]; do not use directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            // Build each strategy once, bound to its argument's name; the
+            // per-case `let` below shadows it with a generated value.
+            let ($($arg,)*) = ($($strat,)*);
+            for __case in 0..__config.cases {
+                $crate::test_runner::CURRENT_CASE.with(|c| c.set(__case));
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)*
+                // Mirror real proptest: the body runs in a closure
+                // returning `Result`, so `return Ok(());` early-exits
+                // the current case only.
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!("proptest case {} rejected: {:?}", __case, e);
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Chooses between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property; panics with the failing case id.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!(
+                "proptest case {} failed: {}",
+                $crate::test_runner::CURRENT_CASE.with(|c| c.get()),
+                format!($($fmt)*)
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}

@@ -1,0 +1,472 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of [`Strategy::Value`].
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the rng stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a recursively nested strategy: `recurse` receives the
+    /// strategy for the previous nesting level and returns one for the
+    /// next. `depth` bounds the nesting; `_desired_size` and
+    /// `_expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = WeightedUnion::new(vec![(1, base.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies (behind [`crate::prop_oneof!`]).
+pub struct WeightedUnion<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for WeightedUnion<T> {
+    fn clone(&self) -> Self {
+        WeightedUnion {
+            branches: self.branches.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds the union; at least one branch with positive weight is required.
+    pub fn new(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = branches.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        WeightedUnion { branches, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (weight, strat) in &self.branches {
+            let weight = *weight as u64;
+            if pick < weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, min: usize, max: usize) -> Self {
+        assert!(min <= max, "invalid vec size bounds {min}..={max}");
+        VecStrategy { element, min, max }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max - self.min) as u64 + 1;
+        let len = self.min + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty range strategy");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// `&str` patterns act as string strategies, as in real proptest. Only a
+/// small regex subset is understood: literal characters, `.`, character
+/// classes `[a-z0-9]`, and the quantifiers `{m,n}`, `{m,}`, `{m}`, `*`,
+/// `+`, `?`. Unsupported constructs panic at generation time.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum RegexAtom {
+    Dot,
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+/// Characters `.` draws from: a spread of ASCII plus a few multi-byte
+/// code points so parsers get exercised on non-ASCII input too.
+const DOT_PALETTE: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '?', '*', '.', ',', ';', ':', '{', '}', '<',
+    '>', '[', ']', '(', ')', '"', '\'', '\\', '/', '-', '_', '#', '@', 'é', 'λ', '→', '中', '𝕏',
+];
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<(RegexAtom, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => RegexAtom::Dot,
+            '\\' => RegexAtom::Lit(chars.next().expect("dangling escape in pattern")),
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().expect("unterminated character class");
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("unterminated class range");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                RegexAtom::Class(ranges)
+            }
+            '(' | ')' | '|' => panic!("unsupported regex construct {c:?} in strategy pattern"),
+            other => RegexAtom::Lit(other),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                    Some((m, "")) => {
+                        let m: usize = m.trim().parse().expect("bad {m,} quantifier");
+                        (m, m + 8)
+                    }
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} quantifier"),
+                        n.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            min <= max,
+            "bad quantifier {{{min},{max}}} in strategy pattern {pattern:?}"
+        );
+        atoms.push((atom, min, max));
+    }
+
+    let mut out = String::new();
+    for (atom, min, max) in atoms {
+        let count = min + (rng.next_u64() % (max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom {
+                RegexAtom::Dot => {
+                    out.push(DOT_PALETTE[(rng.next_u64() % DOT_PALETTE.len() as u64) as usize])
+                }
+                RegexAtom::Lit(c) => out.push(*c),
+                RegexAtom::Class(ranges) => {
+                    let (lo, hi) = ranges[(rng.next_u64() % ranges.len() as u64) as usize];
+                    let span = (hi as u32) - (lo as u32) + 1;
+                    let code = lo as u32 + (rng.next_u64() % span as u64) as u32;
+                    out.push(char::from_u32(code).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Types with a canonical strategy, used by [`crate::any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `bool`: a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $any:ident),*) => {$(
+        /// Canonical full-range strategy for the named integer type.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $any;
+
+        impl Strategy for $any {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $any;
+
+            fn arbitrary() -> $any {
+                $any
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64, usize => AnyUsize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("strategy-tests");
+        let strat = crate::collection::vec((0u8..4, 10u32..=12), 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 4);
+                assert!((10..=12).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_union_hits_every_branch() {
+        let mut rng = TestRng::deterministic("union-tests");
+        let strat = crate::prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let draws: Vec<u8> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(n) => {
+                    assert!(*n < 8, "leaf out of strategy range");
+                    1
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..8).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::deterministic("recursive-tests");
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 5);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never fired");
+    }
+}

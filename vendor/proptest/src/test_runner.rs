@@ -1,0 +1,78 @@
+//! Test configuration and the deterministic rng driving generation.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Index of the property-test case currently executing; used by the
+    /// `prop_assert*` macros to report which case failed.
+    pub static CURRENT_CASE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Error type a property body may `return Err(..)` with (compatibility
+/// shim for real proptest's `TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    /// 32 cases (kept modest so `cargo test -q` stays fast), overridable
+    /// with the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        Config { cases }
+    }
+}
+
+/// Deterministic SplitMix64 stream, seeded from the test's module path so
+/// every property test explores a distinct but reproducible input sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the rng from `name` (FNV-1a), optionally perturbed by the
+    /// `PROPTEST_SEED` environment variable.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = extra.parse::<u64>() {
+                // Mix rather than XOR so every seed value — including 0 —
+                // selects a stream distinct from the unseeded default.
+                hash = (hash ^ seed)
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            }
+        }
+        TestRng { state: hash }
+    }
+
+    /// Returns the next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
