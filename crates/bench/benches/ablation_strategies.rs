@@ -40,6 +40,7 @@ fn strategies(c: &mut Criterion) {
                     ordering,
                     init: InitMode::Summaries,
                     early_exit: true,
+                    ..SolverConfig::default()
                 };
                 group.bench_with_input(
                     BenchmarkId::new(format!("{sname}/{oname}"), bench.id),

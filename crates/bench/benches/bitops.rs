@@ -46,9 +46,10 @@ fn bitops(c: &mut Criterion) {
             BenchmarkId::new("retain_colwise", density),
             &(&keep, &x),
             |b, (keep, x)| {
+                let mut removed = Vec::new();
                 b.iter(|| {
                     let mut k = (*keep).clone();
-                    transpose.retain_intersecting_rows(&mut k, x);
+                    transpose.retain_intersecting_rows(&mut k, x, &mut removed);
                     black_box(&k);
                 })
             },

@@ -1,22 +1,47 @@
 //! Regenerates the paper's evaluation tables as text.
 //!
 //! ```text
-//! experiments [table2|table3|table4|table5|iterations|all]
+//! experiments [table2|table3|table4|table5|iterations|fixpoint|all] [--smoke] [--out FILE]
 //! ```
 //!
 //! Dataset sizes: `DUALSIM_LUBM_UNIS` (default 15) and
-//! `DUALSIM_DBPEDIA_ENTITIES` (default 20000).
+//! `DUALSIM_DBPEDIA_ENTITIES` (default 20000). `--smoke` switches to the
+//! tiny unit-test datasets and a single repetition — the CI regression
+//! gate (deterministic operation counts, no timing assertions).
+//! `fixpoint` additionally writes the machine-readable
+//! `BENCH_fixpoint.json` (path override via `--out`).
 
 use dualsim_bench::{
-    default_datasets, render_table, run_iterations, run_pruning_power, run_simulation_spectrum,
-    run_table2, run_table3, run_table45, secs, Datasets,
+    default_datasets, fixpoint_report_json, render_table, run_fixpoint_incremental,
+    run_fixpoint_solve, run_iterations, run_pruning_power, run_simulation_spectrum, run_table2,
+    run_table3, run_table45, secs, tiny_datasets, Datasets,
 };
 use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_fixpoint.json".to_owned();
+    let mut which = "all".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                });
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag:?}");
+                std::process::exit(2);
+            }
+            cmd => which = cmd.to_owned(),
+        }
+    }
     eprintln!("generating datasets …");
-    let data = default_datasets();
+    let data = if smoke { tiny_datasets() } else { default_datasets() };
     eprintln!(
         "LUBM: {} triples / {} nodes; DBpedia: {} triples / {} nodes",
         data.lubm.num_triples(),
@@ -32,6 +57,7 @@ fn main() {
         "iterations" => iterations(&data),
         "pruning-power" => pruning_power(&data),
         "spectrum" => spectrum(&data),
+        "fixpoint" => fixpoint(&data, smoke, &out_path),
         "all" => {
             table2(&data);
             table3(&data);
@@ -40,13 +66,109 @@ fn main() {
             iterations(&data);
             pruning_power(&data);
             spectrum(&data);
+            fixpoint(&data, smoke, &out_path);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected \
-                 table2|table3|table4|table5|iterations|pruning-power|spectrum|all"
+                 table2|table3|table4|table5|iterations|pruning-power|spectrum|fixpoint|all"
             );
             std::process::exit(2);
+        }
+    }
+}
+
+/// The two-engine fixpoint ablation: cold solves over the whole workload
+/// plus the incremental-deletion scenario on the Fig. 6 queries. Emits
+/// `BENCH_fixpoint.json` and, under `--smoke`, enforces the ≥2× delta
+/// advantage on the incremental path as a hard regression gate.
+fn fixpoint(data: &Datasets, smoke: bool, out_path: &str) {
+    println!("\n== Ablation: re-evaluation vs. delta-counting fixpoint engine ==\n");
+    let reps = if smoke { 1 } else { 3 };
+    let solve_rows = run_fixpoint_solve(data, reps);
+    let table: Vec<Vec<String>> = solve_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.mode.to_owned(),
+                secs(r.wall),
+                r.iterations.to_string(),
+                r.evaluations.to_string(),
+                (r.rows_ored + r.bits_probed).to_string(),
+                (r.counter_inits + r.counter_decrements).to_string(),
+                r.ops.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Query",
+                "engine",
+                "wall",
+                "iter",
+                "evals",
+                "rows+probes",
+                "counters",
+                "ops",
+            ],
+            &table
+        )
+    );
+
+    println!("\n== Incremental deletions (maintenance work only) ==\n");
+    let (batches, stride) = if smoke { (4, 40) } else { (10, 25) };
+    let inc_rows = run_fixpoint_incremental(data, &["L0", "L1"], batches, stride);
+    let table: Vec<Vec<String>> = inc_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.mode.to_owned(),
+                r.batches.to_string(),
+                r.deleted.to_string(),
+                secs(r.wall),
+                r.ops.to_string(),
+                r.dropped.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Scenario", "engine", "batches", "deleted", "wall", "ops", "dropped"],
+            &table
+        )
+    );
+    // Write the report before any gating so a regression still leaves
+    // the machine-readable evidence behind.
+    let json = fixpoint_report_json(data, &solve_rows, &inc_rows);
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nmachine-readable report written to {out_path}");
+
+    for pair in inc_rows.chunks(2) {
+        let (reev, delta) = (&pair[0], &pair[1]);
+        let factor = reev.ops as f64 / (delta.ops as f64).max(1.0);
+        println!(
+            "{}: delta does {:.1}x less work than re-evaluation",
+            reev.id, factor
+        );
+        // Deterministic regression gate (ISSUE 2 acceptance criterion);
+        // enforced only under --smoke so full-size report runs always
+        // complete.
+        if smoke {
+            assert!(
+                2 * delta.ops <= reev.ops,
+                "{}: delta engine lost its ≥2x advantage ({} vs {} ops)",
+                reev.id,
+                delta.ops,
+                reev.ops
+            );
         }
     }
 }

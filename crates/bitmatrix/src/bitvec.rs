@@ -6,7 +6,7 @@
 //! fixpoint solver uses to decide when inequalities must be re-marked
 //! unstable.
 
-const BLOCK_BITS: usize = 64;
+pub(crate) const BLOCK_BITS: usize = 64;
 
 /// A fixed-length vector of bits backed by `u64` blocks.
 ///
@@ -139,6 +139,36 @@ impl BitVec {
         changed
     }
 
+    /// In-place intersection that *records* the removals: `self ∧= other`,
+    /// appending the index of every bit this clears to `removed` (the
+    /// buffer is not cleared first, so callers can accumulate deltas from
+    /// several intersections into one reusable buffer). Returns `true`
+    /// iff `self` changed.
+    ///
+    /// This is the removal-event primitive of the delta-counting fixpoint
+    /// engine: instead of re-evaluating an inequality after a shrink, the
+    /// engine drains exactly the cleared bits into its worklist.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn drain_cleared(&mut self, other: &BitVec, removed: &mut Vec<u32>) -> bool {
+        self.check_len(other);
+        let mut changed = false;
+        for (bi, (a, &b)) in self.blocks.iter_mut().zip(other.blocks.iter()).enumerate() {
+            let mut cleared = *a & !b;
+            if cleared != 0 {
+                changed = true;
+                *a &= b;
+                while cleared != 0 {
+                    let bit = cleared.trailing_zeros() as usize;
+                    cleared &= cleared - 1;
+                    removed.push((bi * BLOCK_BITS + bit) as u32);
+                }
+            }
+        }
+        changed
+    }
+
     /// In-place difference `self ∧= ¬other`; returns `true` iff `self`
     /// changed.
     pub fn and_not_assign(&mut self, other: &BitVec) -> bool {
@@ -227,6 +257,14 @@ impl BitVec {
     /// Heap bytes held by the block storage.
     pub fn heap_bytes(&self) -> usize {
         self.blocks.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The raw `u64` blocks (low bit of block 0 is bit 0); tail bits
+    /// beyond `len` are guaranteed zero. Used by the dense fast path of
+    /// `BitMatrix::multiply_into`.
+    #[inline]
+    pub(crate) fn blocks(&self) -> &[u64] {
+        &self.blocks
     }
 
     fn mask_tail(&mut self) {
@@ -346,6 +384,20 @@ mod tests {
         assert!(a.and_not_assign(&b));
         assert_eq!(a.to_indices(), vec![1]);
         assert!(!a.and_not_assign(&b));
+    }
+
+    #[test]
+    fn drain_cleared_records_exactly_the_removed_bits() {
+        let mut a = BitVec::from_indices(130, &[1, 63, 64, 100, 129]);
+        let b = BitVec::from_indices(130, &[1, 64, 77]);
+        let mut removed = vec![42u32]; // pre-existing content must survive
+        assert!(a.drain_cleared(&b, &mut removed));
+        assert_eq!(a.to_indices(), vec![1, 64]);
+        assert_eq!(removed, vec![42, 63, 100, 129]);
+        // A second drain against the same superset is a recorded no-op.
+        removed.clear();
+        assert!(!a.drain_cleared(&b, &mut removed));
+        assert!(removed.is_empty());
     }
 
     #[test]

@@ -124,6 +124,12 @@ impl BitMatrix {
     /// `x`. Returns the number of rows OR-ed (a work measure for the
     /// solver statistics).
     ///
+    /// When more than half the bits of `x` are set, the selector is
+    /// walked block-wise: all-ones blocks dispatch their 64 rows with no
+    /// per-bit decode, and (as in the sparse path) all-zeros blocks skip
+    /// 64 rows at once — the dense fast path for barely-filtered χ
+    /// vectors right after Eq. (12)/(13) initialization.
+    ///
     /// # Panics
     /// Panics if the vector lengths differ from `dim`.
     pub fn multiply_into(&self, x: &BitVec, out: &mut BitVec) -> usize {
@@ -131,11 +137,57 @@ impl BitMatrix {
         assert_eq!(out.len(), self.dim);
         out.clear_all();
         let mut rows = 0usize;
-        for i in x.iter_ones() {
-            out.set_indices(self.row(i));
-            rows += 1;
+        if 2 * x.count_ones() > self.dim {
+            for (bi, &block) in x.blocks().iter().enumerate() {
+                if block == 0 {
+                    continue;
+                }
+                let base = bi * crate::bitvec::BLOCK_BITS;
+                if block == !0u64 {
+                    let end = (base + crate::bitvec::BLOCK_BITS).min(self.dim);
+                    for i in base..end {
+                        out.set_indices(self.row(i));
+                    }
+                    rows += end - base;
+                } else {
+                    let mut bits = block;
+                    while bits != 0 {
+                        let i = base + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        out.set_indices(self.row(i));
+                        rows += 1;
+                    }
+                }
+            }
+        } else {
+            for i in x.iter_ones() {
+                out.set_indices(self.row(i));
+                rows += 1;
+            }
         }
         rows
+    }
+
+    /// Counter-initializing multiply for the delta-counting fixpoint
+    /// engine: for every set bit `i` of `x` and every entry `j` of row
+    /// `i`, increments `counts[j]`. Afterwards each `counts[j]` has grown
+    /// by `|column j of self ∩ x|` — the *support* of candidate `j` with
+    /// respect to the source set `x`. Returns the number of increments
+    /// performed (the initialization work measure).
+    ///
+    /// # Panics
+    /// Panics if `x` or `counts` do not have length `dim`.
+    pub fn count_into(&self, x: &BitVec, counts: &mut [u32]) -> usize {
+        assert_eq!(x.len(), self.dim);
+        assert_eq!(counts.len(), self.dim);
+        let mut increments = 0usize;
+        for i in x.iter_ones() {
+            for &j in self.row(i) {
+                counts[j as usize] += 1;
+            }
+            increments += self.row_len(i);
+        }
+        increments
     }
 
     /// Column-wise evaluation helper: clears every bit `j` of `keep` whose
@@ -145,10 +197,20 @@ impl BitMatrix {
     /// this computes `keep ∧ (χ_S(v) ×b F^a)` without materializing the
     /// product — the column-wise strategy of Sect. 3.3. Returns
     /// `(changed, rows_probed)`.
-    pub fn retain_intersecting_rows(&self, keep: &mut BitVec, probe: &BitVec) -> (bool, usize) {
+    ///
+    /// `removed` is a caller-provided scratch buffer (cleared on entry);
+    /// on return it holds the indices of the cleared bits, so hot loops
+    /// reuse one allocation across calls and delta engines can feed the
+    /// removal set straight into their worklist.
+    pub fn retain_intersecting_rows(
+        &self,
+        keep: &mut BitVec,
+        probe: &BitVec,
+        removed: &mut Vec<u32>,
+    ) -> (bool, usize) {
         assert_eq!(keep.len(), self.dim);
         assert_eq!(probe.len(), self.dim);
-        let mut removed: Vec<u32> = Vec::new();
+        removed.clear();
         let mut probed = 0usize;
         for j in keep.iter_ones() {
             probed += 1;
@@ -156,7 +218,7 @@ impl BitMatrix {
                 removed.push(j as u32);
             }
         }
-        for &j in &removed {
+        for &j in removed.iter() {
             keep.clear(j as usize);
         }
         (!removed.is_empty(), probed)
@@ -256,8 +318,60 @@ mod tests {
         // Column-wise: start from all candidates, retain those whose
         // B-row intersects x.
         let mut colwise = BitVec::ones(5);
-        b.retain_intersecting_rows(&mut colwise, &x);
+        let mut removed = vec![99u32]; // stale scratch must be cleared
+        b.retain_intersecting_rows(&mut colwise, &x, &mut removed);
         assert_eq!(rowwise, colwise);
+        // The scratch buffer reports exactly the cleared bits.
+        for &j in &removed {
+            assert!(!colwise.get(j as usize));
+        }
+        assert_eq!(removed.len(), 5 - colwise.count_ones());
+    }
+
+    #[test]
+    fn dense_and_sparse_multiply_paths_agree() {
+        // 130 nodes forces several blocks, incl. a ragged tail; a chain
+        // plus fan-out gives non-trivial rows.
+        let dim = 130;
+        let mut edges: Vec<(u32, u32)> = (0..dim as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.extend([(0, 64), (5, 129), (77, 3), (129, 0)]);
+        let m = BitMatrix::from_edges(dim, &edges);
+        for x in [
+            BitVec::ones(dim),                              // all-ones blocks
+            BitVec::from_indices(dim, &[0, 63, 64, 129]),   // sparse path
+            {
+                let mut v = BitVec::ones(dim);
+                v.clear(7);
+                v.clear(70);
+                v                                            // dense, not all-ones
+            },
+        ] {
+            let mut out = BitVec::zeros(dim);
+            let rows = m.multiply_into(&x, &mut out);
+            assert_eq!(rows, x.count_ones());
+            // Reference: per-bit definition.
+            let mut expected = BitVec::zeros(dim);
+            for i in 0..dim {
+                if x.get(i) {
+                    expected.set_indices(m.row(i));
+                }
+            }
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn count_into_counts_column_support() {
+        let m = sample(); // 0 -> {1, 2}, 1 -> {0}, 3 -> {3}
+        let x = BitVec::from_indices(5, &[0, 1]);
+        let mut counts = vec![0u32; 5];
+        let increments = m.count_into(&x, &mut counts);
+        assert_eq!(counts, vec![1, 1, 1, 0, 0]);
+        assert_eq!(increments, 3);
+        // Counting is additive over repeated calls.
+        let y = BitVec::from_indices(5, &[3]);
+        m.count_into(&y, &mut counts);
+        assert_eq!(counts, vec![1, 1, 1, 1, 0]);
     }
 
     #[test]

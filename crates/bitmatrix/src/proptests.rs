@@ -108,8 +108,46 @@ proptest! {
         // Column-wise via the transpose.
         let t = m.transpose();
         let mut actual = keep.clone();
-        t.retain_intersecting_rows(&mut actual, &x);
-        prop_assert_eq!(actual, expected);
+        let mut removed = Vec::new();
+        t.retain_intersecting_rows(&mut actual, &x, &mut removed);
+        prop_assert_eq!(&actual, &expected);
+        // The scratch reports exactly keep \ result.
+        let mut diff = keep.clone();
+        diff.and_not_assign(&actual);
+        prop_assert_eq!(removed, diff.to_indices());
+    }
+
+    /// `drain_cleared` is `and_assign` plus an exact removal log.
+    #[test]
+    fn drain_cleared_matches_and_assign(a in arb_bitvec(), b in arb_bitvec()) {
+        let mut drained = a.clone();
+        let mut removed = Vec::new();
+        let changed = drained.drain_cleared(&b, &mut removed);
+        let mut anded = a.clone();
+        let changed_ref = anded.and_assign(&b);
+        prop_assert_eq!(&drained, &anded);
+        prop_assert_eq!(changed, changed_ref);
+        let mut diff = a.clone();
+        diff.and_not_assign(&b);
+        prop_assert_eq!(removed, diff.to_indices());
+    }
+
+    /// The counter-init multiply counts exactly |column ∩ x| per column,
+    /// and a column's count is zero iff the product bit is zero.
+    #[test]
+    fn count_into_matches_column_intersections(m in arb_matrix(), x in arb_bitvec()) {
+        let mut counts = vec![0u32; LEN];
+        let increments = m.count_into(&x, &mut counts);
+        prop_assert_eq!(increments, counts.iter().map(|&c| c as usize).sum::<usize>());
+        let t = m.transpose();
+        let mut product = BitVec::zeros(LEN);
+        m.multiply_into(&x, &mut product);
+        for (j, &c) in counts.iter().enumerate() {
+            // column j of m == row j of the transpose
+            let expected = t.row(j).iter().filter(|&&i| x.get(i as usize)).count();
+            prop_assert_eq!(c as usize, expected);
+            prop_assert_eq!(c > 0, product.get(j));
+        }
     }
 
     #[test]

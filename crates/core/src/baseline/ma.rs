@@ -168,6 +168,7 @@ mod tests {
             ordering: IneqOrdering::SparsityFirst,
             init: InitMode::Summaries,
             early_exit: false,
+            ..SolverConfig::default()
         };
         for text in [
             "{ ?x p ?y . ?y p ?z }",

@@ -1,0 +1,489 @@
+//! The delta-counting fixpoint engine ([`FixpointMode::DeltaCounting`]).
+//!
+//! The Sect. 3.2 algorithm re-evaluates an *entire* inequality whenever
+//! its right-hand-side variable shrank: `×b` re-ORs every CSR row
+//! selected by χ(source), even when only a handful of bits were just
+//! cleared. This engine instead maintains, for every edge inequality
+//! `target ≤ source ×b M`, a **support counter** per candidate node —
+//!
+//! ```text
+//! support[i][w] = |column w of M ∩ χ(source)|
+//!               = |{u ∈ χ(source) : M(u, w) = 1}|
+//! ```
+//!
+//! — seeded once after Eq. (12)/(13) initialization by
+//! [`BitMatrix::count_into`]. The inequality is satisfied for `w` iff
+//! `support[i][w] > 0`, so when bit `u` is cleared from χ(source) the
+//! engine walks only `M.row(u)`, decrements the counters of the affected
+//! targets, and enqueues every node whose support hits zero for removal
+//! from χ(target). Removals cascade through a worklist of
+//! `(variable, node)` deltas until it drains: O(degree of the removed
+//! node) per removal instead of a whole-inequality re-evaluation. This
+//! is the counting bookkeeping of HHK-style simulation algorithms (cf.
+//! [`crate::baseline::dual_simulation_hhk`]) lifted to the general SOI
+//! setting — subset inequalities, surrogates, constants, forward-only
+//! systems and warm starts included.
+//!
+//! Every removal is *forced* (the cleared node violates some inequality
+//! in every solution below the current assignment), and the worklist
+//! only drains when all counters of kept candidates are positive, i.e.
+//! all inequalities hold. The result is therefore the same unique
+//! largest solution (Prop. 2) the re-evaluation engine computes — the
+//! equivalence proptests in `crate::proptests` pin this down.
+//!
+//! [`DeltaSolver`] keeps its counters alive after convergence, which is
+//! what makes truly incremental **deletion** maintenance possible:
+//! [`DeltaSolver::retract_triples`] feeds deleted triples straight into
+//! the delta queue (one counter decrement per affected inequality)
+//! instead of re-running any per-inequality evaluation — see
+//! [`crate::IncrementalDualSim`].
+//!
+//! [`FixpointMode::DeltaCounting`]: crate::FixpointMode::DeltaCounting
+//! [`BitMatrix::count_into`]: dualsim_bitmatrix::BitMatrix::count_into
+
+use crate::solver::{apply_summary_init, evaluation_order, seed_chi, split_pair};
+use crate::{Inequality, Soi, Solution, SolveStats, SolverConfig};
+use dualsim_bitmatrix::{BitMatrix, BitVec};
+use dualsim_graph::{GraphDb, Triple};
+
+/// One-shot entry point used by [`crate::solve_from`] for
+/// [`crate::FixpointMode::DeltaCounting`].
+pub(crate) fn solve_delta(
+    db: &GraphDb,
+    soi: &Soi,
+    config: &SolverConfig,
+    initial_chi: Vec<BitVec>,
+) -> Solution {
+    DeltaSolver::from_chi(db, soi, config, initial_chi).solution()
+}
+
+#[inline]
+fn multiply_matrix(db: &GraphDb, label: u32, forward: bool) -> &BitMatrix {
+    if forward {
+        db.forward(label)
+    } else {
+        db.backward(label)
+    }
+}
+
+/// The delta-counting engine with persistent state: the current χ, the
+/// per-(inequality, candidate) support counters, and the removal
+/// worklist. Constructed through [`DeltaSolver::new`] (cold solve) or
+/// [`DeltaSolver::from_chi`] (warm start from a superset of the largest
+/// solution); after convergence the state stays valid, so
+/// [`DeltaSolver::retract_triples`] can maintain the solution under
+/// triple deletions without ever re-seeding.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaSolver {
+    chi: Vec<BitVec>,
+    counts: Vec<usize>,
+    /// `support[i]` for edge inequality `i` with a known label; empty for
+    /// subset and absent-label inequalities.
+    support: Vec<Vec<u32>>,
+    /// Inequalities to visit when a variable shrinks: edge inequalities
+    /// by `source`, subset inequalities by `sup`.
+    by_source: Vec<Vec<u32>>,
+    /// Pending `(variable, node)` removal deltas.
+    queue: Vec<(u32, u32)>,
+    /// Cumulative work counters (across the initial solve and every
+    /// later retraction).
+    stats: SolveStats,
+    /// Set once an early exit emptied everything; the state is final and
+    /// the counters are no longer meaningful.
+    dead: bool,
+}
+
+impl DeltaSolver {
+    /// Cold solve: seeds χ from Eq. (12) plus constant pinning.
+    pub(crate) fn new(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Self {
+        Self::from_chi(db, soi, config, seed_chi(db, soi))
+    }
+
+    /// Warm start: converges from a caller-provided superset of the
+    /// largest solution (same contract as [`crate::solve_from`]).
+    pub(crate) fn from_chi(
+        db: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+        mut chi: Vec<BitVec>,
+    ) -> Self {
+        let n = db.num_nodes();
+        let nv = soi.vars.len();
+        assert_eq!(chi.len(), nv, "one χ per SOI variable");
+        apply_summary_init(db, soi, config, &mut chi);
+        let counts: Vec<usize> = chi.iter().map(BitVec::count_ones).collect();
+        let stats = SolveStats {
+            initial_candidates: counts.iter().sum(),
+            ..SolveStats::default()
+        };
+
+        let mut solver = DeltaSolver {
+            chi,
+            counts,
+            support: vec![Vec::new(); soi.ineqs.len()],
+            by_source: vec![Vec::new(); nv],
+            queue: Vec::new(),
+            stats,
+            dead: false,
+        };
+
+        // A mandatory variable may be empty straight after initialization
+        // (unknown constant, missing predicate support).
+        for (v, var) in soi.vars.iter().enumerate() {
+            if solver.counts[v] == 0 && var.mandatory {
+                solver.stats.emptied_mandatory = true;
+                if config.early_exit {
+                    solver.kill();
+                    return solver;
+                }
+            }
+        }
+
+        // Dependency lists and support counters, both from the seeded χ.
+        // All removals happen after this point and reach the counters
+        // exclusively through the worklist, which keeps the invariant
+        // `support[i][w] = |column w ∩ (χ(source) ∪ pending removals)|`.
+        for (i, ineq) in soi.ineqs.iter().enumerate() {
+            match *ineq {
+                Inequality::Edge {
+                    source, label, forward, ..
+                } => {
+                    solver.by_source[source].push(i as u32);
+                    if let Some(a) = label {
+                        let mut sup = vec![0u32; n];
+                        solver.stats.counter_inits += multiply_matrix(db, a, forward)
+                            .count_into(&solver.chi[source], &mut sup);
+                        solver.support[i] = sup;
+                    }
+                }
+                Inequality::Subset { sup, .. } => solver.by_source[sup].push(i as u32),
+            }
+        }
+
+        // Enforce every inequality once (the seeded χ may violate them),
+        // turning each violation into queued removal deltas.
+        let mut removed: Vec<u32> = Vec::new();
+        let mut early = false;
+        'seed: for &i in &evaluation_order(db, soi, config) {
+            solver.stats.evaluations += 1;
+            removed.clear();
+            let target = match soi.ineqs[i as usize] {
+                Inequality::Edge {
+                    target, label: None, ..
+                } => {
+                    // Empty matrix: the product is the zero vector.
+                    removed.extend(solver.chi[target].iter_ones().map(|w| w as u32));
+                    target
+                }
+                Inequality::Edge {
+                    target, label: Some(_), ..
+                } => {
+                    let support = &solver.support[i as usize];
+                    removed.extend(
+                        solver.chi[target]
+                            .iter_ones()
+                            .filter(|&w| support[w] == 0)
+                            .map(|w| w as u32),
+                    );
+                    target
+                }
+                Inequality::Subset { sub, sup } => {
+                    let (sup_chi, sub_chi) = split_pair(&mut solver.chi, sup, sub);
+                    sub_chi.drain_cleared(sup_chi, &mut removed);
+                    // drain_cleared already cleared the bits; enqueue
+                    // without re-clearing.
+                    for &w in &removed {
+                        if solver.remove_cleared_bit(soi, config, sub, w) {
+                            early = true;
+                            break 'seed;
+                        }
+                    }
+                    continue;
+                }
+            };
+            for &w in &removed {
+                solver.chi[target].clear(w as usize);
+                if solver.remove_cleared_bit(soi, config, target, w) {
+                    early = true;
+                    break 'seed;
+                }
+            }
+        }
+
+        if early || solver.drain(db, soi, config) {
+            solver.kill();
+        } else if !soi.ineqs.is_empty() {
+            // The worklist-drain equivalent of one stabilization pass.
+            solver.stats.iterations = 1;
+        }
+        solver.stats.final_candidates = solver.counts.iter().sum();
+        solver
+    }
+
+    /// Snapshot of the current (converged) state.
+    pub(crate) fn solution(&self) -> Solution {
+        Solution {
+            chi: self.chi.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Maintains the largest solution after the given triples were
+    /// **deleted**: `db_after` must be the previous database minus
+    /// `deleted` (each triple listed exactly once). Every deleted triple
+    /// decrements the support counters of the inequalities it fed —
+    /// O(#inequalities) per triple — and nodes whose support hits zero
+    /// cascade through the regular delta worklist. No inequality is ever
+    /// re-evaluated wholesale and the counters are **not** re-seeded.
+    pub(crate) fn retract_triples(
+        &mut self,
+        db_after: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+        deleted: &[Triple],
+    ) {
+        if self.dead {
+            return; // early-exited: the empty solution is final
+        }
+        self.stats.iterations += 1;
+        // Phase 1: take back the deleted entries' counter contributions.
+        // No χ bit is cleared in this phase, so "u is still a source
+        // candidate" is exactly "u's +1 is still in the counter" (a node
+        // removed *earlier* had its contribution walked out against the
+        // then-current matrices, which still contained this batch's
+        // entries). Clearing eagerly here would break that equivalence
+        // for inequalities visited later in the same batch.
+        let mut zeroed: Vec<(usize, u32)> = Vec::new();
+        for t in deleted {
+            for (i, ineq) in soi.ineqs.iter().enumerate() {
+                let Inequality::Edge {
+                    target,
+                    source,
+                    label: Some(a),
+                    forward,
+                } = *ineq
+                else {
+                    continue;
+                };
+                if a != t.p {
+                    continue;
+                }
+                // The multiply matrix M lost entry (u, w).
+                let (u, w) = if forward { (t.s, t.o) } else { (t.o, t.s) };
+                if !self.chi[source].get(u as usize) {
+                    continue;
+                }
+                self.stats.counter_decrements += 1;
+                let c = &mut self.support[i][w as usize];
+                debug_assert!(*c > 0, "support underflow on retraction");
+                *c -= 1;
+                if *c == 0 {
+                    zeroed.push((target, w));
+                }
+            }
+        }
+        // Phase 2: the zero-support candidates are forced removals;
+        // cascade them through the worklist against the post-deletion
+        // matrices.
+        let mut early = false;
+        for (target, w) in zeroed {
+            if self.chi[target].get(w as usize) {
+                self.chi[target].clear(w as usize);
+                if self.remove_cleared_bit(soi, config, target, w) {
+                    early = true;
+                    break;
+                }
+            }
+        }
+        if early || self.drain(db_after, soi, config) {
+            self.kill();
+        }
+        self.stats.final_candidates = self.counts.iter().sum();
+    }
+
+    /// Bookkeeping for a bit that the caller just cleared from `chi[v]`:
+    /// counts, stats, worklist, mandatory-emptiness. Returns `true` iff
+    /// the solve must early-exit (the caller then invokes [`Self::kill`]).
+    fn remove_cleared_bit(&mut self, soi: &Soi, config: &SolverConfig, v: usize, w: u32) -> bool {
+        self.counts[v] -= 1;
+        self.stats.updates += 1;
+        self.queue.push((v as u32, w));
+        if self.counts[v] == 0 && soi.vars[v].mandatory {
+            self.stats.emptied_mandatory = true;
+            if config.early_exit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drains the removal worklist. Returns `true` iff an early exit
+    /// triggered (the state must then be killed).
+    fn drain(&mut self, db: &GraphDb, soi: &Soi, config: &SolverConfig) -> bool {
+        // Detach the dependency lists so the loop can mutate the rest of
+        // the state while iterating them.
+        let by_source = std::mem::take(&mut self.by_source);
+        let mut early = false;
+        'outer: while let Some((v, u)) = self.queue.pop() {
+            self.stats.delta_removals += 1;
+            for &i in &by_source[v as usize] {
+                let i = i as usize;
+                match soi.ineqs[i] {
+                    Inequality::Edge {
+                        target,
+                        label: Some(a),
+                        forward,
+                        ..
+                    } => {
+                        for &w in multiply_matrix(db, a, forward).row(u as usize) {
+                            self.stats.counter_decrements += 1;
+                            let c = &mut self.support[i][w as usize];
+                            debug_assert!(*c > 0, "support underflow on removal");
+                            *c -= 1;
+                            if *c == 0 && self.chi[target].get(w as usize) {
+                                self.chi[target].clear(w as usize);
+                                if self.remove_cleared_bit(soi, config, target, w) {
+                                    early = true;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    // Absent label: χ(target) was emptied at seeding, and
+                    // empty stays empty.
+                    Inequality::Edge { label: None, .. } => {}
+                    Inequality::Subset { sub, .. } => {
+                        if self.chi[sub].get(u as usize) {
+                            self.chi[sub].clear(u as usize);
+                            if self.remove_cleared_bit(soi, config, sub, u) {
+                                early = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.by_source = by_source;
+        early
+    }
+
+    /// Early exit: empties every variable (the convention shared with the
+    /// re-evaluation engine's `empty_solution`) and freezes the state.
+    fn kill(&mut self) {
+        for c in self.chi.iter_mut() {
+            c.clear_all();
+        }
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.stats.final_candidates = 0;
+        self.queue.clear();
+        self.dead = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_sois, solve, FixpointMode};
+    use dualsim_graph::GraphDbBuilder;
+    use dualsim_query::parse;
+
+    fn delta_cfg(early_exit: bool) -> SolverConfig {
+        SolverConfig {
+            fixpoint: FixpointMode::DeltaCounting,
+            early_exit,
+            ..SolverConfig::default()
+        }
+    }
+
+    fn sample_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_triple("a", "p", "b").unwrap();
+        b.add_triple("b", "p", "c").unwrap();
+        b.add_triple("c", "p", "a").unwrap();
+        b.add_triple("a", "q", "c").unwrap();
+        b.add_triple("d", "p", "d").unwrap();
+        b.add_triple("e", "q", "a").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn delta_matches_reevaluate_on_fixtures() {
+        let db = sample_db();
+        for text in [
+            "{ ?x p ?y }",
+            "{ ?x p ?y . ?y p ?z . ?x q ?z }",
+            "{ ?x p ?x }",
+            "{ ?x q ?y . ?y p ?z }",
+            "{ ?x nolabel ?y . ?x p ?z }",
+            "{ ?x p ?y OPTIONAL { ?x q ?z } }",
+            "{ ?x p <d> }",
+        ] {
+            let q = parse(text).unwrap();
+            for soi in build_sois(&db, &q) {
+                for early_exit in [false, true] {
+                    let reev = solve(
+                        &db,
+                        &soi,
+                        &SolverConfig {
+                            early_exit,
+                            ..SolverConfig::default()
+                        },
+                    );
+                    let delta = solve(&db, &soi, &delta_cfg(early_exit));
+                    assert_eq!(reev.chi, delta.chi, "{text} (early_exit={early_exit})");
+                    assert_eq!(
+                        reev.is_certainly_empty(),
+                        delta.is_certainly_empty(),
+                        "{text}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_counts_its_work() {
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let sol = solve(&db, &soi, &delta_cfg(false));
+        assert!(sol.stats.counter_inits > 0, "support seeding happened");
+        assert_eq!(sol.stats.rowwise, 0, "no whole-inequality multiplies");
+        assert_eq!(sol.stats.rows_ored, 0);
+        assert_eq!(sol.stats.bits_probed, 0);
+        assert!(sol.stats.work_ops() > 0);
+    }
+
+    #[test]
+    fn retraction_tracks_cold_solves_triple_by_triple() {
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(false);
+        let mut engine = DeltaSolver::new(&db, &soi, &cfg);
+        let mut triples: Vec<Triple> = db.triples().collect();
+        while let Some(victim) = triples.pop() {
+            let db_after = db.with_triples(&triples);
+            engine.retract_triples(&db_after, &soi, &cfg, &[victim]);
+            let cold = solve(&db_after, &soi, &cfg);
+            assert_eq!(engine.solution().chi, cold.chi, "after {victim:?}");
+        }
+    }
+
+    #[test]
+    fn retraction_after_early_exit_stays_empty() {
+        let db = sample_db();
+        let q = parse("{ ?x nolabel ?y }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(true);
+        let mut engine = DeltaSolver::new(&db, &soi, &cfg);
+        assert!(engine.solution().is_certainly_empty());
+        let victim: Triple = db.triples().next().unwrap();
+        let rest: Vec<Triple> = db.triples().skip(1).collect();
+        engine.retract_triples(&db.with_triples(&rest), &soi, &cfg, &[victim]);
+        let sol = engine.solution();
+        assert!(sol.is_certainly_empty());
+        assert!(sol.chi.iter().all(BitVec::none_set));
+    }
+}

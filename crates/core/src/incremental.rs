@@ -16,8 +16,16 @@
 //! This mirrors the classic split in incremental simulation maintenance
 //! (cf. Fan et al.'s incremental graph pattern matching line of work the
 //! paper builds on).
+//!
+//! Under [`FixpointMode::DeltaCounting`] the instance additionally keeps
+//! the delta engine's support counters alive between updates: deletions
+//! are then fed *directly into the delta worklist* (one counter
+//! decrement per deleted triple and affected inequality) instead of
+//! re-running the solver over the previous χ — the fully incremental
+//! path the `ablation_fixpoint` benchmark measures.
 
-use crate::{solve, solve_from, Soi, Solution, SolverConfig};
+use crate::delta::DeltaSolver;
+use crate::{solve, solve_from, FixpointMode, Soi, Solution, SolverConfig};
 use dualsim_graph::{GraphDb, Triple};
 
 /// A maintained largest-solution instance for one SOI.
@@ -26,6 +34,9 @@ pub struct IncrementalDualSim {
     soi: Soi,
     config: SolverConfig,
     solution: Solution,
+    /// Persistent delta engine (support counters included); `Some` iff
+    /// the configuration selects [`FixpointMode::DeltaCounting`].
+    engine: Option<DeltaSolver>,
     /// `true` while the stored solution matches the last database seen.
     warm: bool,
 }
@@ -33,11 +44,18 @@ pub struct IncrementalDualSim {
 impl IncrementalDualSim {
     /// Solves from scratch and starts maintenance.
     pub fn new(db: &GraphDb, soi: Soi, config: SolverConfig) -> Self {
-        let solution = solve(db, &soi, &config);
+        let (solution, engine) = match config.fixpoint {
+            FixpointMode::Reevaluate => (solve(db, &soi, &config), None),
+            FixpointMode::DeltaCounting => {
+                let engine = DeltaSolver::new(db, &soi, &config);
+                (engine.solution(), Some(engine))
+            }
+        };
         IncrementalDualSim {
             soi,
             config,
             solution,
+            engine,
             warm: true,
         }
     }
@@ -53,8 +71,13 @@ impl IncrementalDualSim {
     }
 
     /// Re-establishes the largest solution after triples were **deleted**
-    /// (`db_after` must be the old database minus `deleted`). Warm-starts
-    /// from the previous solution.
+    /// (`db_after` must be the old database minus `deleted`, each triple
+    /// listed exactly once).
+    ///
+    /// Under [`FixpointMode::Reevaluate`] this warm-starts the solver
+    /// from the previous solution; under [`FixpointMode::DeltaCounting`]
+    /// the deletions are pushed straight into the persistent delta
+    /// queue, touching only the counters the deleted triples supported.
     ///
     /// Returns the number of candidates dropped by the update.
     pub fn apply_deletions(&mut self, db_after: &GraphDb, deleted: &[Triple]) -> usize {
@@ -63,19 +86,34 @@ impl IncrementalDualSim {
             "deleted triples must be absent from db_after"
         );
         let before: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
-        // The previous χ is an upper bound of the new largest solution;
-        // early exit stays valid because emptiness is monotone too.
-        let initial = self.solution.chi.clone();
-        self.solution = solve_from(db_after, &self.soi, &self.config, initial);
+        if let Some(engine) = &mut self.engine {
+            engine.retract_triples(db_after, &self.soi, &self.config, deleted);
+            self.solution = engine.solution();
+        } else {
+            // The previous χ is an upper bound of the new largest
+            // solution; early exit stays valid because emptiness is
+            // monotone too.
+            let initial = self.solution.chi.clone();
+            self.solution = solve_from(db_after, &self.soi, &self.config, initial);
+        }
         self.warm = true;
         let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
         before.saturating_sub(after)
     }
 
     /// Re-establishes the largest solution after arbitrary changes
-    /// (insertions included): cold re-solve.
+    /// (insertions included): cold re-solve (and, for the delta engine,
+    /// a counter re-seed — insertions can *grow* the solution, which the
+    /// shrink-only counters cannot express).
     pub fn apply_insertions(&mut self, db_after: &GraphDb) {
-        self.solution = solve(db_after, &self.soi, &self.config);
+        match self.config.fixpoint {
+            FixpointMode::Reevaluate => self.solution = solve(db_after, &self.soi, &self.config),
+            FixpointMode::DeltaCounting => {
+                let engine = DeltaSolver::new(db_after, &self.soi, &self.config);
+                self.solution = engine.solution();
+                self.engine = Some(engine);
+            }
+        }
         self.warm = false;
     }
 
@@ -102,9 +140,12 @@ mod tests {
         b.finish()
     }
 
-    fn cfg() -> SolverConfig {
+    const MODES: [FixpointMode; 2] = [FixpointMode::Reevaluate, FixpointMode::DeltaCounting];
+
+    fn cfg(fixpoint: FixpointMode) -> SolverConfig {
         SolverConfig {
             early_exit: false,
+            fixpoint,
             ..SolverConfig::default()
         }
     }
@@ -114,18 +155,25 @@ mod tests {
         let db = db();
         let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
         let soi = build_sois(&db, &q).remove(0);
-        let mut inc = IncrementalDualSim::new(&db, soi.clone(), cfg());
+        for mode in MODES {
+            let mut inc = IncrementalDualSim::new(&db, soi.clone(), cfg(mode));
 
-        // Delete the (d,p,e) edge: the d→e→f chain dies.
-        let deleted: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) == "d").collect();
-        let remaining: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) != "d").collect();
-        let db_after = db.with_triples(&remaining);
+            // Delete the (d,p,e) edge: the d→e→f chain dies.
+            let deleted: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) == "d").collect();
+            let remaining: Vec<Triple> =
+                db.triples().filter(|t| db.node_name(t.s) != "d").collect();
+            let db_after = db.with_triples(&remaining);
 
-        let dropped = inc.apply_deletions(&db_after, &deleted);
-        assert!(dropped > 0);
-        assert!(inc.last_update_was_warm());
-        let cold = solve(&db_after, &soi, &cfg());
-        assert_eq!(inc.solution().chi, cold.chi, "warm == cold after deletion");
+            let dropped = inc.apply_deletions(&db_after, &deleted);
+            assert!(dropped > 0);
+            assert!(inc.last_update_was_warm());
+            let cold = solve(&db_after, &soi, &cfg(mode));
+            assert_eq!(
+                inc.solution().chi,
+                cold.chi,
+                "warm == cold after deletion ({mode:?})"
+            );
+        }
     }
 
     #[test]
@@ -133,17 +181,44 @@ mod tests {
         let db = db();
         let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
         let soi = build_sois(&db, &q).remove(0);
-        let mut inc = IncrementalDualSim::new(&db, soi.clone(), cfg());
+        for mode in MODES {
+            let mut inc = IncrementalDualSim::new(&db, soi.clone(), cfg(mode));
 
-        let mut triples: Vec<Triple> = db.triples().collect();
-        // Remove one triple at a time; warm result must always equal cold.
-        while let Some(victim) = triples.pop() {
-            let db_after = db.with_triples(&triples);
-            inc.apply_deletions(&db_after, &[victim]);
-            let cold = solve(&db_after, &soi, &cfg());
-            assert_eq!(inc.solution().chi, cold.chi, "after removing {victim:?}");
+            let mut triples: Vec<Triple> = db.triples().collect();
+            // Remove one triple at a time; warm result must always equal
+            // cold.
+            while let Some(victim) = triples.pop() {
+                let db_after = db.with_triples(&triples);
+                inc.apply_deletions(&db_after, &[victim]);
+                let cold = solve(&db_after, &soi, &cfg(mode));
+                assert_eq!(
+                    inc.solution().chi,
+                    cold.chi,
+                    "after removing {victim:?} ({mode:?})"
+                );
+            }
+            assert!(inc.solution().chi.iter().all(|c| c.none_set()));
         }
-        assert!(inc.solution().chi.iter().all(|c| c.none_set()));
+    }
+
+    #[test]
+    fn delta_mode_deletions_skip_reevaluation_work() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let mut inc =
+            IncrementalDualSim::new(&db, soi, cfg(FixpointMode::DeltaCounting));
+        let base = inc.solution().stats.clone();
+        let victim: Triple = db.triples().next().unwrap();
+        let remaining: Vec<Triple> = db.triples().skip(1).collect();
+        inc.apply_deletions(&db.with_triples(&remaining), &[victim]);
+        let after = inc.solution().stats.clone();
+        // The update decremented counters but never re-seeded them and
+        // never multiplied a whole inequality.
+        assert_eq!(after.counter_inits, base.counter_inits);
+        assert_eq!(after.rows_ored, 0);
+        assert_eq!(after.bits_probed, 0);
+        assert!(after.counter_decrements > base.counter_decrements);
     }
 
     #[test]
@@ -160,24 +235,34 @@ mod tests {
         };
         let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
         let soi = build_sois(&small, &q).remove(0);
-        let mut inc = IncrementalDualSim::new(&small, soi.clone(), cfg());
-        assert!(
-            inc.solution().chi.iter().all(|c| c.none_set()),
-            "no q edge yet"
-        );
+        for mode in MODES {
+            let mut inc = IncrementalDualSim::new(&small, soi.clone(), cfg(mode));
+            assert!(
+                inc.solution().chi.iter().all(|c| c.none_set()),
+                "no q edge yet"
+            );
 
-        // Insert (b,q,c): the chain appears; a cold solve is required.
-        let mut triples: Vec<Triple> = small.triples().collect();
-        let p_q = small.label_id("q").unwrap();
-        triples.push(Triple::new(
-            small.node_id("b").unwrap(),
-            p_q,
-            small.node_id("c").unwrap(),
-        ));
-        let db_after = small.with_triples(&triples);
-        inc.apply_insertions(&db_after);
-        assert!(!inc.last_update_was_warm());
-        let x = soi.vars_for("x")[0];
-        assert!(inc.solution().chi[x].get(small.node_id("a").unwrap() as usize));
+            // Insert (b,q,c): the chain appears; a cold solve is required.
+            let mut triples: Vec<Triple> = small.triples().collect();
+            let p_q = small.label_id("q").unwrap();
+            triples.push(Triple::new(
+                small.node_id("b").unwrap(),
+                p_q,
+                small.node_id("c").unwrap(),
+            ));
+            let db_after = small.with_triples(&triples);
+            inc.apply_insertions(&db_after);
+            assert!(!inc.last_update_was_warm());
+            let x = soi.vars_for("x")[0];
+            assert!(inc.solution().chi[x].get(small.node_id("a").unwrap() as usize));
+
+            // And further deletions keep working after the re-seed.
+            let deleted: Vec<Triple> = db_after.triples().skip(1).collect();
+            let kept: Vec<Triple> = db_after.triples().take(1).collect();
+            let db_final = db_after.with_triples(&kept);
+            inc.apply_deletions(&db_final, &deleted);
+            let cold = solve(&db_final, &soi, &cfg(mode));
+            assert_eq!(inc.solution().chi, cold.chi, "{mode:?}");
+        }
     }
 }

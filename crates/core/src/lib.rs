@@ -11,7 +11,10 @@
 //! * [`solve`] — the fixpoint solver of Sect. 3.2 with the dynamically
 //!   interchangeable evaluation strategies of Sect. 3.3 (row-wise vs.
 //!   column-wise `×b`, sparsity-driven inequality ordering), configured
-//!   by [`SolverConfig`];
+//!   by [`SolverConfig`]; two convergence engines are available
+//!   ([`FixpointMode`]): whole-inequality re-evaluation and
+//!   delta-counting removal propagation, which also powers truly
+//!   incremental deletion maintenance in [`IncrementalDualSim`];
 //! * [`baseline`] — the comparison algorithms: the passive dual-simulation
 //!   algorithm of Ma et al. \[20\] and an HHK-style \[17\] worklist
 //!   algorithm with removal counters, both adjusted to labeled graphs;
@@ -42,12 +45,16 @@
 
 pub mod baseline;
 pub mod check;
+mod delta;
 mod incremental;
 mod pruning;
 mod quotient;
 mod soi;
 mod solver;
 mod strong;
+
+#[cfg(test)]
+mod proptests;
 
 pub use incremental::IncrementalDualSim;
 pub use pruning::{
@@ -56,6 +63,7 @@ pub use pruning::{
 pub use quotient::QuotientIndex;
 pub use soi::{build_sois, build_sois_with, Inequality, PatternEdge, SimulationKind, Soi, SoiVar};
 pub use solver::{
-    solve, solve_from, EvalStrategy, IneqOrdering, InitMode, Solution, SolveStats, SolverConfig,
+    solve, solve_from, EvalStrategy, FixpointMode, IneqOrdering, InitMode, Solution, SolveStats,
+    SolverConfig,
 };
 pub use strong::{strong_kept_triples, strong_simulation, StrongSimulation, StrongStats};

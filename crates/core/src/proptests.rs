@@ -1,0 +1,156 @@
+//! Property-based equivalence tests for the two fixpoint engines: on
+//! random graphs × random queries, [`FixpointMode::DeltaCounting`] and
+//! [`FixpointMode::Reevaluate`] must produce bit-identical χ fixpoints
+//! and agree on emptiness — for dual and forward-only simulation, with
+//! and without early exit, and along incremental deletion chains.
+//!
+//! [`FixpointMode::DeltaCounting`]: crate::FixpointMode::DeltaCounting
+//! [`FixpointMode::Reevaluate`]: crate::FixpointMode::Reevaluate
+
+use crate::{
+    build_sois_with, solve, solve_from, FixpointMode, IncrementalDualSim, SimulationKind,
+    SolverConfig,
+};
+use dualsim_graph::{GraphDb, GraphDbBuilder, NodeKind, Triple};
+use dualsim_query::{parse, Query};
+use proptest::prelude::*;
+
+const NODES: u8 = 10;
+const LABELS: u8 = 3;
+
+fn arb_db() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec((0..NODES, 0..LABELS, 0..NODES), 1..36).prop_map(|triples| {
+        let mut b = GraphDbBuilder::new();
+        // Intern all nodes first so identifiers are stable across
+        // databases generated from different triple lists.
+        for i in 0..NODES {
+            b.add_node(&format!("n{i}"), NodeKind::Iri).unwrap();
+        }
+        for l in 0..LABELS {
+            b.intern_label(&format!("p{l}"));
+        }
+        for (s, p, o) in triples {
+            b.add_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"))
+                .unwrap();
+        }
+        b.finish()
+    })
+}
+
+/// One triple pattern as concrete syntax; label index `LABELS` denotes a
+/// predicate absent from every generated database, and a few objects are
+/// constants (sometimes absent ones).
+fn arb_pattern() -> impl Strategy<Value = String> {
+    (0u8..4, 0..=LABELS, prop_oneof![
+        6 => (0u8..4).prop_map(|o| format!("?v{o}")),
+        1 => (0..NODES).prop_map(|o| format!("<n{o}>")),
+        1 => Just("<unknown_node>".to_owned()),
+    ])
+        .prop_map(|(s, p, o)| format!("?v{s} p{p} {o}"))
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec(arb_pattern(), 1..4),
+        proptest::collection::vec(arb_pattern(), 0..3),
+    )
+        .prop_map(|(mandatory, optional)| {
+            let text = if optional.is_empty() {
+                format!("{{ {} }}", mandatory.join(" . "))
+            } else {
+                format!(
+                    "{{ {} OPTIONAL {{ {} }} }}",
+                    mandatory.join(" . "),
+                    optional.join(" . ")
+                )
+            };
+            parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"))
+        })
+}
+
+fn cfg(fixpoint: FixpointMode, early_exit: bool) -> SolverConfig {
+    SolverConfig {
+        fixpoint,
+        early_exit,
+        ..SolverConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Both engines converge to the identical largest solution on every
+    /// union-free branch, for every (kind × early-exit) combination.
+    #[test]
+    fn delta_and_reevaluate_compute_the_same_fixpoint(db in arb_db(), q in arb_query()) {
+        for kind in [SimulationKind::Dual, SimulationKind::Forward] {
+            for soi in build_sois_with(&db, &q, kind) {
+                for early_exit in [false, true] {
+                    let reev = solve(&db, &soi, &cfg(FixpointMode::Reevaluate, early_exit));
+                    let delta = solve(&db, &soi, &cfg(FixpointMode::DeltaCounting, early_exit));
+                    prop_assert_eq!(
+                        &reev.chi, &delta.chi,
+                        "{} ({:?}, early_exit={})", q, kind, early_exit
+                    );
+                    prop_assert_eq!(
+                        reev.is_certainly_empty(), delta.is_certainly_empty(),
+                        "{} ({:?}, early_exit={})", q, kind, early_exit
+                    );
+                }
+            }
+        }
+    }
+
+    /// The delta engine's warm start (`solve_from` on a previous, larger
+    /// solution after deletions) matches the re-evaluation warm start
+    /// and the cold solve.
+    #[test]
+    fn delta_warm_start_matches_cold(db in arb_db(), q in arb_query(), keep_every in 2usize..5) {
+        let remaining: Vec<Triple> = db
+            .triples()
+            .enumerate()
+            .filter(|(i, _)| i % keep_every != 0)
+            .map(|(_, t)| t)
+            .collect();
+        let db_after = db.with_triples(&remaining);
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            for fixpoint in [FixpointMode::Reevaluate, FixpointMode::DeltaCounting] {
+                let config = cfg(fixpoint, false);
+                let old = solve(&db, &soi, &config);
+                let warm = solve_from(&db_after, &soi, &config, old.chi.clone());
+                let cold = solve(&db_after, &soi, &config);
+                prop_assert_eq!(&warm.chi, &cold.chi, "{} ({:?})", q, fixpoint);
+            }
+        }
+    }
+
+    /// Incremental deletion maintenance stays bit-identical to cold
+    /// solves in both modes, across a whole random deletion chain — the
+    /// delta mode routing deletions through its persistent counters.
+    #[test]
+    fn incremental_deletions_agree_across_modes(db in arb_db(), q in arb_query()) {
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let mut reev = IncrementalDualSim::new(
+                &db, soi.clone(), cfg(FixpointMode::Reevaluate, false));
+            let mut delta = IncrementalDualSim::new(
+                &db, soi.clone(), cfg(FixpointMode::DeltaCounting, false));
+            prop_assert_eq!(&reev.solution().chi, &delta.solution().chi, "{}", q);
+
+            let mut triples: Vec<Triple> = db.triples().collect();
+            while triples.len() > 1 {
+                // Delete two triples per batch to exercise multi-triple
+                // retraction.
+                let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
+                let db_after = db.with_triples(&triples);
+                reev.apply_deletions(&db_after, &batch);
+                delta.apply_deletions(&db_after, &batch);
+                prop_assert_eq!(
+                    &reev.solution().chi, &delta.solution().chi,
+                    "{} after deleting {:?}", q, batch
+                );
+                let cold = solve(&db_after, &soi, &cfg(FixpointMode::Reevaluate, false));
+                prop_assert_eq!(&delta.solution().chi, &cold.chi, "{} vs cold", q);
+            }
+        }
+    }
+}

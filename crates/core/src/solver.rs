@@ -1,14 +1,25 @@
-//! The SOI fixpoint solver (Sect. 3.2) with the Sect. 3.3 evaluation
+//! The SOI fixpoint solvers (Sect. 3.2) with the Sect. 3.3 evaluation
 //! strategies.
 //!
-//! Starting from the initial assignment (Eq. (12), or the tighter
-//! Eq. (13) summary initialization), the solver repeatedly picks an
-//! *unstable* inequality, re-evaluates it, intersects the target variable
-//! with the product, and re-marks every inequality whose right-hand side
-//! mentions the updated variable. The process terminates in the unique
-//! largest solution — the largest dual simulation (Prop. 2).
+//! Two complete convergence engines share the entry points [`solve`] and
+//! [`solve_from`], selected by [`FixpointMode`]:
 //!
-//! Two degrees of freedom are exposed, matching the paper's discussion:
+//! * [`FixpointMode::Reevaluate`] — the paper's algorithm: starting from
+//!   the initial assignment (Eq. (12), or the tighter Eq. (13) summary
+//!   initialization), repeatedly pick an *unstable* inequality,
+//!   re-evaluate it as a whole bit-matrix multiplication, intersect the
+//!   target variable with the product, and re-mark every inequality
+//!   whose right-hand side mentions the updated variable;
+//! * [`FixpointMode::DeltaCounting`] — the counting engine of
+//!   [`crate::delta`]: per-(inequality, candidate) support counters turn
+//!   each candidate removal into O(degree) counter decrements instead of
+//!   a whole-inequality re-evaluation.
+//!
+//! Both terminate in the unique largest solution — the largest dual
+//! simulation (Prop. 2).
+//!
+//! For the re-evaluation engine, two degrees of freedom are exposed,
+//! matching the paper's discussion:
 //!
 //! * the **order** in which unstable inequalities are evaluated
 //!   ([`IneqOrdering`]): syntactic query order, or matrices with more
@@ -53,6 +64,23 @@ pub enum InitMode {
     Summaries,
 }
 
+/// Which convergence engine drives the fixpoint computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixpointMode {
+    /// Re-evaluate a whole inequality whenever its right-hand-side
+    /// variable shrank (the Sect. 3.2 algorithm, and the historical
+    /// behavior of this crate).
+    #[default]
+    Reevaluate,
+    /// Maintain per-(inequality, candidate) support counters and
+    /// propagate only the *removed* bits through a worklist: clearing bit
+    /// `u` from χ(source) walks `matrix.row(u)` once and decrements the
+    /// support of the affected targets — O(degree) per removal, in the
+    /// style of HHK removal counters. Reaches the identical largest
+    /// solution; see [`crate::delta`].
+    DeltaCounting,
+}
+
 /// Solver configuration; [`SolverConfig::default`] is the configuration
 /// used for all headline experiments (adaptive strategy, sparsity-first
 /// ordering, summary initialization, early exit).
@@ -64,6 +92,10 @@ pub struct SolverConfig {
     pub ordering: IneqOrdering,
     /// Initial candidate relation.
     pub init: InitMode,
+    /// Convergence engine (whole-inequality re-evaluation vs.
+    /// delta-counting removal propagation). Both reach the same largest
+    /// solution; they differ only in how much work each shrink costs.
+    pub fixpoint: FixpointMode,
     /// Abort as soon as a *mandatory* variable loses all candidates: the
     /// query then has no matches and everything can be pruned. Turn this
     /// off to obtain the mathematical largest solution even for
@@ -77,6 +109,7 @@ impl Default for SolverConfig {
             strategy: EvalStrategy::Adaptive,
             ordering: IneqOrdering::SparsityFirst,
             init: InitMode::Summaries,
+            fixpoint: FixpointMode::Reevaluate,
             early_exit: true,
         }
     }
@@ -96,12 +129,33 @@ pub struct SolveStats {
     pub rowwise: usize,
     /// Multiplications evaluated column-wise.
     pub colwise: usize,
+    /// Matrix rows OR-ed by row-wise multiplications.
+    pub rows_ored: usize,
+    /// Candidate rows probed by column-wise evaluations.
+    pub bits_probed: usize,
+    /// Support-counter increments while seeding the delta engine.
+    pub counter_inits: usize,
+    /// Support-counter decrements during delta removal propagation.
+    pub counter_decrements: usize,
+    /// `(variable, node)` removal events drained from the delta worklist.
+    pub delta_removals: usize,
     /// Total candidates after initialization (Σ|χ(v)|).
     pub initial_candidates: usize,
     /// Total candidates at the fixpoint.
     pub final_candidates: usize,
     /// A mandatory variable lost all candidates (no matches exist).
     pub emptied_mandatory: bool,
+}
+
+impl SolveStats {
+    /// Unified engine-work measure: rows OR-ed + candidate rows probed
+    /// (the re-evaluation engine's costs) + support-counter increments
+    /// and decrements (the delta engine's costs). One unit ≈ one CSR
+    /// row visit or one counter touch, so the two engines are directly
+    /// comparable — this is what `BENCH_fixpoint.json` tracks.
+    pub fn work_ops(&self) -> usize {
+        self.rows_ored + self.bits_probed + self.counter_inits + self.counter_decrements
+    }
 }
 
 /// The largest solution of a system of inequalities.
@@ -137,16 +191,87 @@ impl Solution {
 /// Computes the largest solution of `soi` over `db` (Sect. 3.2
 /// algorithm). See [`SolverConfig`] for the tunable heuristics.
 pub fn solve(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Solution {
+    solve_from(db, soi, config, seed_chi(db, soi))
+}
+
+/// The Eq.-(12) starting relation with the Sect.-4.5 constant alteration:
+/// all ones per variable, except constants pinned to their singleton (or
+/// emptied when the constant is absent from the database).
+pub(crate) fn seed_chi(db: &GraphDb, soi: &Soi) -> Vec<BitVec> {
     let n = db.num_nodes();
-    let mut chi: Vec<BitVec> = Vec::with_capacity(soi.vars.len());
-    for var in &soi.vars {
-        chi.push(match var.pinned {
+    soi.vars
+        .iter()
+        .map(|var| match var.pinned {
             Some(Some(node)) => BitVec::from_indices(n, &[node]),
             Some(None) => BitVec::zeros(n), // constant absent from the DB
             None => BitVec::ones(n),
-        });
+        })
+        .collect()
+}
+
+/// Applies the Eq.-(13) summary tightening in place (no-op under
+/// [`InitMode::AllOnes`]). Shared by both fixpoint engines.
+pub(crate) fn apply_summary_init(db: &GraphDb, soi: &Soi, config: &SolverConfig, chi: &mut [BitVec]) {
+    if config.init != InitMode::Summaries {
+        return;
     }
-    solve_from(db, soi, config, chi)
+    let dual = soi.kind == crate::SimulationKind::Dual;
+    for e in &soi.edges {
+        match e.label {
+            Some(a) => {
+                chi[e.src].and_assign(db.f_summary(a));
+                if dual {
+                    // Forward-only simulation puts no incoming-edge
+                    // requirement on objects (Def. 2(ii) is dropped).
+                    chi[e.dst].and_assign(db.b_summary(a));
+                }
+            }
+            None => {
+                // The predicate does not occur in the database: no
+                // node supports the edge.
+                chi[e.src].clear_all();
+                if dual {
+                    chi[e.dst].clear_all();
+                }
+            }
+        }
+    }
+}
+
+/// The order in which inequalities are (re-)evaluated, honoring
+/// [`IneqOrdering`]. Shared by both engines (the delta engine uses it
+/// for its one-time seeding pass).
+pub(crate) fn evaluation_order(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..soi.ineqs.len() as u32).collect();
+    if config.ordering == IneqOrdering::SparsityFirst {
+        // Fewer non-empty columns of the multiplied matrix first. The
+        // columns of F^a that contain a bit are exactly the set bits of
+        // b^a (and vice versa), so the key is the popcount of the
+        // opposite-direction summary. The keys are materialized up
+        // front: sort_by_key re-evaluates its key function O(m log m)
+        // times, and each popcount is a full pass over a summary vector.
+        let keys: Vec<usize> = soi
+            .ineqs
+            .iter()
+            .map(|ineq| match *ineq {
+                Inequality::Subset { .. } => 0,
+                Inequality::Edge { label: None, .. } => 0,
+                Inequality::Edge {
+                    label: Some(a),
+                    forward,
+                    ..
+                } => {
+                    if forward {
+                        db.b_summary(a).count_ones()
+                    } else {
+                        db.f_summary(a).count_ones()
+                    }
+                }
+            })
+            .collect();
+        order.sort_by_key(|&i| (keys[i as usize], i));
+    }
+    order
 }
 
 /// Runs the fixpoint from a caller-provided starting relation.
@@ -167,38 +292,30 @@ pub fn solve_from(
     initial_chi: Vec<BitVec>,
 ) -> Solution {
     let n = db.num_nodes();
-    let nv = soi.vars.len();
-    assert_eq!(initial_chi.len(), nv, "one χ per SOI variable");
+    assert_eq!(initial_chi.len(), soi.vars.len(), "one χ per SOI variable");
     for c in &initial_chi {
         assert_eq!(c.len(), n, "χ length must match the node count");
     }
+    match config.fixpoint {
+        FixpointMode::Reevaluate => solve_reevaluate(db, soi, config, initial_chi),
+        FixpointMode::DeltaCounting => crate::delta::solve_delta(db, soi, config, initial_chi),
+    }
+}
+
+/// The whole-inequality re-evaluation engine ([`FixpointMode::Reevaluate`]).
+fn solve_reevaluate(
+    db: &GraphDb,
+    soi: &Soi,
+    config: &SolverConfig,
+    initial_chi: Vec<BitVec>,
+) -> Solution {
+    let n = db.num_nodes();
+    let nv = soi.vars.len();
     let mut stats = SolveStats::default();
 
     // ---- Initialization: Eq. (12) / Eq. (13) plus constant pinning. ----
     let mut chi = initial_chi;
-    if config.init == InitMode::Summaries {
-        let dual = soi.kind == crate::SimulationKind::Dual;
-        for e in &soi.edges {
-            match e.label {
-                Some(a) => {
-                    chi[e.src].and_assign(db.f_summary(a));
-                    if dual {
-                        // Forward-only simulation puts no incoming-edge
-                        // requirement on objects (Def. 2(ii) is dropped).
-                        chi[e.dst].and_assign(db.b_summary(a));
-                    }
-                }
-                None => {
-                    // The predicate does not occur in the database: no
-                    // node supports the edge.
-                    chi[e.src].clear_all();
-                    if dual {
-                        chi[e.dst].clear_all();
-                    }
-                }
-            }
-        }
-    }
+    apply_summary_init(db, soi, config, &mut chi);
     let mut counts: Vec<usize> = chi.iter().map(BitVec::count_ones).collect();
     stats.initial_candidates = counts.iter().sum();
 
@@ -217,36 +334,13 @@ pub fn solve_from(
     }
 
     // ---- Evaluation order. ----
-    let mut order: Vec<u32> = (0..soi.ineqs.len() as u32).collect();
-    if config.ordering == IneqOrdering::SparsityFirst {
-        // Fewer non-empty columns of the multiplied matrix first. The
-        // columns of F^a that contain a bit are exactly the set bits of
-        // b^a (and vice versa), so the key is the popcount of the
-        // opposite-direction summary.
-        let key = |i: u32| -> usize {
-            match soi.ineqs[i as usize] {
-                Inequality::Subset { .. } => 0,
-                Inequality::Edge { label: None, .. } => 0,
-                Inequality::Edge {
-                    label: Some(a),
-                    forward,
-                    ..
-                } => {
-                    if forward {
-                        db.b_summary(a).count_ones()
-                    } else {
-                        db.f_summary(a).count_ones()
-                    }
-                }
-            }
-        };
-        order.sort_by_key(|&i| (key(i), i));
-    }
+    let order = evaluation_order(db, soi, config);
 
     // ---- Fixpoint loop (step 2 of the Sect. 3.2 algorithm). ----
     let mut unstable = vec![true; soi.ineqs.len()];
     let mut n_unstable = soi.ineqs.len();
     let mut scratch = BitVec::zeros(n);
+    let mut removed_scratch: Vec<u32> = Vec::new();
     while n_unstable > 0 {
         stats.iterations += 1;
         for &i in &order {
@@ -282,7 +376,8 @@ pub fn solve_from(
                                 } else {
                                     db.backward(a)
                                 };
-                                matrix.multiply_into(&chi[source], &mut scratch);
+                                stats.rows_ored +=
+                                    matrix.multiply_into(&chi[source], &mut scratch);
                                 chi[target].and_assign(&scratch)
                             } else {
                                 stats.colwise += 1;
@@ -293,18 +388,26 @@ pub fn solve_from(
                                 } else {
                                     db.forward(a)
                                 };
-                                if source == target {
+                                let (changed, probed) = if source == target {
                                     // Self-loop pattern edge (v, a, v):
                                     // probe against a snapshot so the
                                     // evaluation reads the pre-update χ.
                                     scratch.copy_from(&chi[source]);
-                                    transpose
-                                        .retain_intersecting_rows(&mut chi[target], &scratch)
-                                        .0
+                                    transpose.retain_intersecting_rows(
+                                        &mut chi[target],
+                                        &scratch,
+                                        &mut removed_scratch,
+                                    )
                                 } else {
                                     let (probe, target_chi) = split_pair(&mut chi, source, target);
-                                    transpose.retain_intersecting_rows(target_chi, probe).0
-                                }
+                                    transpose.retain_intersecting_rows(
+                                        target_chi,
+                                        probe,
+                                        &mut removed_scratch,
+                                    )
+                                };
+                                stats.bits_probed += probed;
+                                changed
                             }
                         }
                     };
@@ -342,7 +445,7 @@ pub fn solve_from(
 }
 
 /// Immutable/mutable split borrow of two distinct vector slots.
-fn split_pair(chi: &mut [BitVec], read: usize, write: usize) -> (&BitVec, &mut BitVec) {
+pub(crate) fn split_pair(chi: &mut [BitVec], read: usize, write: usize) -> (&BitVec, &mut BitVec) {
     assert_ne!(read, write, "inequality with identical sides");
     if read < write {
         let (lo, hi) = chi.split_at_mut(write);
@@ -371,7 +474,7 @@ fn check_empty_mandatory(
     None
 }
 
-fn empty_solution(chi: &mut [BitVec], mut stats: SolveStats) -> Solution {
+pub(crate) fn empty_solution(chi: &mut [BitVec], mut stats: SolveStats) -> Solution {
     for v in chi.iter_mut() {
         v.clear_all();
     }
@@ -543,13 +646,16 @@ mod tests {
             ] {
                 for ordering in [IneqOrdering::QueryOrder, IneqOrdering::SparsityFirst] {
                     for init in [InitMode::AllOnes, InitMode::Summaries] {
-                        let cfg = SolverConfig {
-                            strategy,
-                            ordering,
-                            init,
-                            early_exit: false,
-                        };
-                        solutions.push(solve(&db, soi, &cfg).chi);
+                        for fixpoint in [FixpointMode::Reevaluate, FixpointMode::DeltaCounting] {
+                            let cfg = SolverConfig {
+                                strategy,
+                                ordering,
+                                init,
+                                fixpoint,
+                                early_exit: false,
+                            };
+                            solutions.push(solve(&db, soi, &cfg).chi);
+                        }
                     }
                 }
             }

@@ -12,7 +12,7 @@
 //! `prune` writes/reports the per-query pruning (Sect. 5.2), and `eval`
 //! runs one of the reference engines, optionally on the pruned database.
 
-use dualsim::core::{prune, solve_query, EvalStrategy, SolverConfig};
+use dualsim::core::{prune, solve_query, EvalStrategy, FixpointMode, SolverConfig};
 use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
 use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
 use dualsim::query::{parse, Query};
@@ -63,6 +63,7 @@ options:
   --query FILE.rq       query file (SPARQL-S concrete syntax)
   --query-text 'Q'      query given inline
   --strategy S          rowwise | colwise | adaptive   (default adaptive)
+  --fixpoint F          reeval | delta                 (default reeval)
   --no-early-exit       keep solving after a mandatory variable empties
   --output FILE.nt      prune: write the pruned database as N-Triples
   --engine E            eval: nested | hash            (default nested)
@@ -77,6 +78,7 @@ struct Opts {
     query: Option<String>,
     query_text: Option<String>,
     strategy: EvalStrategy,
+    fixpoint: FixpointMode,
     early_exit: bool,
     output: Option<String>,
     engine: String,
@@ -92,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         query: None,
         query_text: None,
         strategy: EvalStrategy::Adaptive,
+        fixpoint: FixpointMode::Reevaluate,
         early_exit: true,
         output: None,
         engine: "nested".to_owned(),
@@ -121,6 +124,13 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     "colwise" => EvalStrategy::ColumnWise,
                     "adaptive" => EvalStrategy::Adaptive,
                     other => return Err(format!("unknown strategy {other:?}")),
+                };
+            }
+            "--fixpoint" => {
+                opts.fixpoint = match value()?.as_str() {
+                    "reeval" | "reevaluate" => FixpointMode::Reevaluate,
+                    "delta" => FixpointMode::DeltaCounting,
+                    other => return Err(format!("unknown fixpoint engine {other:?}")),
                 };
             }
             "--no-early-exit" => opts.early_exit = false,
@@ -194,6 +204,7 @@ fn cmd_fingerprint(db: &GraphDb, opts: &Opts) -> Result<(), String> {
 fn config(opts: &Opts) -> SolverConfig {
     SolverConfig {
         strategy: opts.strategy,
+        fixpoint: opts.fixpoint,
         early_exit: opts.early_exit,
         ..SolverConfig::default()
     }
@@ -255,6 +266,16 @@ fn cmd_solve(db: &GraphDb, query: &Query, cfg: &SolverConfig) -> Result<(), Stri
         println!(
             "iterations={} updates={} rowwise={} colwise={} empty={}",
             s.iterations, s.updates, s.rowwise, s.colwise, s.emptied_mandatory
+        );
+        println!(
+            "work: rows_ored={} bits_probed={} counter_inits={} counter_decrements={} \
+             delta_removals={} ops={}",
+            s.rows_ored,
+            s.bits_probed,
+            s.counter_inits,
+            s.counter_decrements,
+            s.delta_removals,
+            s.work_ops()
         );
     }
     println!("solved in {elapsed:?}");
@@ -338,6 +359,8 @@ mod tests {
             "{ ?a p ?b }",
             "--strategy",
             "rowwise",
+            "--fixpoint",
+            "delta",
             "--no-early-exit",
             "--limit",
             "7",
@@ -349,8 +372,18 @@ mod tests {
         assert_eq!(opts.command, "prune");
         assert_eq!(opts.data.as_deref(), Some("db.nt"));
         assert_eq!(opts.strategy, EvalStrategy::RowWise);
+        assert_eq!(opts.fixpoint, FixpointMode::DeltaCounting);
         assert!(!opts.early_exit);
         assert_eq!(opts.limit, 7);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_fixpoint_engine() {
+        let args: Vec<String> = ["solve", "--fixpoint", "magic"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
     }
 
     #[test]

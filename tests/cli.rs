@@ -57,6 +57,33 @@ fn solve_prints_candidates_per_variable() {
 }
 
 #[test]
+fn solve_with_delta_fixpoint_agrees_and_reports_counters() {
+    let db = write_db("solve_delta.nt");
+    let query = "{ ?d directed ?m . ?d worked_with ?c }";
+    let reev = sparqlsim(&["solve", "--data", db.to_str().unwrap(), "--query-text", query]);
+    let delta = sparqlsim(&[
+        "solve",
+        "--data",
+        db.to_str().unwrap(),
+        "--query-text",
+        query,
+        "--fixpoint",
+        "delta",
+    ]);
+    assert!(reev.status.success() && delta.status.success());
+    let reev = String::from_utf8(reev.stdout).unwrap();
+    let delta = String::from_utf8(delta.stdout).unwrap();
+    // Identical candidates from both engines.
+    for text in [&reev, &delta] {
+        assert!(text.contains("?d: 2 candidates"), "{text}");
+    }
+    // The delta engine reports counter work instead of row ORs.
+    assert!(delta.contains("counter_inits="), "{delta}");
+    assert!(!delta.contains("counter_inits=0"), "{delta}");
+    assert!(reev.contains("counter_inits=0"), "{reev}");
+}
+
+#[test]
 fn prune_writes_a_loadable_pruned_database() {
     let db = write_db("prune.nt");
     let out_path = std::env::temp_dir().join("dualsim-cli-tests/pruned.nt");

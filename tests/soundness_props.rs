@@ -391,25 +391,32 @@ proptest! {
         prop_assert_eq!(once.kept_triples, twice.kept_triples, "{}", q);
     }
 
-    /// All solver strategy configurations compute the same fixpoint.
+    /// All solver strategy configurations — including both fixpoint
+    /// engines — compute the same fixpoint.
     #[test]
     fn strategies_compute_the_same_fixpoint(db in arb_db(), q in arb_query()) {
-        use dualsim::core::{EvalStrategy, IneqOrdering, InitMode};
+        use dualsim::core::{EvalStrategy, FixpointMode, IneqOrdering, InitMode};
         let reference: Vec<_> = solve_query(&db, &q, &SolverConfig {
             early_exit: false,
             ..SolverConfig::default()
         }).into_iter().map(|(_, s)| s.chi).collect();
         for strategy in [EvalStrategy::RowWise, EvalStrategy::ColumnWise] {
             for init in [InitMode::AllOnes, InitMode::Summaries] {
-                let cfg = SolverConfig {
-                    strategy,
-                    ordering: IneqOrdering::QueryOrder,
-                    init,
-                    early_exit: false,
-                };
-                let other: Vec<_> = solve_query(&db, &q, &cfg)
-                    .into_iter().map(|(_, s)| s.chi).collect();
-                prop_assert_eq!(&other, &reference, "{:?}/{:?} on {}", strategy, init, &q);
+                for fixpoint in [FixpointMode::Reevaluate, FixpointMode::DeltaCounting] {
+                    let cfg = SolverConfig {
+                        strategy,
+                        ordering: IneqOrdering::QueryOrder,
+                        init,
+                        fixpoint,
+                        early_exit: false,
+                    };
+                    let other: Vec<_> = solve_query(&db, &q, &cfg)
+                        .into_iter().map(|(_, s)| s.chi).collect();
+                    prop_assert_eq!(
+                        &other, &reference,
+                        "{:?}/{:?}/{:?} on {}", strategy, init, fixpoint, &q
+                    );
+                }
             }
         }
     }
