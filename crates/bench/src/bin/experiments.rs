@@ -1,37 +1,58 @@
 //! Regenerates the paper's evaluation tables as text.
 //!
 //! ```text
-//! experiments [table2|table3|table4|table5|iterations|fixpoint|all] [--smoke] [--out FILE]
+//! experiments [table2|table3|table4|table5|iterations|pruning-power|spectrum|
+//!              fixpoint|strategies|quotient|all] [--smoke] [--threads N] [--out FILE]
 //! ```
 //!
 //! Dataset sizes: `DUALSIM_LUBM_UNIS` (default 15) and
 //! `DUALSIM_DBPEDIA_ENTITIES` (default 20000). `--smoke` switches to the
 //! tiny unit-test datasets and a single repetition — the CI regression
 //! gate (deterministic operation counts, no timing assertions).
-//! `fixpoint` additionally writes the machine-readable
-//! `BENCH_fixpoint.json` (path override via `--out`).
+//!
+//! The ablation subcommands write machine-readable reports:
+//! `fixpoint` → `BENCH_fixpoint.json`, `strategies` →
+//! `BENCH_strategies.json`, `quotient` → `BENCH_quotient.json` (path
+//! override via `--out`, which applies to the selected subcommand).
+//! `fixpoint --threads N` drains the delta engine's worklist with the
+//! sharded strategy; for `N > 1` a single-threaded reference run is
+//! compared work-counter for work-counter — the sharded-drain
+//! determinism gate.
 
 use dualsim_bench::{
-    default_datasets, fixpoint_report_json, render_table, run_fixpoint_incremental,
-    run_fixpoint_solve, run_iterations, run_pruning_power, run_simulation_spectrum, run_table2,
-    run_table3, run_table45, secs, tiny_datasets, Datasets,
+    default_datasets, fixpoint_report_json, quotient_report_json, render_table,
+    run_fixpoint_incremental, run_fixpoint_solve, run_iterations, run_pruning_power,
+    run_quotient_ablation, run_simulation_spectrum, run_strategies_ablation, run_table2,
+    run_table3, run_table45, secs, strategies_report_json, tiny_datasets, Datasets,
 };
+use dualsim_core::DrainStrategy;
 use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_fixpoint.json".to_owned();
+    let mut out_path: Option<String> = None;
+    let mut threads = 1usize;
     let mut which = "all".to_owned();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => {
-                out_path = it.next().cloned().unwrap_or_else(|| {
+                out_path = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("--out needs a value");
                     std::process::exit(2);
-                });
+                }));
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
             }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag:?}");
@@ -49,6 +70,7 @@ fn main() {
         data.dbpedia.num_triples(),
         data.dbpedia.num_nodes()
     );
+    let out = |default: &str| out_path.clone().unwrap_or_else(|| default.to_owned());
     match which.as_str() {
         "table2" => table2(&data),
         "table3" => table3(&data),
@@ -57,8 +79,16 @@ fn main() {
         "iterations" => iterations(&data),
         "pruning-power" => pruning_power(&data),
         "spectrum" => spectrum(&data),
-        "fixpoint" => fixpoint(&data, smoke, &out_path),
+        "fixpoint" => fixpoint(&data, smoke, threads, &out("BENCH_fixpoint.json")),
+        "strategies" => strategies(&data, smoke, &out("BENCH_strategies.json")),
+        "quotient" => quotient(&data, smoke, &out("BENCH_quotient.json")),
         "all" => {
+            // Three reports would fight over one path; `all` always
+            // writes each ablation's default file.
+            if out_path.is_some() {
+                eprintln!("--out is ambiguous with `all`; run the ablation subcommands directly");
+                std::process::exit(2);
+            }
             table2(&data);
             table3(&data);
             table4(&data);
@@ -66,26 +96,44 @@ fn main() {
             iterations(&data);
             pruning_power(&data);
             spectrum(&data);
-            fixpoint(&data, smoke, &out_path);
+            fixpoint(&data, smoke, threads, &out("BENCH_fixpoint.json"));
+            strategies(&data, smoke, "BENCH_strategies.json");
+            quotient(&data, smoke, "BENCH_quotient.json");
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected \
-                 table2|table3|table4|table5|iterations|pruning-power|spectrum|fixpoint|all"
+                 table2|table3|table4|table5|iterations|pruning-power|spectrum|\
+                 fixpoint|strategies|quotient|all"
             );
             std::process::exit(2);
         }
     }
 }
 
+fn write_report(out_path: &str, json: &str) {
+    std::fs::write(out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nmachine-readable report written to {out_path}");
+}
+
 /// The two-engine fixpoint ablation: cold solves over the whole workload
 /// plus the incremental-deletion scenario on the Fig. 6 queries. Emits
 /// `BENCH_fixpoint.json` and, under `--smoke`, enforces the ≥2× delta
-/// advantage on the incremental path as a hard regression gate.
-fn fixpoint(data: &Datasets, smoke: bool, out_path: &str) {
+/// advantage on the incremental path as a hard regression gate. With
+/// `--threads N > 1` the delta worklist drains sharded, and a sequential
+/// reference run gates work-count parity (determinism, not wall-clock).
+fn fixpoint(data: &Datasets, smoke: bool, threads: usize, out_path: &str) {
+    let drain = if threads > 1 {
+        DrainStrategy::Sharded { threads }
+    } else {
+        DrainStrategy::Sequential
+    };
     println!("\n== Ablation: re-evaluation vs. delta-counting fixpoint engine ==\n");
     let reps = if smoke { 1 } else { 3 };
-    let solve_rows = run_fixpoint_solve(data, reps);
+    let solve_rows = run_fixpoint_solve(data, reps, drain);
     let table: Vec<Vec<String>> = solve_rows
         .iter()
         .map(|r| {
@@ -97,6 +145,7 @@ fn fixpoint(data: &Datasets, smoke: bool, out_path: &str) {
                 r.evaluations.to_string(),
                 (r.rows_ored + r.bits_probed).to_string(),
                 (r.counter_inits + r.counter_decrements).to_string(),
+                format!("{}/{}", r.lazy_seeds, r.seeds_deferred),
                 r.ops.to_string(),
             ]
         })
@@ -112,6 +161,7 @@ fn fixpoint(data: &Datasets, smoke: bool, out_path: &str) {
                 "evals",
                 "rows+probes",
                 "counters",
+                "lazy/defer",
                 "ops",
             ],
             &table
@@ -120,7 +170,7 @@ fn fixpoint(data: &Datasets, smoke: bool, out_path: &str) {
 
     println!("\n== Incremental deletions (maintenance work only) ==\n");
     let (batches, stride) = if smoke { (4, 40) } else { (10, 25) };
-    let inc_rows = run_fixpoint_incremental(data, &["L0", "L1"], batches, stride);
+    let inc_rows = run_fixpoint_incremental(data, &["L0", "L1"], batches, stride, drain);
     let table: Vec<Vec<String>> = inc_rows
         .iter()
         .map(|r| {
@@ -144,12 +194,39 @@ fn fixpoint(data: &Datasets, smoke: bool, out_path: &str) {
     );
     // Write the report before any gating so a regression still leaves
     // the machine-readable evidence behind.
-    let json = fixpoint_report_json(data, &solve_rows, &inc_rows);
-    std::fs::write(out_path, &json).unwrap_or_else(|e| {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    });
-    println!("\nmachine-readable report written to {out_path}");
+    let json = fixpoint_report_json(data, drain, &solve_rows, &inc_rows);
+    write_report(out_path, &json);
+
+    if threads > 1 {
+        // Sharded-drain determinism gate: the sharded runs must report
+        // the exact same logical work as single-threaded reference runs
+        // (χ equality is asserted inside each run against the
+        // re-evaluation engine, so equal ops ⇒ equal everything).
+        let seq_rows = run_fixpoint_solve(data, 1, DrainStrategy::Sequential);
+        for (s, p) in seq_rows.iter().zip(solve_rows.iter()) {
+            assert_eq!(
+                (s.id.as_str(), s.mode, s.ops, s.counter_inits, s.counter_decrements,
+                 s.seeds_deferred, s.lazy_seeds, s.drain_rounds),
+                (p.id.as_str(), p.mode, p.ops, p.counter_inits, p.counter_decrements,
+                 p.seeds_deferred, p.lazy_seeds, p.drain_rounds),
+                "sharded drain diverged from the sequential drain on {} ({})",
+                s.id, s.mode
+            );
+        }
+        let seq_inc =
+            run_fixpoint_incremental(data, &["L0", "L1"], batches, stride, DrainStrategy::Sequential);
+        for (s, p) in seq_inc.iter().zip(inc_rows.iter()) {
+            assert_eq!(
+                (s.id.as_str(), s.mode, s.ops, s.dropped),
+                (p.id.as_str(), p.mode, p.ops, p.dropped),
+                "sharded incremental maintenance diverged on {} ({})",
+                s.id, s.mode
+            );
+        }
+        println!(
+            "sharded drain ({threads} threads): work-count parity with the sequential drain holds"
+        );
+    }
 
     for pair in inc_rows.chunks(2) {
         let (reev, delta) = (&pair[0], &pair[1]);
@@ -171,6 +248,78 @@ fn fixpoint(data: &Datasets, smoke: bool, out_path: &str) {
             );
         }
     }
+}
+
+/// The §3.3 heuristics ablation (strategy × ordering × initialization)
+/// with deterministic work counts; emits `BENCH_strategies.json`.
+fn strategies(data: &Datasets, smoke: bool, out_path: &str) {
+    println!("\n== Ablation: §3.3 heuristics (strategy × ordering × initialization) ==\n");
+    let reps = if smoke { 1 } else { 3 };
+    let rows = run_strategies_ablation(data, reps);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.strategy.to_owned(),
+                r.ordering.to_owned(),
+                r.init.to_owned(),
+                secs(r.wall),
+                r.iterations.to_string(),
+                r.evaluations.to_string(),
+                r.ops.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Query", "strategy", "ordering", "init", "wall", "iter", "evals", "ops"],
+            &table
+        )
+    );
+    let json = strategies_report_json(data, &rows);
+    write_report(out_path, &json);
+}
+
+/// The Sect.-6 fingerprint ablation: quotient construction plus direct
+/// vs. quotient solve work; emits `BENCH_quotient.json`.
+fn quotient(data: &Datasets, smoke: bool, out_path: &str) {
+    println!("\n== Ablation: simulation-quotient fingerprint (Sect. 6) ==\n");
+    let reps = if smoke { 1 } else { 3 };
+    let (build, rows) = run_quotient_ablation(&data.lubm, reps);
+    println!(
+        "fingerprint: {} blocks for {} nodes ({:.2}x), {} of {} triples, {} rounds in {}s",
+        build.blocks,
+        build.original_nodes,
+        build.node_compression,
+        build.quotient_triples,
+        build.original_triples,
+        build.rounds,
+        secs(build.wall)
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_owned(),
+                r.direct_ops.to_string(),
+                r.quotient_ops.to_string(),
+                secs(r.direct_wall),
+                secs(r.quotient_wall),
+                r.direct_candidates.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Query", "direct ops", "quotient ops", "direct wall", "quotient wall", "candidates"],
+            &table
+        )
+    );
+    let json = quotient_report_json(data, &build, &rows);
+    write_report(out_path, &json);
 }
 
 fn table2(data: &Datasets) {

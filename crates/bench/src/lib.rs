@@ -19,7 +19,8 @@
 
 use dualsim_core::baseline::dual_simulation_ma;
 use dualsim_core::{
-    build_sois, prune, solve, FixpointMode, IncrementalDualSim, SolveStats, SolverConfig,
+    build_sois, prune, solve, DrainStrategy, EvalStrategy, FixpointMode, IncrementalDualSim,
+    IneqOrdering, InitMode, QuotientIndex, SolveStats, SolverConfig,
 };
 use dualsim_datagen::workloads::{all_queries, BenchQuery, Dataset};
 use dualsim_datagen::{generate_dbpedia, generate_lubm, DbpediaConfig, LubmConfig};
@@ -407,6 +408,14 @@ pub struct FixpointRow {
     pub counter_inits: usize,
     /// Support-counter decrements (delta propagation work).
     pub counter_decrements: usize,
+    /// Edge inequalities whose counter seeding was deferred at
+    /// initialization (delta lazy seeding).
+    pub seeds_deferred: usize,
+    /// Deferred inequalities seeded on first touch.
+    pub lazy_seeds: usize,
+    /// Removal-propagation rounds of the delta drain (χ handoff points
+    /// of the sharded strategy).
+    pub drain_rounds: usize,
     /// Unified work measure ([`SolveStats::work_ops`]).
     pub ops: usize,
 }
@@ -422,6 +431,9 @@ fn fixpoint_row(id: String, mode: &'static str, wall: Duration, stats: &SolveSta
         bits_probed: stats.bits_probed,
         counter_inits: stats.counter_inits,
         counter_decrements: stats.counter_decrements,
+        seeds_deferred: stats.seeds_deferred,
+        lazy_seeds: stats.lazy_seeds,
+        drain_rounds: stats.drain_rounds,
         ops: stats.work_ops(),
     }
 }
@@ -438,6 +450,10 @@ fn sum_branch_stats(branches: &[(dualsim_core::Soi, dualsim_core::Solution)]) ->
         total.counter_inits += s.counter_inits;
         total.counter_decrements += s.counter_decrements;
         total.delta_removals += s.delta_removals;
+        total.drain_rounds += s.drain_rounds;
+        total.shard_units += s.shard_units;
+        total.seeds_deferred += s.seeds_deferred;
+        total.lazy_seeds += s.lazy_seeds;
         total.initial_candidates += s.initial_candidates;
         total.final_candidates += s.final_candidates;
         total.emptied_mandatory |= s.emptied_mandatory;
@@ -446,9 +462,10 @@ fn sum_branch_stats(branches: &[(dualsim_core::Soi, dualsim_core::Solution)]) ->
 }
 
 /// Cold-solve comparison of the two fixpoint engines over the full
-/// workload. Asserts along the way that both engines converge to
-/// bit-identical χ fixpoints (the delta engine's correctness criterion).
-pub fn run_fixpoint_solve(data: &Datasets, reps: usize) -> Vec<FixpointRow> {
+/// workload, the delta engine draining with the given strategy. Asserts
+/// along the way that both engines converge to bit-identical χ fixpoints
+/// (the delta engine's correctness criterion).
+pub fn run_fixpoint_solve(data: &Datasets, reps: usize, drain: DrainStrategy) -> Vec<FixpointRow> {
     let mut rows = Vec::new();
     for bench in all_queries() {
         let db = data.for_query(&bench);
@@ -456,6 +473,7 @@ pub fn run_fixpoint_solve(data: &Datasets, reps: usize) -> Vec<FixpointRow> {
         for (name, fixpoint) in FIXPOINT_MODES {
             let cfg = SolverConfig {
                 fixpoint,
+                drain,
                 ..SolverConfig::default()
             };
             let (branches, wall) =
@@ -509,6 +527,7 @@ pub fn run_fixpoint_incremental(
     ids: &[&str],
     batches: usize,
     stride: usize,
+    drain: DrainStrategy,
 ) -> Vec<IncrementalFixpointRow> {
     let mut rows = Vec::new();
     for bench in all_queries().iter().filter(|b| ids.contains(&b.id)) {
@@ -526,6 +545,7 @@ pub fn run_fixpoint_incremental(
         for (name, fixpoint) in FIXPOINT_MODES {
             let cfg = SolverConfig {
                 fixpoint,
+                drain,
                 early_exit: false,
                 ..SolverConfig::default()
             };
@@ -598,30 +618,41 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Renders the fixpoint ablation as the machine-readable
-/// `BENCH_fixpoint.json` document tracking the repo's perf trajectory
-/// (schema `dualsim-fixpoint-v1`; hand-rolled writer — the workspace has
-/// no serde).
-pub fn fixpoint_report_json(
-    data: &Datasets,
-    solve_rows: &[FixpointRow],
-    inc_rows: &[IncrementalFixpointRow],
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"dualsim-fixpoint-v1\",\n");
-    out.push_str(&format!(
+/// Renders the dataset-shape header object shared by every
+/// machine-readable `BENCH_*.json` report.
+fn datasets_json(data: &Datasets) -> String {
+    format!(
         "  \"datasets\": {{\"lubm_triples\": {}, \"lubm_nodes\": {}, \"dbpedia_triples\": {}, \"dbpedia_nodes\": {}}},\n",
         data.lubm.num_triples(),
         data.lubm.num_nodes(),
         data.dbpedia.num_triples(),
         data.dbpedia.num_nodes()
-    ));
+    )
+}
+
+/// Renders the fixpoint ablation as the machine-readable
+/// `BENCH_fixpoint.json` document tracking the repo's perf trajectory
+/// (schema `dualsim-fixpoint-v2`; hand-rolled writer — the workspace has
+/// no serde). v2 records the drain thread budget and the lazy-seeding
+/// counters (`seeds_deferred`, `lazy_seeds`, `drain_rounds`) per solve
+/// row.
+pub fn fixpoint_report_json(
+    data: &Datasets,
+    drain: DrainStrategy,
+    solve_rows: &[FixpointRow],
+    inc_rows: &[IncrementalFixpointRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-fixpoint-v2\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str(&format!("  \"drain_threads\": {},\n", drain.threads()));
     out.push_str("  \"solve\": [\n");
     for (i, r) in solve_rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"id\": {}, \"mode\": {}, \"wall_s\": {:.6}, \"iterations\": {}, \
              \"evaluations\": {}, \"rows_ored\": {}, \"bits_probed\": {}, \
-             \"counter_inits\": {}, \"counter_decrements\": {}, \"ops\": {}}}{}\n",
+             \"counter_inits\": {}, \"counter_decrements\": {}, \"seeds_deferred\": {}, \
+             \"lazy_seeds\": {}, \"drain_rounds\": {}, \"ops\": {}}}{}\n",
             json_str(&r.id),
             json_str(r.mode),
             r.wall.as_secs_f64(),
@@ -631,6 +662,9 @@ pub fn fixpoint_report_json(
             r.bits_probed,
             r.counter_inits,
             r.counter_decrements,
+            r.seeds_deferred,
+            r.lazy_seeds,
+            r.drain_rounds,
             r.ops,
             if i + 1 == solve_rows.len() { "" } else { "," }
         ));
@@ -648,6 +682,296 @@ pub fn fixpoint_report_json(
             r.ops,
             r.dropped,
             if i + 1 == inc_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The queries of the §3.3 heuristics ablation: the two Fig. 6 queries,
+/// the other cyclic LUBM query, and two DBpedia shapes (the same slice
+/// the `ablation_strategies` criterion bench measures).
+pub const STRATEGY_ABLATION_QUERIES: [&str; 6] = ["L0", "L1", "L2", "D4", "B2", "B14"];
+
+/// One (query, configuration) measurement of the §3.3 heuristics
+/// ablation: evaluation strategy × inequality ordering × initialization,
+/// with deterministic work counts so CI can diff `BENCH_strategies.json`
+/// instead of timing.
+#[derive(Debug, Clone)]
+pub struct StrategyRow {
+    /// Query id.
+    pub id: String,
+    /// Evaluation strategy name (`rowwise` / `colwise` / `adaptive`).
+    pub strategy: &'static str,
+    /// Inequality ordering name (`query-order` / `sparsity`).
+    pub ordering: &'static str,
+    /// Initialization name (`eq12` / `eq13`).
+    pub init: &'static str,
+    /// Median wall time over the measured repetitions.
+    pub wall: Duration,
+    /// Stabilization passes.
+    pub iterations: usize,
+    /// Inequality evaluations.
+    pub evaluations: usize,
+    /// χ updates.
+    pub updates: usize,
+    /// Matrix rows OR-ed.
+    pub rows_ored: usize,
+    /// Candidate rows probed.
+    pub bits_probed: usize,
+    /// Unified work measure ([`SolveStats::work_ops`]).
+    pub ops: usize,
+}
+
+/// The §3.3 heuristics ablation over [`STRATEGY_ABLATION_QUERIES`]:
+/// every strategy × ordering × initialization combination of the
+/// re-evaluation engine, with an internal assertion that all
+/// configurations converge to bit-identical χ per query.
+pub fn run_strategies_ablation(data: &Datasets, reps: usize) -> Vec<StrategyRow> {
+    let strategies = [
+        ("rowwise", EvalStrategy::RowWise),
+        ("colwise", EvalStrategy::ColumnWise),
+        ("adaptive", EvalStrategy::Adaptive),
+    ];
+    let orderings = [
+        ("query-order", IneqOrdering::QueryOrder),
+        ("sparsity", IneqOrdering::SparsityFirst),
+    ];
+    let inits = [("eq12", InitMode::AllOnes), ("eq13", InitMode::Summaries)];
+    let mut rows = Vec::new();
+    for bench in all_queries()
+        .iter()
+        .filter(|b| STRATEGY_ABLATION_QUERIES.contains(&b.id))
+    {
+        let db = data.for_query(bench);
+        let mut reference: Option<Vec<_>> = None;
+        for (sname, strategy) in strategies {
+            for (oname, ordering) in orderings {
+                for (iname, init) in inits {
+                    let cfg = SolverConfig {
+                        strategy,
+                        ordering,
+                        init,
+                        ..SolverConfig::default()
+                    };
+                    let (branches, wall) =
+                        time_median(reps, || dualsim_core::solve_query(db, &bench.query, &cfg));
+                    let stats = sum_branch_stats(&branches);
+                    let chis: Vec<_> = branches.into_iter().map(|(_, s)| s.chi).collect();
+                    match &reference {
+                        None => reference = Some(chis),
+                        Some(r) => assert_eq!(
+                            r, &chis,
+                            "{}: {sname}/{oname}/{iname} disagrees on χ",
+                            bench.id
+                        ),
+                    }
+                    rows.push(StrategyRow {
+                        id: bench.id.to_owned(),
+                        strategy: sname,
+                        ordering: oname,
+                        init: iname,
+                        wall,
+                        iterations: stats.iterations,
+                        evaluations: stats.evaluations,
+                        updates: stats.updates,
+                        rows_ored: stats.rows_ored,
+                        bits_probed: stats.bits_probed,
+                        ops: stats.work_ops(),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the strategies ablation as the machine-readable
+/// `BENCH_strategies.json` document (schema `dualsim-strategies-v1`).
+pub fn strategies_report_json(data: &Datasets, rows: &[StrategyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-strategies-v1\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str("  \"solve\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"strategy\": {}, \"ordering\": {}, \"init\": {}, \
+             \"wall_s\": {:.6}, \"iterations\": {}, \"evaluations\": {}, \"updates\": {}, \
+             \"rows_ored\": {}, \"bits_probed\": {}, \"ops\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.strategy),
+            json_str(r.ordering),
+            json_str(r.init),
+            r.wall.as_secs_f64(),
+            r.iterations,
+            r.evaluations,
+            r.updates,
+            r.rows_ored,
+            r.bits_probed,
+            r.ops,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Construction-side statistics of the Sect.-6 fingerprint ablation.
+#[derive(Debug, Clone)]
+pub struct QuotientBuildStats {
+    /// Nodes of the original (LUBM) database.
+    pub original_nodes: usize,
+    /// Triples of the original database.
+    pub original_triples: usize,
+    /// Equivalence classes of the fingerprint.
+    pub blocks: usize,
+    /// Triples of the quotient database.
+    pub quotient_triples: usize,
+    /// Signature-refinement rounds until the partition stabilized.
+    pub rounds: usize,
+    /// Node compression factor (original / blocks).
+    pub node_compression: f64,
+    /// One-off construction time.
+    pub wall: Duration,
+}
+
+/// One query of the quotient ablation: solving on the original database
+/// vs. on the quotient, with deterministic work counts and the
+/// full-abstraction check (expanded quotient candidates == direct
+/// candidates for constant-free queries over fingerprinted labels).
+#[derive(Debug, Clone)]
+pub struct QuotientSolveRow {
+    /// Query id.
+    pub id: &'static str,
+    /// Work operations solving on the original database.
+    pub direct_ops: usize,
+    /// Work operations solving on the quotient.
+    pub quotient_ops: usize,
+    /// Median wall time on the original database.
+    pub direct_wall: Duration,
+    /// Median wall time on the quotient.
+    pub quotient_wall: Duration,
+    /// Total candidates Σ|χ(v)| of the direct solution.
+    pub direct_candidates: usize,
+    /// Total candidates of the quotient solution expanded back to
+    /// original nodes (must equal `direct_candidates`).
+    pub expanded_candidates: usize,
+}
+
+/// LUBM attribute predicates excluded from the fingerprint (unique
+/// literals carry no structure worth indexing).
+const LUBM_ATTRIBUTE_LABELS: [&str; 5] = [
+    "ub:name",
+    "ub:emailAddress",
+    "ub:telephone",
+    "ub:researchInterest",
+    "ub:title",
+];
+
+/// The Sect.-6 fingerprint ablation on the LUBM database: build the
+/// relational-label quotient once, then compare direct vs. quotient
+/// solves on constant-free L-cores. Asserts full abstraction (the
+/// expanded quotient solution equals the direct one) per query.
+pub fn run_quotient_ablation(
+    lubm: &GraphDb,
+    reps: usize,
+) -> (QuotientBuildStats, Vec<QuotientSolveRow>) {
+    let relational: Vec<u32> = (0..lubm.num_labels() as u32)
+        .filter(|&l| !LUBM_ATTRIBUTE_LABELS.contains(&lubm.label_name(l)))
+        .collect();
+    let (index, build_wall) =
+        time_median(reps, || QuotientIndex::build_for_labels(lubm, &relational));
+    let build = QuotientBuildStats {
+        original_nodes: lubm.num_nodes(),
+        original_triples: lubm.num_triples(),
+        blocks: index.num_blocks(),
+        quotient_triples: index.quotient().num_triples(),
+        rounds: index.rounds,
+        node_compression: index.node_compression(),
+        wall: build_wall,
+    };
+    let cfg = SolverConfig {
+        early_exit: false,
+        ..SolverConfig::default()
+    };
+    let queries = [
+        (
+            "L0",
+            "{ ?s ub:advisor ?p . ?p ub:teacherOf ?c . ?s ub:takesCourse ?c }",
+        ),
+        (
+            "L2",
+            "{ ?x ub:memberOf ?d . ?x ub:takesCourse ?c . \
+              ?t ub:teacherOf ?c . ?t ub:worksFor ?d }",
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (id, text) in queries {
+        let query = dualsim_query::parse(text).expect("ablation query parses");
+        let soi = build_sois(lubm, &query).remove(0);
+        let (direct, direct_wall) = time_median(reps, || solve(lubm, &soi, &cfg));
+        let qdb = index.quotient();
+        let qsoi = build_sois(qdb, &query).remove(0);
+        let (quotient, quotient_wall) = time_median(reps, || solve(qdb, &qsoi, &cfg));
+        let direct_candidates: usize = direct.chi.iter().map(|c| c.count_ones()).sum();
+        let expanded_candidates: usize = quotient
+            .chi
+            .iter()
+            .map(|c| index.expand(c).count_ones())
+            .sum();
+        assert_eq!(
+            direct_candidates, expanded_candidates,
+            "{id}: quotient solution is not fully abstract"
+        );
+        rows.push(QuotientSolveRow {
+            id,
+            direct_ops: direct.stats.work_ops(),
+            quotient_ops: quotient.stats.work_ops(),
+            direct_wall,
+            quotient_wall,
+            direct_candidates,
+            expanded_candidates,
+        });
+    }
+    (build, rows)
+}
+
+/// Renders the quotient ablation as the machine-readable
+/// `BENCH_quotient.json` document (schema `dualsim-quotient-v1`).
+pub fn quotient_report_json(
+    data: &Datasets,
+    build: &QuotientBuildStats,
+    rows: &[QuotientSolveRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-quotient-v1\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str(&format!(
+        "  \"build\": {{\"original_nodes\": {}, \"original_triples\": {}, \"blocks\": {}, \
+         \"quotient_triples\": {}, \"rounds\": {}, \"node_compression\": {:.4}, \
+         \"wall_s\": {:.6}}},\n",
+        build.original_nodes,
+        build.original_triples,
+        build.blocks,
+        build.quotient_triples,
+        build.rounds,
+        build.node_compression,
+        build.wall.as_secs_f64()
+    ));
+    out.push_str("  \"solve\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"direct_ops\": {}, \"quotient_ops\": {}, \
+             \"direct_wall_s\": {:.6}, \"quotient_wall_s\": {:.6}, \
+             \"direct_candidates\": {}, \"expanded_candidates\": {}}}{}\n",
+            json_str(r.id),
+            r.direct_ops,
+            r.quotient_ops,
+            r.direct_wall.as_secs_f64(),
+            r.quotient_wall.as_secs_f64(),
+            r.direct_candidates,
+            r.expanded_candidates,
+            if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -751,7 +1075,7 @@ mod tests {
     #[test]
     fn fixpoint_rows_cover_both_engines_and_agree() {
         let data = tiny_datasets();
-        let rows = run_fixpoint_solve(&data, 1);
+        let rows = run_fixpoint_solve(&data, 1, DrainStrategy::Sequential);
         assert_eq!(
             rows.len(),
             2 * all_queries().len(),
@@ -772,7 +1096,7 @@ mod tests {
     #[test]
     fn incremental_scenario_shows_the_delta_win() {
         let data = tiny_datasets();
-        let rows = run_fixpoint_incremental(&data, &["L0", "L1"], 4, 40);
+        let rows = run_fixpoint_incremental(&data, &["L0", "L1"], 4, 40, DrainStrategy::Sequential);
         assert_eq!(rows.len(), 4);
         for pair in rows.chunks(2) {
             let (reev, delta) = (&pair[0], &pair[1]);
@@ -795,15 +1119,95 @@ mod tests {
     #[test]
     fn fixpoint_json_is_well_formed() {
         let data = tiny_datasets();
-        let solve_rows = run_fixpoint_solve(&data, 1);
-        let inc_rows = run_fixpoint_incremental(&data, &["L0"], 2, 50);
-        let json = fixpoint_report_json(&data, &solve_rows, &inc_rows);
-        assert!(json.starts_with("{\n  \"schema\": \"dualsim-fixpoint-v1\""));
+        let solve_rows = run_fixpoint_solve(&data, 1, DrainStrategy::Sequential);
+        let inc_rows = run_fixpoint_incremental(&data, &["L0"], 2, 50, DrainStrategy::Sequential);
+        let json = fixpoint_report_json(&data, DrainStrategy::Sequential, &solve_rows, &inc_rows);
+        assert!(json.starts_with("{\n  \"schema\": \"dualsim-fixpoint-v2\""));
+        assert!(json.contains("\"drain_threads\": 1"));
+        assert!(json.contains("\"seeds_deferred\":"));
         assert_eq!(json.matches("\"id\":").count(), solve_rows.len() + inc_rows.len());
         // Crude balance check (the workspace has no JSON parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    /// The determinism gate of the sharded drain at harness level: the
+    /// sharded runs report the exact same work counters (and χ — both
+    /// runs assert engine agreement internally) as the sequential runs.
+    #[test]
+    fn sharded_drain_work_counts_match_sequential_at_harness_level() {
+        let data = tiny_datasets();
+        let seq = run_fixpoint_solve(&data, 1, DrainStrategy::Sequential);
+        let par = run_fixpoint_solve(&data, 1, DrainStrategy::Sharded { threads: 4 });
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!((s.id.as_str(), s.mode), (p.id.as_str(), p.mode));
+            assert_eq!(s.ops, p.ops, "{} ({})", s.id, s.mode);
+            assert_eq!(
+                (s.counter_inits, s.counter_decrements, s.seeds_deferred, s.lazy_seeds,
+                 s.drain_rounds, s.iterations, s.evaluations),
+                (p.counter_inits, p.counter_decrements, p.seeds_deferred, p.lazy_seeds,
+                 p.drain_rounds, p.iterations, p.evaluations),
+                "{} ({})", s.id, s.mode
+            );
+        }
+        let seq_inc =
+            run_fixpoint_incremental(&data, &["L0", "L1"], 4, 40, DrainStrategy::Sequential);
+        let par_inc = run_fixpoint_incremental(
+            &data,
+            &["L0", "L1"],
+            4,
+            40,
+            DrainStrategy::Sharded { threads: 4 },
+        );
+        for (s, p) in seq_inc.iter().zip(par_inc.iter()) {
+            assert_eq!((s.id.as_str(), s.mode), (p.id.as_str(), p.mode));
+            assert_eq!((s.ops, s.dropped), (p.ops, p.dropped), "{} ({})", s.id, s.mode);
+        }
+    }
+
+    #[test]
+    fn lazy_seeding_defers_some_cold_solve_work() {
+        let data = tiny_datasets();
+        let rows = run_fixpoint_solve(&data, 1, DrainStrategy::Sequential);
+        // At least one workload defers at least one inequality without
+        // ever touching it (deferred strictly exceeds later lazy seeds).
+        assert!(
+            rows.iter()
+                .filter(|r| r.mode == "delta")
+                .any(|r| r.seeds_deferred > r.lazy_seeds),
+            "no workload kept a deferred seed"
+        );
+    }
+
+    #[test]
+    fn strategies_report_covers_the_grid_and_is_well_formed() {
+        let data = tiny_datasets();
+        let rows = run_strategies_ablation(&data, 1);
+        assert_eq!(rows.len(), STRATEGY_ABLATION_QUERIES.len() * 3 * 2 * 2);
+        let json = strategies_report_json(&data, &rows);
+        assert!(json.starts_with("{\n  \"schema\": \"dualsim-strategies-v1\""));
+        assert_eq!(json.matches("\"id\":").count(), rows.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn quotient_report_shows_compression_and_is_well_formed() {
+        let data = tiny_datasets();
+        let (build, rows) = run_quotient_ablation(&data.lubm, 1);
+        assert!(build.blocks > 0 && build.blocks <= build.original_nodes);
+        assert!(build.node_compression >= 1.0);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // run_quotient_ablation asserts full abstraction internally.
+            assert_eq!(r.direct_candidates, r.expanded_candidates, "{}", r.id);
+        }
+        let json = quotient_report_json(&data, &build, &rows);
+        assert!(json.starts_with("{\n  \"schema\": \"dualsim-quotient-v1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -26,10 +26,12 @@
 mod bitvec;
 mod matrix;
 mod rle;
+mod slab;
 
 pub use bitvec::{BitVec, Ones};
 pub use matrix::BitMatrix;
 pub use rle::RleBitVec;
+pub use slab::CounterSlab;
 
 #[cfg(test)]
 mod proptests;

@@ -119,24 +119,16 @@ impl BitMatrix {
         self.summary.count_ones()
     }
 
-    /// Row-wise bit-matrix multiplication `out = x ×b A` (Eq. (9)):
-    /// `out` is the union of the rows of `A` selected by the set bits of
-    /// `x`. Returns the number of rows OR-ed (a work measure for the
-    /// solver statistics).
-    ///
-    /// When more than half the bits of `x` are set, the selector is
-    /// walked block-wise: all-ones blocks dispatch their 64 rows with no
-    /// per-bit decode, and (as in the sparse path) all-zeros blocks skip
-    /// 64 rows at once — the dense fast path for barely-filtered χ
-    /// vectors right after Eq. (12)/(13) initialization.
-    ///
-    /// # Panics
-    /// Panics if the vector lengths differ from `dim`.
-    pub fn multiply_into(&self, x: &BitVec, out: &mut BitVec) -> usize {
-        assert_eq!(x.len(), self.dim);
-        assert_eq!(out.len(), self.dim);
-        out.clear_all();
-        let mut rows = 0usize;
+    /// Calls `f` for every row index selected by the set bits of `x`, in
+    /// ascending order. When more than half the bits of `x` are set, the
+    /// selector is walked block-wise: all-ones blocks dispatch their 64
+    /// rows with no per-bit decode, and (as in the sparse path)
+    /// all-zeros blocks skip 64 rows at once — the dense fast path for
+    /// barely-filtered χ vectors right after Eq. (12)/(13)
+    /// initialization. Shared by [`BitMatrix::multiply_into`] and
+    /// [`BitMatrix::count_into`].
+    #[inline]
+    fn for_each_selected_row(&self, x: &BitVec, mut f: impl FnMut(usize)) {
         if 2 * x.count_ones() > self.dim {
             for (bi, &block) in x.blocks().iter().enumerate() {
                 if block == 0 {
@@ -146,25 +138,41 @@ impl BitMatrix {
                 if block == !0u64 {
                     let end = (base + crate::bitvec::BLOCK_BITS).min(self.dim);
                     for i in base..end {
-                        out.set_indices(self.row(i));
+                        f(i);
                     }
-                    rows += end - base;
                 } else {
                     let mut bits = block;
                     while bits != 0 {
                         let i = base + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
-                        out.set_indices(self.row(i));
-                        rows += 1;
+                        f(i);
                     }
                 }
             }
         } else {
             for i in x.iter_ones() {
-                out.set_indices(self.row(i));
-                rows += 1;
+                f(i);
             }
         }
+    }
+
+    /// Row-wise bit-matrix multiplication `out = x ×b A` (Eq. (9)):
+    /// `out` is the union of the rows of `A` selected by the set bits of
+    /// `x`, the selector walked with the dense block-skip fast path.
+    /// Returns the number of rows OR-ed (a work measure for the solver
+    /// statistics).
+    ///
+    /// # Panics
+    /// Panics if the vector lengths differ from `dim`.
+    pub fn multiply_into(&self, x: &BitVec, out: &mut BitVec) -> usize {
+        assert_eq!(x.len(), self.dim);
+        assert_eq!(out.len(), self.dim);
+        out.clear_all();
+        let mut rows = 0usize;
+        self.for_each_selected_row(x, |i| {
+            out.set_indices(self.row(i));
+            rows += 1;
+        });
         rows
     }
 
@@ -175,18 +183,22 @@ impl BitMatrix {
     /// respect to the source set `x`. Returns the number of increments
     /// performed (the initialization work measure).
     ///
+    /// The selector is walked with the same dense block-skip fast path
+    /// as [`BitMatrix::multiply_into`]; the increments performed (and
+    /// their count) are identical to the per-bit definition.
+    ///
     /// # Panics
     /// Panics if `x` or `counts` do not have length `dim`.
     pub fn count_into(&self, x: &BitVec, counts: &mut [u32]) -> usize {
         assert_eq!(x.len(), self.dim);
         assert_eq!(counts.len(), self.dim);
         let mut increments = 0usize;
-        for i in x.iter_ones() {
+        self.for_each_selected_row(x, |i| {
             for &j in self.row(i) {
                 counts[j as usize] += 1;
             }
             increments += self.row_len(i);
-        }
+        });
         increments
     }
 

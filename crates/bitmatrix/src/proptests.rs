@@ -16,6 +16,34 @@ fn arb_matrix() -> impl Strategy<Value = BitMatrix> {
         .prop_map(|edges| BitMatrix::from_edges(LEN, &edges))
 }
 
+/// A selector that is mostly ones (a few bits cleared), exercising the
+/// dense block-skip fast paths — including whole all-ones blocks.
+fn arb_dense_bitvec() -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(0u32..LEN as u32, 0..12).prop_map(|cleared| {
+        let mut v = BitVec::ones(LEN);
+        for i in cleared {
+            v.clear(i as usize);
+        }
+        v
+    })
+}
+
+/// Reference implementation of the counter-initializing multiply: one
+/// increment per (set bit of `x`, row entry) pair.
+fn naive_count_into(m: &BitMatrix, x: &BitVec) -> (Vec<u32>, usize) {
+    let mut counts = vec![0u32; m.dim()];
+    let mut increments = 0usize;
+    for i in 0..m.dim() {
+        if x.get(i) {
+            for &j in m.row(i) {
+                counts[j as usize] += 1;
+            }
+            increments += m.row_len(i);
+        }
+    }
+    (counts, increments)
+}
+
 /// Reference implementation of `x ×b A` straight from the footnote-2
 /// definition: `out(j) = 1` iff `∃i. x(i) ∧ A(i,j)`.
 fn naive_multiply(m: &BitMatrix, x: &BitVec) -> BitVec {
@@ -147,6 +175,24 @@ proptest! {
             let expected = t.row(j).iter().filter(|&&i| x.get(i as usize)).count();
             prop_assert_eq!(c as usize, expected);
             prop_assert_eq!(c > 0, product.get(j));
+        }
+    }
+
+    /// The dense block-skip fast path of `count_into` performs exactly
+    /// the increments of the naive per-bit definition — for sparse,
+    /// dense and all-ones selectors alike.
+    #[test]
+    fn count_into_fast_path_matches_naive(
+        m in arb_matrix(),
+        sparse in arb_bitvec(),
+        dense in arb_dense_bitvec(),
+    ) {
+        for x in [&sparse, &dense, &BitVec::ones(LEN), &BitVec::zeros(LEN)] {
+            let (expected, expected_increments) = naive_count_into(&m, x);
+            let mut counts = vec![0u32; LEN];
+            let increments = m.count_into(x, &mut counts);
+            prop_assert_eq!(&counts, &expected, "selector {:?}", x);
+            prop_assert_eq!(increments, expected_increments);
         }
     }
 

@@ -1,0 +1,115 @@
+//! Support-counter slabs for delta-counting fixpoint engines.
+//!
+//! A [`CounterSlab`] holds one dense `u32` counter per matrix column —
+//! the per-(inequality, candidate) *support* array of an HHK-style
+//! counting engine: `slab[w] = |column w of M ∩ χ(source)|`. Slabs are
+//! plain owned data (`Send + Sync`), which is what makes the sharded
+//! parallel drain safe: support arrays are disjoint *per inequality*, so
+//! a drain round can `std::mem::take` each touched inequality's slab,
+//! hand it to a scoped worker thread, and put it back at the merge
+//! point — no locks, no atomics, no sharing.
+//!
+//! A slab starts *unseeded* (no storage) and is seeded on demand from a
+//! matrix and a selector vector ([`CounterSlab::seed`]); engines use the
+//! unseeded state to defer seeding cost for inequalities that are never
+//! violated.
+
+use crate::{BitMatrix, BitVec};
+
+/// A dense slab of per-column support counters, lazily seeded.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSlab {
+    counts: Vec<u32>,
+    seeded: bool,
+}
+
+impl CounterSlab {
+    /// An unseeded slab: no storage, no counters.
+    pub fn unseeded() -> Self {
+        CounterSlab::default()
+    }
+
+    /// `true` once [`CounterSlab::seed`] ran.
+    #[inline]
+    pub fn is_seeded(&self) -> bool {
+        self.seeded
+    }
+
+    /// (Re-)seeds the slab to `slab[w] = |column w of matrix ∩ x|` via
+    /// [`BitMatrix::count_into`]. Returns the number of counter
+    /// increments performed (the seeding work measure).
+    ///
+    /// # Panics
+    /// Panics if `x` does not have the matrix dimension.
+    pub fn seed(&mut self, matrix: &BitMatrix, x: &BitVec) -> usize {
+        self.counts.clear();
+        self.counts.resize(matrix.dim(), 0);
+        self.seeded = true;
+        matrix.count_into(x, &mut self.counts)
+    }
+
+    /// Current support of candidate `w`.
+    ///
+    /// # Panics
+    /// Panics if the slab is unseeded or `w` is out of bounds.
+    #[inline]
+    pub fn count(&self, w: usize) -> u32 {
+        self.counts[w]
+    }
+
+    /// Decrements the support of candidate `w` and returns the new
+    /// value; `0` means the candidate just lost its last witness.
+    ///
+    /// # Panics
+    /// Panics if the slab is unseeded or `w` is out of bounds; debug
+    /// builds additionally assert against underflow.
+    #[inline]
+    pub fn decrement(&mut self, w: usize) -> u32 {
+        let c = &mut self.counts[w];
+        debug_assert!(*c > 0, "support underflow on candidate {w}");
+        *c -= 1;
+        *c
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_starts_unseeded_and_seeds_on_demand() {
+        let mut slab = CounterSlab::unseeded();
+        assert!(!slab.is_seeded());
+        // 0 -> {1, 2}, 1 -> {0}, 3 -> {3}
+        let m = BitMatrix::from_edges(5, &[(0, 1), (0, 2), (1, 0), (3, 3)]);
+        let x = BitVec::from_indices(5, &[0, 1]);
+        let inits = slab.seed(&m, &x);
+        assert!(slab.is_seeded());
+        assert_eq!(inits, 3);
+        assert_eq!(
+            (0..5).map(|w| slab.count(w)).collect::<Vec<_>>(),
+            vec![1, 1, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn decrement_reports_the_zero_crossing() {
+        let mut slab = CounterSlab::unseeded();
+        let m = BitMatrix::from_edges(3, &[(0, 2), (1, 2)]);
+        slab.seed(&m, &BitVec::ones(3));
+        assert_eq!(slab.count(2), 2);
+        assert_eq!(slab.decrement(2), 1);
+        assert_eq!(slab.decrement(2), 0);
+    }
+
+    #[test]
+    fn reseeding_overwrites_previous_counters() {
+        let mut slab = CounterSlab::unseeded();
+        let m = BitMatrix::from_edges(3, &[(0, 1), (2, 1)]);
+        slab.seed(&m, &BitVec::ones(3));
+        assert_eq!(slab.count(1), 2);
+        slab.seed(&m, &BitVec::from_indices(3, &[0]));
+        assert_eq!(slab.count(1), 1);
+    }
+}

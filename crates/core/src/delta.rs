@@ -11,8 +11,7 @@
 //!               = |{u ∈ χ(source) : M(u, w) = 1}|
 //! ```
 //!
-//! — seeded once after Eq. (12)/(13) initialization by
-//! [`BitMatrix::count_into`]. The inequality is satisfied for `w` iff
+//! — held in a [`CounterSlab`]. The inequality is satisfied for `w` iff
 //! `support[i][w] > 0`, so when bit `u` is cleared from χ(source) the
 //! engine walks only `M.row(u)`, decrements the counters of the affected
 //! targets, and enqueues every node whose support hits zero for removal
@@ -24,12 +23,35 @@
 //! setting — subset inequalities, surrogates, constants, forward-only
 //! systems and warm starts included.
 //!
+//! Two engineering twists on top of the PR-2 engine:
+//!
+//! * **Lazy counter seeding.** An edge inequality whose seeded χ
+//!   *provably* satisfies it — χ(source) covers every non-empty row of
+//!   `M` (so the product is the full column summary) and χ(target) lies
+//!   within that summary — defers its `count_into` seeding entirely.
+//!   The slab is seeded on *first touch*: the first removal of a source
+//!   candidate, or the first retraction reaching the inequality. Cold
+//!   solves that never violate an inequality never pay its
+//!   `counter_inits` (`seeds_deferred` / `lazy_seeds` in
+//!   [`SolveStats`]).
+//! * **Sharded draining.** The worklist is drained in *rounds*: each
+//!   round freezes χ, shards the pending removals by inequality (the
+//!   counter slabs are disjoint per inequality, the same disjointness
+//!   `prune_with_threads` exploits for edge units), computes every
+//!   shard's decrements and removal proposals independently, and merges
+//!   the proposals into χ in inequality order. Under
+//!   [`DrainStrategy::Sharded`] the shard phase fans out over
+//!   `std::thread::scope` workers; the merge is the only
+//!   cross-inequality χ handoff. Sequential and sharded drains execute
+//!   the same logical algorithm, so χ **and every work counter** are
+//!   bit-identical across strategies and thread counts (pinned by
+//!   `crate::proptests`).
+//!
 //! Every removal is *forced* (the cleared node violates some inequality
 //! in every solution below the current assignment), and the worklist
 //! only drains when all counters of kept candidates are positive, i.e.
 //! all inequalities hold. The result is therefore the same unique
-//! largest solution (Prop. 2) the re-evaluation engine computes — the
-//! equivalence proptests in `crate::proptests` pin this down.
+//! largest solution (Prop. 2) the re-evaluation engine computes.
 //!
 //! [`DeltaSolver`] keeps its counters alive after convergence, which is
 //! what makes truly incremental **deletion** maintenance possible:
@@ -39,11 +61,13 @@
 //! [`crate::IncrementalDualSim`].
 //!
 //! [`FixpointMode::DeltaCounting`]: crate::FixpointMode::DeltaCounting
-//! [`BitMatrix::count_into`]: dualsim_bitmatrix::BitMatrix::count_into
+//! [`DrainStrategy::Sharded`]: crate::DrainStrategy::Sharded
+//! [`CounterSlab`]: dualsim_bitmatrix::CounterSlab
+//! [`SolveStats`]: crate::SolveStats
 
 use crate::solver::{apply_summary_init, evaluation_order, seed_chi, split_pair};
 use crate::{Inequality, Soi, Solution, SolveStats, SolverConfig};
-use dualsim_bitmatrix::{BitMatrix, BitVec};
+use dualsim_bitmatrix::{BitMatrix, BitVec, CounterSlab};
 use dualsim_graph::{GraphDb, Triple};
 
 /// One-shot entry point used by [`crate::solve_from`] for
@@ -66,8 +90,67 @@ fn multiply_matrix(db: &GraphDb, label: u32, forward: bool) -> &BitMatrix {
     }
 }
 
+/// The deferred-enforcement scan shared by eager seeding, lazy seeding
+/// in the drain and lazy seeding during retractions: the candidates of
+/// `chi` whose support in `slab` is zero, i.e. the removals a
+/// freshly-seeded inequality forces.
+fn unsupported<'a>(slab: &'a CounterSlab, chi: &'a BitVec) -> impl Iterator<Item = u32> + 'a {
+    chi.iter_ones()
+        .filter(|&w| slab.count(w) == 0)
+        .map(|w| w as u32)
+}
+
+/// One drain-round work unit: a labeled edge inequality whose source
+/// variable shrank this round, with exclusive ownership of its counter
+/// slab. Units are processed against a frozen χ — inline or on a scoped
+/// worker thread — and report their proposed target removals plus work
+/// counters back to the merge step.
+struct ShardUnit {
+    ineq: u32,
+    source: u32,
+    target: u32,
+    label: u32,
+    forward: bool,
+    slab: CounterSlab,
+    /// Target nodes whose support hit zero (candidates to remove).
+    proposals: Vec<u32>,
+    decrements: usize,
+    inits: usize,
+    lazy_seeded: bool,
+}
+
+impl ShardUnit {
+    /// `removals` are this round's cleared nodes of `self.source`, in
+    /// the order they were cleared.
+    fn process(&mut self, db: &GraphDb, removals: &[u32], chi: &[BitVec]) {
+        let matrix = multiply_matrix(db, self.label, self.forward);
+        if !self.slab.is_seeded() {
+            // First touch of a deferred inequality. χ(source) already
+            // excludes this round's removals (bits are cleared before
+            // they are enqueued), so the seed absorbs the whole batch
+            // and no per-removal decrement may run this round. The
+            // deferred enforcement happens here instead: every target
+            // candidate without support is proposed for removal.
+            self.inits = self.slab.seed(matrix, &chi[self.source as usize]);
+            self.lazy_seeded = true;
+            self.proposals
+                .extend(unsupported(&self.slab, &chi[self.target as usize]));
+            return;
+        }
+        for &u in removals {
+            for &w in matrix.row(u as usize) {
+                self.decrements += 1;
+                if self.slab.decrement(w as usize) == 0 && chi[self.target as usize].get(w as usize)
+                {
+                    self.proposals.push(w);
+                }
+            }
+        }
+    }
+}
+
 /// The delta-counting engine with persistent state: the current χ, the
-/// per-(inequality, candidate) support counters, and the removal
+/// per-(inequality, candidate) support-counter slabs, and the removal
 /// worklist. Constructed through [`DeltaSolver::new`] (cold solve) or
 /// [`DeltaSolver::from_chi`] (warm start from a superset of the largest
 /// solution); after convergence the state stays valid, so
@@ -77,13 +160,12 @@ fn multiply_matrix(db: &GraphDb, label: u32, forward: bool) -> &BitMatrix {
 pub(crate) struct DeltaSolver {
     chi: Vec<BitVec>,
     counts: Vec<usize>,
-    /// `support[i]` for edge inequality `i` with a known label; empty for
-    /// subset and absent-label inequalities.
-    support: Vec<Vec<u32>>,
-    /// Inequalities to visit when a variable shrinks: edge inequalities
-    /// by `source`, subset inequalities by `sup`.
-    by_source: Vec<Vec<u32>>,
-    /// Pending `(variable, node)` removal deltas.
+    /// `support[i]` for edge inequality `i` with a known label; unseeded
+    /// (and for subset / absent-label inequalities: permanently so)
+    /// until the inequality is enforced or first touched.
+    support: Vec<CounterSlab>,
+    /// Pending `(variable, node)` removal deltas (the next drain round's
+    /// batch; the bits are already cleared from χ).
     queue: Vec<(u32, u32)>,
     /// Cumulative work counters (across the initial solve and every
     /// later retraction).
@@ -107,7 +189,6 @@ impl DeltaSolver {
         config: &SolverConfig,
         mut chi: Vec<BitVec>,
     ) -> Self {
-        let n = db.num_nodes();
         let nv = soi.vars.len();
         assert_eq!(chi.len(), nv, "one χ per SOI variable");
         apply_summary_init(db, soi, config, &mut chi);
@@ -120,8 +201,7 @@ impl DeltaSolver {
         let mut solver = DeltaSolver {
             chi,
             counts,
-            support: vec![Vec::new(); soi.ineqs.len()],
-            by_source: vec![Vec::new(); nv],
+            support: vec![CounterSlab::unseeded(); soi.ineqs.len()],
             queue: Vec::new(),
             stats,
             dead: false,
@@ -139,32 +219,50 @@ impl DeltaSolver {
             }
         }
 
-        // Dependency lists and support counters, both from the seeded χ.
-        // All removals happen after this point and reach the counters
-        // exclusively through the worklist, which keeps the invariant
-        // `support[i][w] = |column w ∩ (χ(source) ∪ pending removals)|`.
+        // Counter slabs for the inequalities that need them, seeded from
+        // the initial χ — *before* any enforcement clears a bit, so
+        // every later removal reaches the counters exclusively through
+        // the worklist and the invariant
+        // `support[i][w] = |column w ∩ (χ(source) ∪ pending removals)|`
+        // holds. An edge inequality that the seeded χ provably satisfies
+        // — χ(source) covers every non-empty matrix row, so the product
+        // is the whole column summary, and χ(target) lies within it —
+        // defers both its seeding and its enforcement to the first touch
+        // by a removal (the deferral stays sound because any later
+        // shrink of χ(source) goes through the worklist and seeds it).
+        let mut deferred = vec![false; soi.ineqs.len()];
         for (i, ineq) in soi.ineqs.iter().enumerate() {
-            match *ineq {
-                Inequality::Edge {
-                    source, label, forward, ..
-                } => {
-                    solver.by_source[source].push(i as u32);
-                    if let Some(a) = label {
-                        let mut sup = vec![0u32; n];
-                        solver.stats.counter_inits += multiply_matrix(db, a, forward)
-                            .count_into(&solver.chi[source], &mut sup);
-                        solver.support[i] = sup;
-                    }
-                }
-                Inequality::Subset { sup, .. } => solver.by_source[sup].push(i as u32),
+            let Inequality::Edge {
+                target,
+                source,
+                label: Some(a),
+                forward,
+            } = *ineq
+            else {
+                continue;
+            };
+            let matrix = multiply_matrix(db, a, forward);
+            let column_summary = multiply_matrix(db, a, !forward).row_summary();
+            if matrix.row_summary().is_subset_of(&solver.chi[source])
+                && solver.chi[target].is_subset_of(column_summary)
+            {
+                solver.stats.seeds_deferred += 1;
+                deferred[i] = true;
+            } else {
+                let inits = solver.support[i].seed(matrix, &solver.chi[source]);
+                solver.stats.counter_inits += inits;
             }
         }
 
-        // Enforce every inequality once (the seeded χ may violate them),
-        // turning each violation into queued removal deltas.
+        // Enforce every non-deferred inequality once (the seeded χ may
+        // violate them), turning each violation into queued removal
+        // deltas.
         let mut removed: Vec<u32> = Vec::new();
         let mut early = false;
         'seed: for &i in &evaluation_order(db, soi, config) {
+            if deferred[i as usize] {
+                continue;
+            }
             solver.stats.evaluations += 1;
             removed.clear();
             let target = match soi.ineqs[i as usize] {
@@ -176,15 +274,14 @@ impl DeltaSolver {
                     target
                 }
                 Inequality::Edge {
-                    target, label: Some(_), ..
+                    target,
+                    label: Some(_),
+                    ..
                 } => {
-                    let support = &solver.support[i as usize];
-                    removed.extend(
-                        solver.chi[target]
-                            .iter_ones()
-                            .filter(|&w| support[w] == 0)
-                            .map(|w| w as u32),
-                    );
+                    removed.extend(unsupported(
+                        &solver.support[i as usize],
+                        &solver.chi[target],
+                    ));
                     target
                 }
                 Inequality::Subset { sub, sup } => {
@@ -234,7 +331,8 @@ impl DeltaSolver {
     /// decrements the support counters of the inequalities it fed —
     /// O(#inequalities) per triple — and nodes whose support hits zero
     /// cascade through the regular delta worklist. No inequality is ever
-    /// re-evaluated wholesale and the counters are **not** re-seeded.
+    /// re-evaluated wholesale; a still-deferred inequality is seeded on
+    /// this first touch, against the post-deletion matrices.
     pub(crate) fn retract_triples(
         &mut self,
         db_after: &GraphDb,
@@ -253,7 +351,14 @@ impl DeltaSolver {
         // then-current matrices, which still contained this batch's
         // entries). Clearing eagerly here would break that equivalence
         // for inequalities visited later in the same batch.
+        //
+        // A deferred (unseeded) inequality is seeded here against the
+        // *post-deletion* matrix, which already excludes the entire
+        // batch — so none of this batch's triples may decrement it
+        // (tracked by `seeded_this_batch`), and the deferred enforcement
+        // runs instead: target candidates without support are zeroed.
         let mut zeroed: Vec<(usize, u32)> = Vec::new();
+        let mut seeded_this_batch = vec![false; soi.ineqs.len()];
         for t in deleted {
             for (i, ineq) in soi.ineqs.iter().enumerate() {
                 let Inequality::Edge {
@@ -265,7 +370,18 @@ impl DeltaSolver {
                 else {
                     continue;
                 };
-                if a != t.p {
+                if a != t.p || seeded_this_batch[i] {
+                    continue;
+                }
+                if !self.support[i].is_seeded() {
+                    let matrix = multiply_matrix(db_after, a, forward);
+                    let inits = self.support[i].seed(matrix, &self.chi[source]);
+                    self.stats.counter_inits += inits;
+                    self.stats.lazy_seeds += 1;
+                    seeded_this_batch[i] = true;
+                    zeroed.extend(
+                        unsupported(&self.support[i], &self.chi[target]).map(|w| (target, w)),
+                    );
                     continue;
                 }
                 // The multiply matrix M lost entry (u, w).
@@ -274,10 +390,7 @@ impl DeltaSolver {
                     continue;
                 }
                 self.stats.counter_decrements += 1;
-                let c = &mut self.support[i][w as usize];
-                debug_assert!(*c > 0, "support underflow on retraction");
-                *c -= 1;
-                if *c == 0 {
+                if self.support[i].decrement(w as usize) == 0 {
                     zeroed.push((target, w));
                 }
             }
@@ -317,55 +430,134 @@ impl DeltaSolver {
         false
     }
 
-    /// Drains the removal worklist. Returns `true` iff an early exit
-    /// triggered (the state must then be killed).
+    /// Drains the removal worklist in rounds. Each round freezes χ,
+    /// shards the pending removals by inequality, runs the shard phase
+    /// (inline or across scoped threads, per [`SolverConfig::drain`] —
+    /// the logical work is identical either way), and merges the
+    /// proposed removals back into χ in inequality order. Returns `true`
+    /// iff an early exit triggered (the state must then be killed).
     fn drain(&mut self, db: &GraphDb, soi: &Soi, config: &SolverConfig) -> bool {
-        // Detach the dependency lists so the loop can mutate the rest of
-        // the state while iterating them.
-        let by_source = std::mem::take(&mut self.by_source);
-        let mut early = false;
-        'outer: while let Some((v, u)) = self.queue.pop() {
-            self.stats.delta_removals += 1;
-            for &i in &by_source[v as usize] {
-                let i = i as usize;
-                match soi.ineqs[i] {
-                    Inequality::Edge {
-                        target,
-                        label: Some(a),
-                        forward,
-                        ..
-                    } => {
-                        for &w in multiply_matrix(db, a, forward).row(u as usize) {
-                            self.stats.counter_decrements += 1;
-                            let c = &mut self.support[i][w as usize];
-                            debug_assert!(*c > 0, "support underflow on removal");
-                            *c -= 1;
-                            if *c == 0 && self.chi[target].get(w as usize) {
-                                self.chi[target].clear(w as usize);
-                                if self.remove_cleared_bit(soi, config, target, w) {
-                                    early = true;
-                                    break 'outer;
+        let thread_budget = config.drain.threads();
+        while !self.queue.is_empty() {
+            let batch = std::mem::take(&mut self.queue);
+            self.stats.drain_rounds += 1;
+            self.stats.delta_removals += batch.len();
+
+            // Group the round's removals by source variable once, so
+            // every shard walks only its own removals (in the order they
+            // were cleared).
+            let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); soi.vars.len()];
+            for &(v, u) in &batch {
+                by_var[v as usize].push(u);
+            }
+
+            // One shard per labeled edge inequality whose source shrank,
+            // in inequality order, each owning its counter slab for the
+            // duration of the round.
+            let mut units: Vec<ShardUnit> = Vec::new();
+            for (i, ineq) in soi.ineqs.iter().enumerate() {
+                if let Inequality::Edge {
+                    target,
+                    source,
+                    label: Some(label),
+                    forward,
+                } = *ineq
+                {
+                    if !by_var[source].is_empty() {
+                        units.push(ShardUnit {
+                            ineq: i as u32,
+                            source: source as u32,
+                            target: target as u32,
+                            label,
+                            forward,
+                            slab: std::mem::take(&mut self.support[i]),
+                            proposals: Vec::new(),
+                            decrements: 0,
+                            inits: 0,
+                            lazy_seeded: false,
+                        });
+                    }
+                }
+            }
+            self.stats.shard_units += units.len();
+
+            let workers = thread_budget.min(units.len());
+            if workers <= 1 {
+                for unit in &mut units {
+                    unit.process(db, &by_var[unit.source as usize], &self.chi);
+                }
+            } else {
+                let chi = &self.chi;
+                let by_var = &by_var;
+                let chunk = units.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = units
+                        .chunks_mut(chunk)
+                        .map(|shard| {
+                            scope.spawn(move || {
+                                for unit in shard {
+                                    unit.process(db, &by_var[unit.source as usize], chi);
                                 }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("drain shard panicked");
+                    }
+                });
+            }
+
+            // Merge: hand every slab back, fold the per-shard work
+            // counters, and apply the proposals in inequality order.
+            // Subset inequalities carry no counters and are resolved
+            // inline at their position in the same order, so sequential
+            // and sharded drains clear the exact same bits in the exact
+            // same order.
+            let mut early = false;
+            let mut unit_iter = units.into_iter().peekable();
+            for i in 0..soi.ineqs.len() {
+                if unit_iter.peek().map(|u| u.ineq as usize) == Some(i) {
+                    let unit = unit_iter.next().expect("peeked");
+                    self.stats.counter_decrements += unit.decrements;
+                    self.stats.counter_inits += unit.inits;
+                    if unit.lazy_seeded {
+                        self.stats.lazy_seeds += 1;
+                    }
+                    let target = unit.target as usize;
+                    let proposals = unit.proposals;
+                    self.support[i] = unit.slab;
+                    if early {
+                        continue; // still restore the remaining slabs
+                    }
+                    for &w in &proposals {
+                        if self.chi[target].get(w as usize) {
+                            self.chi[target].clear(w as usize);
+                            if self.remove_cleared_bit(soi, config, target, w) {
+                                early = true;
+                                break;
                             }
                         }
                     }
-                    // Absent label: χ(target) was emptied at seeding, and
-                    // empty stays empty.
-                    Inequality::Edge { label: None, .. } => {}
-                    Inequality::Subset { sub, .. } => {
-                        if self.chi[sub].get(u as usize) {
+                } else if !early {
+                    if let Inequality::Subset { sub, sup } = soi.ineqs[i] {
+                        for &u in &by_var[sup] {
+                            if !self.chi[sub].get(u as usize) {
+                                continue;
+                            }
                             self.chi[sub].clear(u as usize);
                             if self.remove_cleared_bit(soi, config, sub, u) {
                                 early = true;
-                                break 'outer;
+                                break;
                             }
                         }
                     }
                 }
             }
+            if early {
+                return true;
+            }
         }
-        self.by_source = by_source;
-        early
+        false
     }
 
     /// Early exit: empties every variable (the convention shared with the
@@ -384,7 +576,7 @@ impl DeltaSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{build_sois, solve, FixpointMode};
+    use crate::{build_sois, solve, DrainStrategy, FixpointMode};
     use dualsim_graph::GraphDbBuilder;
     use dualsim_query::parse;
 
@@ -443,6 +635,34 @@ mod tests {
     }
 
     #[test]
+    fn sharded_drain_matches_sequential_on_fixtures() {
+        let db = sample_db();
+        for text in [
+            "{ ?x p ?y . ?y p ?z . ?x q ?z }",
+            "{ ?x q ?y . ?y p ?z }",
+            "{ ?x p ?y OPTIONAL { ?x q ?z } }",
+        ] {
+            let q = parse(text).unwrap();
+            for soi in build_sois(&db, &q) {
+                for early_exit in [false, true] {
+                    let seq = solve(&db, &soi, &delta_cfg(early_exit));
+                    for threads in [1, 2, 4, 16] {
+                        let cfg = SolverConfig {
+                            drain: DrainStrategy::Sharded { threads },
+                            ..delta_cfg(early_exit)
+                        };
+                        let par = solve(&db, &soi, &cfg);
+                        assert_eq!(seq.chi, par.chi, "{text} ({threads} threads)");
+                        // The full stats — every work counter included —
+                        // must be bit-identical across strategies.
+                        assert_eq!(seq.stats, par.stats, "{text} ({threads} threads)");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn delta_counts_its_work() {
         let db = sample_db();
         let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
@@ -453,6 +673,23 @@ mod tests {
         assert_eq!(sol.stats.rows_ored, 0);
         assert_eq!(sol.stats.bits_probed, 0);
         assert!(sol.stats.work_ops() > 0);
+    }
+
+    #[test]
+    fn provably_satisfied_inequalities_defer_their_seeding() {
+        // A single-edge query: after summary initialization, χ(x) is
+        // exactly the non-empty rows of F^p and χ(y) exactly the column
+        // summary, so both inequalities are provably satisfied and no
+        // counter is ever seeded.
+        let db = sample_db();
+        let q = parse("{ ?x p ?y }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let sol = solve(&db, &soi, &delta_cfg(false));
+        assert_eq!(sol.stats.counter_inits, 0, "no seeding work");
+        assert_eq!(sol.stats.seeds_deferred, soi.ineqs.len());
+        assert_eq!(sol.stats.lazy_seeds, 0, "never touched, never seeded");
+        let reev = solve(&db, &soi, &SolverConfig::default());
+        assert_eq!(sol.chi, reev.chi);
     }
 
     #[test]
@@ -469,6 +706,30 @@ mod tests {
             let cold = solve(&db_after, &soi, &cfg);
             assert_eq!(engine.solution().chi, cold.chi, "after {victim:?}");
         }
+    }
+
+    #[test]
+    fn retraction_lazily_seeds_deferred_inequalities() {
+        // "{ ?x p ?y }" defers both inequalities (see above); deleting a
+        // p-triple must seed them on first touch — against the
+        // post-deletion matrix — and still track the cold solve.
+        let db = sample_db();
+        let q = parse("{ ?x p ?y }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(false);
+        let mut engine = DeltaSolver::new(&db, &soi, &cfg);
+        assert_eq!(engine.solution().stats.counter_inits, 0);
+        let p = db.label_id("p").unwrap();
+        let victim: Triple = db.triples().find(|t| t.p == p).unwrap();
+        let rest: Vec<Triple> = db.triples().filter(|&t| t != victim).collect();
+        let db_after = db.with_triples(&rest);
+        engine.retract_triples(&db_after, &soi, &cfg, &[victim]);
+        let after = engine.solution().stats.clone();
+        assert!(after.lazy_seeds > 0, "first touch seeded lazily");
+        assert!(after.counter_inits > 0);
+        assert_eq!(after.rows_ored, 0, "still no wholesale re-evaluation");
+        let cold = solve(&db_after, &soi, &cfg);
+        assert_eq!(engine.solution().chi, cold.chi);
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //!   column-wise `×b`, sparsity-driven inequality ordering), configured
 //!   by [`SolverConfig`]; two convergence engines are available
 //!   ([`FixpointMode`]): whole-inequality re-evaluation and
-//!   delta-counting removal propagation, which also powers truly
-//!   incremental deletion maintenance in [`IncrementalDualSim`];
+//!   delta-counting removal propagation — with lazy per-inequality
+//!   counter seeding and a round-based worklist drain that optionally
+//!   shards across scoped threads ([`DrainStrategy`]) — which also
+//!   powers truly incremental deletion maintenance in
+//!   [`IncrementalDualSim`];
 //! * [`baseline`] — the comparison algorithms: the passive dual-simulation
 //!   algorithm of Ma et al. \[20\] and an HHK-style \[17\] worklist
 //!   algorithm with removal counters, both adjusted to labeled graphs;
@@ -63,7 +66,7 @@ pub use pruning::{
 pub use quotient::QuotientIndex;
 pub use soi::{build_sois, build_sois_with, Inequality, PatternEdge, SimulationKind, Soi, SoiVar};
 pub use solver::{
-    solve, solve_from, EvalStrategy, FixpointMode, IneqOrdering, InitMode, Solution, SolveStats,
-    SolverConfig,
+    solve, solve_from, DrainStrategy, EvalStrategy, FixpointMode, IneqOrdering, InitMode, Solution,
+    SolveStats, SolverConfig,
 };
 pub use strong::{strong_kept_triples, strong_simulation, StrongSimulation, StrongStats};

@@ -8,8 +8,8 @@
 //! [`FixpointMode::Reevaluate`]: crate::FixpointMode::Reevaluate
 
 use crate::{
-    build_sois_with, solve, solve_from, FixpointMode, IncrementalDualSim, SimulationKind,
-    SolverConfig,
+    build_sois_with, solve, solve_from, DrainStrategy, FixpointMode, IncrementalDualSim,
+    SimulationKind, SolverConfig,
 };
 use dualsim_graph::{GraphDb, GraphDbBuilder, NodeKind, Triple};
 use dualsim_query::{parse, Query};
@@ -120,6 +120,78 @@ proptest! {
                 let warm = solve_from(&db_after, &soi, &config, old.chi.clone());
                 let cold = solve(&db_after, &soi, &config);
                 prop_assert_eq!(&warm.chi, &cold.chi, "{} ({:?})", q, fixpoint);
+            }
+        }
+    }
+
+    /// The sharded drain is a *pure execution strategy*: for every
+    /// thread count it produces bit-identical χ — equal to both the
+    /// sequential drain and the re-evaluation engine — and, because the
+    /// round/shard/merge structure is thread-count independent,
+    /// bit-identical work counters (`SolveStats` as a whole, hence also
+    /// `work_ops()`), for dual and forward-only systems, with and
+    /// without early exit.
+    #[test]
+    fn sharded_drain_equals_sequential_and_reevaluate(db in arb_db(), q in arb_query()) {
+        for kind in [SimulationKind::Dual, SimulationKind::Forward] {
+            for soi in build_sois_with(&db, &q, kind) {
+                for early_exit in [false, true] {
+                    let reev = solve(&db, &soi, &cfg(FixpointMode::Reevaluate, early_exit));
+                    let seq = solve(&db, &soi, &cfg(FixpointMode::DeltaCounting, early_exit));
+                    prop_assert_eq!(&reev.chi, &seq.chi, "{} ({:?})", q, kind);
+                    for threads in [1usize, 2, 4, 16] {
+                        let config = SolverConfig {
+                            drain: DrainStrategy::Sharded { threads },
+                            ..cfg(FixpointMode::DeltaCounting, early_exit)
+                        };
+                        let par = solve(&db, &soi, &config);
+                        prop_assert_eq!(
+                            &seq.chi, &par.chi,
+                            "{} ({:?}, {} threads, early_exit={})", q, kind, threads, early_exit
+                        );
+                        prop_assert_eq!(
+                            &seq.stats, &par.stats,
+                            "{} ({:?}, {} threads, early_exit={})", q, kind, threads, early_exit
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental deletion chains through the *sharded* drain stay
+    /// bit-identical — solution and work counters — to the sequential
+    /// drain, and both track the re-evaluation engine's solution.
+    #[test]
+    fn sharded_incremental_deletions_match_sequential(db in arb_db(), q in arb_query()) {
+        let delta_cfg = |drain| SolverConfig {
+            drain,
+            ..cfg(FixpointMode::DeltaCounting, false)
+        };
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let mut engines: Vec<IncrementalDualSim> = [
+                DrainStrategy::Sequential,
+                DrainStrategy::Sharded { threads: 2 },
+                DrainStrategy::Sharded { threads: 4 },
+                DrainStrategy::Sharded { threads: 16 },
+            ]
+            .into_iter()
+            .map(|drain| IncrementalDualSim::new(&db, soi.clone(), delta_cfg(drain)))
+            .collect();
+            let mut triples: Vec<Triple> = db.triples().collect();
+            while triples.len() > 1 {
+                let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
+                let db_after = db.with_triples(&triples);
+                for inc in engines.iter_mut() {
+                    inc.apply_deletions(&db_after, &batch);
+                }
+                let (seq, sharded) = engines.split_first().unwrap();
+                for inc in sharded {
+                    prop_assert_eq!(&seq.solution().chi, &inc.solution().chi, "{}", q);
+                    prop_assert_eq!(&seq.solution().stats, &inc.solution().stats, "{}", q);
+                }
+                let cold = solve(&db_after, &soi, &cfg(FixpointMode::Reevaluate, false));
+                prop_assert_eq!(&seq.solution().chi, &cold.chi, "{} vs cold", q);
             }
         }
     }

@@ -81,9 +81,45 @@ pub enum FixpointMode {
     DeltaCounting,
 }
 
+/// How the delta-counting engine drains its removal worklist.
+///
+/// Both strategies execute the *identical* round-based algorithm — each
+/// round shards the pending removals by inequality (support-counter
+/// slabs are disjoint per inequality), computes every shard's counter
+/// decrements and removal proposals against a frozen χ, and merges the
+/// proposals into χ in inequality order. The only difference is whether
+/// the shard phase runs inline or fans out over scoped worker threads,
+/// so χ, the final solution **and every work counter** are bit-identical
+/// across strategies and thread counts (proptest-pinned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainStrategy {
+    /// Process each round's shards on the calling thread.
+    #[default]
+    Sequential,
+    /// Fan each round's inequality shards out over up to `threads`
+    /// scoped worker threads (`std::thread::scope`), synchronizing only
+    /// at the per-round χ-handoff merge. `threads <= 1` behaves exactly
+    /// like [`DrainStrategy::Sequential`].
+    Sharded {
+        /// Upper bound on worker threads per drain round; the effective
+        /// count is capped by the number of touched inequalities.
+        threads: usize,
+    },
+}
+
+impl DrainStrategy {
+    /// The configured thread budget (1 for the sequential strategy).
+    pub fn threads(self) -> usize {
+        match self {
+            DrainStrategy::Sequential => 1,
+            DrainStrategy::Sharded { threads } => threads.max(1),
+        }
+    }
+}
+
 /// Solver configuration; [`SolverConfig::default`] is the configuration
 /// used for all headline experiments (adaptive strategy, sparsity-first
-/// ordering, summary initialization, early exit).
+/// ordering, summary initialization, early exit, sequential drain).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolverConfig {
     /// Multiplication strategy.
@@ -96,6 +132,9 @@ pub struct SolverConfig {
     /// delta-counting removal propagation). Both reach the same largest
     /// solution; they differ only in how much work each shrink costs.
     pub fixpoint: FixpointMode,
+    /// Worklist draining of the delta-counting engine: inline or sharded
+    /// across scoped threads. Ignored by [`FixpointMode::Reevaluate`].
+    pub drain: DrainStrategy,
     /// Abort as soon as a *mandatory* variable loses all candidates: the
     /// query then has no matches and everything can be pruned. Turn this
     /// off to obtain the mathematical largest solution even for
@@ -110,6 +149,7 @@ impl Default for SolverConfig {
             ordering: IneqOrdering::SparsityFirst,
             init: InitMode::Summaries,
             fixpoint: FixpointMode::Reevaluate,
+            drain: DrainStrategy::Sequential,
             early_exit: true,
         }
     }
@@ -139,6 +179,18 @@ pub struct SolveStats {
     pub counter_decrements: usize,
     /// `(variable, node)` removal events drained from the delta worklist.
     pub delta_removals: usize,
+    /// Removal-propagation rounds of the delta drain — the
+    /// cross-inequality χ-handoff points of the sharded strategy.
+    pub drain_rounds: usize,
+    /// Per-inequality shard units processed across all drain rounds
+    /// (identical for sequential and sharded drains by construction).
+    pub shard_units: usize,
+    /// Edge inequalities whose counter seeding was skipped at
+    /// initialization because the seeded χ provably satisfies them.
+    pub seeds_deferred: usize,
+    /// Deferred inequalities seeded on first touch (a source shrink or a
+    /// retraction reaching them) later on.
+    pub lazy_seeds: usize,
     /// Total candidates after initialization (Σ|χ(v)|).
     pub initial_candidates: usize,
     /// Total candidates at the fixpoint.
@@ -653,6 +705,7 @@ mod tests {
                                 init,
                                 fixpoint,
                                 early_exit: false,
+                                ..SolverConfig::default()
                             };
                             solutions.push(solve(&db, soi, &cfg).chi);
                         }

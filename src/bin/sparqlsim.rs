@@ -12,7 +12,7 @@
 //! `prune` writes/reports the per-query pruning (Sect. 5.2), and `eval`
 //! runs one of the reference engines, optionally on the pruned database.
 
-use dualsim::core::{prune, solve_query, EvalStrategy, FixpointMode, SolverConfig};
+use dualsim::core::{prune, solve_query, DrainStrategy, EvalStrategy, FixpointMode, SolverConfig};
 use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
 use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
 use dualsim::query::{parse, Query};
@@ -64,6 +64,9 @@ options:
   --query-text 'Q'      query given inline
   --strategy S          rowwise | colwise | adaptive   (default adaptive)
   --fixpoint F          reeval | delta                 (default reeval)
+  --fixpoint-threads N  delta: drain the removal worklist sharded over N
+                        scoped threads (default 1 = sequential; identical
+                        solution and work counts for every N)
   --no-early-exit       keep solving after a mandatory variable empties
   --output FILE.nt      prune: write the pruned database as N-Triples
   --engine E            eval: nested | hash            (default nested)
@@ -79,6 +82,7 @@ struct Opts {
     query_text: Option<String>,
     strategy: EvalStrategy,
     fixpoint: FixpointMode,
+    fixpoint_threads: usize,
     early_exit: bool,
     output: Option<String>,
     engine: String,
@@ -95,6 +99,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         query_text: None,
         strategy: EvalStrategy::Adaptive,
         fixpoint: FixpointMode::Reevaluate,
+        fixpoint_threads: 1,
         early_exit: true,
         output: None,
         engine: "nested".to_owned(),
@@ -132,6 +137,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     "delta" => FixpointMode::DeltaCounting,
                     other => return Err(format!("unknown fixpoint engine {other:?}")),
                 };
+            }
+            "--fixpoint-threads" => {
+                opts.fixpoint_threads = value()?
+                    .parse()
+                    .map_err(|e| format!("--fixpoint-threads: {e}"))?;
+                if opts.fixpoint_threads == 0 {
+                    return Err("--fixpoint-threads must be at least 1".into());
+                }
             }
             "--no-early-exit" => opts.early_exit = false,
             "--pruned" => opts.pruned = true,
@@ -205,6 +218,13 @@ fn config(opts: &Opts) -> SolverConfig {
     SolverConfig {
         strategy: opts.strategy,
         fixpoint: opts.fixpoint,
+        drain: if opts.fixpoint_threads > 1 {
+            DrainStrategy::Sharded {
+                threads: opts.fixpoint_threads,
+            }
+        } else {
+            DrainStrategy::Sequential
+        },
         early_exit: opts.early_exit,
         ..SolverConfig::default()
     }
@@ -361,6 +381,8 @@ mod tests {
             "rowwise",
             "--fixpoint",
             "delta",
+            "--fixpoint-threads",
+            "4",
             "--no-early-exit",
             "--limit",
             "7",
@@ -373,8 +395,18 @@ mod tests {
         assert_eq!(opts.data.as_deref(), Some("db.nt"));
         assert_eq!(opts.strategy, EvalStrategy::RowWise);
         assert_eq!(opts.fixpoint, FixpointMode::DeltaCounting);
+        assert_eq!(opts.fixpoint_threads, 4);
         assert!(!opts.early_exit);
         assert_eq!(opts.limit, 7);
+    }
+
+    #[test]
+    fn parse_args_rejects_zero_fixpoint_threads() {
+        let args: Vec<String> = ["solve", "--fixpoint-threads", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
     }
 
     #[test]

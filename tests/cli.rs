@@ -84,6 +84,37 @@ fn solve_with_delta_fixpoint_agrees_and_reports_counters() {
 }
 
 #[test]
+fn sharded_fixpoint_drain_matches_sequential_work_counts() {
+    let db = write_db("solve_delta_sharded.nt");
+    let query = "{ ?d directed ?m . ?d worked_with ?c }";
+    let mut reports = Vec::new();
+    for threads in ["1", "4"] {
+        let out = sparqlsim(&[
+            "solve",
+            "--data",
+            db.to_str().unwrap(),
+            "--query-text",
+            query,
+            "--fixpoint",
+            "delta",
+            "--fixpoint-threads",
+            threads,
+        ]);
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("?d: 2 candidates"), "{text}");
+        // Candidate and work-counter lines must be bit-identical across
+        // thread counts (the sharded drain is a pure execution strategy).
+        let stable: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("candidates") || l.contains("work:"))
+            .collect();
+        reports.push(stable.join("\n"));
+    }
+    assert_eq!(reports[0], reports[1]);
+}
+
+#[test]
 fn prune_writes_a_loadable_pruned_database() {
     let db = write_db("prune.nt");
     let out_path = std::env::temp_dir().join("dualsim-cli-tests/pruned.nt");

@@ -409,6 +409,7 @@ proptest! {
                         init,
                         fixpoint,
                         early_exit: false,
+                        ..SolverConfig::default()
                     };
                     let other: Vec<_> = solve_query(&db, &q, &cfg)
                         .into_iter().map(|(_, s)| s.chi).collect();
