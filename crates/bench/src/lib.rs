@@ -19,8 +19,8 @@
 
 use dualsim_core::baseline::dual_simulation_ma;
 use dualsim_core::{
-    build_sois, prune, solve, DrainStrategy, EvalStrategy, FixpointMode, IncrementalDualSim,
-    IneqOrdering, InitMode, QuotientIndex, SolveStats, SolverConfig,
+    build_sois, prune, solve, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode,
+    IncrementalDualSim, IneqOrdering, InitMode, QuotientIndex, SolveStats, SolverConfig,
 };
 use dualsim_datagen::workloads::{all_queries, BenchQuery, Dataset};
 use dualsim_datagen::{generate_dbpedia, generate_lubm, DbpediaConfig, LubmConfig};
@@ -456,6 +456,9 @@ fn sum_branch_stats(branches: &[(dualsim_core::Soi, dualsim_core::Solution)]) ->
         total.lazy_seeds += s.lazy_seeds;
         total.initial_candidates += s.initial_candidates;
         total.final_candidates += s.final_candidates;
+        // Branch solutions coexist, so total χ storage is the sum of
+        // the per-branch peaks (an upper bound on the true joint peak).
+        total.chi_peak_words += s.chi_peak_words;
         total.emptied_mandatory |= s.emptied_mandatory;
     }
     total
@@ -816,6 +819,162 @@ pub fn strategies_report_json(data: &Datasets, rows: &[StrategyRow]) -> String {
     out
 }
 
+/// The two concrete χ storage backends as (display name, backend)
+/// pairs (`Auto` resolves to one of these per solve and is not a
+/// separate measurement).
+pub const CHI_BACKENDS: [(&str, ChiBackend); 2] = [
+    ("dense", ChiBackend::Dense),
+    ("rle", ChiBackend::Rle),
+];
+
+/// One (workload, engine, backend) measurement of the χ-storage
+/// ablation: deterministic work counters plus the backend-dependent
+/// peak χ storage, the evidence `BENCH_chi.json` tracks.
+#[derive(Debug, Clone)]
+pub struct ChiBackendRow {
+    /// Query id.
+    pub id: String,
+    /// Fixpoint engine name (`reevaluate` / `delta`).
+    pub mode: &'static str,
+    /// χ backend name (`dense` / `rle`).
+    pub backend: &'static str,
+    /// Median wall time over the measured repetitions.
+    pub wall: Duration,
+    /// Peak χ storage in `u64`-equivalent words, summed over branches
+    /// ([`SolveStats::chi_peak_words`]).
+    pub chi_peak_words: usize,
+    /// Candidates after initialization.
+    pub initial_candidates: usize,
+    /// Candidates at the fixpoint.
+    pub final_candidates: usize,
+    /// Matrix rows OR-ed.
+    pub rows_ored: usize,
+    /// Candidate rows probed.
+    pub bits_probed: usize,
+    /// Support-counter increments.
+    pub counter_inits: usize,
+    /// Support-counter decrements.
+    pub counter_decrements: usize,
+    /// Unified work measure ([`SolveStats::work_ops`]) — must be
+    /// identical across backends for fixed (query, engine).
+    pub ops: usize,
+}
+
+/// Sparse-candidate scenarios of the χ-storage ablation, on top of the
+/// paper workload: queries over *rare* predicates (`ub:headOf` — one
+/// edge per department), whose seeded candidate sets stay in the tens
+/// while |V| grows with the database — exactly the tiny-but-wide χ
+/// shape run-length encoding is for. The L/D/B rows seed thousands of
+/// interleaved candidate ids (the generators alternate entity and
+/// literal interning), so they document where dense wins; these rows
+/// document where RLE does.
+pub const CHI_SPARSE_SCENARIOS: [(&str, &str); 2] = [
+    ("S0-heads", "{ ?h ub:headOf ?d . ?d ub:subOrganizationOf ?u }"),
+    ("S1-org-chart", "{ ?d ub:subOrganizationOf ?u . ?h ub:headOf ?d }"),
+];
+
+/// The χ-storage ablation: cold solves of every workload query — plus
+/// the [`CHI_SPARSE_SCENARIOS`] rare-predicate rows on the LUBM
+/// database — under both fixpoint engines × both concrete χ backends.
+/// Asserts the backend-parity discipline along the way — per (query,
+/// engine), the dense and RLE backends must produce bit-identical χ
+/// and identical *logical* work counters ([`SolveStats::logical`]);
+/// only the χ storage metric may (and should, on the sparse-candidate
+/// rows) differ.
+pub fn run_chi_backend_ablation(data: &Datasets, reps: usize) -> Vec<ChiBackendRow> {
+    let mut scenarios: Vec<(String, &GraphDb, Query)> = all_queries()
+        .into_iter()
+        .map(|bench| {
+            (
+                bench.id.to_owned(),
+                data.for_query(&bench),
+                bench.query.clone(),
+            )
+        })
+        .collect();
+    for (id, text) in CHI_SPARSE_SCENARIOS {
+        let query = dualsim_query::parse(text).expect("sparse scenario parses");
+        scenarios.push((id.to_owned(), &data.lubm, query));
+    }
+    let mut rows = Vec::new();
+    for (id, db, query) in &scenarios {
+        for (mode, fixpoint) in FIXPOINT_MODES {
+            let mut per_backend = Vec::new();
+            for (bname, chi_backend) in CHI_BACKENDS {
+                let cfg = SolverConfig {
+                    fixpoint,
+                    chi_backend,
+                    ..SolverConfig::default()
+                };
+                let (branches, wall) =
+                    time_median(reps, || dualsim_core::solve_query(db, query, &cfg));
+                let stats = sum_branch_stats(&branches);
+                rows.push(ChiBackendRow {
+                    id: id.clone(),
+                    mode,
+                    backend: bname,
+                    wall,
+                    chi_peak_words: stats.chi_peak_words,
+                    initial_candidates: stats.initial_candidates,
+                    final_candidates: stats.final_candidates,
+                    rows_ored: stats.rows_ored,
+                    bits_probed: stats.bits_probed,
+                    counter_inits: stats.counter_inits,
+                    counter_decrements: stats.counter_decrements,
+                    ops: stats.work_ops(),
+                });
+                per_backend.push(branches);
+            }
+            let (dense, rle) = (&per_backend[0], &per_backend[1]);
+            assert_eq!(dense.len(), rle.len(), "{id}");
+            for ((_, d), (_, r)) in dense.iter().zip(rle.iter()) {
+                assert_eq!(
+                    d.chi, r.chi,
+                    "{id} ({mode}): χ differs between chi backends"
+                );
+                assert_eq!(
+                    d.stats.logical(),
+                    r.stats.logical(),
+                    "{id} ({mode}): logical work differs between chi backends"
+                );
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the χ-storage ablation as the machine-readable
+/// `BENCH_chi.json` document (schema `dualsim-chi-v1`).
+pub fn chi_report_json(data: &Datasets, rows: &[ChiBackendRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-chi-v1\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str("  \"solve\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"mode\": {}, \"backend\": {}, \"wall_s\": {:.6}, \
+             \"chi_peak_words\": {}, \"initial_candidates\": {}, \"final_candidates\": {}, \
+             \"rows_ored\": {}, \"bits_probed\": {}, \"counter_inits\": {}, \
+             \"counter_decrements\": {}, \"ops\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.mode),
+            json_str(r.backend),
+            r.wall.as_secs_f64(),
+            r.chi_peak_words,
+            r.initial_candidates,
+            r.final_candidates,
+            r.rows_ored,
+            r.bits_probed,
+            r.counter_inits,
+            r.counter_decrements,
+            r.ops,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Construction-side statistics of the Sect.-6 fingerprint ablation.
 #[derive(Debug, Clone)]
 pub struct QuotientBuildStats {
@@ -917,7 +1076,7 @@ pub fn run_quotient_ablation(
         let expanded_candidates: usize = quotient
             .chi
             .iter()
-            .map(|c| index.expand(c).count_ones())
+            .map(|c| index.expand(&c.to_bitvec()).count_ones())
             .sum();
         assert_eq!(
             direct_candidates, expanded_candidates,
@@ -1188,6 +1347,43 @@ mod tests {
         assert_eq!(rows.len(), STRATEGY_ABLATION_QUERIES.len() * 3 * 2 * 2);
         let json = strategies_report_json(&data, &rows);
         assert!(json.starts_with("{\n  \"schema\": \"dualsim-strategies-v1\""));
+        assert_eq!(json.matches("\"id\":").count(), rows.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chi_backend_ablation_gates_parity_and_shows_the_rle_win() {
+        let data = tiny_datasets();
+        // run_chi_backend_ablation asserts χ and logical-stats parity
+        // per (query, engine) internally.
+        let rows = run_chi_backend_ablation(&data, 1);
+        assert_eq!(
+            rows.len(),
+            2 * 2 * (all_queries().len() + CHI_SPARSE_SCENARIOS.len())
+        );
+        for pair in rows.chunks(2) {
+            let (dense, rle) = (&pair[0], &pair[1]);
+            assert_eq!((dense.backend, rle.backend), ("dense", "rle"));
+            assert_eq!((&dense.id, dense.mode), (&rle.id, rle.mode));
+            assert_eq!(dense.ops, rle.ops, "{} ({})", dense.id, dense.mode);
+            assert_eq!(
+                (dense.initial_candidates, dense.final_candidates),
+                (rle.initial_candidates, rle.final_candidates),
+                "{} ({})",
+                dense.id,
+                dense.mode
+            );
+        }
+        // The point of the RLE backend: on at least one sparse-candidate
+        // workload its peak χ storage is strictly below dense.
+        assert!(
+            rows.chunks(2)
+                .any(|pair| pair[1].chi_peak_words < pair[0].chi_peak_words),
+            "no workload benefits from RLE χ storage"
+        );
+        let json = chi_report_json(&data, &rows);
+        assert!(json.starts_with("{\n  \"schema\": \"dualsim-chi-v1\""));
         assert_eq!(json.matches("\"id\":").count(), rows.len());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

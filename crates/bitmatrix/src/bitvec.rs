@@ -254,9 +254,84 @@ impl BitVec {
         indices.iter().any(|&i| self.get(i as usize))
     }
 
+    /// Sets every bit in `[start, end)` to one — the dense counterpart
+    /// of appending one RLE run, used when expanding run-length encoded
+    /// χ vectors into dense accumulators.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        assert!(start <= end && end <= self.len, "range [{start}, {end}) out of bounds");
+        if start == end {
+            return;
+        }
+        let (first, last) = (start / BLOCK_BITS, (end - 1) / BLOCK_BITS);
+        let head = !0u64 << (start % BLOCK_BITS);
+        let tail = !0u64 >> (BLOCK_BITS - 1 - (end - 1) % BLOCK_BITS);
+        if first == last {
+            self.blocks[first] |= head & tail;
+        } else {
+            self.blocks[first] |= head;
+            for b in &mut self.blocks[first + 1..last] {
+                *b = !0u64;
+            }
+            self.blocks[last] |= tail;
+        }
+    }
+
+    /// `true` iff some bit in `[start, end)` is set. Walks whole blocks,
+    /// so run-length encoded vectors can test their gaps against a dense
+    /// vector in O(range / 64).
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn any_in_range(&self, start: usize, end: usize) -> bool {
+        assert!(start <= end && end <= self.len, "range [{start}, {end}) out of bounds");
+        if start == end {
+            return false;
+        }
+        let (first, last) = (start / BLOCK_BITS, (end - 1) / BLOCK_BITS);
+        let head = !0u64 << (start % BLOCK_BITS);
+        let tail = !0u64 >> (BLOCK_BITS - 1 - (end - 1) % BLOCK_BITS);
+        if first == last {
+            return self.blocks[first] & head & tail != 0;
+        }
+        self.blocks[first] & head != 0
+            || self.blocks[first + 1..last].iter().any(|&b| b != 0)
+            || self.blocks[last] & tail != 0
+    }
+
+    /// `true` iff every bit in `[start, end)` is set — the dense subset
+    /// test for one RLE run.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn all_in_range(&self, start: usize, end: usize) -> bool {
+        assert!(start <= end && end <= self.len, "range [{start}, {end}) out of bounds");
+        if start == end {
+            return true;
+        }
+        let (first, last) = (start / BLOCK_BITS, (end - 1) / BLOCK_BITS);
+        let head = !0u64 << (start % BLOCK_BITS);
+        let tail = !0u64 >> (BLOCK_BITS - 1 - (end - 1) % BLOCK_BITS);
+        if first == last {
+            let mask = head & tail;
+            return self.blocks[first] & mask == mask;
+        }
+        self.blocks[first] & head == head
+            && self.blocks[first + 1..last].iter().all(|&b| b == !0u64)
+            && self.blocks[last] & tail == tail
+    }
+
     /// Heap bytes held by the block storage.
     pub fn heap_bytes(&self) -> usize {
         self.blocks.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Storage words (`u64` blocks) — the dense side of the χ-storage
+    /// accounting that `BENCH_chi.json` reports per backend.
+    pub fn storage_words(&self) -> usize {
+        self.blocks.len()
     }
 
     /// The raw `u64` blocks (low bit of block 0 is bit 0); tail bits
@@ -453,6 +528,28 @@ mod tests {
         v.set_all();
         assert_eq!(v.count_ones(), 0);
         assert_eq!(v.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn set_range_spans_blocks() {
+        for (start, end) in [(0, 0), (3, 9), (60, 70), (0, 130), (63, 64), (64, 128), (129, 130)] {
+            let mut v = BitVec::zeros(130);
+            v.set_range(start, end);
+            for i in 0..130 {
+                assert_eq!(v.get(i), (start..end).contains(&i), "bit {i} of [{start},{end})");
+            }
+        }
+    }
+
+    #[test]
+    fn range_queries_match_per_bit_scans() {
+        let v = BitVec::from_indices(130, &[3, 4, 5, 64, 65, 129]);
+        for (start, end) in [(0, 3), (3, 6), (4, 64), (6, 64), (64, 66), (66, 129), (0, 130), (7, 7)] {
+            let any = (start..end).any(|i| v.get(i));
+            let all = (start..end).all(|i| v.get(i));
+            assert_eq!(v.any_in_range(start, end), any, "[{start},{end})");
+            assert_eq!(v.all_in_range(start, end), all, "[{start},{end})");
+        }
     }
 
     #[test]

@@ -1,0 +1,604 @@
+//! Pluggable χ storage: one candidate vector per SOI variable, stored
+//! either densely or run-length encoded.
+//!
+//! The solver of Sect. 3.2 keeps one candidate set χ(v) per variable.
+//! Dense [`BitVec`] storage costs O(|V|) words per variable regardless
+//! of how few candidates survive — on large graphs with selective
+//! labels the sets are tiny (or consist of long contiguous id runs,
+//! because dictionary-encoded databases cluster nodes of one type), and
+//! the gap-length encoded [`RleBitVec`] stores them in O(runs) words.
+//!
+//! [`ChiVec`] is the per-variable abstraction both fixpoint engines go
+//! through: a two-variant enum whose operations are bit-for-bit
+//! equivalent across backends, including the *order* in which removal
+//! verbs report cleared bits — which is why the solver's χ fixpoints
+//! and every logical work counter are identical whichever backend a
+//! solve selects (property-tested in `dualsim-core`). The backend is
+//! chosen per solve by [`ChiBackend`]: explicitly, or adaptively from
+//! the seeded candidate density (`Auto`).
+
+use crate::bitvec::{BitVec, Ones};
+use crate::rle::{RleBitVec, RleOnes};
+
+/// χ storage backend selection, configured per solve
+/// (`SolverConfig::chi_backend` in `dualsim-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChiBackend {
+    /// Dense `u64`-block storage ([`BitVec`]): O(|V|) words per
+    /// variable, constant-time bit access — the right choice when most
+    /// nodes stay candidates.
+    #[default]
+    Dense,
+    /// Run-length encoded storage ([`RleBitVec`]): O(runs) words per
+    /// variable — the right choice when candidate sets are sparse or
+    /// clustered (huge graphs with selective labels).
+    Rle,
+    /// Decide per solve from the *seeded* candidate density: RLE when
+    /// the Eq. (12)/(13) initialization leaves at most
+    /// 1/[`AUTO_RLE_DENSITY_DIVISOR`] of the |vars| × |V| candidate
+    /// space populated, dense otherwise. The decision is made *before*
+    /// any χ vector materializes (from summary popcounts), so a solve
+    /// that resolves to dense never builds a fragmented RLE seed first.
+    Auto,
+}
+
+/// `Auto` picks RLE when `seeded_candidates * AUTO_RLE_DENSITY_DIVISOR
+/// <= |vars| * |V|`, i.e. at seeded densities of 1/64 and below. The
+/// divisor equals the dense block width on purpose: even a fully
+/// scattered candidate set (one 8-byte run per candidate) then costs at
+/// most `space / 64` words — the dense block count — so an
+/// `Auto`-selected RLE backend can never store more χ words than dense
+/// would.
+pub const AUTO_RLE_DENSITY_DIVISOR: usize = 64;
+
+impl ChiBackend {
+    /// Parses a backend name (`dense` / `rle` / `auto`), as accepted by
+    /// the `sparqlsim --chi-backend` flag.
+    pub fn from_name(name: &str) -> Option<ChiBackend> {
+        match name {
+            "dense" => Some(ChiBackend::Dense),
+            "rle" => Some(ChiBackend::Rle),
+            "auto" => Some(ChiBackend::Auto),
+            _ => None,
+        }
+    }
+
+    /// The backend's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChiBackend::Dense => "dense",
+            ChiBackend::Rle => "rle",
+            ChiBackend::Auto => "auto",
+        }
+    }
+}
+
+/// One χ candidate vector behind the pluggable storage abstraction.
+///
+/// All verbs are semantically identical across the two backends, report
+/// identical change flags, and enumerate/clear bits in identical
+/// (ascending) order. Equality is *semantic*: two vectors are equal iff
+/// they have the same length and the same set bits, regardless of
+/// backend.
+#[derive(Debug, Clone)]
+pub enum ChiVec {
+    /// Dense `u64`-block storage.
+    Dense(BitVec),
+    /// Run-length encoded storage.
+    Rle(RleBitVec),
+}
+
+fn concrete(backend: ChiBackend) -> ChiBackend {
+    assert!(
+        backend != ChiBackend::Auto,
+        "Auto must be resolved to a concrete backend before constructing χ vectors"
+    );
+    backend
+}
+
+impl ChiVec {
+    /// A vector of `len` zero bits in the given (concrete) backend.
+    ///
+    /// # Panics
+    /// Panics on [`ChiBackend::Auto`] — the caller resolves `Auto`
+    /// before materializing storage.
+    pub fn zeros(len: usize, backend: ChiBackend) -> ChiVec {
+        match concrete(backend) {
+            ChiBackend::Dense => ChiVec::Dense(BitVec::zeros(len)),
+            _ => ChiVec::Rle(RleBitVec::zeros(len)),
+        }
+    }
+
+    /// A vector of `len` one bits (for RLE: a single run).
+    ///
+    /// # Panics
+    /// Panics on [`ChiBackend::Auto`].
+    pub fn ones(len: usize, backend: ChiBackend) -> ChiVec {
+        match concrete(backend) {
+            ChiBackend::Dense => ChiVec::Dense(BitVec::ones(len)),
+            _ => ChiVec::Rle(RleBitVec::ones(len)),
+        }
+    }
+
+    /// A vector with exactly the given bits set.
+    ///
+    /// # Panics
+    /// Panics on [`ChiBackend::Auto`] or out-of-bounds indices.
+    pub fn from_indices(len: usize, indices: &[u32], backend: ChiBackend) -> ChiVec {
+        match concrete(backend) {
+            ChiBackend::Dense => ChiVec::Dense(BitVec::from_indices(len, indices)),
+            _ => ChiVec::Rle(RleBitVec::from_indices(len, indices)),
+        }
+    }
+
+    /// The storage backend of this vector (never `Auto`).
+    pub fn backend(&self) -> ChiBackend {
+        match self {
+            ChiVec::Dense(_) => ChiBackend::Dense,
+            ChiVec::Rle(_) => ChiBackend::Rle,
+        }
+    }
+
+    /// Converts in place to the given concrete backend (no-op when
+    /// already there).
+    ///
+    /// # Panics
+    /// Panics on [`ChiBackend::Auto`].
+    pub fn convert_to(&mut self, backend: ChiBackend) {
+        match (concrete(backend), &*self) {
+            (ChiBackend::Dense, ChiVec::Rle(v)) => *self = ChiVec::Dense(v.to_bitvec()),
+            (ChiBackend::Rle, ChiVec::Dense(v)) => *self = ChiVec::Rle(RleBitVec::from_bitvec(v)),
+            _ => {}
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ChiVec::Dense(v) => v.len(),
+            ChiVec::Rle(v) => v.len(),
+        }
+    }
+
+    /// `true` iff the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        match self {
+            ChiVec::Dense(v) => v.count_ones(),
+            ChiVec::Rle(v) => v.count_ones(),
+        }
+    }
+
+    /// `true` iff no bit is set.
+    #[inline]
+    pub fn none_set(&self) -> bool {
+        match self {
+            ChiVec::Dense(v) => v.none_set(),
+            ChiVec::Rle(v) => v.none_set(),
+        }
+    }
+
+    /// `true` iff at least one bit is set.
+    #[inline]
+    pub fn any_set(&self) -> bool {
+        !self.none_set()
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self {
+            ChiVec::Dense(v) => v.get(i),
+            ChiVec::Rle(v) => v.get(i),
+        }
+    }
+
+    /// Sets bit `i` to zero (splitting an RLE run when necessary).
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        match self {
+            ChiVec::Dense(v) => v.clear(i),
+            ChiVec::Rle(v) => v.clear(i),
+        }
+    }
+
+    /// Sets every bit to zero.
+    pub fn clear_all(&mut self) {
+        match self {
+            ChiVec::Dense(v) => v.clear_all(),
+            ChiVec::Rle(v) => v.clear_all(),
+        }
+    }
+
+    /// Copies `other` into `self` without reallocating when the
+    /// backends match (the snapshot primitive of the solver's self-loop
+    /// evaluation path); a mixed-backend copy falls back to a clone.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ (same-backend case).
+    pub fn copy_from(&mut self, other: &ChiVec) {
+        match (self, other) {
+            (ChiVec::Dense(a), ChiVec::Dense(b)) => a.copy_from(b),
+            (ChiVec::Rle(a), ChiVec::Rle(b)) => a.copy_from(b),
+            (slot, _) => *slot = other.clone(),
+        }
+    }
+
+    /// Iterator over set-bit indices in ascending order.
+    pub fn iter_ones(&self) -> ChiOnes<'_> {
+        match self {
+            ChiVec::Dense(v) => ChiOnes::Dense(v.iter_ones()),
+            ChiVec::Rle(v) => ChiOnes::Rle(v.iter_ones()),
+        }
+    }
+
+    /// Collects the set-bit indices into a vector.
+    pub fn to_indices(&self) -> Vec<u32> {
+        match self {
+            ChiVec::Dense(v) => v.to_indices(),
+            ChiVec::Rle(v) => v.to_indices(),
+        }
+    }
+
+    /// Lossless conversion to a dense vector (the χ handoff to
+    /// dense-only consumers such as the quotient expansion).
+    pub fn to_bitvec(&self) -> BitVec {
+        match self {
+            ChiVec::Dense(v) => v.clone(),
+            ChiVec::Rle(v) => {
+                let mut out = BitVec::zeros(v.len());
+                v.or_into(&mut out);
+                out
+            }
+        }
+    }
+
+    /// `out ∨= self` into a dense accumulator (per-variable union of
+    /// `Solution::var_solution`).
+    pub fn or_into(&self, out: &mut BitVec) {
+        match self {
+            ChiVec::Dense(v) => {
+                out.or_assign(v);
+            }
+            ChiVec::Rle(v) => v.or_into(out),
+        }
+    }
+
+    /// In-place intersection `self ∧= other`; returns `true` iff `self`
+    /// changed. Mixed backends are supported (the right-hand side is
+    /// viewed semantically).
+    pub fn and_assign(&mut self, other: &ChiVec) -> bool {
+        match (self, other) {
+            (ChiVec::Dense(a), ChiVec::Dense(b)) => a.and_assign(b),
+            (ChiVec::Rle(a), ChiVec::Rle(b)) => a.and_assign(b),
+            (ChiVec::Dense(a), ChiVec::Rle(b)) => a.and_assign(&b.to_bitvec()),
+            (ChiVec::Rle(a), ChiVec::Dense(b)) => a.and_assign_dense(b),
+        }
+    }
+
+    /// In-place intersection with a *dense* vector (the Eq.-(13)
+    /// summaries and the row-wise multiply product stay dense); returns
+    /// `true` iff `self` changed. The RLE backend intersects run by run
+    /// without densifying itself.
+    pub fn and_assign_dense(&mut self, other: &BitVec) -> bool {
+        match self {
+            ChiVec::Dense(a) => a.and_assign(other),
+            ChiVec::Rle(a) => a.and_assign_dense(other),
+        }
+    }
+
+    /// In-place intersection that records the cleared bits in ascending
+    /// order (the removal-event primitive of the delta engine); the
+    /// buffer is *not* cleared first. Returns `true` iff `self` changed.
+    ///
+    /// # Panics
+    /// Panics if the backends differ — all χ vectors of one solve share
+    /// one backend.
+    pub fn drain_cleared(&mut self, other: &ChiVec, removed: &mut Vec<u32>) -> bool {
+        match (self, other) {
+            (ChiVec::Dense(a), ChiVec::Dense(b)) => a.drain_cleared(b, removed),
+            (ChiVec::Rle(a), ChiVec::Rle(b)) => a.drain_cleared(b, removed),
+            _ => panic!("drain_cleared across mixed χ backends"),
+        }
+    }
+
+    /// Subset test `self ≤ other` (mixed backends supported).
+    pub fn is_subset_of(&self, other: &ChiVec) -> bool {
+        match (self, other) {
+            (ChiVec::Dense(a), ChiVec::Dense(b)) => a.is_subset_of(b),
+            (ChiVec::Rle(a), ChiVec::Rle(b)) => a.is_subset_of(b),
+            (ChiVec::Dense(a), ChiVec::Rle(b)) => b.covers_dense(a),
+            (ChiVec::Rle(a), ChiVec::Dense(b)) => a.is_subset_of_dense(b),
+        }
+    }
+
+    /// Subset test against a dense vector: `self ≤ dense`.
+    pub fn is_subset_of_dense(&self, dense: &BitVec) -> bool {
+        match self {
+            ChiVec::Dense(a) => a.is_subset_of(dense),
+            ChiVec::Rle(a) => a.is_subset_of_dense(dense),
+        }
+    }
+
+    /// Superset test against a dense vector: `dense ≤ self` (the lazy
+    /// seeding deferral check of the delta engine).
+    pub fn covers_dense(&self, dense: &BitVec) -> bool {
+        match self {
+            ChiVec::Dense(a) => dense.is_subset_of(a),
+            ChiVec::Rle(a) => a.covers_dense(dense),
+        }
+    }
+
+    /// `true` iff any of the (sorted matrix-row) indices is a set bit.
+    #[inline]
+    pub fn intersects_indices(&self, indices: &[u32]) -> bool {
+        match self {
+            ChiVec::Dense(v) => v.intersects_indices(indices),
+            ChiVec::Rle(v) => v.intersects_indices(indices),
+        }
+    }
+
+    /// Storage words in `u64` equivalents — dense: one per 64-bit
+    /// block; RLE: one per run (two `u32`s). The per-backend χ memory
+    /// metric `SolveStats::chi_peak_words` tracks.
+    pub fn storage_words(&self) -> usize {
+        match self {
+            ChiVec::Dense(v) => v.storage_words(),
+            ChiVec::Rle(v) => v.storage_words(),
+        }
+    }
+}
+
+impl From<BitVec> for ChiVec {
+    fn from(v: BitVec) -> ChiVec {
+        ChiVec::Dense(v)
+    }
+}
+
+impl From<RleBitVec> for ChiVec {
+    fn from(v: RleBitVec) -> ChiVec {
+        ChiVec::Rle(v)
+    }
+}
+
+impl PartialEq for ChiVec {
+    /// Semantic equality: same length, same set bits — backends never
+    /// matter, so dense-vs-RLE parity gates compare solutions directly.
+    fn eq(&self, other: &ChiVec) -> bool {
+        match (self, other) {
+            (ChiVec::Dense(a), ChiVec::Dense(b)) => a == b,
+            (ChiVec::Rle(a), ChiVec::Rle(b)) => a == b,
+            (ChiVec::Dense(a), ChiVec::Rle(b)) | (ChiVec::Rle(b), ChiVec::Dense(a)) => {
+                rle_eq_dense(b, a)
+            }
+        }
+    }
+}
+
+impl Eq for ChiVec {}
+
+impl PartialEq<BitVec> for ChiVec {
+    fn eq(&self, other: &BitVec) -> bool {
+        match self {
+            ChiVec::Dense(a) => a == other,
+            ChiVec::Rle(a) => rle_eq_dense(a, other),
+        }
+    }
+}
+
+impl PartialEq<ChiVec> for BitVec {
+    fn eq(&self, other: &ChiVec) -> bool {
+        other == self
+    }
+}
+
+fn rle_eq_dense(rle: &RleBitVec, dense: &BitVec) -> bool {
+    rle.len() == dense.len()
+        && rle.count_ones() == dense.count_ones()
+        && rle.is_subset_of_dense(dense)
+}
+
+/// Iterator over the set-bit indices of a [`ChiVec`], in ascending
+/// order.
+pub enum ChiOnes<'a> {
+    /// Dense-block walk.
+    Dense(Ones<'a>),
+    /// Run walk.
+    Rle(RleOnes<'a>),
+}
+
+impl Iterator for ChiOnes<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            ChiOnes::Dense(it) => it.next(),
+            ChiOnes::Rle(it) => it.next(),
+        }
+    }
+}
+
+/// Read-only χ access shared by the Def.-2 checkers of `dualsim-core`:
+/// implemented by both the plain dense vectors the baseline algorithms
+/// return and the backend-abstracted [`ChiVec`] the solver returns, so
+/// one checker certifies every algorithm.
+pub trait ChiRead: PartialEq<BitVec> {
+    /// Number of bits.
+    fn bits(&self) -> usize;
+    /// Reads bit `i`.
+    fn get(&self, i: usize) -> bool;
+    /// `true` iff no bit is set.
+    fn none_set(&self) -> bool;
+    /// `true` iff `f` holds for every set-bit index (visited in
+    /// ascending order, allocation-free; short-circuits on the first
+    /// `false`).
+    fn all_ones(&self, f: impl FnMut(usize) -> bool) -> bool
+    where
+        Self: Sized;
+    /// `true` iff any of the sorted indices is a set bit.
+    fn intersects_indices(&self, indices: &[u32]) -> bool;
+    /// Subset test against a same-representation vector.
+    fn is_subset_of(&self, other: &Self) -> bool;
+}
+
+impl ChiRead for BitVec {
+    fn bits(&self) -> usize {
+        self.len()
+    }
+    fn get(&self, i: usize) -> bool {
+        BitVec::get(self, i)
+    }
+    fn none_set(&self) -> bool {
+        BitVec::none_set(self)
+    }
+    fn all_ones(&self, f: impl FnMut(usize) -> bool) -> bool {
+        self.iter_ones().all(f)
+    }
+    fn intersects_indices(&self, indices: &[u32]) -> bool {
+        BitVec::intersects_indices(self, indices)
+    }
+    fn is_subset_of(&self, other: &Self) -> bool {
+        BitVec::is_subset_of(self, other)
+    }
+}
+
+impl ChiRead for ChiVec {
+    fn bits(&self) -> usize {
+        self.len()
+    }
+    fn get(&self, i: usize) -> bool {
+        ChiVec::get(self, i)
+    }
+    fn none_set(&self) -> bool {
+        ChiVec::none_set(self)
+    }
+    fn all_ones(&self, f: impl FnMut(usize) -> bool) -> bool {
+        self.iter_ones().all(f)
+    }
+    fn intersects_indices(&self, indices: &[u32]) -> bool {
+        ChiVec::intersects_indices(self, indices)
+    }
+    fn is_subset_of(&self, other: &Self) -> bool {
+        ChiVec::is_subset_of(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BACKENDS: [ChiBackend; 2] = [ChiBackend::Dense, ChiBackend::Rle];
+
+    #[test]
+    fn constructors_agree_across_backends() {
+        for backend in BACKENDS {
+            let z = ChiVec::zeros(70, backend);
+            let o = ChiVec::ones(70, backend);
+            let f = ChiVec::from_indices(70, &[1, 2, 64], backend);
+            assert_eq!(z.backend(), backend);
+            assert!(z.none_set() && o.any_set());
+            assert_eq!(o.count_ones(), 70);
+            assert_eq!(f.to_indices(), vec![1, 2, 64]);
+        }
+        assert_eq!(
+            ChiVec::ones(70, ChiBackend::Dense),
+            ChiVec::ones(70, ChiBackend::Rle)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Auto must be resolved")]
+    fn auto_cannot_materialize() {
+        let _ = ChiVec::zeros(10, ChiBackend::Auto);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_backend() {
+        let d = ChiVec::from_indices(130, &[0, 1, 2, 64, 129], ChiBackend::Dense);
+        let r = ChiVec::from_indices(130, &[0, 1, 2, 64, 129], ChiBackend::Rle);
+        assert_eq!(d, r);
+        assert_eq!(r, d);
+        let dense = BitVec::from_indices(130, &[0, 1, 2, 64, 129]);
+        assert_eq!(r, dense);
+        assert_eq!(dense, r);
+        let other = ChiVec::from_indices(130, &[0, 1, 2, 64], ChiBackend::Rle);
+        assert_ne!(d, other);
+    }
+
+    #[test]
+    fn copy_from_matches_clone_for_every_backend_pair() {
+        for src_backend in BACKENDS {
+            for dst_backend in BACKENDS {
+                let src = ChiVec::from_indices(70, &[1, 2, 64], src_backend);
+                let mut dst = ChiVec::from_indices(70, &[5], dst_backend);
+                dst.copy_from(&src);
+                assert_eq!(dst, src, "{src_backend:?} -> {dst_backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_round_trips() {
+        let mut v = ChiVec::from_indices(130, &[5, 6, 7, 100], ChiBackend::Dense);
+        let original = v.clone();
+        v.convert_to(ChiBackend::Rle);
+        assert_eq!(v.backend(), ChiBackend::Rle);
+        assert_eq!(v, original);
+        v.convert_to(ChiBackend::Dense);
+        assert_eq!(v.backend(), ChiBackend::Dense);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn verbs_agree_across_backends() {
+        let a_idx = [0u32, 1, 2, 3, 63, 64, 100, 129];
+        let b_idx = [1u32, 3, 63, 64, 101];
+        let dense_mask = BitVec::from_indices(130, &b_idx);
+        let mut results = Vec::new();
+        for backend in BACKENDS {
+            let mut a = ChiVec::from_indices(130, &a_idx, backend);
+            let b = ChiVec::from_indices(130, &b_idx, backend);
+            assert!(a.intersects_indices(&[3, 7]));
+            assert!(!a.intersects_indices(&[4, 5]));
+            assert!(!b.is_subset_of(&a), "101 ∈ b but ∉ a");
+            let mut drained = a.clone();
+            let mut removed = Vec::new();
+            assert!(drained.drain_cleared(&b, &mut removed));
+            assert_eq!(removed, vec![0, 2, 100, 129]);
+            assert!(a.and_assign_dense(&dense_mask));
+            assert_eq!(a, drained);
+            a.clear(63);
+            let mut out = BitVec::zeros(130);
+            a.or_into(&mut out);
+            results.push((a.to_indices(), out, a.count_ones()));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn storage_words_reflect_the_representation() {
+        // One 10-bit run in 64k bits: dense pays 1024 words, RLE one.
+        let mut dense = ChiVec::zeros(65_536, ChiBackend::Dense);
+        dense.convert_to(ChiBackend::Dense);
+        assert_eq!(dense.storage_words(), 1024);
+        let rle = ChiVec::from_indices(65_536, &(40_000..40_010).collect::<Vec<_>>(), ChiBackend::Rle);
+        assert_eq!(rle.storage_words(), 1);
+        assert_eq!(rle.count_ones(), 10);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in [ChiBackend::Dense, ChiBackend::Rle, ChiBackend::Auto] {
+            assert_eq!(ChiBackend::from_name(backend.name()), Some(backend));
+        }
+        assert_eq!(ChiBackend::from_name("sparse"), None);
+    }
+}

@@ -2,11 +2,13 @@
 //!
 //! This crate implements the engineering substrate of Sect. 3.2 of
 //! *Fast Dual Simulation Processing of Graph Database Queries* (Mennicke et
-//! al., ICDE 2019): characteristic functions `χ_S(v)` are stored as dense
-//! [`BitVec`]s over the data-graph node set, while the per-label adjacency
-//! matrices `F^a` and `B^a` are stored as [`BitMatrix`] values with
-//! compressed (sorted-run) rows — the same information content as the
-//! paper's gap-length encoded bit rows.
+//! al., ICDE 2019): characteristic functions `χ_S(v)` are stored behind
+//! the pluggable [`ChiVec`] abstraction — dense [`BitVec`]s over the
+//! data-graph node set, or gap-length encoded [`RleBitVec`]s when the
+//! candidate sets are sparse ([`ChiBackend`]) — while the per-label
+//! adjacency matrices `F^a` and `B^a` are stored as [`BitMatrix`] values
+//! with compressed (sorted-run) rows — the same information content as
+//! the paper's gap-length encoded bit rows.
 //!
 //! The central operation is the bit-matrix multiplication `v ×b A`
 //! (footnote 2 of the paper): `(v ×b A)(j) = 1` iff there is an `i` with
@@ -24,13 +26,15 @@
 #![warn(missing_docs)]
 
 mod bitvec;
+mod chi;
 mod matrix;
 mod rle;
 mod slab;
 
 pub use bitvec::{BitVec, Ones};
-pub use matrix::BitMatrix;
-pub use rle::RleBitVec;
+pub use chi::{ChiBackend, ChiOnes, ChiRead, ChiVec, AUTO_RLE_DENSITY_DIVISOR};
+pub use matrix::{BitMatrix, RowSelector};
+pub use rle::{RleBitVec, RleOnes};
 pub use slab::CounterSlab;
 
 #[cfg(test)]

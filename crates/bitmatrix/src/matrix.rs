@@ -6,7 +6,117 @@
 //! paper's gap-length encoded bit rows and keeps the memory footprint
 //! proportional to the number of edges rather than `|V|²`.
 
-use crate::BitVec;
+use crate::{BitVec, ChiVec, RleBitVec};
+
+/// A row selector for [`BitMatrix`] multiplications: any χ
+/// representation that can enumerate its set bits drives the row-wise
+/// multiply, the counter-seeding multiply and the column-wise probe.
+/// Implemented by the dense [`BitVec`] (with the block-skip fast path),
+/// the run-length encoded [`RleBitVec`] (walking runs directly, so an
+/// RLE χ never densifies to select rows) and the backend-dispatching
+/// [`ChiVec`].
+pub trait RowSelector {
+    /// Number of bits of the selector (must equal the matrix dimension).
+    fn selector_len(&self) -> usize;
+
+    /// Calls `f` for every selected row index, in ascending order,
+    /// exactly once per set bit — the work-counter contract: the number
+    /// of calls is `count_ones()` for every implementation, so solver
+    /// statistics are identical across χ backends.
+    fn for_each_selected(&self, f: impl FnMut(usize));
+
+    /// `true` iff any of the sorted indices is a set bit (`row ∩ self ≠
+    /// ∅` for a compressed matrix row) — the column-wise probe.
+    fn selects_any(&self, indices: &[u32]) -> bool;
+}
+
+impl RowSelector for BitVec {
+    #[inline]
+    fn selector_len(&self) -> usize {
+        self.len()
+    }
+
+    /// Walks the selector with the dense block-skip fast path: when more
+    /// than half the bits are set, all-ones blocks dispatch their 64
+    /// rows with no per-bit decode and all-zeros blocks skip 64 rows at
+    /// once — the fast path for barely-filtered χ vectors right after
+    /// Eq. (12)/(13) initialization.
+    #[inline]
+    fn for_each_selected(&self, mut f: impl FnMut(usize)) {
+        const B: usize = crate::bitvec::BLOCK_BITS;
+        if 2 * self.count_ones() > self.len() {
+            for (bi, &block) in self.blocks().iter().enumerate() {
+                if block == 0 {
+                    continue;
+                }
+                let base = bi * B;
+                if block == !0u64 {
+                    let end = (base + B).min(self.len());
+                    for i in base..end {
+                        f(i);
+                    }
+                } else {
+                    let mut bits = block;
+                    while bits != 0 {
+                        let i = base + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        f(i);
+                    }
+                }
+            }
+        } else {
+            for i in self.iter_ones() {
+                f(i);
+            }
+        }
+    }
+
+    #[inline]
+    fn selects_any(&self, indices: &[u32]) -> bool {
+        self.intersects_indices(indices)
+    }
+}
+
+impl RowSelector for RleBitVec {
+    #[inline]
+    fn selector_len(&self) -> usize {
+        self.len()
+    }
+
+    /// Walks the runs directly — one range loop per run, no per-bit
+    /// decode and no densification.
+    #[inline]
+    fn for_each_selected(&self, mut f: impl FnMut(usize)) {
+        for i in self.iter_ones() {
+            f(i);
+        }
+    }
+
+    #[inline]
+    fn selects_any(&self, indices: &[u32]) -> bool {
+        self.intersects_indices(indices)
+    }
+}
+
+impl RowSelector for ChiVec {
+    #[inline]
+    fn selector_len(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn for_each_selected(&self, f: impl FnMut(usize)) {
+        match self {
+            ChiVec::Dense(v) => v.for_each_selected(f),
+            ChiVec::Rle(v) => v.for_each_selected(f),
+        }
+    }
+
+    #[inline]
+    fn selects_any(&self, indices: &[u32]) -> bool {
+        self.intersects_indices(indices)
+    }
+}
 
 /// A `dim × dim` boolean matrix with compressed (sorted, deduplicated)
 /// rows.
@@ -119,57 +229,22 @@ impl BitMatrix {
         self.summary.count_ones()
     }
 
-    /// Calls `f` for every row index selected by the set bits of `x`, in
-    /// ascending order. When more than half the bits of `x` are set, the
-    /// selector is walked block-wise: all-ones blocks dispatch their 64
-    /// rows with no per-bit decode, and (as in the sparse path)
-    /// all-zeros blocks skip 64 rows at once — the dense fast path for
-    /// barely-filtered χ vectors right after Eq. (12)/(13)
-    /// initialization. Shared by [`BitMatrix::multiply_into`] and
-    /// [`BitMatrix::count_into`].
-    #[inline]
-    fn for_each_selected_row(&self, x: &BitVec, mut f: impl FnMut(usize)) {
-        if 2 * x.count_ones() > self.dim {
-            for (bi, &block) in x.blocks().iter().enumerate() {
-                if block == 0 {
-                    continue;
-                }
-                let base = bi * crate::bitvec::BLOCK_BITS;
-                if block == !0u64 {
-                    let end = (base + crate::bitvec::BLOCK_BITS).min(self.dim);
-                    for i in base..end {
-                        f(i);
-                    }
-                } else {
-                    let mut bits = block;
-                    while bits != 0 {
-                        let i = base + bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        f(i);
-                    }
-                }
-            }
-        } else {
-            for i in x.iter_ones() {
-                f(i);
-            }
-        }
-    }
-
     /// Row-wise bit-matrix multiplication `out = x ×b A` (Eq. (9)):
     /// `out` is the union of the rows of `A` selected by the set bits of
-    /// `x`, the selector walked with the dense block-skip fast path.
-    /// Returns the number of rows OR-ed (a work measure for the solver
-    /// statistics).
+    /// `x`. The selector is any [`RowSelector`] — a dense [`BitVec`]
+    /// (walked with the block-skip fast path), an [`RleBitVec`] (runs
+    /// walked directly, no densification) or a [`ChiVec`]. Returns the
+    /// number of rows OR-ed (a work measure for the solver statistics,
+    /// identical across selector representations).
     ///
     /// # Panics
     /// Panics if the vector lengths differ from `dim`.
-    pub fn multiply_into(&self, x: &BitVec, out: &mut BitVec) -> usize {
-        assert_eq!(x.len(), self.dim);
+    pub fn multiply_into<S: RowSelector>(&self, x: &S, out: &mut BitVec) -> usize {
+        assert_eq!(x.selector_len(), self.dim);
         assert_eq!(out.len(), self.dim);
         out.clear_all();
         let mut rows = 0usize;
-        self.for_each_selected_row(x, |i| {
+        x.for_each_selected(|i| {
             out.set_indices(self.row(i));
             rows += 1;
         });
@@ -183,17 +258,17 @@ impl BitMatrix {
     /// respect to the source set `x`. Returns the number of increments
     /// performed (the initialization work measure).
     ///
-    /// The selector is walked with the same dense block-skip fast path
-    /// as [`BitMatrix::multiply_into`]; the increments performed (and
-    /// their count) are identical to the per-bit definition.
+    /// The selector is any [`RowSelector`] (dense selectors keep the
+    /// block-skip fast path); the increments performed (and their count)
+    /// are identical to the per-bit definition for every representation.
     ///
     /// # Panics
     /// Panics if `x` or `counts` do not have length `dim`.
-    pub fn count_into(&self, x: &BitVec, counts: &mut [u32]) -> usize {
-        assert_eq!(x.len(), self.dim);
+    pub fn count_into<S: RowSelector>(&self, x: &S, counts: &mut [u32]) -> usize {
+        assert_eq!(x.selector_len(), self.dim);
         assert_eq!(counts.len(), self.dim);
         let mut increments = 0usize;
-        self.for_each_selected_row(x, |i| {
+        x.for_each_selected(|i| {
             for &j in self.row(i) {
                 counts[j as usize] += 1;
             }
@@ -222,18 +297,56 @@ impl BitMatrix {
     ) -> (bool, usize) {
         assert_eq!(keep.len(), self.dim);
         assert_eq!(probe.len(), self.dim);
-        removed.clear();
-        let mut probed = 0usize;
-        for j in keep.iter_ones() {
-            probed += 1;
-            if !probe.intersects_indices(self.row(j)) {
-                removed.push(j as u32);
-            }
-        }
+        let probed = self.probe_kept_rows(keep.iter_ones(), probe, removed);
         for &j in removed.iter() {
             keep.clear(j as usize);
         }
         (!removed.is_empty(), probed)
+    }
+
+    /// [`BitMatrix::retain_intersecting_rows`] over the χ-storage
+    /// abstraction: `keep` and `probe` are [`ChiVec`]s of either
+    /// backend. The probe order (ascending candidates of `keep`), the
+    /// probe count and the removal list are identical to the dense
+    /// version (both run through [`BitMatrix::probe_kept_rows`]), so
+    /// solver work counters do not depend on the backend.
+    pub fn retain_intersecting_chi(
+        &self,
+        keep: &mut ChiVec,
+        probe: &ChiVec,
+        removed: &mut Vec<u32>,
+    ) -> (bool, usize) {
+        assert_eq!(keep.len(), self.dim);
+        assert_eq!(probe.len(), self.dim);
+        let probed = self.probe_kept_rows(keep.iter_ones(), probe, removed);
+        for &j in removed.iter() {
+            keep.clear(j as usize);
+        }
+        (!removed.is_empty(), probed)
+    }
+
+    /// The shared probe phase of the column-wise evaluation: walks the
+    /// kept candidates in ascending order, counts one probe per
+    /// candidate, and collects (into the cleared `removed` buffer) the
+    /// candidates whose matrix row does not intersect `probe`. One
+    /// implementation for every (keep, probe) representation pair keeps
+    /// the probe-count and removal-order contract — which the backend
+    /// parity gates pin — in exactly one place.
+    fn probe_kept_rows<S: RowSelector>(
+        &self,
+        kept: impl Iterator<Item = usize>,
+        probe: &S,
+        removed: &mut Vec<u32>,
+    ) -> usize {
+        removed.clear();
+        let mut probed = 0usize;
+        for j in kept {
+            probed += 1;
+            if !probe.selects_any(self.row(j)) {
+                removed.push(j as u32);
+            }
+        }
+        probed
     }
 
     /// Heap bytes held by the CSR arrays and the summary vector — the

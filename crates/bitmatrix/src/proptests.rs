@@ -1,7 +1,8 @@
 //! Property-based tests for the bit kernel: algebraic laws of the vector
-//! operations and equivalence of the two `×b` evaluation strategies.
+//! operations, equivalence of the two `×b` evaluation strategies, and
+//! dense-vs-RLE agreement of every χ-storage verb.
 
-use crate::{BitMatrix, BitVec, RleBitVec};
+use crate::{BitMatrix, BitVec, ChiBackend, ChiVec, RleBitVec};
 use proptest::prelude::*;
 
 const LEN: usize = 150;
@@ -253,6 +254,108 @@ proptest! {
             prev = cur;
         }
         prop_assert_eq!(rle.num_runs(), transitions);
+    }
+
+    /// Every in-place RLE verb matches its dense counterpart — result
+    /// bits, change flag, and (for the draining verb) the exact removal
+    /// order.
+    #[test]
+    fn rle_in_place_verbs_match_dense(a in arb_bitvec(), b in arb_bitvec(), i in 0usize..LEN) {
+        // and_assign (RLE × RLE).
+        let mut rd = a.clone();
+        let dense_changed = rd.and_assign(&b);
+        let mut rr = RleBitVec::from_bitvec(&a);
+        let rle_changed = rr.and_assign(&RleBitVec::from_bitvec(&b));
+        prop_assert_eq!(rr.to_bitvec(), rd.clone());
+        prop_assert_eq!(rle_changed, dense_changed);
+        // and_assign_dense (RLE × dense).
+        let mut rr = RleBitVec::from_bitvec(&a);
+        prop_assert_eq!(rr.and_assign_dense(&b), dense_changed);
+        prop_assert_eq!(rr.to_bitvec(), rd);
+        // drain_cleared: same survivors, same removal log, same order.
+        let mut dd = a.clone();
+        let mut dense_removed = vec![7u32];
+        let dc = dd.drain_cleared(&b, &mut dense_removed);
+        let mut rr = RleBitVec::from_bitvec(&a);
+        let mut rle_removed = vec![7u32];
+        let rc = rr.drain_cleared(&RleBitVec::from_bitvec(&b), &mut rle_removed);
+        prop_assert_eq!(rr.to_bitvec(), dd);
+        prop_assert_eq!(rle_removed, dense_removed);
+        prop_assert_eq!(rc, dc);
+        // clear: run splitting equals dense bit clearing.
+        let mut dd = a.clone();
+        dd.clear(i);
+        let mut rr = RleBitVec::from_bitvec(&a);
+        rr.clear(i);
+        prop_assert_eq!(rr.to_bitvec(), dd);
+        // Dense-side subset / cover / equality views.
+        let rle_a = RleBitVec::from_bitvec(&a);
+        prop_assert_eq!(rle_a.is_subset_of_dense(&b), a.is_subset_of(&b));
+        prop_assert_eq!(rle_a.covers_dense(&b), b.is_subset_of(&a));
+        // or_into is dense or_assign.
+        let mut dense_acc = b.clone();
+        dense_acc.or_assign(&a);
+        let mut rle_acc = b.clone();
+        rle_a.or_into(&mut rle_acc);
+        prop_assert_eq!(rle_acc, dense_acc);
+    }
+
+    /// RLE and dense selectors drive identical multiplications: same
+    /// product, same row count, same counter increments, same probes.
+    #[test]
+    fn rle_selector_matches_dense_selector(m in arb_matrix(), x in arb_bitvec(), keep in arb_bitvec()) {
+        let rle_x = RleBitVec::from_bitvec(&x);
+        let mut dense_out = BitVec::zeros(LEN);
+        let dense_rows = m.multiply_into(&x, &mut dense_out);
+        let mut rle_out = BitVec::zeros(LEN);
+        let rle_rows = m.multiply_into(&rle_x, &mut rle_out);
+        prop_assert_eq!(&rle_out, &dense_out);
+        prop_assert_eq!(rle_rows, dense_rows);
+
+        let mut dense_counts = vec![0u32; LEN];
+        let dense_incs = m.count_into(&x, &mut dense_counts);
+        let mut rle_counts = vec![0u32; LEN];
+        let rle_incs = m.count_into(&rle_x, &mut rle_counts);
+        prop_assert_eq!(rle_counts, dense_counts);
+        prop_assert_eq!(rle_incs, dense_incs);
+
+        // intersects_indices over sorted matrix rows.
+        for j in 0..LEN {
+            prop_assert_eq!(
+                rle_x.intersects_indices(m.row(j)),
+                x.intersects_indices(m.row(j)),
+                "row {}", j
+            );
+        }
+
+        // The ChiVec column-wise probe matches the dense one for both
+        // backends: same survivors, same removal log, same probe count.
+        let t = m.transpose();
+        let mut dense_keep = keep.clone();
+        let mut dense_removed = Vec::new();
+        let dense_res = t.retain_intersecting_rows(&mut dense_keep, &x, &mut dense_removed);
+        for backend in [ChiBackend::Dense, ChiBackend::Rle] {
+            let mut chi_keep = ChiVec::from_indices(LEN, &keep.to_indices(), backend);
+            let probe = ChiVec::from_indices(LEN, &x.to_indices(), backend);
+            let mut chi_removed = Vec::new();
+            let chi_res = t.retain_intersecting_chi(&mut chi_keep, &probe, &mut chi_removed);
+            prop_assert_eq!(&chi_keep, &dense_keep);
+            prop_assert_eq!(&chi_removed, &dense_removed);
+            prop_assert_eq!(chi_res, dense_res, "{:?}", backend);
+        }
+    }
+
+    /// `ChiVec` semantic equality is backend-blind and agrees with the
+    /// dense representation.
+    #[test]
+    fn chivec_equality_is_semantic(a in arb_bitvec(), b in arb_bitvec()) {
+        let da = ChiVec::Dense(a.clone());
+        let ra = ChiVec::Rle(RleBitVec::from_bitvec(&a));
+        let rb = ChiVec::Rle(RleBitVec::from_bitvec(&b));
+        prop_assert_eq!(&da, &ra);
+        prop_assert_eq!(&ra, &a);
+        prop_assert_eq!(da == rb, a == b);
+        prop_assert_eq!(ra.storage_words() <= a.count_ones().max(1), true);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! unseeded state to defer seeding cost for inequalities that are never
 //! violated.
 
-use crate::{BitMatrix, BitVec};
+use crate::{BitMatrix, RowSelector};
 
 /// A dense slab of per-column support counters, lazily seeded.
 #[derive(Debug, Clone, Default)]
@@ -36,12 +36,14 @@ impl CounterSlab {
     }
 
     /// (Re-)seeds the slab to `slab[w] = |column w of matrix ∩ x|` via
-    /// [`BitMatrix::count_into`]. Returns the number of counter
-    /// increments performed (the seeding work measure).
+    /// [`BitMatrix::count_into`]. The selector is any [`RowSelector`] —
+    /// dense or run-length encoded χ alike, with identical increment
+    /// counts. Returns the number of counter increments performed (the
+    /// seeding work measure).
     ///
     /// # Panics
     /// Panics if `x` does not have the matrix dimension.
-    pub fn seed(&mut self, matrix: &BitMatrix, x: &BitVec) -> usize {
+    pub fn seed<S: RowSelector>(&mut self, matrix: &BitMatrix, x: &S) -> usize {
         self.counts.clear();
         self.counts.resize(matrix.dim(), 0);
         self.seeded = true;
@@ -76,6 +78,7 @@ impl CounterSlab {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BitVec;
 
     #[test]
     fn slab_starts_unseeded_and_seeds_on_demand() {

@@ -5,7 +5,7 @@
 //! that claimed-largest solutions really are maximal.
 
 use crate::{PatternEdge, Soi};
-use dualsim_bitmatrix::BitVec;
+use dualsim_bitmatrix::{BitVec, ChiRead};
 use dualsim_graph::GraphDb;
 
 /// Checks whether the relation `S = {(v, d) | d ∈ chi[v]}` is a dual
@@ -17,29 +17,31 @@ use dualsim_graph::GraphDb;
 ///
 /// A pattern edge whose label is absent from the database admits no
 /// candidates at all on either side.
-pub fn is_dual_simulation(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+///
+/// Generic over the χ representation ([`ChiRead`]): the solver's
+/// backend-abstracted `ChiVec` rows and the baselines' plain dense rows
+/// are certified by the same checker.
+pub fn is_dual_simulation<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
     soi.edges.iter().all(|e| edge_respected(db, e, chi, true))
 }
 
 /// Checks condition (i) only — plain forward simulation, the notion the
 /// [`crate::SimulationKind::Forward`] systems characterize.
-pub fn is_forward_simulation(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+pub fn is_forward_simulation<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
     soi.edges.iter().all(|e| edge_respected(db, e, chi, false))
 }
 
-fn edge_respected(db: &GraphDb, e: &PatternEdge, chi: &[BitVec], dual: bool) -> bool {
+fn edge_respected<C: ChiRead>(db: &GraphDb, e: &PatternEdge, chi: &[C], dual: bool) -> bool {
     let Some(a) = e.label else {
         return chi[e.src].none_set() && (!dual || chi[e.dst].none_set());
     };
-    let fwd_ok = chi[e.src]
-        .iter_ones()
-        .all(|v| chi[e.dst].intersects_indices(db.out_neighbors(v as u32, a)));
+    let fwd_ok =
+        chi[e.src].all_ones(|v| chi[e.dst].intersects_indices(db.out_neighbors(v as u32, a)));
     if !dual {
         return fwd_ok;
     }
-    let bwd_ok = chi[e.dst]
-        .iter_ones()
-        .all(|w| chi[e.src].intersects_indices(db.in_neighbors(w as u32, a)));
+    let bwd_ok =
+        chi[e.dst].all_ones(|w| chi[e.src].intersects_indices(db.in_neighbors(w as u32, a)));
     fwd_ok && bwd_ok
 }
 
@@ -47,7 +49,7 @@ fn edge_respected(db: &GraphDb, e: &PatternEdge, chi: &[BitVec], dual: bool) -> 
 /// inequalities of the system, i.e. is a valid assignment for the whole
 /// SOI and not just for the pattern edges. Honours the system's
 /// [`crate::SimulationKind`].
-pub fn is_valid_assignment(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+pub fn is_valid_assignment<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
     let sim_ok = match soi.kind {
         crate::SimulationKind::Dual => is_dual_simulation(db, soi, chi),
         crate::SimulationKind::Forward => is_forward_simulation(db, soi, chi),
@@ -58,7 +60,7 @@ pub fn is_valid_assignment(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
     for (idx, var) in soi.vars.iter().enumerate() {
         if let Some(pin) = var.pinned {
             let ok = match pin {
-                Some(node) => chi[idx].iter_ones().all(|d| d == node as usize),
+                Some(node) => chi[idx].all_ones(|d| d == node as usize),
                 None => chi[idx].none_set(),
             };
             if !ok {
@@ -134,8 +136,10 @@ pub fn naive_largest_solution(db: &GraphDb, soi: &Soi) -> Vec<BitVec> {
 }
 
 /// `true` iff `chi` is exactly the largest solution of the system —
-/// validity plus maximality, certified against the reference oracle.
-pub fn is_largest_solution(db: &GraphDb, soi: &Soi, chi: &[BitVec]) -> bool {
+/// validity plus maximality, certified against the reference oracle
+/// (the oracle is dense; [`ChiRead`]'s `PartialEq<BitVec>` bound
+/// compares any χ representation against it semantically).
+pub fn is_largest_solution<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
     is_valid_assignment(db, soi, chi) && chi == naive_largest_solution(db, soi).as_slice()
 }
 

@@ -65,9 +65,11 @@
 //! [`CounterSlab`]: dualsim_bitmatrix::CounterSlab
 //! [`SolveStats`]: crate::SolveStats
 
-use crate::solver::{apply_summary_init, evaluation_order, seed_chi, split_pair};
+use crate::solver::{
+    apply_summary_init, chi_words, evaluation_order, resolve_chi_backend, seed_chi, split_pair,
+};
 use crate::{Inequality, Soi, Solution, SolveStats, SolverConfig};
-use dualsim_bitmatrix::{BitMatrix, BitVec, CounterSlab};
+use dualsim_bitmatrix::{BitMatrix, ChiVec, CounterSlab};
 use dualsim_graph::{GraphDb, Triple};
 
 /// One-shot entry point used by [`crate::solve_from`] for
@@ -76,7 +78,7 @@ pub(crate) fn solve_delta(
     db: &GraphDb,
     soi: &Soi,
     config: &SolverConfig,
-    initial_chi: Vec<BitVec>,
+    initial_chi: Vec<ChiVec>,
 ) -> Solution {
     DeltaSolver::from_chi(db, soi, config, initial_chi).solution()
 }
@@ -94,7 +96,7 @@ fn multiply_matrix(db: &GraphDb, label: u32, forward: bool) -> &BitMatrix {
 /// in the drain and lazy seeding during retractions: the candidates of
 /// `chi` whose support in `slab` is zero, i.e. the removals a
 /// freshly-seeded inequality forces.
-fn unsupported<'a>(slab: &'a CounterSlab, chi: &'a BitVec) -> impl Iterator<Item = u32> + 'a {
+fn unsupported<'a>(slab: &'a CounterSlab, chi: &'a ChiVec) -> impl Iterator<Item = u32> + 'a {
     chi.iter_ones()
         .filter(|&w| slab.count(w) == 0)
         .map(|w| w as u32)
@@ -105,6 +107,7 @@ fn unsupported<'a>(slab: &'a CounterSlab, chi: &'a BitVec) -> impl Iterator<Item
 /// slab. Units are processed against a frozen χ — inline or on a scoped
 /// worker thread — and report their proposed target removals plus work
 /// counters back to the merge step.
+#[derive(Debug, Clone)]
 struct ShardUnit {
     ineq: u32,
     source: u32,
@@ -122,7 +125,7 @@ struct ShardUnit {
 impl ShardUnit {
     /// `removals` are this round's cleared nodes of `self.source`, in
     /// the order they were cleared.
-    fn process(&mut self, db: &GraphDb, removals: &[u32], chi: &[BitVec]) {
+    fn process(&mut self, db: &GraphDb, removals: &[u32], chi: &[ChiVec]) {
         let matrix = multiply_matrix(db, self.label, self.forward);
         if !self.slab.is_seeded() {
             // First touch of a deferred inequality. χ(source) already
@@ -158,7 +161,7 @@ impl ShardUnit {
 /// triple deletions without ever re-seeding.
 #[derive(Debug, Clone)]
 pub(crate) struct DeltaSolver {
-    chi: Vec<BitVec>,
+    chi: Vec<ChiVec>,
     counts: Vec<usize>,
     /// `support[i]` for edge inequality `i` with a known label; unseeded
     /// (and for subset / absent-label inequalities: permanently so)
@@ -167,6 +170,34 @@ pub(crate) struct DeltaSolver {
     /// Pending `(variable, node)` removal deltas (the next drain round's
     /// batch; the bits are already cleared from χ).
     queue: Vec<(u32, u32)>,
+    /// Labeled-edge inequality ids per *source* variable: the inverse
+    /// index that lets a drain round assemble its shard units in
+    /// O(touched variables) instead of scanning every inequality.
+    edge_ineqs_by_source: Vec<Vec<u32>>,
+    /// Subset inequality ids per *sup* variable (the merge step resolves
+    /// these inline at their inequality-order position).
+    subset_ineqs_by_sup: Vec<Vec<u32>>,
+    /// Per-round removals grouped by source variable. Persistent
+    /// scratch: only the entries of `touched_vars` are ever non-empty,
+    /// and they are cleared again at the end of the round, so deep
+    /// cascades that clear one candidate per round stop paying
+    /// O(#vars) allocations per round.
+    by_var: Vec<Vec<u32>>,
+    /// The variables whose `by_var` bucket is non-empty this round.
+    touched_vars: Vec<u32>,
+    /// The round's touched inequality ids, in inequality order.
+    agenda: Vec<u32>,
+    /// Reusable shard-unit storage (empty between rounds, capacity
+    /// kept).
+    units: Vec<ShardUnit>,
+    /// Recycled proposal buffers handed to new shard units.
+    proposal_pool: Vec<Vec<u32>>,
+    /// Running Σ `storage_words()` over all χ vectors, maintained
+    /// incrementally at every bit clear (an O(1) length read per side),
+    /// so the per-round peak sample stays O(1) instead of re-scanning
+    /// all variables — deep cascades keep their O(touched)-per-round
+    /// cost.
+    chi_word_total: usize,
     /// Cumulative work counters (across the initial solve and every
     /// later retraction).
     stats: SolveStats,
@@ -178,7 +209,7 @@ pub(crate) struct DeltaSolver {
 impl DeltaSolver {
     /// Cold solve: seeds χ from Eq. (12) plus constant pinning.
     pub(crate) fn new(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Self {
-        Self::from_chi(db, soi, config, seed_chi(db, soi))
+        Self::from_chi(db, soi, config, seed_chi(db, soi, config))
     }
 
     /// Warm start: converges from a caller-provided superset of the
@@ -187,22 +218,49 @@ impl DeltaSolver {
         db: &GraphDb,
         soi: &Soi,
         config: &SolverConfig,
-        mut chi: Vec<BitVec>,
+        mut chi: Vec<ChiVec>,
     ) -> Self {
         let nv = soi.vars.len();
         assert_eq!(chi.len(), nv, "one χ per SOI variable");
         apply_summary_init(db, soi, config, &mut chi);
-        let counts: Vec<usize> = chi.iter().map(BitVec::count_ones).collect();
-        let stats = SolveStats {
+        let counts: Vec<usize> = chi.iter().map(ChiVec::count_ones).collect();
+        let mut stats = SolveStats {
             initial_candidates: counts.iter().sum(),
             ..SolveStats::default()
         };
+        resolve_chi_backend(config, &mut chi, stats.initial_candidates, db.num_nodes());
+        let chi_word_total = chi_words(&chi);
+        stats.observe_chi_words(chi_word_total);
+
+        let mut edge_ineqs_by_source: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        let mut subset_ineqs_by_sup: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        for (i, ineq) in soi.ineqs.iter().enumerate() {
+            match *ineq {
+                Inequality::Edge {
+                    source,
+                    label: Some(_),
+                    ..
+                } => edge_ineqs_by_source[source].push(i as u32),
+                Inequality::Subset { sup, .. } => subset_ineqs_by_sup[sup].push(i as u32),
+                // Absent-label edges are emptied once at enforcement and
+                // never react to removals.
+                Inequality::Edge { label: None, .. } => {}
+            }
+        }
 
         let mut solver = DeltaSolver {
             chi,
             counts,
             support: vec![CounterSlab::unseeded(); soi.ineqs.len()],
             queue: Vec::new(),
+            edge_ineqs_by_source,
+            subset_ineqs_by_sup,
+            by_var: vec![Vec::new(); nv],
+            touched_vars: Vec::new(),
+            agenda: Vec::new(),
+            units: Vec::new(),
+            proposal_pool: Vec::new(),
+            chi_word_total,
             stats,
             dead: false,
         };
@@ -243,8 +301,8 @@ impl DeltaSolver {
             };
             let matrix = multiply_matrix(db, a, forward);
             let column_summary = multiply_matrix(db, a, !forward).row_summary();
-            if matrix.row_summary().is_subset_of(&solver.chi[source])
-                && solver.chi[target].is_subset_of(column_summary)
+            if solver.chi[source].covers_dense(matrix.row_summary())
+                && solver.chi[target].is_subset_of_dense(column_summary)
             {
                 solver.stats.seeds_deferred += 1;
                 deferred[i] = true;
@@ -285,8 +343,11 @@ impl DeltaSolver {
                     target
                 }
                 Inequality::Subset { sub, sup } => {
+                    let words_before = solver.chi[sub].storage_words();
                     let (sup_chi, sub_chi) = split_pair(&mut solver.chi, sup, sub);
                     sub_chi.drain_cleared(sup_chi, &mut removed);
+                    solver.chi_word_total =
+                        solver.chi_word_total - words_before + solver.chi[sub].storage_words();
                     // drain_cleared already cleared the bits; enqueue
                     // without re-clearing.
                     for &w in &removed {
@@ -299,7 +360,7 @@ impl DeltaSolver {
                 }
             };
             for &w in &removed {
-                solver.chi[target].clear(w as usize);
+                solver.clear_chi_bit(target, w as usize);
                 if solver.remove_cleared_bit(soi, config, target, w) {
                     early = true;
                     break 'seed;
@@ -307,6 +368,8 @@ impl DeltaSolver {
             }
         }
 
+        // Seed enforcement can split RLE runs; sample before draining.
+        solver.stats.observe_chi_words(solver.chi_word_total);
         if early || solver.drain(db, soi, config) {
             solver.kill();
         } else if !soi.ineqs.is_empty() {
@@ -401,7 +464,7 @@ impl DeltaSolver {
         let mut early = false;
         for (target, w) in zeroed {
             if self.chi[target].get(w as usize) {
-                self.chi[target].clear(w as usize);
+                self.clear_chi_bit(target, w as usize);
                 if self.remove_cleared_bit(soi, config, target, w) {
                     early = true;
                     break;
@@ -411,7 +474,17 @@ impl DeltaSolver {
         if early || self.drain(db_after, soi, config) {
             self.kill();
         }
+        self.stats.observe_chi_words(self.chi_word_total);
         self.stats.final_candidates = self.counts.iter().sum();
+    }
+
+    /// Clears bit `w` of `chi[v]` and folds the storage-word delta into
+    /// the running total (an RLE clear can split a run, +1 word, or
+    /// drop one, −1; dense never changes).
+    fn clear_chi_bit(&mut self, v: usize, w: usize) {
+        let before = self.chi[v].storage_words();
+        self.chi[v].clear(w);
+        self.chi_word_total = self.chi_word_total - before + self.chi[v].storage_words();
     }
 
     /// Bookkeeping for a bit that the caller just cleared from `chi[v]`:
@@ -436,6 +509,21 @@ impl DeltaSolver {
     /// the logical work is identical either way), and merges the
     /// proposed removals back into χ in inequality order. Returns `true`
     /// iff an early exit triggered (the state must then be killed).
+    ///
+    /// Two invisible-to-the-counters engineering details:
+    ///
+    /// * **O(touched) round assembly.** The round's shard units and
+    ///   merge agenda are looked up through the `edge_ineqs_by_source` /
+    ///   `subset_ineqs_by_sup` indexes and the per-round buffers
+    ///   (`by_var`, `touched_vars`, `agenda`, `units`, proposal pool)
+    ///   are persistent scratch, so a deep cascade that clears one
+    ///   candidate per round costs O(its own work), not
+    ///   O(#vars + #ineqs) per round.
+    /// * **Adaptive threading.** A round whose batch is smaller than
+    ///   [`SolverConfig::drain_inline_below`] runs its shards inline
+    ///   even under [`crate::DrainStrategy::Sharded`] — same algorithm,
+    ///   same χ, same counters, no thread-spawn overhead for a handful
+    ///   of removals.
     fn drain(&mut self, db: &GraphDb, soi: &Soi, config: &SolverConfig) -> bool {
         let thread_budget = config.drain.threads();
         while !self.queue.is_empty() {
@@ -443,45 +531,64 @@ impl DeltaSolver {
             self.stats.drain_rounds += 1;
             self.stats.delta_removals += batch.len();
 
-            // Group the round's removals by source variable once, so
-            // every shard walks only its own removals (in the order they
-            // were cleared).
-            let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); soi.vars.len()];
+            // Group the round's removals by source variable, so every
+            // shard walks only its own removals (in the order they were
+            // cleared). `by_var` is persistent scratch: only the touched
+            // buckets are written, and they are cleared again below.
+            let mut by_var = std::mem::take(&mut self.by_var);
+            let mut touched = std::mem::take(&mut self.touched_vars);
             for &(v, u) in &batch {
-                by_var[v as usize].push(u);
+                let bucket = &mut by_var[v as usize];
+                if bucket.is_empty() {
+                    touched.push(v);
+                }
+                bucket.push(u);
             }
+
+            // The round's agenda: every inequality that can react to
+            // this batch, in inequality order (the χ-merge order). Each
+            // inequality has exactly one source/sup variable, so the
+            // concatenation is duplicate-free and one sort suffices.
+            let mut agenda = std::mem::take(&mut self.agenda);
+            for &v in &touched {
+                agenda.extend_from_slice(&self.edge_ineqs_by_source[v as usize]);
+                agenda.extend_from_slice(&self.subset_ineqs_by_sup[v as usize]);
+            }
+            agenda.sort_unstable();
 
             // One shard per labeled edge inequality whose source shrank,
             // in inequality order, each owning its counter slab for the
             // duration of the round.
-            let mut units: Vec<ShardUnit> = Vec::new();
-            for (i, ineq) in soi.ineqs.iter().enumerate() {
+            let mut units = std::mem::take(&mut self.units);
+            for &i in &agenda {
                 if let Inequality::Edge {
                     target,
                     source,
                     label: Some(label),
                     forward,
-                } = *ineq
+                } = soi.ineqs[i as usize]
                 {
-                    if !by_var[source].is_empty() {
-                        units.push(ShardUnit {
-                            ineq: i as u32,
-                            source: source as u32,
-                            target: target as u32,
-                            label,
-                            forward,
-                            slab: std::mem::take(&mut self.support[i]),
-                            proposals: Vec::new(),
-                            decrements: 0,
-                            inits: 0,
-                            lazy_seeded: false,
-                        });
-                    }
+                    units.push(ShardUnit {
+                        ineq: i,
+                        source: source as u32,
+                        target: target as u32,
+                        label,
+                        forward,
+                        slab: std::mem::take(&mut self.support[i as usize]),
+                        proposals: self.proposal_pool.pop().unwrap_or_default(),
+                        decrements: 0,
+                        inits: 0,
+                        lazy_seeded: false,
+                    });
                 }
             }
             self.stats.shard_units += units.len();
 
-            let workers = thread_budget.min(units.len());
+            let workers = if batch.len() < config.drain_inline_below {
+                1 // tiny round: threads cost more than the work
+            } else {
+                thread_budget.min(units.len())
+            };
             if workers <= 1 {
                 for unit in &mut units {
                     unit.process(db, &by_var[unit.source as usize], &self.chi);
@@ -514,9 +621,9 @@ impl DeltaSolver {
             // and sharded drains clear the exact same bits in the exact
             // same order.
             let mut early = false;
-            let mut unit_iter = units.into_iter().peekable();
-            for i in 0..soi.ineqs.len() {
-                if unit_iter.peek().map(|u| u.ineq as usize) == Some(i) {
+            let mut unit_iter = units.drain(..).peekable();
+            for &i in &agenda {
+                if unit_iter.peek().map(|u| u.ineq) == Some(i) {
                     let unit = unit_iter.next().expect("peeked");
                     self.stats.counter_decrements += unit.decrements;
                     self.stats.counter_inits += unit.inits;
@@ -524,27 +631,28 @@ impl DeltaSolver {
                         self.stats.lazy_seeds += 1;
                     }
                     let target = unit.target as usize;
-                    let proposals = unit.proposals;
-                    self.support[i] = unit.slab;
-                    if early {
-                        continue; // still restore the remaining slabs
-                    }
-                    for &w in &proposals {
-                        if self.chi[target].get(w as usize) {
-                            self.chi[target].clear(w as usize);
-                            if self.remove_cleared_bit(soi, config, target, w) {
-                                early = true;
-                                break;
+                    let mut proposals = unit.proposals;
+                    self.support[i as usize] = unit.slab;
+                    if !early {
+                        for &w in &proposals {
+                            if self.chi[target].get(w as usize) {
+                                self.clear_chi_bit(target, w as usize);
+                                if self.remove_cleared_bit(soi, config, target, w) {
+                                    early = true;
+                                    break;
+                                }
                             }
                         }
                     }
+                    proposals.clear();
+                    self.proposal_pool.push(proposals);
                 } else if !early {
-                    if let Inequality::Subset { sub, sup } = soi.ineqs[i] {
+                    if let Inequality::Subset { sub, sup } = soi.ineqs[i as usize] {
                         for &u in &by_var[sup] {
                             if !self.chi[sub].get(u as usize) {
                                 continue;
                             }
-                            self.chi[sub].clear(u as usize);
+                            self.clear_chi_bit(sub, u as usize);
                             if self.remove_cleared_bit(soi, config, sub, u) {
                                 early = true;
                                 break;
@@ -553,6 +661,25 @@ impl DeltaSolver {
                     }
                 }
             }
+
+            // Recycle the round's scratch (clearing only what was
+            // touched) before any early return.
+            drop(unit_iter);
+            for &v in &touched {
+                by_var[v as usize].clear();
+            }
+            touched.clear();
+            agenda.clear();
+            self.by_var = by_var;
+            self.touched_vars = touched;
+            self.agenda = agenda;
+            self.units = units;
+            debug_assert_eq!(
+                self.chi_word_total,
+                chi_words(&self.chi),
+                "incremental χ-word accounting drifted"
+            );
+            self.stats.observe_chi_words(self.chi_word_total);
             if early {
                 return true;
             }
@@ -566,6 +693,7 @@ impl DeltaSolver {
         for c in self.chi.iter_mut() {
             c.clear_all();
         }
+        self.chi_word_total = chi_words(&self.chi);
         self.counts.iter_mut().for_each(|c| *c = 0);
         self.stats.final_candidates = 0;
         self.queue.clear();
@@ -745,6 +873,6 @@ mod tests {
         engine.retract_triples(&db.with_triples(&rest), &soi, &cfg, &[victim]);
         let sol = engine.solution();
         assert!(sol.is_certainly_empty());
-        assert!(sol.chi.iter().all(BitVec::none_set));
+        assert!(sol.chi.iter().all(|c| c.none_set()));
     }
 }

@@ -17,7 +17,9 @@
 //!   counter seeding and a round-based worklist drain that optionally
 //!   shards across scoped threads ([`DrainStrategy`]) — which also
 //!   powers truly incremental deletion maintenance in
-//!   [`IncrementalDualSim`];
+//!   [`IncrementalDualSim`]; χ storage is pluggable per solve
+//!   ([`ChiBackend`]: dense bit vectors or run-length encoded ones,
+//!   with bit-identical solutions and logical work counters);
 //! * [`baseline`] — the comparison algorithms: the passive dual-simulation
 //!   algorithm of Ma et al. \[20\] and an HHK-style \[17\] worklist
 //!   algorithm with removal counters, both adjusted to labeled graphs;
@@ -65,6 +67,7 @@ pub use pruning::{
 };
 pub use quotient::QuotientIndex;
 pub use soi::{build_sois, build_sois_with, Inequality, PatternEdge, SimulationKind, Soi, SoiVar};
+pub use dualsim_bitmatrix::{ChiBackend, ChiVec};
 pub use solver::{
     solve, solve_from, DrainStrategy, EvalStrategy, FixpointMode, IneqOrdering, InitMode, Solution,
     SolveStats, SolverConfig,

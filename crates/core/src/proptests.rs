@@ -1,15 +1,20 @@
-//! Property-based equivalence tests for the two fixpoint engines: on
-//! random graphs × random queries, [`FixpointMode::DeltaCounting`] and
-//! [`FixpointMode::Reevaluate`] must produce bit-identical χ fixpoints
-//! and agree on emptiness — for dual and forward-only simulation, with
-//! and without early exit, and along incremental deletion chains.
+//! Property-based equivalence tests for the two fixpoint engines and
+//! the two χ storage backends: on random graphs × random queries,
+//! [`FixpointMode::DeltaCounting`] and [`FixpointMode::Reevaluate`]
+//! must produce bit-identical χ fixpoints and agree on emptiness — for
+//! dual and forward-only simulation, with and without early exit, and
+//! along incremental deletion chains — and [`ChiBackend::Dense`] and
+//! [`ChiBackend::Rle`] must additionally agree on every *logical* work
+//! counter ([`crate::SolveStats::logical`]).
 //!
 //! [`FixpointMode::DeltaCounting`]: crate::FixpointMode::DeltaCounting
 //! [`FixpointMode::Reevaluate`]: crate::FixpointMode::Reevaluate
+//! [`ChiBackend::Dense`]: crate::ChiBackend::Dense
+//! [`ChiBackend::Rle`]: crate::ChiBackend::Rle
 
 use crate::{
-    build_sois_with, solve, solve_from, DrainStrategy, FixpointMode, IncrementalDualSim,
-    SimulationKind, SolverConfig,
+    build_sois_with, solve, solve_from, ChiBackend, DrainStrategy, FixpointMode,
+    IncrementalDualSim, SimulationKind, SolverConfig,
 };
 use dualsim_graph::{GraphDb, GraphDbBuilder, NodeKind, Triple};
 use dualsim_query::{parse, Query};
@@ -142,6 +147,9 @@ proptest! {
                     for threads in [1usize, 2, 4, 16] {
                         let config = SolverConfig {
                             drain: DrainStrategy::Sharded { threads },
+                            // Threshold 0 keeps even tiny proptest
+                            // rounds on the scoped-thread path.
+                            drain_inline_below: 0,
                             ..cfg(FixpointMode::DeltaCounting, early_exit)
                         };
                         let par = solve(&db, &soi, &config);
@@ -166,6 +174,7 @@ proptest! {
     fn sharded_incremental_deletions_match_sequential(db in arb_db(), q in arb_query()) {
         let delta_cfg = |drain| SolverConfig {
             drain,
+            drain_inline_below: 0, // keep tiny rounds on the thread path
             ..cfg(FixpointMode::DeltaCounting, false)
         };
         for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
@@ -192,6 +201,95 @@ proptest! {
                 }
                 let cold = solve(&db_after, &soi, &cfg(FixpointMode::Reevaluate, false));
                 prop_assert_eq!(&seq.solution().chi, &cold.chi, "{} vs cold", q);
+            }
+        }
+    }
+
+    /// The χ storage backend is a *pure representation choice*: for
+    /// every engine × kind × early-exit combination, the dense and RLE
+    /// backends (and the per-solve `Auto` resolution) converge to
+    /// bit-identical χ and identical logical work counters — every
+    /// field of `SolveStats` except the backend-dependent
+    /// `chi_peak_words` storage metric.
+    #[test]
+    fn chi_backends_are_equivalent(db in arb_db(), q in arb_query()) {
+        for kind in [SimulationKind::Dual, SimulationKind::Forward] {
+            for soi in build_sois_with(&db, &q, kind) {
+                for fixpoint in [FixpointMode::Reevaluate, FixpointMode::DeltaCounting] {
+                    for early_exit in [false, true] {
+                        let cfg = |chi_backend| SolverConfig {
+                            chi_backend,
+                            ..cfg(fixpoint, early_exit)
+                        };
+                        let dense = solve(&db, &soi, &cfg(ChiBackend::Dense));
+                        let rle = solve(&db, &soi, &cfg(ChiBackend::Rle));
+                        let auto = solve(&db, &soi, &cfg(ChiBackend::Auto));
+                        let ctx = format!("{q} ({kind:?}, {fixpoint:?}, early_exit={early_exit})");
+                        prop_assert_eq!(&dense.chi, &rle.chi, "dense vs rle on {}", ctx);
+                        prop_assert_eq!(&dense.chi, &auto.chi, "dense vs auto on {}", ctx);
+                        prop_assert_eq!(
+                            dense.stats.logical(), rle.stats.logical(),
+                            "logical stats diverge on {}", ctx
+                        );
+                        prop_assert_eq!(
+                            dense.stats.logical(), auto.stats.logical(),
+                            "auto logical stats diverge on {}", ctx
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental deletion chains through the RLE backend track the
+    /// dense backend bit for bit — χ *and* logical work counters after
+    /// every batch — and both track a cold dense solve.
+    #[test]
+    fn chi_backends_agree_along_incremental_deletion_chains(db in arb_db(), q in arb_query()) {
+        let cfg = |chi_backend| SolverConfig {
+            chi_backend,
+            ..cfg(FixpointMode::DeltaCounting, false)
+        };
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let mut dense = IncrementalDualSim::new(&db, soi.clone(), cfg(ChiBackend::Dense));
+            let mut rle = IncrementalDualSim::new(&db, soi.clone(), cfg(ChiBackend::Rle));
+            let mut triples: Vec<Triple> = db.triples().collect();
+            while triples.len() > 1 {
+                let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
+                let db_after = db.with_triples(&triples);
+                dense.apply_deletions(&db_after, &batch);
+                rle.apply_deletions(&db_after, &batch);
+                prop_assert_eq!(&dense.solution().chi, &rle.solution().chi, "{}", q);
+                prop_assert_eq!(
+                    dense.solution().stats.logical(),
+                    rle.solution().stats.logical(),
+                    "{}", q
+                );
+                let cold = solve(&db_after, &soi, &cfg(ChiBackend::Dense));
+                prop_assert_eq!(&rle.solution().chi, &cold.chi, "{} vs cold", q);
+            }
+        }
+    }
+
+    /// The adaptive drain-round threading threshold
+    /// (`drain_inline_below`) is invisible: for thresholds on both
+    /// sides of every round's batch size — always-threaded (0), values
+    /// straddling typical batch sizes, and always-inline (`usize::MAX`)
+    /// — the sharded drain stays bit-identical (χ and full
+    /// `SolveStats`) to the sequential drain.
+    #[test]
+    fn drain_inline_threshold_is_invisible(db in arb_db(), q in arb_query(), near in 1usize..8) {
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let seq = solve(&db, &soi, &cfg(FixpointMode::DeltaCounting, false));
+            for threshold in [0, near, usize::MAX] {
+                let config = SolverConfig {
+                    drain: DrainStrategy::Sharded { threads: 4 },
+                    drain_inline_below: threshold,
+                    ..cfg(FixpointMode::DeltaCounting, false)
+                };
+                let par = solve(&db, &soi, &config);
+                prop_assert_eq!(&seq.chi, &par.chi, "{} (threshold {})", q, threshold);
+                prop_assert_eq!(&seq.stats, &par.stats, "{} (threshold {})", q, threshold);
             }
         }
     }

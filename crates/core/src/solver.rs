@@ -29,7 +29,7 @@
 //!   source χ has fewer bits set than the target χ".
 
 use crate::{Inequality, Soi};
-use dualsim_bitmatrix::BitVec;
+use dualsim_bitmatrix::{BitVec, ChiBackend, ChiVec, AUTO_RLE_DENSITY_DIVISOR};
 use dualsim_graph::GraphDb;
 
 /// How each bit-matrix multiplication is evaluated (Sect. 3.3).
@@ -135,6 +135,20 @@ pub struct SolverConfig {
     /// Worklist draining of the delta-counting engine: inline or sharded
     /// across scoped threads. Ignored by [`FixpointMode::Reevaluate`].
     pub drain: DrainStrategy,
+    /// Adaptive drain-round threading: a round whose pending-removal
+    /// batch is smaller than this volume runs its shards inline even
+    /// under [`DrainStrategy::Sharded`] — spawning scoped threads for a
+    /// handful of removals costs more than the work itself. Invisible
+    /// to χ and to every work counter (threading never changes logical
+    /// work), so every parity gate holds across any threshold.
+    pub drain_inline_below: usize,
+    /// χ storage backend: dense bit vectors, run-length encoded ones,
+    /// or an automatic per-solve choice from the seeded candidate
+    /// density. Both concrete backends produce bit-identical χ and
+    /// identical logical work counters ([`SolveStats::logical`]); they
+    /// differ only in χ memory ([`SolveStats::chi_peak_words`]) and
+    /// constant factors.
+    pub chi_backend: ChiBackend,
     /// Abort as soon as a *mandatory* variable loses all candidates: the
     /// query then has no matches and everything can be pruned. Turn this
     /// off to obtain the mathematical largest solution even for
@@ -150,6 +164,8 @@ impl Default for SolverConfig {
             init: InitMode::Summaries,
             fixpoint: FixpointMode::Reevaluate,
             drain: DrainStrategy::Sequential,
+            drain_inline_below: 64,
+            chi_backend: ChiBackend::Dense,
             early_exit: true,
         }
     }
@@ -195,6 +211,15 @@ pub struct SolveStats {
     pub initial_candidates: usize,
     /// Total candidates at the fixpoint.
     pub final_candidates: usize,
+    /// Peak χ storage across the solve, in `u64`-equivalent words
+    /// (dense: one per 64-bit block and variable; RLE: one per run),
+    /// sampled after initialization and at every stabilization pass /
+    /// drain round. This is a **storage metric, not a logical work
+    /// counter**: it is deterministic for a fixed backend (identical
+    /// across drain strategies and thread counts) but differs *between*
+    /// χ backends — backend-parity gates therefore compare the
+    /// [`SolveStats::logical`] projection.
+    pub chi_peak_words: usize,
     /// A mandatory variable lost all candidates (no matches exist).
     pub emptied_mandatory: bool,
 }
@@ -208,13 +233,37 @@ impl SolveStats {
     pub fn work_ops(&self) -> usize {
         self.rows_ored + self.bits_probed + self.counter_inits + self.counter_decrements
     }
+
+    /// The logical-work projection: every counter except the
+    /// backend-dependent χ-storage metric. Dense and RLE backends must
+    /// agree on this projection bit for bit (the χ-backend parity
+    /// discipline, extending the PR-3 drain-strategy parity).
+    pub fn logical(&self) -> SolveStats {
+        SolveStats {
+            chi_peak_words: 0,
+            ..self.clone()
+        }
+    }
+
+    /// Folds a χ-storage sample into the peak metric.
+    pub(crate) fn observe_chi_words(&mut self, words: usize) {
+        self.chi_peak_words = self.chi_peak_words.max(words);
+    }
+}
+
+/// Current χ storage footprint in `u64`-equivalent words.
+pub(crate) fn chi_words(chi: &[ChiVec]) -> usize {
+    chi.iter().map(ChiVec::storage_words).sum()
 }
 
 /// The largest solution of a system of inequalities.
 #[derive(Debug, Clone)]
 pub struct Solution {
-    /// χ per SOI variable (indexed like `soi.vars`).
-    pub chi: Vec<BitVec>,
+    /// χ per SOI variable (indexed like `soi.vars`), behind the
+    /// pluggable storage abstraction — dense or run-length encoded per
+    /// [`SolverConfig::chi_backend`]. Equality is semantic, so
+    /// solutions compare across backends.
+    pub chi: Vec<ChiVec>,
     /// Work counters.
     pub stats: SolveStats,
 }
@@ -223,12 +272,13 @@ impl Solution {
     /// Union of the χ of all SOI variables exposed for query variable
     /// `var` — the paper's final solution per query variable (renamed
     /// surrogates are subsumed via their subset inequalities, extreme
-    /// cases expose several independent surrogates, Sect. 4.4).
+    /// cases expose several independent surrogates, Sect. 4.4). The
+    /// union is materialized densely regardless of the χ backend.
     pub fn var_solution(&self, soi: &Soi, var: &str) -> BitVec {
-        let n = self.chi.first().map(BitVec::len).unwrap_or(0);
+        let n = self.chi.first().map(ChiVec::len).unwrap_or(0);
         let mut out = BitVec::zeros(n);
         for &idx in soi.vars_for(var) {
-            out.or_assign(&self.chi[idx]);
+            self.chi[idx].or_into(&mut out);
         }
         out
     }
@@ -243,27 +293,123 @@ impl Solution {
 /// Computes the largest solution of `soi` over `db` (Sect. 3.2
 /// algorithm). See [`SolverConfig`] for the tunable heuristics.
 pub fn solve(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Solution {
-    solve_from(db, soi, config, seed_chi(db, soi))
+    solve_from(db, soi, config, seed_chi(db, soi, config))
+}
+
+/// Upper bound on the seeded candidate count (Σ per variable), computed
+/// from summary popcounts *without materializing any χ vector*: pinned
+/// variables contribute 0/1, free variables at most the smallest
+/// incident Eq.-(13) summary (or |V| under [`InitMode::AllOnes`]).
+fn seeded_candidates_bound(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> usize {
+    let n = db.num_nodes();
+    let mut bound: Vec<usize> = soi
+        .vars
+        .iter()
+        .map(|var| match var.pinned {
+            Some(Some(_)) => 1,
+            Some(None) => 0,
+            None => n,
+        })
+        .collect();
+    if config.init == InitMode::Summaries {
+        let dual = soi.kind == crate::SimulationKind::Dual;
+        for e in &soi.edges {
+            match e.label {
+                Some(a) => {
+                    bound[e.src] = bound[e.src].min(db.f_summary(a).count_ones());
+                    if dual {
+                        bound[e.dst] = bound[e.dst].min(db.b_summary(a).count_ones());
+                    }
+                }
+                None => {
+                    bound[e.src] = 0;
+                    if dual {
+                        bound[e.dst] = 0;
+                    }
+                }
+            }
+        }
+    }
+    bound.iter().sum()
+}
+
+/// The χ backend the *seeding* phase materializes in. `Auto` decides
+/// here, before any χ vector exists, from the summary-popcount upper
+/// bound on the seeded candidate count — so a solve that resolves to
+/// dense never pays a fragmented RLE seed, and one that resolves to RLE
+/// never pays a dense allocation. The engines re-resolve against the
+/// *exact* seeded counts after initialization
+/// ([`resolve_chi_backend`]); that second decision can only tighten
+/// dense → RLE, whose conversion is bounded (runs ≤ candidates ≤
+/// space / [`AUTO_RLE_DENSITY_DIVISOR`] = the dense block count).
+fn seeding_backend(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> ChiBackend {
+    match config.chi_backend {
+        ChiBackend::Dense => ChiBackend::Dense,
+        ChiBackend::Rle => ChiBackend::Rle,
+        ChiBackend::Auto => {
+            let space = soi.vars.len() * db.num_nodes();
+            let bound = seeded_candidates_bound(db, soi, config);
+            if space > 0 && bound * AUTO_RLE_DENSITY_DIVISOR <= space {
+                ChiBackend::Rle
+            } else {
+                ChiBackend::Dense
+            }
+        }
+    }
 }
 
 /// The Eq.-(12) starting relation with the Sect.-4.5 constant alteration:
 /// all ones per variable, except constants pinned to their singleton (or
 /// emptied when the constant is absent from the database).
-pub(crate) fn seed_chi(db: &GraphDb, soi: &Soi) -> Vec<BitVec> {
+pub(crate) fn seed_chi(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Vec<ChiVec> {
     let n = db.num_nodes();
+    let backend = seeding_backend(db, soi, config);
     soi.vars
         .iter()
         .map(|var| match var.pinned {
-            Some(Some(node)) => BitVec::from_indices(n, &[node]),
-            Some(None) => BitVec::zeros(n), // constant absent from the DB
-            None => BitVec::ones(n),
+            Some(Some(node)) => ChiVec::from_indices(n, &[node], backend),
+            Some(None) => ChiVec::zeros(n, backend), // constant absent from the DB
+            None => ChiVec::ones(n, backend),
         })
         .collect()
 }
 
+/// Resolves [`ChiBackend::Auto`] against the *exact* seeded candidate
+/// count and converts every χ vector to the chosen concrete backend (a
+/// no-op when the vectors are already there). `Auto` picks RLE iff the
+/// seeded density `initial_candidates / (|vars| · |V|)` is at most
+/// `1 / AUTO_RLE_DENSITY_DIVISOR`. Called by both engines right after
+/// initialization: it normalizes warm starts arriving in another
+/// backend, and tightens the cold-path estimate of `seeding_backend`
+/// (dense seed → RLE when the exact counts qualify — a bounded
+/// conversion, never a fragmentation blow-up, by the divisor-64
+/// guarantee).
+pub(crate) fn resolve_chi_backend(
+    config: &SolverConfig,
+    chi: &mut [ChiVec],
+    initial_candidates: usize,
+    n: usize,
+) {
+    let target = match config.chi_backend {
+        ChiBackend::Dense => ChiBackend::Dense,
+        ChiBackend::Rle => ChiBackend::Rle,
+        ChiBackend::Auto => {
+            let space = chi.len() * n;
+            if space > 0 && initial_candidates * AUTO_RLE_DENSITY_DIVISOR <= space {
+                ChiBackend::Rle
+            } else {
+                ChiBackend::Dense
+            }
+        }
+    };
+    for c in chi.iter_mut() {
+        c.convert_to(target);
+    }
+}
+
 /// Applies the Eq.-(13) summary tightening in place (no-op under
 /// [`InitMode::AllOnes`]). Shared by both fixpoint engines.
-pub(crate) fn apply_summary_init(db: &GraphDb, soi: &Soi, config: &SolverConfig, chi: &mut [BitVec]) {
+pub(crate) fn apply_summary_init(db: &GraphDb, soi: &Soi, config: &SolverConfig, chi: &mut [ChiVec]) {
     if config.init != InitMode::Summaries {
         return;
     }
@@ -271,11 +417,11 @@ pub(crate) fn apply_summary_init(db: &GraphDb, soi: &Soi, config: &SolverConfig,
     for e in &soi.edges {
         match e.label {
             Some(a) => {
-                chi[e.src].and_assign(db.f_summary(a));
+                chi[e.src].and_assign_dense(db.f_summary(a));
                 if dual {
                     // Forward-only simulation puts no incoming-edge
                     // requirement on objects (Def. 2(ii) is dropped).
-                    chi[e.dst].and_assign(db.b_summary(a));
+                    chi[e.dst].and_assign_dense(db.b_summary(a));
                 }
             }
             None => {
@@ -341,7 +487,7 @@ pub fn solve_from(
     db: &GraphDb,
     soi: &Soi,
     config: &SolverConfig,
-    initial_chi: Vec<BitVec>,
+    initial_chi: Vec<ChiVec>,
 ) -> Solution {
     let n = db.num_nodes();
     assert_eq!(initial_chi.len(), soi.vars.len(), "one χ per SOI variable");
@@ -359,7 +505,7 @@ fn solve_reevaluate(
     db: &GraphDb,
     soi: &Soi,
     config: &SolverConfig,
-    initial_chi: Vec<BitVec>,
+    initial_chi: Vec<ChiVec>,
 ) -> Solution {
     let n = db.num_nodes();
     let nv = soi.vars.len();
@@ -368,8 +514,10 @@ fn solve_reevaluate(
     // ---- Initialization: Eq. (12) / Eq. (13) plus constant pinning. ----
     let mut chi = initial_chi;
     apply_summary_init(db, soi, config, &mut chi);
-    let mut counts: Vec<usize> = chi.iter().map(BitVec::count_ones).collect();
+    let mut counts: Vec<usize> = chi.iter().map(ChiVec::count_ones).collect();
     stats.initial_candidates = counts.iter().sum();
+    resolve_chi_backend(config, &mut chi, stats.initial_candidates, n);
+    stats.observe_chi_words(chi_words(&chi));
 
     if let Some(result) = check_empty_mandatory(soi, &mut chi, &counts, &mut stats, config) {
         return result;
@@ -393,6 +541,10 @@ fn solve_reevaluate(
     let mut n_unstable = soi.ineqs.len();
     let mut scratch = BitVec::zeros(n);
     let mut removed_scratch: Vec<u32> = Vec::new();
+    // Lazily-created snapshot buffer for self-loop pattern edges,
+    // reused across evaluations (allocated in the resolved χ backend on
+    // first use).
+    let mut snapshot_scratch: Option<ChiVec> = None;
     while n_unstable > 0 {
         stats.iterations += 1;
         for &i in &order {
@@ -428,9 +580,13 @@ fn solve_reevaluate(
                                 } else {
                                     db.backward(a)
                                 };
+                                // The selector is walked in its own
+                                // representation (RLE runs never
+                                // densify); only the shared product
+                                // scratch is dense.
                                 stats.rows_ored +=
                                     matrix.multiply_into(&chi[source], &mut scratch);
-                                chi[target].and_assign(&scratch)
+                                chi[target].and_assign_dense(&scratch)
                             } else {
                                 stats.colwise += 1;
                                 // Column j of F^a is row j of B^a: probe
@@ -444,15 +600,21 @@ fn solve_reevaluate(
                                     // Self-loop pattern edge (v, a, v):
                                     // probe against a snapshot so the
                                     // evaluation reads the pre-update χ.
-                                    scratch.copy_from(&chi[source]);
-                                    transpose.retain_intersecting_rows(
+                                    let snapshot = match snapshot_scratch.as_mut() {
+                                        Some(s) => {
+                                            s.copy_from(&chi[source]);
+                                            &*s
+                                        }
+                                        None => snapshot_scratch.insert(chi[source].clone()),
+                                    };
+                                    transpose.retain_intersecting_chi(
                                         &mut chi[target],
-                                        &scratch,
+                                        snapshot,
                                         &mut removed_scratch,
                                     )
                                 } else {
                                     let (probe, target_chi) = split_pair(&mut chi, source, target);
-                                    transpose.retain_intersecting_rows(
+                                    transpose.retain_intersecting_chi(
                                         target_chi,
                                         probe,
                                         &mut removed_scratch,
@@ -491,13 +653,17 @@ fn solve_reevaluate(
                 }
             }
         }
+        // χ-storage sample per stabilization pass: interior clears can
+        // *grow* the RLE run count (splits), so the peak is not at
+        // initialization.
+        stats.observe_chi_words(chi_words(&chi));
     }
     stats.final_candidates = counts.iter().sum();
     Solution { chi, stats }
 }
 
 /// Immutable/mutable split borrow of two distinct vector slots.
-pub(crate) fn split_pair(chi: &mut [BitVec], read: usize, write: usize) -> (&BitVec, &mut BitVec) {
+pub(crate) fn split_pair<T>(chi: &mut [T], read: usize, write: usize) -> (&T, &mut T) {
     assert_ne!(read, write, "inequality with identical sides");
     if read < write {
         let (lo, hi) = chi.split_at_mut(write);
@@ -510,7 +676,7 @@ pub(crate) fn split_pair(chi: &mut [BitVec], read: usize, write: usize) -> (&Bit
 
 fn check_empty_mandatory(
     soi: &Soi,
-    chi: &mut [BitVec],
+    chi: &mut [ChiVec],
     counts: &[usize],
     stats: &mut SolveStats,
     config: &SolverConfig,
@@ -526,7 +692,7 @@ fn check_empty_mandatory(
     None
 }
 
-pub(crate) fn empty_solution(chi: &mut [BitVec], mut stats: SolveStats) -> Solution {
+pub(crate) fn empty_solution(chi: &mut [ChiVec], mut stats: SolveStats) -> Solution {
     for v in chi.iter_mut() {
         v.clear_all();
     }

@@ -12,7 +12,9 @@
 //! `prune` writes/reports the per-query pruning (Sect. 5.2), and `eval`
 //! runs one of the reference engines, optionally on the pruned database.
 
-use dualsim::core::{prune, solve_query, DrainStrategy, EvalStrategy, FixpointMode, SolverConfig};
+use dualsim::core::{
+    prune, solve_query, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode, SolverConfig,
+};
 use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
 use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
 use dualsim::query::{parse, Query};
@@ -67,6 +69,11 @@ options:
   --fixpoint-threads N  delta: drain the removal worklist sharded over N
                         scoped threads (default 1 = sequential; identical
                         solution and work counts for every N)
+  --chi-backend B       dense | rle | auto             (default dense)
+                        χ storage: dense bit vectors, run-length encoded
+                        ones, or a per-solve choice from the seeded
+                        candidate density — identical solution and work
+                        counts for every backend
   --no-early-exit       keep solving after a mandatory variable empties
   --output FILE.nt      prune: write the pruned database as N-Triples
   --engine E            eval: nested | hash            (default nested)
@@ -83,6 +90,7 @@ struct Opts {
     strategy: EvalStrategy,
     fixpoint: FixpointMode,
     fixpoint_threads: usize,
+    chi_backend: ChiBackend,
     early_exit: bool,
     output: Option<String>,
     engine: String,
@@ -100,6 +108,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         strategy: EvalStrategy::Adaptive,
         fixpoint: FixpointMode::Reevaluate,
         fixpoint_threads: 1,
+        chi_backend: ChiBackend::Dense,
         early_exit: true,
         output: None,
         engine: "nested".to_owned(),
@@ -145,6 +154,11 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 if opts.fixpoint_threads == 0 {
                     return Err("--fixpoint-threads must be at least 1".into());
                 }
+            }
+            "--chi-backend" => {
+                let name = value()?;
+                opts.chi_backend = ChiBackend::from_name(&name)
+                    .ok_or_else(|| format!("unknown chi backend {name:?}"))?;
             }
             "--no-early-exit" => opts.early_exit = false,
             "--pruned" => opts.pruned = true,
@@ -225,6 +239,7 @@ fn config(opts: &Opts) -> SolverConfig {
         } else {
             DrainStrategy::Sequential
         },
+        chi_backend: opts.chi_backend,
         early_exit: opts.early_exit,
         ..SolverConfig::default()
     }
@@ -383,6 +398,8 @@ mod tests {
             "delta",
             "--fixpoint-threads",
             "4",
+            "--chi-backend",
+            "rle",
             "--no-early-exit",
             "--limit",
             "7",
@@ -396,8 +413,29 @@ mod tests {
         assert_eq!(opts.strategy, EvalStrategy::RowWise);
         assert_eq!(opts.fixpoint, FixpointMode::DeltaCounting);
         assert_eq!(opts.fixpoint_threads, 4);
+        assert_eq!(opts.chi_backend, ChiBackend::Rle);
         assert!(!opts.early_exit);
         assert_eq!(opts.limit, 7);
+    }
+
+    #[test]
+    fn parse_args_accepts_every_chi_backend_and_rejects_unknown_ones() {
+        for (name, expected) in [
+            ("dense", ChiBackend::Dense),
+            ("rle", ChiBackend::Rle),
+            ("auto", ChiBackend::Auto),
+        ] {
+            let args: Vec<String> = ["solve", "--chi-backend", name]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert_eq!(parse_args(&args).unwrap().chi_backend, expected);
+        }
+        let args: Vec<String> = ["solve", "--chi-backend", "sparse"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
     }
 
     #[test]

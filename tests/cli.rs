@@ -115,6 +115,46 @@ fn sharded_fixpoint_drain_matches_sequential_work_counts() {
 }
 
 #[test]
+fn chi_backends_report_identical_candidates_and_work() {
+    let db = write_db("solve_chi_backend.nt");
+    let query = "{ ?d directed ?m . ?d worked_with ?c }";
+    let mut reports = Vec::new();
+    for backend in ["dense", "rle", "auto"] {
+        for fixpoint in ["reeval", "delta"] {
+            let out = sparqlsim(&[
+                "solve",
+                "--data",
+                db.to_str().unwrap(),
+                "--query-text",
+                query,
+                "--fixpoint",
+                fixpoint,
+                "--chi-backend",
+                backend,
+            ]);
+            assert!(out.status.success(), "{backend}/{fixpoint}");
+            let text = String::from_utf8(out.stdout).unwrap();
+            assert!(text.contains("?d: 2 candidates"), "{backend}: {text}");
+            // Candidate and work-counter lines must be bit-identical
+            // across χ backends (per engine) — storage is invisible to
+            // the logical outcome.
+            let stable: Vec<&str> = text
+                .lines()
+                .filter(|l| l.contains("candidates") || l.contains("work:"))
+                .collect();
+            reports.push((fixpoint, stable.join("\n")));
+        }
+    }
+    for (fixpoint, report) in &reports[2..] {
+        let reference = reports
+            .iter()
+            .find(|(f, _)| f == fixpoint)
+            .expect("dense reference");
+        assert_eq!(report, &reference.1, "{fixpoint}");
+    }
+}
+
+#[test]
 fn prune_writes_a_loadable_pruned_database() {
     let db = write_db("prune.nt");
     let out_path = std::env::temp_dir().join("dualsim-cli-tests/pruned.nt");
