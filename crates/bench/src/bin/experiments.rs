@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [table2|table3|table4|table5|iterations|pruning-power|spectrum|
-//!              fixpoint|strategies|quotient|chi-backend|all]
+//!              fixpoint|strategies|quotient|chi-backend|slab|all]
 //!             [--smoke] [--threads N] [--out FILE]
 //! ```
 //!
@@ -14,8 +14,8 @@
 //! The ablation subcommands write machine-readable reports:
 //! `fixpoint` → `BENCH_fixpoint.json`, `strategies` →
 //! `BENCH_strategies.json`, `quotient` → `BENCH_quotient.json`,
-//! `chi-backend` → `BENCH_chi.json` (path override via `--out`, which
-//! applies to the selected subcommand).
+//! `chi-backend` → `BENCH_chi.json`, `slab` → `BENCH_slab.json` (path
+//! override via `--out`, which applies to the selected subcommand).
 //! `fixpoint --threads N` drains the delta engine's worklist with the
 //! sharded strategy; for `N > 1` a single-threaded reference run is
 //! compared work-counter for work-counter — the sharded-drain
@@ -24,8 +24,9 @@
 use dualsim_bench::{
     chi_report_json, default_datasets, fixpoint_report_json, quotient_report_json, render_table,
     run_chi_backend_ablation, run_fixpoint_incremental, run_fixpoint_solve, run_iterations,
-    run_pruning_power, run_quotient_ablation, run_simulation_spectrum, run_strategies_ablation,
-    run_table2, run_table3, run_table45, secs, strategies_report_json, tiny_datasets, Datasets,
+    run_pruning_power, run_quotient_ablation, run_simulation_spectrum, run_slab_ablation,
+    run_strategies_ablation, run_table2, run_table3, run_table45, secs, slab_report_json,
+    strategies_report_json, tiny_datasets, Datasets,
 };
 use dualsim_core::DrainStrategy;
 use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
@@ -85,6 +86,7 @@ fn main() {
         "strategies" => strategies(&data, smoke, &out("BENCH_strategies.json")),
         "quotient" => quotient(&data, smoke, &out("BENCH_quotient.json")),
         "chi-backend" => chi_backend(&data, smoke, &out("BENCH_chi.json")),
+        "slab" => slab(&data, smoke, &out("BENCH_slab.json")),
         "all" => {
             // Three reports would fight over one path; `all` always
             // writes each ablation's default file.
@@ -103,12 +105,13 @@ fn main() {
             strategies(&data, smoke, "BENCH_strategies.json");
             quotient(&data, smoke, "BENCH_quotient.json");
             chi_backend(&data, smoke, "BENCH_chi.json");
+            slab(&data, smoke, "BENCH_slab.json");
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected \
                  table2|table3|table4|table5|iterations|pruning-power|spectrum|\
-                 fixpoint|strategies|quotient|chi-backend|all"
+                 fixpoint|strategies|quotient|chi-backend|slab|all"
             );
             std::process::exit(2);
         }
@@ -318,6 +321,120 @@ fn chi_backend(data: &Datasets, smoke: bool, out_path: &str) {
         ),
         None => panic!("no workload shows an RLE χ storage win"),
     }
+}
+
+/// The counter-slab ablation: the delta engine across χ backend
+/// {dense, rle} × slab backend {dense, sparse, auto}; emits
+/// `BENCH_slab.json`. `run_slab_ablation` internally gates the six-way
+/// parity (bit-identical χ, identical logical work counters) plus the
+/// hard bounds (sparse slab words ≤ dense, run-aware lookups ≤
+/// per-bit); on top of that this driver gates the two headline wins —
+/// sparse/auto counter storage ≥4× below dense on the eagerly-seeding
+/// rare-predicate scenario, and strictly fewer drain row lookups under
+/// RLE χ on the run-structured scenario — and the parallel-seeding
+/// determinism (seed_threads is invisible to every counter).
+fn slab(data: &Datasets, smoke: bool, out_path: &str) {
+    use dualsim_core::{DrainStrategy, FixpointMode, SolverConfig};
+    println!("\n== Ablation: support-counter slabs (dense vs. sparse) + run-aware draining ==\n");
+    let reps = if smoke { 1 } else { 3 };
+    let rows = run_slab_ablation(data, reps);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.chi.to_owned(),
+                r.slab.to_owned(),
+                secs(r.wall),
+                r.slab_peak_words.to_string(),
+                r.row_lookups.to_string(),
+                (r.counter_inits + r.counter_decrements).to_string(),
+                r.delta_removals.to_string(),
+                r.ops.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Query", "chi", "slab", "wall", "slab words", "row lookups", "counters", "removals", "ops"],
+            &table
+        )
+    );
+    let json = slab_report_json(data, &rows);
+    write_report(out_path, &json);
+
+    let find = |id: &str, chi: &str, slab: &str| {
+        rows.iter()
+            .find(|r| r.id == id && r.chi == chi && r.slab == slab)
+            .unwrap_or_else(|| panic!("missing slab row {id}/{chi}/{slab}"))
+    };
+    // Gate 1 — the sparse-storage win: the eagerly-seeding
+    // rare-predicate scenario must keep sparse (and auto, which must
+    // resolve to sparse there) at ≥4× below dense counter storage, at
+    // identical logical work (already asserted inside the run).
+    let s2_dense = find("S2-uni0-chain", "dense", "dense");
+    let s2_sparse = find("S2-uni0-chain", "dense", "sparse");
+    let s2_auto = find("S2-uni0-chain", "dense", "auto");
+    assert!(
+        s2_dense.counter_inits > 0 && s2_dense.counter_decrements > 0,
+        "S2 stopped seeding/draining — the sparse gate lost its subject"
+    );
+    assert!(
+        4 * s2_sparse.slab_peak_words <= s2_dense.slab_peak_words,
+        "sparse slabs lost the ≥4× storage win on S2: {} vs {} words",
+        s2_sparse.slab_peak_words,
+        s2_dense.slab_peak_words
+    );
+    assert_eq!(
+        s2_auto.slab_peak_words, s2_sparse.slab_peak_words,
+        "slab auto no longer resolves to sparse on S2"
+    );
+    println!(
+        "sparse slab beats dense on S2-uni0-chain: {} vs {} words ({:.1}x smaller)",
+        s2_sparse.slab_peak_words,
+        s2_dense.slab_peak_words,
+        s2_dense.slab_peak_words as f64 / s2_sparse.slab_peak_words.max(1) as f64
+    );
+    // Gate 2 — the run-aware drain win: contiguous removals under RLE χ
+    // take strictly fewer CSR lookups than the per-bit drain.
+    let s3_dense = find("S3-head-pubs", "dense", "dense");
+    let s3_rle = find("S3-head-pubs", "rle", "dense");
+    assert!(
+        s3_dense.row_lookups > 0 && s3_rle.row_lookups < s3_dense.row_lookups,
+        "run-aware drain lost its lookup win on S3: {} vs {}",
+        s3_rle.row_lookups,
+        s3_dense.row_lookups
+    );
+    println!(
+        "run-aware drain on S3-head-pubs: {} segment lookups vs {} row lookups ({:.1}x fewer)",
+        s3_rle.row_lookups,
+        s3_dense.row_lookups,
+        s3_dense.row_lookups as f64 / s3_rle.row_lookups.max(1) as f64
+    );
+    // Gate 3 — parallel-seeding determinism: 4 seeding threads (plus a
+    // sharded drain) must reproduce the sequential stats bit for bit,
+    // gauges included.
+    for (id, text) in dualsim_bench::SLAB_SPARSE_SCENARIOS {
+        let query = dualsim_query::parse(text).expect("scenario parses");
+        let base = SolverConfig {
+            fixpoint: FixpointMode::DeltaCounting,
+            ..SolverConfig::default()
+        };
+        let parallel = SolverConfig {
+            seed_threads: 4,
+            drain: DrainStrategy::Sharded { threads: 4 },
+            ..base.clone()
+        };
+        let seq = dualsim_core::solve_query(&data.lubm, &query, &base);
+        let par = dualsim_core::solve_query(&data.lubm, &query, &parallel);
+        assert_eq!(seq.len(), par.len(), "{id}");
+        for ((_, s), (_, p)) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.chi, p.chi, "{id}: parallel seeding changed χ");
+            assert_eq!(s.stats, p.stats, "{id}: parallel seeding changed a counter");
+        }
+    }
+    println!("parallel seeding (4 threads): bit-identical stats on the sparse scenarios");
 }
 
 /// The §3.3 heuristics ablation (strategy × ordering × initialization)

@@ -20,7 +20,8 @@
 use dualsim_core::baseline::dual_simulation_ma;
 use dualsim_core::{
     build_sois, prune, solve, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode,
-    IncrementalDualSim, IneqOrdering, InitMode, QuotientIndex, SolveStats, SolverConfig,
+    IncrementalDualSim, IneqOrdering, InitMode, QuotientIndex, SlabBackend, SolveStats,
+    SolverConfig,
 };
 use dualsim_datagen::workloads::{all_queries, BenchQuery, Dataset};
 use dualsim_datagen::{generate_dbpedia, generate_lubm, DbpediaConfig, LubmConfig};
@@ -449,6 +450,7 @@ fn sum_branch_stats(branches: &[(dualsim_core::Soi, dualsim_core::Solution)]) ->
         total.bits_probed += s.bits_probed;
         total.counter_inits += s.counter_inits;
         total.counter_decrements += s.counter_decrements;
+        total.row_lookups += s.row_lookups;
         total.delta_removals += s.delta_removals;
         total.drain_rounds += s.drain_rounds;
         total.shard_units += s.shard_units;
@@ -457,8 +459,10 @@ fn sum_branch_stats(branches: &[(dualsim_core::Soi, dualsim_core::Solution)]) ->
         total.initial_candidates += s.initial_candidates;
         total.final_candidates += s.final_candidates;
         // Branch solutions coexist, so total χ storage is the sum of
-        // the per-branch peaks (an upper bound on the true joint peak).
+        // the per-branch peaks (an upper bound on the true joint peak);
+        // likewise for the per-branch counter-slab peaks.
         total.chi_peak_words += s.chi_peak_words;
+        total.slab_peak_words += s.slab_peak_words;
         total.emptied_mandatory |= s.emptied_mandatory;
     }
     total
@@ -975,6 +979,208 @@ pub fn chi_report_json(data: &Datasets, rows: &[ChiBackendRow]) -> String {
     out
 }
 
+/// The three counter-slab storage backends as (display name, backend)
+/// pairs — unlike the χ ablation, `auto` is measured as its own row,
+/// because the gate asserts it resolves to the cheaper concrete backend
+/// on the sparse scenarios.
+pub const SLAB_BACKENDS: [(&str, SlabBackend); 3] = [
+    ("dense", SlabBackend::Dense),
+    ("sparse", SlabBackend::Sparse),
+    ("auto", SlabBackend::Auto),
+];
+
+/// Counter-seeding sparse scenarios of the slab ablation, on top of the
+/// paper workload and the [`CHI_SPARSE_SCENARIOS`] (which defer every
+/// seed — their slabs stay at zero words, the laziness showcase):
+///
+/// * `S2-uni0-chain` pins a constant university, so the seeded χ
+///   *violates* the rare-predicate inequalities: `B^subOrganizationOf`
+///   seeds eagerly from a one-node selector, `F^worksFor` from the
+///   ~|departments| head set, and the cross-university cascade lazily
+///   seeds the rest — tiny supported-column populations against a dense
+///   cost of ⌈|V|/2⌉ words per slab, the ≥4× sparse-storage gate.
+/// * `S3-head-pubs` removes every publication without a head author in
+///   one round: publication ids are interned contiguously per
+///   department, so the removals coalesce into runs and the run-aware
+///   RLE-χ drain pays one CSR segment lookup per run where the dense-χ
+///   drain pays one row lookup per removed node — the `row_lookups`
+///   gate.
+pub const SLAB_SPARSE_SCENARIOS: [(&str, &str); 2] = [
+    (
+        "S2-uni0-chain",
+        "{ ?h ub:headOf ?d . ?d ub:subOrganizationOf <uni0> . ?h ub:worksFor ?d }",
+    ),
+    (
+        "S3-head-pubs",
+        "{ ?p rdf:type <ub:Publication> . ?p ub:publicationAuthor ?h . ?h ub:headOf ?d }",
+    ),
+];
+
+/// One (workload, χ backend, slab backend) measurement of the
+/// counter-slab ablation: the delta engine's logical work counters
+/// (identical across the whole grid, asserted) plus the two
+/// backend-dependent gauges — counter storage (`slab_peak_words`, the
+/// slab-backend axis) and drain row-pointer loads (`row_lookups`, the
+/// χ-backend axis).
+#[derive(Debug, Clone)]
+pub struct SlabRow {
+    /// Query id.
+    pub id: String,
+    /// χ backend name (`dense` / `rle`).
+    pub chi: &'static str,
+    /// Slab backend name (`dense` / `sparse` / `auto`).
+    pub slab: &'static str,
+    /// Median wall time over the measured repetitions.
+    pub wall: Duration,
+    /// Peak counter storage in `u64`-equivalent words
+    /// ([`SolveStats::slab_peak_words`], summed over branches).
+    pub slab_peak_words: usize,
+    /// Peak χ storage ([`SolveStats::chi_peak_words`]).
+    pub chi_peak_words: usize,
+    /// Drain CSR row/segment lookups ([`SolveStats::row_lookups`]).
+    pub row_lookups: usize,
+    /// Support-counter increments (identical across the grid).
+    pub counter_inits: usize,
+    /// Support-counter decrements (identical across the grid).
+    pub counter_decrements: usize,
+    /// Worklist removal events (identical across the grid).
+    pub delta_removals: usize,
+    /// Seeds deferred at initialization (identical across the grid).
+    pub seeds_deferred: usize,
+    /// Deferred seeds triggered later (identical across the grid).
+    pub lazy_seeds: usize,
+    /// Unified work measure ([`SolveStats::work_ops`]).
+    pub ops: usize,
+}
+
+/// The counter-slab ablation: cold delta-engine solves of every
+/// workload query plus the [`CHI_SPARSE_SCENARIOS`] and
+/// [`SLAB_SPARSE_SCENARIOS`] rare-predicate rows, across χ backend
+/// {dense, rle} × slab backend {dense, sparse, auto}. Asserts the
+/// parity discipline along the way — the entire six-way grid must
+/// produce bit-identical χ and identical logical work counters per
+/// query; only `slab_peak_words` (per slab backend) and `row_lookups`
+/// (per χ backend) may differ — plus the sparse spill guarantee
+/// (`sparse ≤ dense` words everywhere) and the run-aware lookup bound
+/// (`rle ≤ dense` lookups everywhere).
+pub fn run_slab_ablation(data: &Datasets, reps: usize) -> Vec<SlabRow> {
+    let mut scenarios: Vec<(String, &GraphDb, Query)> = all_queries()
+        .into_iter()
+        .map(|bench| {
+            (
+                bench.id.to_owned(),
+                data.for_query(&bench),
+                bench.query.clone(),
+            )
+        })
+        .collect();
+    for (id, text) in CHI_SPARSE_SCENARIOS.iter().chain(&SLAB_SPARSE_SCENARIOS) {
+        let query = dualsim_query::parse(text).expect("sparse scenario parses");
+        scenarios.push(((*id).to_owned(), &data.lubm, query));
+    }
+    let mut rows = Vec::new();
+    for (id, db, query) in &scenarios {
+        let mut grid = Vec::new();
+        for (chi_name, chi_backend) in CHI_BACKENDS {
+            for (slab_name, slab_backend) in SLAB_BACKENDS {
+                let cfg = SolverConfig {
+                    fixpoint: FixpointMode::DeltaCounting,
+                    chi_backend,
+                    slab_backend,
+                    ..SolverConfig::default()
+                };
+                let (branches, wall) =
+                    time_median(reps, || dualsim_core::solve_query(db, query, &cfg));
+                let stats = sum_branch_stats(&branches);
+                rows.push(SlabRow {
+                    id: id.clone(),
+                    chi: chi_name,
+                    slab: slab_name,
+                    wall,
+                    slab_peak_words: stats.slab_peak_words,
+                    chi_peak_words: stats.chi_peak_words,
+                    row_lookups: stats.row_lookups,
+                    counter_inits: stats.counter_inits,
+                    counter_decrements: stats.counter_decrements,
+                    delta_removals: stats.delta_removals,
+                    seeds_deferred: stats.seeds_deferred,
+                    lazy_seeds: stats.lazy_seeds,
+                    ops: stats.work_ops(),
+                });
+                grid.push((chi_name, slab_name, branches, stats));
+            }
+        }
+        let (_, _, ref_branches, _) = &grid[0];
+        let reference: Vec<_> = ref_branches.iter().map(|(_, s)| &s.chi).collect();
+        let ref_logical = sum_branch_stats(ref_branches).logical();
+        for (chi_name, slab_name, branches, stats) in &grid {
+            let chis: Vec<_> = branches.iter().map(|(_, s)| &s.chi).collect();
+            assert_eq!(
+                reference, chis,
+                "{id} ({chi_name} χ, {slab_name} slab): χ diverged"
+            );
+            assert_eq!(
+                ref_logical,
+                sum_branch_stats(branches).logical(),
+                "{id} ({chi_name} χ, {slab_name} slab): logical work diverged"
+            );
+            // The gauges obey their hard bounds: sparse slabs never
+            // exceed dense storage, run-aware drains never perform more
+            // lookups than per-bit drains.
+            let dense_slab = grid
+                .iter()
+                .find(|(c, s, _, _)| c == chi_name && *s == "dense")
+                .expect("dense slab row");
+            assert!(
+                stats.slab_peak_words <= dense_slab.3.slab_peak_words || *slab_name == "dense",
+                "{id} ({chi_name} χ, {slab_name} slab): slab storage exceeds dense"
+            );
+            let dense_chi = grid
+                .iter()
+                .find(|(c, s, _, _)| *c == "dense" && s == slab_name)
+                .expect("dense chi row");
+            assert!(
+                stats.row_lookups <= dense_chi.3.row_lookups || *chi_name == "dense",
+                "{id} ({chi_name} χ, {slab_name} slab): run-aware drain did extra lookups"
+            );
+        }
+    }
+    rows
+}
+
+/// Renders the counter-slab ablation as the machine-readable
+/// `BENCH_slab.json` document (schema `dualsim-slab-v1`).
+pub fn slab_report_json(data: &Datasets, rows: &[SlabRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-slab-v1\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str("  \"solve\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"chi\": {}, \"slab\": {}, \"wall_s\": {:.6}, \
+             \"slab_peak_words\": {}, \"chi_peak_words\": {}, \"row_lookups\": {}, \
+             \"counter_inits\": {}, \"counter_decrements\": {}, \"delta_removals\": {}, \
+             \"seeds_deferred\": {}, \"lazy_seeds\": {}, \"ops\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.chi),
+            json_str(r.slab),
+            r.wall.as_secs_f64(),
+            r.slab_peak_words,
+            r.chi_peak_words,
+            r.row_lookups,
+            r.counter_inits,
+            r.counter_decrements,
+            r.delta_removals,
+            r.seeds_deferred,
+            r.lazy_seeds,
+            r.ops,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Construction-side statistics of the Sect.-6 fingerprint ablation.
 #[derive(Debug, Clone)]
 pub struct QuotientBuildStats {
@@ -1384,6 +1590,66 @@ mod tests {
         );
         let json = chi_report_json(&data, &rows);
         assert!(json.starts_with("{\n  \"schema\": \"dualsim-chi-v1\""));
+        assert_eq!(json.matches("\"id\":").count(), rows.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn slab_ablation_gates_parity_and_shows_the_sparse_win() {
+        let data = tiny_datasets();
+        // run_slab_ablation asserts χ + logical-stats parity across the
+        // six-way (χ backend × slab backend) grid internally, plus the
+        // storage and lookup bounds.
+        let rows = run_slab_ablation(&data, 1);
+        assert_eq!(
+            rows.len(),
+            6 * (all_queries().len()
+                + CHI_SPARSE_SCENARIOS.len()
+                + SLAB_SPARSE_SCENARIOS.len())
+        );
+        let find = |id: &str, chi: &str, slab: &str| {
+            rows.iter()
+                .find(|r| r.id == id && r.chi == chi && r.slab == slab)
+                .unwrap_or_else(|| panic!("missing row {id}/{chi}/{slab}"))
+        };
+        // S2 seeds eagerly on rare predicates: the sparse slab stores
+        // the same counters in ≥4× fewer words, and Auto resolves to
+        // sparse there (the same density bound as the χ Auto).
+        let s2_dense = find("S2-uni0-chain", "dense", "dense");
+        let s2_sparse = find("S2-uni0-chain", "dense", "sparse");
+        let s2_auto = find("S2-uni0-chain", "dense", "auto");
+        assert!(s2_dense.counter_inits > 0, "S2 must seed counters");
+        assert!(s2_dense.counter_decrements > 0, "S2 must drain removals");
+        assert!(
+            4 * s2_sparse.slab_peak_words <= s2_dense.slab_peak_words,
+            "sparse slabs lost the ≥4× win on S2: {} vs {}",
+            s2_sparse.slab_peak_words,
+            s2_dense.slab_peak_words
+        );
+        assert_eq!(s2_auto.slab_peak_words, s2_sparse.slab_peak_words);
+        // S3's contiguous publication removals: the run-aware RLE-χ
+        // drain does strictly fewer row lookups at identical logical
+        // work.
+        let s3_dense = find("S3-head-pubs", "dense", "dense");
+        let s3_rle = find("S3-head-pubs", "rle", "dense");
+        assert!(s3_dense.row_lookups > 0, "S3 must drain removals");
+        assert!(
+            s3_rle.row_lookups < s3_dense.row_lookups,
+            "run-aware drain lost its lookup win on S3: {} vs {}",
+            s3_rle.row_lookups,
+            s3_dense.row_lookups
+        );
+        assert_eq!(
+            (s3_rle.counter_decrements, s3_rle.delta_removals, s3_rle.ops),
+            (s3_dense.counter_decrements, s3_dense.delta_removals, s3_dense.ops)
+        );
+        // The fully-deferred sparse scenarios keep every slab empty.
+        for id in ["S0-heads", "S1-org-chart"] {
+            assert_eq!(find(id, "dense", "dense").slab_peak_words, 0, "{id}");
+        }
+        let json = slab_report_json(&data, &rows);
+        assert!(json.starts_with("{\n  \"schema\": \"dualsim-slab-v1\""));
         assert_eq!(json.matches("\"id\":").count(), rows.len());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -28,6 +28,35 @@ pub trait RowSelector {
     /// `true` iff any of the sorted indices is a set bit (`row ∩ self ≠
     /// ∅` for a compressed matrix row) — the column-wise probe.
     fn selects_any(&self, indices: &[u32]) -> bool;
+
+    /// Calls `f` once per maximal run `[start, end)` of consecutive
+    /// selected indices, in ascending order. Runs partition exactly the
+    /// indices [`RowSelector::for_each_selected`] visits, in the same
+    /// order, so any per-run consumer that walks
+    /// [`BitMatrix::rows_segment`] performs the identical per-entry
+    /// work (and work *counts*) as the per-bit walk — only the number
+    /// of CSR offset lookups differs. The default implementation
+    /// coalesces the per-bit walk; [`RleBitVec`] overrides it to emit
+    /// its runs directly, with no per-bit decode.
+    fn for_each_selected_run(&self, mut f: impl FnMut(usize, usize))
+    where
+        Self: Sized,
+    {
+        let mut start = usize::MAX;
+        let mut prev = usize::MAX;
+        self.for_each_selected(|i| {
+            if start == usize::MAX {
+                start = i;
+            } else if i != prev + 1 {
+                f(start, prev + 1);
+                start = i;
+            }
+            prev = i;
+        });
+        if start != usize::MAX {
+            f(start, prev + 1);
+        }
+    }
 }
 
 impl RowSelector for BitVec {
@@ -96,6 +125,15 @@ impl RowSelector for RleBitVec {
     fn selects_any(&self, indices: &[u32]) -> bool {
         self.intersects_indices(indices)
     }
+
+    /// One call per stored run — the run-aware fast path: no per-bit
+    /// decode at all.
+    #[inline]
+    fn for_each_selected_run(&self, mut f: impl FnMut(usize, usize)) {
+        for (start, end) in self.iter_runs() {
+            f(start as usize, end as usize);
+        }
+    }
 }
 
 impl RowSelector for ChiVec {
@@ -115,6 +153,14 @@ impl RowSelector for ChiVec {
     #[inline]
     fn selects_any(&self, indices: &[u32]) -> bool {
         self.intersects_indices(indices)
+    }
+
+    #[inline]
+    fn for_each_selected_run(&self, f: impl FnMut(usize, usize)) {
+        match self {
+            ChiVec::Dense(v) => v.for_each_selected_run(f),
+            ChiVec::Rle(v) => v.for_each_selected_run(f),
+        }
     }
 }
 
@@ -212,6 +258,19 @@ impl BitMatrix {
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
+    /// The concatenated entries of the consecutive rows `[start, end)` —
+    /// CSR rows are laid out back to back, so a whole *run* of rows is
+    /// one contiguous slice reachable through a single offset-pair
+    /// lookup. This is the run-aware counterpart of [`BitMatrix::row`]:
+    /// walking `rows_segment(a, b)` visits exactly the entries of
+    /// `row(a), row(a+1), …, row(b-1)` in that order, with one
+    /// row-pointer load for the whole run instead of one per row (the
+    /// saving `SolveStats::row_lookups` makes measurable).
+    #[inline]
+    pub fn rows_segment(&self, start: usize, end: usize) -> &[u32] {
+        &self.targets[self.offsets[start] as usize..self.offsets[end] as usize]
+    }
+
     /// Entry test `A(i, j) == 1`.
     pub fn get(&self, i: usize, j: usize) -> bool {
         self.row(i).binary_search(&(j as u32)).is_ok()
@@ -258,9 +317,14 @@ impl BitMatrix {
     /// respect to the source set `x`. Returns the number of increments
     /// performed (the initialization work measure).
     ///
-    /// The selector is any [`RowSelector`] (dense selectors keep the
-    /// block-skip fast path); the increments performed (and their count)
-    /// are identical to the per-bit definition for every representation.
+    /// The selector is walked *run by run*
+    /// ([`RowSelector::for_each_selected_run`]): each maximal run of
+    /// selected rows resolves to one contiguous CSR segment
+    /// ([`BitMatrix::rows_segment`]), so an RLE selector seeds with one
+    /// offset lookup per run instead of one per bit (dense selectors
+    /// coalesce their set bits into runs and keep the block-skip fast
+    /// path underneath). The increments performed (and their count) are
+    /// identical to the per-bit definition for every representation.
     ///
     /// # Panics
     /// Panics if `x` or `counts` do not have length `dim`.
@@ -268,11 +332,12 @@ impl BitMatrix {
         assert_eq!(x.selector_len(), self.dim);
         assert_eq!(counts.len(), self.dim);
         let mut increments = 0usize;
-        x.for_each_selected(|i| {
-            for &j in self.row(i) {
+        x.for_each_selected_run(|start, end| {
+            let segment = self.rows_segment(start, end);
+            for &j in segment {
                 counts[j as usize] += 1;
             }
-            increments += self.row_len(i);
+            increments += segment.len();
         });
         increments
     }
@@ -497,6 +562,40 @@ mod tests {
         let y = BitVec::from_indices(5, &[3]);
         m.count_into(&y, &mut counts);
         assert_eq!(counts, vec![1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn rows_segment_concatenates_consecutive_rows() {
+        let m = sample(); // 0 -> {1, 2}, 1 -> {0}, 3 -> {3}
+        assert_eq!(m.rows_segment(0, 2), &[1, 2, 0]);
+        assert_eq!(m.rows_segment(0, 5), &[1, 2, 0, 3]);
+        assert_eq!(m.rows_segment(2, 3), &[] as &[u32]);
+        assert_eq!(m.rows_segment(3, 3), &[] as &[u32]);
+        // One segment per run visits exactly the per-row entries.
+        let mut per_row = Vec::new();
+        for i in 1..4 {
+            per_row.extend_from_slice(m.row(i));
+        }
+        assert_eq!(m.rows_segment(1, 4), per_row.as_slice());
+    }
+
+    #[test]
+    fn selected_runs_partition_the_selected_bits() {
+        let indices = [0u32, 1, 2, 63, 64, 66, 129];
+        let dense = BitVec::from_indices(130, &indices);
+        let rle = RleBitVec::from_indices(130, &indices);
+        let mut dense_runs = Vec::new();
+        dense.for_each_selected_run(|a, b| dense_runs.push((a, b)));
+        let mut rle_runs = Vec::new();
+        rle.for_each_selected_run(|a, b| rle_runs.push((a, b)));
+        assert_eq!(dense_runs, vec![(0, 3), (63, 65), (66, 67), (129, 130)]);
+        assert_eq!(dense_runs, rle_runs);
+        // The runs flatten back to the per-bit walk.
+        let flat: Vec<usize> = dense_runs.iter().flat_map(|&(a, b)| a..b).collect();
+        assert_eq!(
+            flat,
+            indices.iter().map(|&i| i as usize).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! operations, equivalence of the two `×b` evaluation strategies, and
 //! dense-vs-RLE agreement of every χ-storage verb.
 
-use crate::{BitMatrix, BitVec, ChiBackend, ChiVec, RleBitVec};
+use crate::{BitMatrix, BitVec, ChiBackend, ChiVec, CounterSlab, RleBitVec, RowSelector, SlabBackend};
 use proptest::prelude::*;
 
 const LEN: usize = 150;
@@ -356,6 +356,73 @@ proptest! {
         prop_assert_eq!(&ra, &a);
         prop_assert_eq!(da == rb, a == b);
         prop_assert_eq!(ra.storage_words() <= a.count_ones().max(1), true);
+    }
+
+    /// `for_each_selected_run` partitions the selection into maximal
+    /// runs, and `rows_segment` over those runs visits exactly the
+    /// per-row entries in the per-bit order — for dense and RLE
+    /// selectors alike.
+    #[test]
+    fn selected_runs_flatten_to_the_per_bit_walk(m in arb_matrix(), x in arb_bitvec()) {
+        let rle_x = RleBitVec::from_bitvec(&x);
+        let mut per_bit: Vec<u32> = Vec::new();
+        let mut bit_lookups = 0usize;
+        x.for_each_selected(|i| {
+            per_bit.extend_from_slice(m.row(i));
+            bit_lookups += 1;
+        });
+        for (name, runs) in [("dense", {
+            let mut r = Vec::new();
+            x.for_each_selected_run(|a, b| r.push((a, b)));
+            r
+        }), ("rle", {
+            let mut r = Vec::new();
+            rle_x.for_each_selected_run(|a, b| r.push((a, b)));
+            r
+        })] {
+            // Maximal, ascending, non-adjacent runs covering count_ones bits.
+            prop_assert!(runs.windows(2).all(|w| w[0].1 < w[1].0), "{}", name);
+            let covered: usize = runs.iter().map(|&(a, b)| b - a).sum();
+            prop_assert_eq!(covered, x.count_ones(), "{}", name);
+            prop_assert!(runs.len() <= bit_lookups.max(1), "{}", name);
+            let mut per_run: Vec<u32> = Vec::new();
+            for &(a, b) in &runs {
+                per_run.extend_from_slice(m.rows_segment(a, b));
+            }
+            prop_assert_eq!(&per_run, &per_bit, "{}", name);
+        }
+    }
+
+    /// The two slab backends are logically interchangeable: identical
+    /// seeding increments, identical counts per column, identical
+    /// decrement results — and the sparse slab never stores more words
+    /// than the dense one (the spill guarantee).
+    #[test]
+    fn slab_backends_agree(m in arb_matrix(), x in arb_bitvec(), picks in proptest::collection::vec(0usize..LEN, 0..10)) {
+        let mut dense = CounterSlab::unseeded(SlabBackend::Dense);
+        let mut sparse = CounterSlab::unseeded(SlabBackend::Sparse);
+        prop_assert_eq!(dense.seed(&m, &x), sparse.seed(&m, &x));
+        for w in 0..LEN {
+            prop_assert_eq!(dense.count(w), sparse.count(w), "column {}", w);
+        }
+        prop_assert!(sparse.storage_words() <= dense.storage_words());
+        for w in picks {
+            if dense.count(w) > 0 {
+                prop_assert_eq!(dense.decrement(w), sparse.decrement(w), "column {}", w);
+            }
+        }
+        // RLE selectors seed both backends identically too.
+        let rle_x = RleBitVec::from_bitvec(&x);
+        let mut dense_rle = CounterSlab::unseeded(SlabBackend::Dense);
+        let mut sparse_rle = CounterSlab::unseeded(SlabBackend::Sparse);
+        let inits = dense_rle.seed(&m, &rle_x);
+        prop_assert_eq!(inits, sparse_rle.seed(&m, &rle_x));
+        let mut reference = vec![0u32; LEN];
+        prop_assert_eq!(inits, m.count_into(&x, &mut reference));
+        for (w, &c) in reference.iter().enumerate() {
+            prop_assert_eq!(dense_rle.count(w), c);
+            prop_assert_eq!(sparse_rle.count(w), c);
+        }
     }
 
     #[test]

@@ -144,6 +144,14 @@ impl RleBitVec {
         }
     }
 
+    /// Iterator over the stored maximal runs as `(start, end)` pairs
+    /// (half-open, ascending) — the run-level access the run-aware
+    /// matrix kernels build on (`BitMatrix::rows_segment` resolves one
+    /// CSR segment per run instead of one row per bit).
+    pub fn iter_runs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.runs.iter().map(|r| (r.start, r.end()))
+    }
+
     /// Collects the set-bit indices into a vector (`u32` indices,
     /// matching [`BitVec::to_indices`]).
     pub fn to_indices(&self) -> Vec<u32> {
@@ -681,6 +689,16 @@ mod tests {
         let mut out = BitVec::from_indices(130, &[0]);
         v.or_into(&mut out);
         assert_eq!(out.to_indices(), vec![0, 3, 4, 5, 64, 129]);
+    }
+
+    #[test]
+    fn iter_runs_reports_maximal_half_open_runs() {
+        let v = RleBitVec::from_indices(130, &[0, 1, 2, 64, 100, 101]);
+        assert_eq!(
+            v.iter_runs().collect::<Vec<_>>(),
+            vec![(0, 3), (64, 65), (100, 102)]
+        );
+        assert_eq!(RleBitVec::zeros(10).iter_runs().count(), 0);
     }
 
     #[test]

@@ -1,13 +1,37 @@
 //! Support-counter slabs for delta-counting fixpoint engines.
 //!
-//! A [`CounterSlab`] holds one dense `u32` counter per matrix column —
-//! the per-(inequality, candidate) *support* array of an HHK-style
-//! counting engine: `slab[w] = |column w of M ∩ χ(source)|`. Slabs are
-//! plain owned data (`Send + Sync`), which is what makes the sharded
-//! parallel drain safe: support arrays are disjoint *per inequality*, so
-//! a drain round can `std::mem::take` each touched inequality's slab,
-//! hand it to a scoped worker thread, and put it back at the merge
-//! point — no locks, no atomics, no sharing.
+//! A [`CounterSlab`] holds one `u32` counter per matrix column — the
+//! per-(inequality, candidate) *support* array of an HHK-style counting
+//! engine: `slab[w] = |column w of M ∩ χ(source)|`. Slabs are plain
+//! owned data (`Send + Sync`), which is what makes the sharded parallel
+//! drain (and the sharded parallel *seeding*) safe: support arrays are
+//! disjoint *per inequality*, so a drain round can `std::mem::take` each
+//! touched inequality's slab, hand it to a scoped worker thread, and put
+//! it back at the merge point — no locks, no atomics, no sharing.
+//!
+//! Storage is pluggable the same way χ storage is ([`SlabBackend`],
+//! mirroring `ChiBackend`):
+//!
+//! * [`SlabBackend::Dense`] — one `u32` per matrix column, O(|V|) words
+//!   per inequality regardless of how few columns ever have support;
+//! * [`SlabBackend::Sparse`] — hash counters keyed by column index, one
+//!   `u64`-equivalent word per *supported* column in the logical
+//!   storage model. Should the supported population ever cross half
+//!   the dense word cost, the slab spills to a dense array mid-seed
+//!   (checked per inserted entry), so a sparse slab **never stores
+//!   more words than dense** — the margin of two covers the hash
+//!   table's physical overhead (load factor, control bytes,
+//!   power-of-two capacity), making the bound hold for real memory
+//!   too, the hard counterpart of the χ `Auto` divisor-64 guarantee;
+//! * [`SlabBackend::Auto`] — resolved per solve from the same seeded
+//!   candidate-density bound the χ `Auto` uses (`dualsim-core` resolves
+//!   it before constructing any slab).
+//!
+//! The two concrete backends are logically interchangeable: `seed`
+//! performs the identical increments in the identical order (and reports
+//! the identical increment count), `count`/`decrement` observe identical
+//! values — only [`CounterSlab::storage_words`] differs, which is the
+//! gauge `SolveStats::slab_peak_words` tracks.
 //!
 //! A slab starts *unseeded* (no storage) and is seeded on demand from a
 //! matrix and a selector vector ([`CounterSlab::seed`]); engines use the
@@ -15,39 +39,259 @@
 //! violated.
 
 use crate::{BitMatrix, RowSelector};
+use std::collections::HashMap;
 
-/// A dense slab of per-column support counters, lazily seeded.
+/// Support-counter storage backend selection, configured per solve
+/// (`SolverConfig::slab_backend` in `dualsim-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlabBackend {
+    /// One dense `u32` counter per matrix column: constant-time access,
+    /// O(|V|) words per seeded inequality — the right choice when most
+    /// columns carry support.
+    #[default]
+    Dense,
+    /// Hash counters below a population threshold: one word per
+    /// *supported* column, spilling to dense storage once the
+    /// population crosses half the dense word cost (the margin covers
+    /// the hash table's physical overhead) — the right choice when
+    /// only a few columns ever have support (rare predicates,
+    /// selective labels).
+    Sparse,
+    /// Decide per solve from the seeded candidate density, using the
+    /// same bound as `ChiBackend::Auto` (density ≤
+    /// 1/`AUTO_RLE_DENSITY_DIVISOR` picks sparse).
+    Auto,
+}
+
+impl SlabBackend {
+    /// Parses a backend name (`dense` / `sparse` / `auto`), as accepted
+    /// by the `sparqlsim --slab-backend` flag.
+    pub fn from_name(name: &str) -> Option<SlabBackend> {
+        match name {
+            "dense" => Some(SlabBackend::Dense),
+            "sparse" => Some(SlabBackend::Sparse),
+            "auto" => Some(SlabBackend::Auto),
+            _ => None,
+        }
+    }
+
+    /// The backend's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SlabBackend::Dense => "dense",
+            SlabBackend::Sparse => "sparse",
+            SlabBackend::Auto => "auto",
+        }
+    }
+}
+
+/// Dense counter cost of a `dim`-column matrix in `u64`-equivalent
+/// words (`u32` counters, two per word).
+#[inline]
+fn dense_words(dim: usize) -> usize {
+    dim.div_ceil(2)
+}
+
+/// The sparse slab spills to dense storage once its population exceeds
+/// `dense_words(dim) / SPARSE_SPILL_DIVISOR`. The divisor of 2 is the
+/// safety margin for the hash table's real allocation (load factor,
+/// control bytes, power-of-two capacity — roughly 2 words per entry in
+/// the worst case versus the 1 word per entry the *logical* storage
+/// gauge counts), so at the spill point even the physical sparse
+/// memory is about the dense cost, never a multiple of it.
+const SPARSE_SPILL_DIVISOR: usize = 2;
+
+#[inline]
+fn spill_threshold(dim: usize) -> usize {
+    dense_words(dim) / SPARSE_SPILL_DIVISOR
+}
+
+/// Hash-counter storage of a sparse slab: `map[w] = support of column
+/// w`, with a dense spill once the distinct-column population reaches
+/// the dense word cost (the slab then costs exactly as much as a dense
+/// one, never more).
+#[derive(Debug, Clone, Default)]
+struct SparseCounters {
+    map: HashMap<u32, u32>,
+    /// Dense spill storage; `Some` once the population exceeded
+    /// [`dense_words`] during seeding.
+    dense: Option<Vec<u32>>,
+    dim: usize,
+}
+
+impl SparseCounters {
+    #[inline]
+    fn count(&self, w: usize) -> u32 {
+        assert!(w < self.dim, "candidate {w} out of bounds {}", self.dim);
+        match &self.dense {
+            Some(d) => d[w],
+            None => self.map.get(&(w as u32)).copied().unwrap_or(0),
+        }
+    }
+
+    #[inline]
+    fn decrement(&mut self, w: usize) -> u32 {
+        assert!(w < self.dim, "candidate {w} out of bounds {}", self.dim);
+        match &mut self.dense {
+            Some(d) => {
+                let c = &mut d[w];
+                debug_assert!(*c > 0, "support underflow on candidate {w}");
+                *c = c.wrapping_sub(1);
+                *c
+            }
+            None => match self.map.get_mut(&(w as u32)) {
+                Some(c) => {
+                    debug_assert!(*c > 0, "support underflow on candidate {w}");
+                    *c = c.wrapping_sub(1);
+                    *c
+                }
+                None => {
+                    // Keep the dense wrapping semantics (0 − 1 =
+                    // u32::MAX) so a hypothetical engine underflow bug
+                    // cannot make release-build backends diverge: a
+                    // wrapped counter proposes no removal either way.
+                    debug_assert!(false, "support underflow on candidate {w}");
+                    self.map.insert(w as u32, u32::MAX);
+                    u32::MAX
+                }
+            },
+        }
+    }
+
+    fn storage_words(&self) -> usize {
+        match &self.dense {
+            Some(_) => dense_words(self.dim),
+            // One word per entry: a u32 column index plus a u32 count.
+            None => self.map.len(),
+        }
+    }
+}
+
+/// Counter storage state: unseeded slabs remember which concrete
+/// backend to materialize on first seed.
+#[derive(Debug, Clone)]
+enum Repr {
+    Unseeded { sparse: bool },
+    Dense(Vec<u32>),
+    Sparse(SparseCounters),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Unseeded { sparse: false }
+    }
+}
+
+/// A slab of per-column support counters, lazily seeded, stored densely
+/// or as hash counters per [`SlabBackend`].
 #[derive(Debug, Clone, Default)]
 pub struct CounterSlab {
-    counts: Vec<u32>,
-    seeded: bool,
+    repr: Repr,
 }
 
 impl CounterSlab {
-    /// An unseeded slab: no storage, no counters.
-    pub fn unseeded() -> Self {
-        CounterSlab::default()
+    /// An unseeded slab: no storage, no counters; seeds into the given
+    /// concrete backend on first [`CounterSlab::seed`].
+    ///
+    /// # Panics
+    /// Panics on [`SlabBackend::Auto`] — the caller resolves `Auto`
+    /// before constructing slabs (mirroring the χ `Auto` contract).
+    pub fn unseeded(backend: SlabBackend) -> Self {
+        let sparse = match backend {
+            SlabBackend::Dense => false,
+            SlabBackend::Sparse => true,
+            SlabBackend::Auto => {
+                panic!("Auto must be resolved to a concrete backend before constructing slabs")
+            }
+        };
+        CounterSlab {
+            repr: Repr::Unseeded { sparse },
+        }
     }
 
     /// `true` once [`CounterSlab::seed`] ran.
     #[inline]
     pub fn is_seeded(&self) -> bool {
-        self.seeded
+        !matches!(self.repr, Repr::Unseeded { .. })
     }
 
-    /// (Re-)seeds the slab to `slab[w] = |column w of matrix ∩ x|` via
-    /// [`BitMatrix::count_into`]. The selector is any [`RowSelector`] —
-    /// dense or run-length encoded χ alike, with identical increment
-    /// counts. Returns the number of counter increments performed (the
-    /// seeding work measure).
+    /// The slab's storage backend (unseeded slabs report the backend
+    /// they will seed into; a spilled sparse slab still reports
+    /// `Sparse` — the spill is a storage bound, not a backend change).
+    pub fn backend(&self) -> SlabBackend {
+        match &self.repr {
+            Repr::Unseeded { sparse: false } | Repr::Dense(_) => SlabBackend::Dense,
+            Repr::Unseeded { sparse: true } | Repr::Sparse(_) => SlabBackend::Sparse,
+        }
+    }
+
+    /// Storage footprint in `u64`-equivalent words: 0 while unseeded,
+    /// `⌈dim/2⌉` for dense counters, one word per supported column for
+    /// sparse ones (capped at the dense cost by the spill). The gauge
+    /// behind `SolveStats::slab_peak_words`.
+    ///
+    /// Like `RleBitVec::storage_words` (one word per run, `Vec`
+    /// capacity ignored), this counts the *logical* storage model:
+    /// sparse entries are one `u32` key plus one `u32` count, the hash
+    /// table's physical overhead (capacity slack, control bytes) is
+    /// not included. The spill threshold's margin of two keeps even
+    /// the physical sparse footprint at or below the dense cost.
+    pub fn storage_words(&self) -> usize {
+        match &self.repr {
+            Repr::Unseeded { .. } => 0,
+            Repr::Dense(counts) => dense_words(counts.len()),
+            Repr::Sparse(s) => s.storage_words(),
+        }
+    }
+
+    /// (Re-)seeds the slab to `slab[w] = |column w of matrix ∩ x|`. The
+    /// selector is any [`RowSelector`] — dense or run-length encoded χ
+    /// alike; a run-length selector is walked run by run, touching one
+    /// CSR segment per run ([`BitMatrix::rows_segment`]) instead of one
+    /// row per bit. The increments performed (and the returned count —
+    /// the seeding work measure) are identical for every selector
+    /// representation and every slab backend.
+    ///
+    /// Reseeding reuses the existing allocation: a dense slab of the
+    /// same dimension is `fill(0)`-reset instead of freed and
+    /// re-grown, a sparse slab keeps its map capacity.
     ///
     /// # Panics
     /// Panics if `x` does not have the matrix dimension.
     pub fn seed<S: RowSelector>(&mut self, matrix: &BitMatrix, x: &S) -> usize {
-        self.counts.clear();
-        self.counts.resize(matrix.dim(), 0);
-        self.seeded = true;
-        matrix.count_into(x, &mut self.counts)
+        let dim = matrix.dim();
+        match &mut self.repr {
+            Repr::Unseeded { sparse: false } => {
+                let mut counts = vec![0u32; dim];
+                let inits = matrix.count_into(x, &mut counts);
+                self.repr = Repr::Dense(counts);
+                inits
+            }
+            Repr::Dense(counts) => {
+                // Reseed fast path: reuse the allocation, re-zeroing in
+                // place when the dimension is unchanged.
+                if counts.len() == dim {
+                    counts.fill(0);
+                } else {
+                    counts.clear();
+                    counts.resize(dim, 0);
+                }
+                matrix.count_into(x, counts)
+            }
+            repr @ Repr::Unseeded { sparse: true } => {
+                let (sparse, inits) = seed_sparse(SparseCounters::default(), matrix, x);
+                *repr = Repr::Sparse(sparse);
+                inits
+            }
+            Repr::Sparse(s) => {
+                let mut prev = std::mem::take(s);
+                prev.map.clear();
+                prev.dense = None;
+                let (sparse, inits) = seed_sparse(prev, matrix, x);
+                self.repr = Repr::Sparse(sparse);
+                inits
+            }
+        }
     }
 
     /// Current support of candidate `w`.
@@ -56,7 +300,11 @@ impl CounterSlab {
     /// Panics if the slab is unseeded or `w` is out of bounds.
     #[inline]
     pub fn count(&self, w: usize) -> u32 {
-        self.counts[w]
+        match &self.repr {
+            Repr::Unseeded { .. } => panic!("count on an unseeded slab"),
+            Repr::Dense(counts) => counts[w],
+            Repr::Sparse(s) => s.count(w),
+        }
     }
 
     /// Decrements the support of candidate `w` and returns the new
@@ -67,52 +315,231 @@ impl CounterSlab {
     /// builds additionally assert against underflow.
     #[inline]
     pub fn decrement(&mut self, w: usize) -> u32 {
-        let c = &mut self.counts[w];
-        debug_assert!(*c > 0, "support underflow on candidate {w}");
-        *c -= 1;
-        *c
+        match &mut self.repr {
+            Repr::Unseeded { .. } => panic!("decrement on an unseeded slab"),
+            Repr::Dense(counts) => {
+                let c = &mut counts[w];
+                debug_assert!(*c > 0, "support underflow on candidate {w}");
+                *c = c.wrapping_sub(1);
+                *c
+            }
+            Repr::Sparse(s) => s.decrement(w),
+        }
     }
+}
 
+/// The sparse seeding pass: hash-counter increments per selected run's
+/// CSR segment, spilling to a dense array the moment the population
+/// crosses [`spill_threshold`] — checked per *entry*, not per run, so
+/// even one long all-ones run cannot grow the map past the bound
+/// before the spill triggers (identical increments either way).
+fn seed_sparse<S: RowSelector>(
+    mut sparse: SparseCounters,
+    matrix: &BitMatrix,
+    x: &S,
+) -> (SparseCounters, usize) {
+    let dim = matrix.dim();
+    sparse.dim = dim;
+    let spill_at = spill_threshold(dim);
+    let mut inits = 0usize;
+    x.for_each_selected_run(|start, end| {
+        let segment = matrix.rows_segment(start, end);
+        inits += segment.len();
+        match &mut sparse.dense {
+            Some(d) => {
+                for &j in segment {
+                    d[j as usize] += 1;
+                }
+            }
+            None => {
+                let mut idx = 0usize;
+                while idx < segment.len() {
+                    *sparse.map.entry(segment[idx]).or_insert(0) += 1;
+                    idx += 1;
+                    if sparse.map.len() > spill_at {
+                        let mut d = vec![0u32; dim];
+                        for (&k, &c) in &sparse.map {
+                            d[k as usize] = c;
+                        }
+                        sparse.map.clear();
+                        // Finish the segment on the dense path; later
+                        // runs re-dispatch through the outer match.
+                        for &r in &segment[idx..] {
+                            d[r as usize] += 1;
+                        }
+                        sparse.dense = Some(d);
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    (sparse, inits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::BitVec;
+    use crate::{BitVec, RleBitVec};
+
+    const BACKENDS: [SlabBackend; 2] = [SlabBackend::Dense, SlabBackend::Sparse];
 
     #[test]
     fn slab_starts_unseeded_and_seeds_on_demand() {
-        let mut slab = CounterSlab::unseeded();
-        assert!(!slab.is_seeded());
-        // 0 -> {1, 2}, 1 -> {0}, 3 -> {3}
-        let m = BitMatrix::from_edges(5, &[(0, 1), (0, 2), (1, 0), (3, 3)]);
-        let x = BitVec::from_indices(5, &[0, 1]);
-        let inits = slab.seed(&m, &x);
-        assert!(slab.is_seeded());
-        assert_eq!(inits, 3);
-        assert_eq!(
-            (0..5).map(|w| slab.count(w)).collect::<Vec<_>>(),
-            vec![1, 1, 1, 0, 0]
-        );
+        for backend in BACKENDS {
+            let mut slab = CounterSlab::unseeded(backend);
+            assert!(!slab.is_seeded());
+            assert_eq!(slab.storage_words(), 0);
+            // 0 -> {1, 2}, 1 -> {0}, 3 -> {3}
+            let m = BitMatrix::from_edges(5, &[(0, 1), (0, 2), (1, 0), (3, 3)]);
+            let x = BitVec::from_indices(5, &[0, 1]);
+            let inits = slab.seed(&m, &x);
+            assert!(slab.is_seeded());
+            assert_eq!(slab.backend(), backend);
+            assert_eq!(inits, 3);
+            assert_eq!(
+                (0..5).map(|w| slab.count(w)).collect::<Vec<_>>(),
+                vec![1, 1, 1, 0, 0]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Auto must be resolved")]
+    fn auto_cannot_construct_a_slab() {
+        let _ = CounterSlab::unseeded(SlabBackend::Auto);
     }
 
     #[test]
     fn decrement_reports_the_zero_crossing() {
-        let mut slab = CounterSlab::unseeded();
-        let m = BitMatrix::from_edges(3, &[(0, 2), (1, 2)]);
-        slab.seed(&m, &BitVec::ones(3));
-        assert_eq!(slab.count(2), 2);
-        assert_eq!(slab.decrement(2), 1);
-        assert_eq!(slab.decrement(2), 0);
+        for backend in BACKENDS {
+            let mut slab = CounterSlab::unseeded(backend);
+            let m = BitMatrix::from_edges(3, &[(0, 2), (1, 2)]);
+            slab.seed(&m, &BitVec::ones(3));
+            assert_eq!(slab.count(2), 2);
+            assert_eq!(slab.decrement(2), 1);
+            assert_eq!(slab.decrement(2), 0);
+        }
     }
 
     #[test]
     fn reseeding_overwrites_previous_counters() {
-        let mut slab = CounterSlab::unseeded();
-        let m = BitMatrix::from_edges(3, &[(0, 1), (2, 1)]);
-        slab.seed(&m, &BitVec::ones(3));
-        assert_eq!(slab.count(1), 2);
-        slab.seed(&m, &BitVec::from_indices(3, &[0]));
-        assert_eq!(slab.count(1), 1);
+        for backend in BACKENDS {
+            let mut slab = CounterSlab::unseeded(backend);
+            let m = BitMatrix::from_edges(3, &[(0, 1), (2, 1)]);
+            slab.seed(&m, &BitVec::ones(3));
+            assert_eq!(slab.count(1), 2);
+            slab.seed(&m, &BitVec::from_indices(3, &[0]));
+            assert_eq!(slab.count(1), 1);
+        }
+    }
+
+    #[test]
+    fn dense_reseed_reuses_the_allocation() {
+        let mut slab = CounterSlab::unseeded(SlabBackend::Dense);
+        let m = BitMatrix::from_edges(200, &[(0, 1), (5, 199), (63, 64)]);
+        slab.seed(&m, &BitVec::ones(200));
+        let capacity = match &slab.repr {
+            Repr::Dense(c) => c.capacity(),
+            _ => unreachable!(),
+        };
+        // Same-dimension reseed: fill(0) in place, no reallocation.
+        let inits = slab.seed(&m, &BitVec::from_indices(200, &[5]));
+        assert_eq!(inits, 1);
+        assert_eq!(slab.count(199), 1);
+        assert_eq!(slab.count(1), 0, "stale counters were re-zeroed");
+        // Smaller-dimension reseed also stays within the allocation.
+        let small = BitMatrix::from_edges(100, &[(1, 2)]);
+        slab.seed(&small, &BitVec::ones(100));
+        assert_eq!(slab.count(2), 1);
+        let after = match &slab.repr {
+            Repr::Dense(c) => c.capacity(),
+            _ => unreachable!(),
+        };
+        assert_eq!(capacity, after, "reseeding must not grow the allocation");
+    }
+
+    #[test]
+    fn sparse_counts_one_word_per_supported_column() {
+        let mut slab = CounterSlab::unseeded(SlabBackend::Sparse);
+        // 1000 columns, support lands on exactly 3 of them.
+        let m = BitMatrix::from_edges(1000, &[(0, 7), (1, 7), (2, 500), (3, 999)]);
+        slab.seed(&m, &BitVec::ones(1000));
+        assert_eq!(slab.count(7), 2);
+        assert_eq!(slab.count(500), 1);
+        assert_eq!(slab.count(4), 0, "unsupported columns read as zero");
+        assert_eq!(slab.storage_words(), 3);
+        let dense_cost = {
+            let mut d = CounterSlab::unseeded(SlabBackend::Dense);
+            d.seed(&m, &BitVec::ones(1000));
+            d.storage_words()
+        };
+        assert_eq!(dense_cost, 500);
+        assert!(slab.storage_words() * 100 < dense_cost);
+    }
+
+    #[test]
+    fn sparse_spills_to_dense_and_never_costs_more() {
+        // Every column of a 10-column matrix gets support: the sparse
+        // population (10) exceeds the spill threshold (half the dense
+        // word cost of 5, i.e. 2), so the slab spills and caps its
+        // storage at the dense cost.
+        let dim = 10;
+        let edges: Vec<(u32, u32)> = (0..dim as u32).map(|j| (0, j)).collect();
+        let m = BitMatrix::from_edges(dim, &edges);
+        let mut sparse = CounterSlab::unseeded(SlabBackend::Sparse);
+        sparse.seed(&m, &BitVec::ones(dim));
+        assert_eq!(sparse.backend(), SlabBackend::Sparse);
+        assert_eq!(sparse.storage_words(), dense_words(dim));
+        for w in 0..dim {
+            assert_eq!(sparse.count(w), 1);
+        }
+        assert_eq!(sparse.decrement(9), 0, "spilled slabs still decrement");
+    }
+
+    #[test]
+    fn backends_agree_on_counts_increments_and_decrements() {
+        let m = BitMatrix::from_edges(130, &[(0, 64), (1, 64), (63, 129), (64, 0), (129, 64)]);
+        for x in [
+            BitVec::ones(130),
+            BitVec::from_indices(130, &[0, 1, 129]),
+            BitVec::zeros(130),
+        ] {
+            let mut dense = CounterSlab::unseeded(SlabBackend::Dense);
+            let mut sparse = CounterSlab::unseeded(SlabBackend::Sparse);
+            assert_eq!(dense.seed(&m, &x), sparse.seed(&m, &x));
+            for w in 0..130 {
+                assert_eq!(dense.count(w), sparse.count(w), "column {w}");
+            }
+            if dense.count(64) > 0 {
+                assert_eq!(dense.decrement(64), sparse.decrement(64));
+            }
+            assert!(sparse.storage_words() <= dense.storage_words());
+        }
+    }
+
+    #[test]
+    fn rle_selectors_seed_identically_to_dense_selectors() {
+        let m = BitMatrix::from_edges(130, &[(0, 1), (1, 1), (2, 5), (64, 5), (65, 129)]);
+        let indices = [0u32, 1, 2, 64, 65, 100];
+        let dense_x = BitVec::from_indices(130, &indices);
+        let rle_x = RleBitVec::from_indices(130, &indices);
+        for backend in BACKENDS {
+            let mut a = CounterSlab::unseeded(backend);
+            let mut b = CounterSlab::unseeded(backend);
+            assert_eq!(a.seed(&m, &dense_x), b.seed(&m, &rle_x));
+            for w in 0..130 {
+                assert_eq!(a.count(w), b.count(w), "column {w} ({backend:?})");
+            }
+            assert_eq!(a.storage_words(), b.storage_words());
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in [SlabBackend::Dense, SlabBackend::Sparse, SlabBackend::Auto] {
+            assert_eq!(SlabBackend::from_name(backend.name()), Some(backend));
+        }
+        assert_eq!(SlabBackend::from_name("rle"), None);
     }
 }

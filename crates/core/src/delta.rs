@@ -23,7 +23,7 @@
 //! setting — subset inequalities, surrogates, constants, forward-only
 //! systems and warm starts included.
 //!
-//! Two engineering twists on top of the PR-2 engine:
+//! Engineering twists on top of the PR-2 engine:
 //!
 //! * **Lazy counter seeding.** An edge inequality whose seeded χ
 //!   *provably* satisfies it — χ(source) covers every non-empty row of
@@ -46,6 +46,25 @@
 //!   the same logical algorithm, so χ **and every work counter** are
 //!   bit-identical across strategies and thread counts (pinned by
 //!   `crate::proptests`).
+//! * **Parallel eager seeding.** The eager seeds at
+//!   [`DeltaSolver::from_chi`] are independent per inequality, so under
+//!   `SolverConfig::seed_threads > 1` they ride the same
+//!   take-slab/scoped-worker/merge machinery as the drain shards —
+//!   another cold-solve win on multi-edge queries, invisible to every
+//!   counter.
+//! * **Pluggable slab storage.** Support counters go through
+//!   `SolverConfig::slab_backend` the way χ goes through
+//!   `chi_backend`: dense `u32` arrays or sparse hash counters (one
+//!   word per supported column, spilling to dense so they never cost
+//!   more), with `Auto` resolved from the same seeded-density bound.
+//!   `SolveStats::slab_peak_words` gauges the difference.
+//! * **Run-aware draining.** Every drain bucket is sorted into
+//!   ascending node order (the canonical order all backends share);
+//!   under RLE χ a shard then walks the bucket as maximal runs and
+//!   resolves one CSR segment (`BitMatrix::rows_segment`) per run
+//!   instead of one `M.row(u)` per bit — the identical decrement
+//!   sequence with fewer row-pointer loads
+//!   (`SolveStats::row_lookups`).
 //!
 //! Every removal is *forced* (the cleared node violates some inequality
 //! in every solution below the current assignment), and the worklist
@@ -66,10 +85,11 @@
 //! [`SolveStats`]: crate::SolveStats
 
 use crate::solver::{
-    apply_summary_init, chi_words, evaluation_order, resolve_chi_backend, seed_chi, split_pair,
+    apply_summary_init, chi_words, evaluation_order, resolve_chi_backend, resolve_slab_backend,
+    seed_chi, split_pair,
 };
 use crate::{Inequality, Soi, Solution, SolveStats, SolverConfig};
-use dualsim_bitmatrix::{BitMatrix, ChiVec, CounterSlab};
+use dualsim_bitmatrix::{BitMatrix, ChiBackend, ChiVec, CounterSlab};
 use dualsim_graph::{GraphDb, Triple};
 
 /// One-shot entry point used by [`crate::solve_from`] for
@@ -114,17 +134,27 @@ struct ShardUnit {
     target: u32,
     label: u32,
     forward: bool,
+    /// Walk the removals as runs of consecutive node ids, one CSR
+    /// segment lookup per run ([`BitMatrix::rows_segment`]) — enabled
+    /// when χ is RLE, where one round's removals routinely coalesce.
+    run_aware: bool,
     slab: CounterSlab,
     /// Target nodes whose support hit zero (candidates to remove).
     proposals: Vec<u32>,
     decrements: usize,
+    /// CSR row/segment lookups performed (`SolveStats::row_lookups`).
+    row_lookups: usize,
     inits: usize,
     lazy_seeded: bool,
 }
 
 impl ShardUnit {
     /// `removals` are this round's cleared nodes of `self.source`, in
-    /// the order they were cleared.
+    /// ascending node order (the drain sorts every bucket into this
+    /// canonical order, so the per-bit and run-aware walks perform the
+    /// *identical* decrement sequence — a run's CSR segment is exactly
+    /// the concatenation of its rows in ascending order — and every
+    /// logical counter stays bit-identical across χ backends).
     fn process(&mut self, db: &GraphDb, removals: &[u32], chi: &[ChiVec]) {
         let matrix = multiply_matrix(db, self.label, self.forward);
         if !self.slab.is_seeded() {
@@ -140,15 +170,60 @@ impl ShardUnit {
                 .extend(unsupported(&self.slab, &chi[self.target as usize]));
             return;
         }
-        for &u in removals {
-            for &w in matrix.row(u as usize) {
-                self.decrements += 1;
-                if self.slab.decrement(w as usize) == 0 && chi[self.target as usize].get(w as usize)
-                {
-                    self.proposals.push(w);
+        let target = &chi[self.target as usize];
+        if self.run_aware {
+            // One offset-pair lookup per maximal run of consecutive
+            // removed nodes, instead of one row lookup per node.
+            let mut i = 0usize;
+            while i < removals.len() {
+                let mut j = i + 1;
+                while j < removals.len() && removals[j] == removals[j - 1] + 1 {
+                    j += 1;
+                }
+                self.row_lookups += 1;
+                let segment =
+                    matrix.rows_segment(removals[i] as usize, removals[j - 1] as usize + 1);
+                for &w in segment {
+                    self.decrements += 1;
+                    if self.slab.decrement(w as usize) == 0 && target.get(w as usize) {
+                        self.proposals.push(w);
+                    }
+                }
+                i = j;
+            }
+        } else {
+            for &u in removals {
+                self.row_lookups += 1;
+                for &w in matrix.row(u as usize) {
+                    self.decrements += 1;
+                    if self.slab.decrement(w as usize) == 0 && target.get(w as usize) {
+                        self.proposals.push(w);
+                    }
                 }
             }
         }
+    }
+}
+
+/// One parallel-seeding work unit of [`DeltaSolver::from_chi`]: an
+/// eagerly-seeded edge inequality with exclusive ownership of its (still
+/// unseeded) counter slab. Jobs are independent — disjoint slabs, frozen
+/// χ, read-only matrices — so they fan out over scoped worker threads
+/// exactly like drain shards, and the merge folds `inits` in inequality
+/// order (the sum is thread-count independent either way).
+struct SeedJob {
+    ineq: usize,
+    source: usize,
+    label: u32,
+    forward: bool,
+    slab: CounterSlab,
+    inits: usize,
+}
+
+impl SeedJob {
+    fn run(&mut self, db: &GraphDb, chi: &[ChiVec]) {
+        let matrix = multiply_matrix(db, self.label, self.forward);
+        self.inits = self.slab.seed(matrix, &chi[self.source]);
     }
 }
 
@@ -198,6 +273,15 @@ pub(crate) struct DeltaSolver {
     /// all variables — deep cascades keep their O(touched)-per-round
     /// cost.
     chi_word_total: usize,
+    /// Running Σ `storage_words()` over all counter slabs, updated at
+    /// every seed event (eager, lazy in the drain, lazy in a
+    /// retraction) — slab storage never changes otherwise, so the peak
+    /// sample is O(1) like the χ one.
+    slab_word_total: usize,
+    /// Drain shards walk removal runs against the matrix CSR instead of
+    /// single rows (set when the resolved χ backend is RLE — the
+    /// backend under which one round's removals coalesce into runs).
+    run_aware: bool,
     /// Cumulative work counters (across the initial solve and every
     /// later retraction).
     stats: SolveStats,
@@ -228,7 +312,9 @@ impl DeltaSolver {
             initial_candidates: counts.iter().sum(),
             ..SolveStats::default()
         };
-        resolve_chi_backend(config, &mut chi, stats.initial_candidates, db.num_nodes());
+        let chi_backend =
+            resolve_chi_backend(config, &mut chi, stats.initial_candidates, db.num_nodes());
+        let slab_backend = resolve_slab_backend(config, nv, stats.initial_candidates, db.num_nodes());
         let chi_word_total = chi_words(&chi);
         stats.observe_chi_words(chi_word_total);
 
@@ -251,7 +337,7 @@ impl DeltaSolver {
         let mut solver = DeltaSolver {
             chi,
             counts,
-            support: vec![CounterSlab::unseeded(); soi.ineqs.len()],
+            support: vec![CounterSlab::unseeded(slab_backend); soi.ineqs.len()],
             queue: Vec::new(),
             edge_ineqs_by_source,
             subset_ineqs_by_sup,
@@ -261,6 +347,8 @@ impl DeltaSolver {
             units: Vec::new(),
             proposal_pool: Vec::new(),
             chi_word_total,
+            slab_word_total: 0,
+            run_aware: chi_backend == ChiBackend::Rle,
             stats,
             dead: false,
         };
@@ -288,7 +376,15 @@ impl DeltaSolver {
         // defers both its seeding and its enforcement to the first touch
         // by a removal (the deferral stays sound because any later
         // shrink of χ(source) goes through the worklist and seeds it).
+        //
+        // The eager seeds are independent per inequality — disjoint
+        // slabs, frozen χ, read-only matrices — so under
+        // `SolverConfig::seed_threads > 1` they fan out over scoped
+        // worker threads through the same take-slab/merge machinery the
+        // drain shards use; `counter_inits` folds in inequality order
+        // and is bit-identical for every thread count.
         let mut deferred = vec![false; soi.ineqs.len()];
+        let mut jobs: Vec<SeedJob> = Vec::new();
         for (i, ineq) in soi.ineqs.iter().enumerate() {
             let Inequality::Edge {
                 target,
@@ -307,10 +403,40 @@ impl DeltaSolver {
                 solver.stats.seeds_deferred += 1;
                 deferred[i] = true;
             } else {
-                let inits = solver.support[i].seed(matrix, &solver.chi[source]);
-                solver.stats.counter_inits += inits;
+                jobs.push(SeedJob {
+                    ineq: i,
+                    source,
+                    label: a,
+                    forward,
+                    slab: std::mem::take(&mut solver.support[i]),
+                    inits: 0,
+                });
             }
         }
+        let seed_workers = config.seed_threads.max(1).min(jobs.len());
+        if seed_workers <= 1 {
+            for job in &mut jobs {
+                job.run(db, &solver.chi);
+            }
+        } else {
+            let chi = &solver.chi;
+            let chunk = jobs.len().div_ceil(seed_workers);
+            std::thread::scope(|scope| {
+                for shard in jobs.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for job in shard {
+                            job.run(db, chi);
+                        }
+                    });
+                }
+            });
+        }
+        for job in jobs {
+            solver.stats.counter_inits += job.inits;
+            solver.slab_word_total += job.slab.storage_words();
+            solver.support[job.ineq] = job.slab;
+        }
+        solver.stats.observe_slab_words(solver.slab_word_total);
 
         // Enforce every non-deferred inequality once (the seeded χ may
         // violate them), turning each violation into queued removal
@@ -441,6 +567,7 @@ impl DeltaSolver {
                     let inits = self.support[i].seed(matrix, &self.chi[source]);
                     self.stats.counter_inits += inits;
                     self.stats.lazy_seeds += 1;
+                    self.slab_word_total += self.support[i].storage_words();
                     seeded_this_batch[i] = true;
                     zeroed.extend(
                         unsupported(&self.support[i], &self.chi[target]).map(|w| (target, w)),
@@ -475,6 +602,7 @@ impl DeltaSolver {
             self.kill();
         }
         self.stats.observe_chi_words(self.chi_word_total);
+        self.stats.observe_slab_words(self.slab_word_total);
         self.stats.final_candidates = self.counts.iter().sum();
     }
 
@@ -532,9 +660,14 @@ impl DeltaSolver {
             self.stats.delta_removals += batch.len();
 
             // Group the round's removals by source variable, so every
-            // shard walks only its own removals (in the order they were
-            // cleared). `by_var` is persistent scratch: only the touched
-            // buckets are written, and they are cleared again below.
+            // shard walks only its own removals. `by_var` is persistent
+            // scratch: only the touched buckets are written, and they
+            // are cleared again below. Every bucket is sorted into
+            // ascending node order — the canonical order shared by the
+            // per-bit and run-aware walks (a run's CSR segment is the
+            // concatenation of its rows in exactly this order), so the
+            // decrement/proposal sequences are bit-identical across χ
+            // backends, drain strategies and thread counts.
             let mut by_var = std::mem::take(&mut self.by_var);
             let mut touched = std::mem::take(&mut self.touched_vars);
             for &(v, u) in &batch {
@@ -543,6 +676,9 @@ impl DeltaSolver {
                     touched.push(v);
                 }
                 bucket.push(u);
+            }
+            for &v in &touched {
+                by_var[v as usize].sort_unstable();
             }
 
             // The round's agenda: every inequality that can react to
@@ -574,9 +710,11 @@ impl DeltaSolver {
                         target: target as u32,
                         label,
                         forward,
+                        run_aware: self.run_aware,
                         slab: std::mem::take(&mut self.support[i as usize]),
                         proposals: self.proposal_pool.pop().unwrap_or_default(),
                         decrements: 0,
+                        row_lookups: 0,
                         inits: 0,
                         lazy_seeded: false,
                     });
@@ -627,8 +765,10 @@ impl DeltaSolver {
                     let unit = unit_iter.next().expect("peeked");
                     self.stats.counter_decrements += unit.decrements;
                     self.stats.counter_inits += unit.inits;
+                    self.stats.row_lookups += unit.row_lookups;
                     if unit.lazy_seeded {
                         self.stats.lazy_seeds += 1;
+                        self.slab_word_total += unit.slab.storage_words();
                     }
                     let target = unit.target as usize;
                     let mut proposals = unit.proposals;
@@ -680,6 +820,7 @@ impl DeltaSolver {
                 "incremental χ-word accounting drifted"
             );
             self.stats.observe_chi_words(self.chi_word_total);
+            self.stats.observe_slab_words(self.slab_word_total);
             if early {
                 return true;
             }
@@ -818,6 +959,149 @@ mod tests {
         assert_eq!(sol.stats.lazy_seeds, 0, "never touched, never seeded");
         let reev = solve(&db, &soi, &SolverConfig::default());
         assert_eq!(sol.chi, reev.chi);
+    }
+
+    #[test]
+    fn slab_backends_match_on_fixtures() {
+        use crate::SlabBackend;
+        let db = sample_db();
+        for text in [
+            "{ ?x p ?y . ?y p ?z . ?x q ?z }",
+            "{ ?x q ?y . ?y p ?z }",
+            "{ ?x p ?y OPTIONAL { ?x q ?z } }",
+        ] {
+            let q = parse(text).unwrap();
+            for soi in build_sois(&db, &q) {
+                for early_exit in [false, true] {
+                    let dense = solve(
+                        &db,
+                        &soi,
+                        &SolverConfig {
+                            slab_backend: SlabBackend::Dense,
+                            ..delta_cfg(early_exit)
+                        },
+                    );
+                    for slab_backend in [SlabBackend::Sparse, SlabBackend::Auto] {
+                        let other = solve(
+                            &db,
+                            &soi,
+                            &SolverConfig {
+                                slab_backend,
+                                ..delta_cfg(early_exit)
+                            },
+                        );
+                        assert_eq!(dense.chi, other.chi, "{text} ({slab_backend:?})");
+                        assert_eq!(
+                            dense.stats.logical(),
+                            other.stats.logical(),
+                            "{text} ({slab_backend:?})"
+                        );
+                        // The spill guarantee: sparse storage never
+                        // exceeds dense storage.
+                        assert!(
+                            other.stats.slab_peak_words <= dense.stats.slab_peak_words,
+                            "{text}: {} > {} ({slab_backend:?})",
+                            other.stats.slab_peak_words,
+                            dense.stats.slab_peak_words
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slab_peak_words_gauges_only_seeded_slabs() {
+        let db = sample_db();
+        // Seeding happens here (see delta_counts_its_work) …
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let sol = solve(&db, &soi, &delta_cfg(false));
+        assert!(sol.stats.counter_inits > 0);
+        assert!(sol.stats.slab_peak_words > 0, "seeded slabs have storage");
+        // … while a fully-deferred solve keeps every slab at zero words.
+        let q = parse("{ ?x p ?y }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let deferred = solve(&db, &soi, &delta_cfg(false));
+        assert_eq!(deferred.stats.counter_inits, 0);
+        assert_eq!(deferred.stats.slab_peak_words, 0);
+        // The re-evaluation engine has no slabs at all.
+        let reev = solve(&db, &soi, &SolverConfig::default());
+        assert_eq!(reev.stats.slab_peak_words, 0);
+        assert_eq!(reev.stats.row_lookups, 0);
+    }
+
+    #[test]
+    fn parallel_seeding_is_invisible_to_every_counter() {
+        let db = sample_db();
+        for text in [
+            "{ ?x p ?y . ?y p ?z . ?x q ?z }",
+            "{ ?x q ?y . ?y p ?z }",
+        ] {
+            let q = parse(text).unwrap();
+            for soi in build_sois(&db, &q) {
+                let seq = solve(&db, &soi, &delta_cfg(false));
+                for threads in [2, 4, 16] {
+                    let par = solve(
+                        &db,
+                        &soi,
+                        &SolverConfig {
+                            seed_threads: threads,
+                            ..delta_cfg(false)
+                        },
+                    );
+                    assert_eq!(seq.chi, par.chi, "{text} ({threads} seed threads)");
+                    // Full stats — the storage gauges included — are
+                    // deterministic across seeding thread counts.
+                    assert_eq!(seq.stats, par.stats, "{text} ({threads} seed threads)");
+                }
+            }
+        }
+    }
+
+    /// A publications-style fixture whose forced removals form one
+    /// contiguous id run: p1..p9 are interned back to back and all lose
+    /// their candidacy in one round, so the run-aware drain under RLE χ
+    /// resolves them with one CSR segment lookup where the dense-χ
+    /// drain pays one row lookup per node.
+    fn contiguous_removals_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        for i in 0..10 {
+            b.add_triple(&format!("p{i}"), "type", "Pub").unwrap();
+        }
+        b.add_triple("p0", "author", "head").unwrap();
+        for i in 1..10 {
+            b.add_triple(&format!("p{i}"), "author", &format!("other{i}"))
+                .unwrap();
+        }
+        b.add_triple("head", "leads", "d").unwrap();
+        for i in 1..10 {
+            b.add_triple(&format!("other{i}"), "type", "Person").unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn run_aware_drain_saves_row_lookups_at_identical_logical_work() {
+        let db = contiguous_removals_db();
+        let q = parse("{ ?p type <Pub> . ?p author ?h . ?h leads ?d }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = |chi_backend| SolverConfig {
+            chi_backend,
+            ..delta_cfg(false)
+        };
+        let dense = solve(&db, &soi, &cfg(ChiBackend::Dense));
+        let rle = solve(&db, &soi, &cfg(ChiBackend::Rle));
+        assert_eq!(dense.chi, rle.chi);
+        assert_eq!(dense.stats.logical(), rle.stats.logical());
+        assert!(dense.stats.delta_removals > 0, "the fixture must cascade");
+        assert!(dense.stats.row_lookups > 0);
+        assert!(
+            rle.stats.row_lookups < dense.stats.row_lookups,
+            "run-aware drain must coalesce the contiguous removals: {} vs {}",
+            rle.stats.row_lookups,
+            dense.stats.row_lookups
+        );
     }
 
     #[test]

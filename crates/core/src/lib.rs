@@ -67,7 +67,7 @@ pub use pruning::{
 };
 pub use quotient::QuotientIndex;
 pub use soi::{build_sois, build_sois_with, Inequality, PatternEdge, SimulationKind, Soi, SoiVar};
-pub use dualsim_bitmatrix::{ChiBackend, ChiVec};
+pub use dualsim_bitmatrix::{ChiBackend, ChiVec, SlabBackend};
 pub use solver::{
     solve, solve_from, DrainStrategy, EvalStrategy, FixpointMode, IneqOrdering, InitMode, Solution,
     SolveStats, SolverConfig,

@@ -1,11 +1,15 @@
 //! Property-based equivalence tests for the two fixpoint engines and
-//! the two χ storage backends: on random graphs × random queries,
+//! every storage/execution axis: on random graphs × random queries,
 //! [`FixpointMode::DeltaCounting`] and [`FixpointMode::Reevaluate`]
 //! must produce bit-identical χ fixpoints and agree on emptiness — for
 //! dual and forward-only simulation, with and without early exit, and
-//! along incremental deletion chains — and [`ChiBackend::Dense`] and
-//! [`ChiBackend::Rle`] must additionally agree on every *logical* work
-//! counter ([`crate::SolveStats::logical`]).
+//! along incremental deletion chains — and the χ backends
+//! ([`ChiBackend::Dense`] / [`ChiBackend::Rle`]), the counter-slab
+//! backends (`SlabBackend::{Dense, Sparse, Auto}`), the drain
+//! strategies and the seeding/draining thread counts must additionally
+//! agree on every *logical* work counter
+//! ([`crate::SolveStats::logical`] — everything except the storage
+//! gauges and the run-aware drain's `row_lookups`).
 //!
 //! [`FixpointMode::DeltaCounting`]: crate::FixpointMode::DeltaCounting
 //! [`FixpointMode::Reevaluate`]: crate::FixpointMode::Reevaluate
@@ -14,7 +18,7 @@
 
 use crate::{
     build_sois_with, solve, solve_from, ChiBackend, DrainStrategy, FixpointMode,
-    IncrementalDualSim, SimulationKind, SolverConfig,
+    IncrementalDualSim, SimulationKind, SlabBackend, SolverConfig,
 };
 use dualsim_graph::{GraphDb, GraphDbBuilder, NodeKind, Triple};
 use dualsim_query::{parse, Query};
@@ -290,6 +294,104 @@ proptest! {
                 let par = solve(&db, &soi, &config);
                 prop_assert_eq!(&seq.chi, &par.chi, "{} (threshold {})", q, threshold);
                 prop_assert_eq!(&seq.stats, &par.stats, "{} (threshold {})", q, threshold);
+            }
+        }
+    }
+
+    /// The counter-slab backend, the χ backend, the drain strategy and
+    /// the seeding/draining thread counts are all *pure representation
+    /// and execution choices*: every combination of slab backend
+    /// {Dense, Sparse, Auto} × χ backend {Dense, Rle} × drain
+    /// {Sequential, Sharded} × threads {1, 4} (applied to both the
+    /// drain and the parallel eager seeding) converges to bit-identical
+    /// χ and identical *logical* work counters
+    /// ([`crate::SolveStats::logical`] — everything except the storage
+    /// gauges and the run-aware drain's `row_lookups`) — for dual and
+    /// forward-only systems, with and without early exit.
+    #[test]
+    fn slab_backends_drains_and_seed_threads_are_equivalent(db in arb_db(), q in arb_query()) {
+        for kind in [SimulationKind::Dual, SimulationKind::Forward] {
+            for soi in build_sois_with(&db, &q, kind) {
+                for early_exit in [false, true] {
+                    let reference = solve(&db, &soi, &cfg(FixpointMode::DeltaCounting, early_exit));
+                    for slab_backend in [SlabBackend::Dense, SlabBackend::Sparse, SlabBackend::Auto] {
+                        for chi_backend in [ChiBackend::Dense, ChiBackend::Rle] {
+                            for threads in [1usize, 4] {
+                                let config = SolverConfig {
+                                    slab_backend,
+                                    chi_backend,
+                                    seed_threads: threads,
+                                    drain: if threads > 1 {
+                                        DrainStrategy::Sharded { threads }
+                                    } else {
+                                        DrainStrategy::Sequential
+                                    },
+                                    drain_inline_below: 0,
+                                    ..cfg(FixpointMode::DeltaCounting, early_exit)
+                                };
+                                let sol = solve(&db, &soi, &config);
+                                let ctx = format!(
+                                    "{q} ({kind:?}, {slab_backend:?}, {chi_backend:?}, \
+                                     {threads} threads, early_exit={early_exit})"
+                                );
+                                prop_assert_eq!(&reference.chi, &sol.chi, "χ diverged on {}", ctx);
+                                prop_assert_eq!(
+                                    reference.stats.logical(), sol.stats.logical(),
+                                    "logical stats diverged on {}", ctx
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental deletion chains stay bit-identical across slab
+    /// backends, χ backends and thread counts — χ and logical work
+    /// counters after every batch — and track a cold solve.
+    #[test]
+    fn slab_backends_agree_along_incremental_deletion_chains(db in arb_db(), q in arb_query()) {
+        let config = |slab_backend, chi_backend, threads| SolverConfig {
+            slab_backend,
+            chi_backend,
+            seed_threads: threads,
+            drain: if threads > 1 {
+                DrainStrategy::Sharded { threads }
+            } else {
+                DrainStrategy::Sequential
+            },
+            drain_inline_below: 0,
+            ..cfg(FixpointMode::DeltaCounting, false)
+        };
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let mut engines: Vec<IncrementalDualSim> = [
+                config(SlabBackend::Dense, ChiBackend::Dense, 1),
+                config(SlabBackend::Sparse, ChiBackend::Dense, 4),
+                config(SlabBackend::Sparse, ChiBackend::Rle, 1),
+                config(SlabBackend::Auto, ChiBackend::Rle, 4),
+            ]
+            .into_iter()
+            .map(|c| IncrementalDualSim::new(&db, soi.clone(), c))
+            .collect();
+            let mut triples: Vec<Triple> = db.triples().collect();
+            while triples.len() > 1 {
+                let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
+                let db_after = db.with_triples(&triples);
+                for inc in engines.iter_mut() {
+                    inc.apply_deletions(&db_after, &batch);
+                }
+                let (reference, others) = engines.split_first().unwrap();
+                for inc in others {
+                    prop_assert_eq!(&reference.solution().chi, &inc.solution().chi, "{}", q);
+                    prop_assert_eq!(
+                        reference.solution().stats.logical(),
+                        inc.solution().stats.logical(),
+                        "{}", q
+                    );
+                }
+                let cold = solve(&db_after, &soi, &cfg(FixpointMode::Reevaluate, false));
+                prop_assert_eq!(&reference.solution().chi, &cold.chi, "{} vs cold", q);
             }
         }
     }

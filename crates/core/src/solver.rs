@@ -29,7 +29,7 @@
 //!   source χ has fewer bits set than the target χ".
 
 use crate::{Inequality, Soi};
-use dualsim_bitmatrix::{BitVec, ChiBackend, ChiVec, AUTO_RLE_DENSITY_DIVISOR};
+use dualsim_bitmatrix::{BitVec, ChiBackend, ChiVec, SlabBackend, AUTO_RLE_DENSITY_DIVISOR};
 use dualsim_graph::GraphDb;
 
 /// How each bit-matrix multiplication is evaluated (Sect. 3.3).
@@ -149,6 +149,24 @@ pub struct SolverConfig {
     /// differ only in χ memory ([`SolveStats::chi_peak_words`]) and
     /// constant factors.
     pub chi_backend: ChiBackend,
+    /// Support-counter storage backend of the delta-counting engine:
+    /// dense `u32` arrays, sparse hash counters, or an automatic
+    /// per-solve choice resolved from the *same* seeded-density bound
+    /// the χ `Auto` uses. Like the χ backends, the slab backends are
+    /// logically interchangeable — identical χ and identical logical
+    /// work counters — and differ only in counter memory
+    /// ([`SolveStats::slab_peak_words`]). Ignored by
+    /// [`FixpointMode::Reevaluate`].
+    pub slab_backend: SlabBackend,
+    /// Parallel eager seeding of the delta-counting engine: the
+    /// per-inequality counter seeds at `from_chi` are independent
+    /// (disjoint slabs, frozen χ), so they fan out over up to this many
+    /// scoped worker threads through the same take-slab/merge machinery
+    /// the sharded drain uses. Invisible to χ and to every work counter
+    /// (seeding work is per inequality and merged in inequality order),
+    /// so every parity gate holds across any thread count. `1` seeds
+    /// inline.
+    pub seed_threads: usize,
     /// Abort as soon as a *mandatory* variable loses all candidates: the
     /// query then has no matches and everything can be pruned. Turn this
     /// off to obtain the mathematical largest solution even for
@@ -166,6 +184,8 @@ impl Default for SolverConfig {
             drain: DrainStrategy::Sequential,
             drain_inline_below: 64,
             chi_backend: ChiBackend::Dense,
+            slab_backend: SlabBackend::Dense,
+            seed_threads: 1,
             early_exit: true,
         }
     }
@@ -193,6 +213,17 @@ pub struct SolveStats {
     pub counter_inits: usize,
     /// Support-counter decrements during delta removal propagation.
     pub counter_decrements: usize,
+    /// Matrix CSR row/segment lookups performed by the delta drain: the
+    /// per-bit drain pays one per removed node (`M.row(u)`), the
+    /// run-aware drain under RLE χ pays one per *run* of consecutive
+    /// removed nodes (`M.rows_segment`). The entries walked — and hence
+    /// `counter_decrements` — are identical either way; this gauge
+    /// counts the row-pointer loads the run-aware drain saves. Like the
+    /// storage gauges it is **not** a logical work counter: it is
+    /// deterministic per χ backend (identical across slab backends,
+    /// drain strategies and thread counts) but differs *between* χ
+    /// backends, so parity gates compare [`SolveStats::logical`].
+    pub row_lookups: usize,
     /// `(variable, node)` removal events drained from the delta worklist.
     pub delta_removals: usize,
     /// Removal-propagation rounds of the delta drain — the
@@ -220,6 +251,18 @@ pub struct SolveStats {
     /// χ backends — backend-parity gates therefore compare the
     /// [`SolveStats::logical`] projection.
     pub chi_peak_words: usize,
+    /// Peak support-counter storage across the solve, in
+    /// `u64`-equivalent words summed over all inequalities (dense: two
+    /// `u32` counters per word and matrix column; sparse: one word per
+    /// supported column), sampled after eager seeding, at every drain
+    /// round and after every retraction — the counter-side mirror of
+    /// [`SolveStats::chi_peak_words`]. A **storage metric, not a
+    /// logical work counter**: deterministic for a fixed slab backend
+    /// but different *between* backends, so parity gates compare
+    /// [`SolveStats::logical`]. Always 0 under
+    /// [`crate::FixpointMode::Reevaluate`] and for inequalities whose
+    /// seeding stayed deferred.
+    pub slab_peak_words: usize,
     /// A mandatory variable lost all candidates (no matches exist).
     pub emptied_mandatory: bool,
 }
@@ -235,12 +278,18 @@ impl SolveStats {
     }
 
     /// The logical-work projection: every counter except the
-    /// backend-dependent χ-storage metric. Dense and RLE backends must
-    /// agree on this projection bit for bit (the χ-backend parity
-    /// discipline, extending the PR-3 drain-strategy parity).
+    /// backend-dependent gauges — χ storage (`chi_peak_words`), counter
+    /// storage (`slab_peak_words`) and the drain's row-pointer loads
+    /// (`row_lookups`, which the run-aware RLE-χ drain compresses).
+    /// All χ-backend × slab-backend × drain-strategy × thread-count
+    /// combinations must agree on this projection bit for bit (the
+    /// backend parity discipline, extending the PR-3 drain-strategy
+    /// parity).
     pub fn logical(&self) -> SolveStats {
         SolveStats {
             chi_peak_words: 0,
+            slab_peak_words: 0,
+            row_lookups: 0,
             ..self.clone()
         }
     }
@@ -248,6 +297,11 @@ impl SolveStats {
     /// Folds a χ-storage sample into the peak metric.
     pub(crate) fn observe_chi_words(&mut self, words: usize) {
         self.chi_peak_words = self.chi_peak_words.max(words);
+    }
+
+    /// Folds a counter-storage sample into the peak metric.
+    pub(crate) fn observe_slab_words(&mut self, words: usize) {
+        self.slab_peak_words = self.slab_peak_words.max(words);
     }
 }
 
@@ -333,6 +387,17 @@ fn seeded_candidates_bound(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> us
     bound.iter().sum()
 }
 
+/// The shared `Auto` predicate of the χ and counter-slab backends: a
+/// compressed representation is worth it when the seeded candidate
+/// density `candidates / space` is at most
+/// 1/[`AUTO_RLE_DENSITY_DIVISOR`]. One definition, three call sites
+/// (χ pre-seed estimate, χ exact resolution, slab resolution), so the
+/// documented "same bound" invariant cannot drift.
+#[inline]
+fn auto_prefers_compressed(candidates: usize, space: usize) -> bool {
+    space > 0 && candidates * AUTO_RLE_DENSITY_DIVISOR <= space
+}
+
 /// The χ backend the *seeding* phase materializes in. `Auto` decides
 /// here, before any χ vector exists, from the summary-popcount upper
 /// bound on the seeded candidate count — so a solve that resolves to
@@ -349,7 +414,7 @@ fn seeding_backend(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> ChiBackend
         ChiBackend::Auto => {
             let space = soi.vars.len() * db.num_nodes();
             let bound = seeded_candidates_bound(db, soi, config);
-            if space > 0 && bound * AUTO_RLE_DENSITY_DIVISOR <= space {
+            if auto_prefers_compressed(bound, space) {
                 ChiBackend::Rle
             } else {
                 ChiBackend::Dense
@@ -383,19 +448,18 @@ pub(crate) fn seed_chi(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Vec<Ch
 /// backend, and tightens the cold-path estimate of `seeding_backend`
 /// (dense seed → RLE when the exact counts qualify — a bounded
 /// conversion, never a fragmentation blow-up, by the divisor-64
-/// guarantee).
+/// guarantee). Returns the concrete backend every χ vector now has.
 pub(crate) fn resolve_chi_backend(
     config: &SolverConfig,
     chi: &mut [ChiVec],
     initial_candidates: usize,
     n: usize,
-) {
+) -> ChiBackend {
     let target = match config.chi_backend {
         ChiBackend::Dense => ChiBackend::Dense,
         ChiBackend::Rle => ChiBackend::Rle,
         ChiBackend::Auto => {
-            let space = chi.len() * n;
-            if space > 0 && initial_candidates * AUTO_RLE_DENSITY_DIVISOR <= space {
+            if auto_prefers_compressed(initial_candidates, chi.len() * n) {
                 ChiBackend::Rle
             } else {
                 ChiBackend::Dense
@@ -404,6 +468,35 @@ pub(crate) fn resolve_chi_backend(
     };
     for c in chi.iter_mut() {
         c.convert_to(target);
+    }
+    target
+}
+
+/// Resolves [`SlabBackend::Auto`] for the delta engine's support
+/// counters — against the *same* exact seeded candidate-density bound
+/// [`resolve_chi_backend`] uses (`Auto` picks sparse iff
+/// `initial_candidates / (|vars| · |V|)` is at most
+/// `1 / AUTO_RLE_DENSITY_DIVISOR`): the workloads whose χ is sparse
+/// enough for RLE are exactly those whose per-inequality support
+/// populations stay far below the column space. The spill guarantee of
+/// the sparse slab additionally caps its storage at the dense cost
+/// unconditionally, so an `Auto` pick is never a regression.
+pub(crate) fn resolve_slab_backend(
+    config: &SolverConfig,
+    nv: usize,
+    initial_candidates: usize,
+    n: usize,
+) -> SlabBackend {
+    match config.slab_backend {
+        SlabBackend::Dense => SlabBackend::Dense,
+        SlabBackend::Sparse => SlabBackend::Sparse,
+        SlabBackend::Auto => {
+            if auto_prefers_compressed(initial_candidates, nv * n) {
+                SlabBackend::Sparse
+            } else {
+                SlabBackend::Dense
+            }
+        }
     }
 }
 

@@ -13,7 +13,8 @@
 //! runs one of the reference engines, optionally on the pruned database.
 
 use dualsim::core::{
-    prune, solve_query, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode, SolverConfig,
+    prune, solve_query, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode, SlabBackend,
+    SolverConfig,
 };
 use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
 use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
@@ -74,6 +75,14 @@ options:
                         ones, or a per-solve choice from the seeded
                         candidate density — identical solution and work
                         counts for every backend
+  --slab-backend B      dense | sparse | auto          (default dense)
+                        delta: support-counter storage — dense u32 arrays,
+                        sparse hash counters, or a per-solve choice from
+                        the same density bound the χ auto uses; identical
+                        solution and logical work counts for every backend
+  --seed-threads N      delta: fan the eager counter seeds out over N
+                        scoped threads (default 1; identical solution and
+                        work counts for every N)
   --no-early-exit       keep solving after a mandatory variable empties
   --output FILE.nt      prune: write the pruned database as N-Triples
   --engine E            eval: nested | hash            (default nested)
@@ -91,6 +100,8 @@ struct Opts {
     fixpoint: FixpointMode,
     fixpoint_threads: usize,
     chi_backend: ChiBackend,
+    slab_backend: SlabBackend,
+    seed_threads: usize,
     early_exit: bool,
     output: Option<String>,
     engine: String,
@@ -109,6 +120,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         fixpoint: FixpointMode::Reevaluate,
         fixpoint_threads: 1,
         chi_backend: ChiBackend::Dense,
+        slab_backend: SlabBackend::Dense,
+        seed_threads: 1,
         early_exit: true,
         output: None,
         engine: "nested".to_owned(),
@@ -159,6 +172,19 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 let name = value()?;
                 opts.chi_backend = ChiBackend::from_name(&name)
                     .ok_or_else(|| format!("unknown chi backend {name:?}"))?;
+            }
+            "--slab-backend" => {
+                let name = value()?;
+                opts.slab_backend = SlabBackend::from_name(&name)
+                    .ok_or_else(|| format!("unknown slab backend {name:?}"))?;
+            }
+            "--seed-threads" => {
+                opts.seed_threads = value()?
+                    .parse()
+                    .map_err(|e| format!("--seed-threads: {e}"))?;
+                if opts.seed_threads == 0 {
+                    return Err("--seed-threads must be at least 1".into());
+                }
             }
             "--no-early-exit" => opts.early_exit = false,
             "--pruned" => opts.pruned = true,
@@ -240,6 +266,8 @@ fn config(opts: &Opts) -> SolverConfig {
             DrainStrategy::Sequential
         },
         chi_backend: opts.chi_backend,
+        slab_backend: opts.slab_backend,
+        seed_threads: opts.seed_threads,
         early_exit: opts.early_exit,
         ..SolverConfig::default()
     }
@@ -311,6 +339,14 @@ fn cmd_solve(db: &GraphDb, query: &Query, cfg: &SolverConfig) -> Result<(), Stri
             s.counter_decrements,
             s.delta_removals,
             s.work_ops()
+        );
+        // The backend-dependent gauges, on their own line: the work
+        // counters above are bit-identical across χ/slab backends, but
+        // peak storage and the drain's row-pointer loads legitimately
+        // differ per backend.
+        println!(
+            "storage: chi_peak_words={} slab_peak_words={} row_lookups={}",
+            s.chi_peak_words, s.slab_peak_words, s.row_lookups
         );
     }
     println!("solved in {elapsed:?}");
@@ -400,6 +436,10 @@ mod tests {
             "4",
             "--chi-backend",
             "rle",
+            "--slab-backend",
+            "sparse",
+            "--seed-threads",
+            "3",
             "--no-early-exit",
             "--limit",
             "7",
@@ -414,8 +454,29 @@ mod tests {
         assert_eq!(opts.fixpoint, FixpointMode::DeltaCounting);
         assert_eq!(opts.fixpoint_threads, 4);
         assert_eq!(opts.chi_backend, ChiBackend::Rle);
+        assert_eq!(opts.slab_backend, SlabBackend::Sparse);
+        assert_eq!(opts.seed_threads, 3);
         assert!(!opts.early_exit);
         assert_eq!(opts.limit, 7);
+    }
+
+    #[test]
+    fn parse_args_accepts_every_slab_backend_and_rejects_bad_values() {
+        for (name, expected) in [
+            ("dense", SlabBackend::Dense),
+            ("sparse", SlabBackend::Sparse),
+            ("auto", SlabBackend::Auto),
+        ] {
+            let args: Vec<String> = ["solve", "--slab-backend", name]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert_eq!(parse_args(&args).unwrap().slab_backend, expected);
+        }
+        for bad in [&["solve", "--slab-backend", "rle"][..], &["solve", "--seed-threads", "0"][..]] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_args(&args).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

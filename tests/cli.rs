@@ -155,6 +155,49 @@ fn chi_backends_report_identical_candidates_and_work() {
 }
 
 #[test]
+fn slab_backends_and_seed_threads_report_identical_candidates_and_work() {
+    let db = write_db("solve_slab_backend.nt");
+    let query = "{ ?d directed ?m . ?d worked_with ?c }";
+    let mut reports = Vec::new();
+    for (slab, seed_threads) in [
+        ("dense", "1"),
+        ("sparse", "1"),
+        ("auto", "1"),
+        ("dense", "4"),
+        ("sparse", "4"),
+    ] {
+        let out = sparqlsim(&[
+            "solve",
+            "--data",
+            db.to_str().unwrap(),
+            "--query-text",
+            query,
+            "--fixpoint",
+            "delta",
+            "--slab-backend",
+            slab,
+            "--seed-threads",
+            seed_threads,
+        ]);
+        assert!(out.status.success(), "{slab}/{seed_threads}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("?d: 2 candidates"), "{slab}: {text}");
+        assert!(text.contains("slab_peak_words="), "{slab}: {text}");
+        // Candidate and work-counter lines must be bit-identical across
+        // slab backends and seeding thread counts; only the storage
+        // gauge line may differ per backend.
+        let stable: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("candidates") || l.contains("work:"))
+            .collect();
+        reports.push(stable.join("\n"));
+    }
+    for report in &reports[1..] {
+        assert_eq!(report, &reports[0]);
+    }
+}
+
+#[test]
 fn prune_writes_a_loadable_pruned_database() {
     let db = write_db("prune.nt");
     let out_path = std::env::temp_dir().join("dualsim-cli-tests/pruned.nt");
