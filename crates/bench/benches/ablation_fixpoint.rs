@@ -84,7 +84,7 @@ fn incremental_deletions(c: &mut Criterion) {
             .copied()
             .filter(|t| !deleted.contains(t))
             .collect();
-        let db_after = db.with_triples(&remaining);
+        let db_after = db.with_triples(&remaining).unwrap();
         for (name, fixpoint) in FIXPOINT_MODES {
             let cfg = SolverConfig {
                 fixpoint,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [table2|table3|table4|table5|iterations|pruning-power|spectrum|
-//!              fixpoint|strategies|quotient|chi-backend|slab|all]
+//!              fixpoint|incremental|strategies|quotient|chi-backend|slab|all]
 //!             [--smoke] [--threads N] [--out FILE]
 //! ```
 //!
@@ -12,7 +12,8 @@
 //! gate (deterministic operation counts, no timing assertions).
 //!
 //! The ablation subcommands write machine-readable reports:
-//! `fixpoint` → `BENCH_fixpoint.json`, `strategies` →
+//! `fixpoint` → `BENCH_fixpoint.json`, `incremental` →
+//! `BENCH_incremental.json`, `strategies` →
 //! `BENCH_strategies.json`, `quotient` → `BENCH_quotient.json`,
 //! `chi-backend` → `BENCH_chi.json`, `slab` → `BENCH_slab.json` (path
 //! override via `--out`, which applies to the selected subcommand).
@@ -22,11 +23,12 @@
 //! determinism gate.
 
 use dualsim_bench::{
-    chi_report_json, default_datasets, fixpoint_report_json, quotient_report_json, render_table,
-    run_chi_backend_ablation, run_fixpoint_incremental, run_fixpoint_solve, run_iterations,
-    run_pruning_power, run_quotient_ablation, run_simulation_spectrum, run_slab_ablation,
-    run_strategies_ablation, run_table2, run_table3, run_table45, secs, slab_report_json,
-    strategies_report_json, tiny_datasets, Datasets,
+    chi_report_json, default_datasets, fixpoint_report_json, incremental_report_json,
+    quotient_report_json, render_table, run_chi_backend_ablation, run_fixpoint_incremental,
+    run_fixpoint_solve, run_incremental_churn, run_iterations, run_pruning_power,
+    run_quotient_ablation, run_simulation_spectrum, run_slab_ablation, run_strategies_ablation,
+    run_table2, run_table3, run_table45, secs, slab_report_json, strategies_report_json,
+    tiny_datasets, Datasets,
 };
 use dualsim_core::DrainStrategy;
 use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
@@ -83,6 +85,7 @@ fn main() {
         "pruning-power" => pruning_power(&data),
         "spectrum" => spectrum(&data),
         "fixpoint" => fixpoint(&data, smoke, threads, &out("BENCH_fixpoint.json")),
+        "incremental" => incremental(&data, smoke, threads, &out("BENCH_incremental.json")),
         "strategies" => strategies(&data, smoke, &out("BENCH_strategies.json")),
         "quotient" => quotient(&data, smoke, &out("BENCH_quotient.json")),
         "chi-backend" => chi_backend(&data, smoke, &out("BENCH_chi.json")),
@@ -102,6 +105,7 @@ fn main() {
             pruning_power(&data);
             spectrum(&data);
             fixpoint(&data, smoke, threads, &out("BENCH_fixpoint.json"));
+            incremental(&data, smoke, threads, "BENCH_incremental.json");
             strategies(&data, smoke, "BENCH_strategies.json");
             quotient(&data, smoke, "BENCH_quotient.json");
             chi_backend(&data, smoke, "BENCH_chi.json");
@@ -111,7 +115,7 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected \
                  table2|table3|table4|table5|iterations|pruning-power|spectrum|\
-                 fixpoint|strategies|quotient|chi-backend|slab|all"
+                 fixpoint|incremental|strategies|quotient|chi-backend|slab|all"
             );
             std::process::exit(2);
         }
@@ -252,6 +256,93 @@ fn fixpoint(data: &Datasets, smoke: bool, threads: usize, out_path: &str) {
                 reev.id,
                 delta.ops,
                 reev.ops
+            );
+        }
+    }
+}
+
+/// The two-sided maintenance ablation: insertion/deletion/mixed churn
+/// streams against a persistent solution, delta engine vs. per-batch
+/// cold re-solve; emits `BENCH_incremental.json`. Under `--smoke` it
+/// gates the tentpole claims: the delta engine must beat the cold
+/// baseline on op counts for every churn scenario (at bit-identical χ,
+/// asserted inside the run) and must stay warm through every batch —
+/// zero cold re-solves on the insertion path. With `--threads N > 1` a
+/// sequential reference run gates work-count parity of the sharded
+/// drain.
+fn incremental(data: &Datasets, smoke: bool, threads: usize, out_path: &str) {
+    let drain = if threads > 1 {
+        DrainStrategy::Sharded { threads }
+    } else {
+        DrainStrategy::Sequential
+    };
+    println!("\n== Incremental churn (insertions, deletions, mixed; maintenance work only) ==\n");
+    let (batches, stride) = if smoke { (4, 40) } else { (10, 25) };
+    let rows = run_incremental_churn(data, &["L0", "L1"], batches, stride, drain);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.mode.to_owned(),
+                r.batches.to_string(),
+                format!("+{}/-{}", r.inserted, r.deleted),
+                secs(r.wall),
+                r.ops.to_string(),
+                r.reactivations.to_string(),
+                format!("{}/{}", r.warm_batches, r.batches),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Scenario", "engine", "batches", "±triples", "wall", "ops", "react", "warm"],
+            &table
+        )
+    );
+    // Write the report before any gating so a regression still leaves
+    // the machine-readable evidence behind.
+    let json = incremental_report_json(data, drain, &rows);
+    write_report(out_path, &json);
+
+    if threads > 1 {
+        let seq = run_incremental_churn(data, &["L0", "L1"], batches, stride, DrainStrategy::Sequential);
+        for (s, p) in seq.iter().zip(rows.iter()) {
+            assert_eq!(
+                (s.id.as_str(), s.mode, s.ops, s.reactivations, s.warm_batches),
+                (p.id.as_str(), p.mode, p.ops, p.reactivations, p.warm_batches),
+                "sharded churn maintenance diverged on {} ({})",
+                s.id, s.mode
+            );
+        }
+        println!(
+            "sharded drain ({threads} threads): work-count parity with the sequential drain holds"
+        );
+    }
+
+    for pair in rows.chunks(2) {
+        let (reev, delta) = (&pair[0], &pair[1]);
+        let factor = reev.ops as f64 / (delta.ops as f64).max(1.0);
+        println!(
+            "{}: delta does {:.1}x less maintenance work than cold re-solves ({} vs {} ops)",
+            reev.id, factor, delta.ops, reev.ops
+        );
+        // Deterministic regression gates (ISSUE 6 acceptance criteria);
+        // enforced only under --smoke so full-size report runs always
+        // complete.
+        if smoke {
+            assert!(
+                delta.ops < reev.ops,
+                "{}: delta engine no longer beats cold re-solves ({} vs {} ops)",
+                reev.id,
+                delta.ops,
+                reev.ops
+            );
+            assert_eq!(
+                delta.warm_batches, delta.batches,
+                "{}: the delta engine fell back to a cold re-solve",
+                delta.id
             );
         }
     }

@@ -567,7 +567,7 @@ pub fn run_fixpoint_incremental(
                 let batch_set: std::collections::HashSet<dualsim_graph::Triple> =
                     batch.iter().copied().collect();
                 remaining.retain(|t| !batch_set.contains(t));
-                let db_after = db.with_triples(&remaining);
+                let db_after = db.with_triples(&remaining).unwrap();
                 let before_ops = inc.solution().stats.work_ops();
                 let start = Instant::now();
                 dropped += inc.apply_deletions(&db_after, batch);
@@ -689,6 +689,203 @@ pub fn fixpoint_report_json(
             r.ops,
             r.dropped,
             if i + 1 == inc_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One engine's cumulative cost over an insertion/deletion churn
+/// scenario of [`run_incremental_churn`].
+#[derive(Debug, Clone)]
+pub struct IncrementalChurnRow {
+    /// Scenario id (`<query>-inserts` / `<query>-deletes` /
+    /// `<query>-mixed`).
+    pub id: String,
+    /// Engine name (`reevaluate` / `delta`).
+    pub mode: &'static str,
+    /// Update batches applied.
+    pub batches: usize,
+    /// Triples inserted over the whole scenario.
+    pub inserted: usize,
+    /// Triples deleted over the whole scenario.
+    pub deleted: usize,
+    /// Wall time summed over all maintenance calls (database
+    /// materialization excluded — it is identical for both engines).
+    pub wall: Duration,
+    /// Work operations summed over all updates
+    /// ([`SolveStats::work_ops`], initial solve excluded).
+    pub ops: usize,
+    /// Candidate bits optimistically re-admitted by the insertion
+    /// frontier ([`SolveStats::reactivations`]; zero for the
+    /// re-evaluation engine).
+    pub reactivations: usize,
+    /// Batches maintained in place, without a cold re-solve.
+    pub warm_batches: usize,
+}
+
+/// The churn scenarios: solve once against a reduced database, then
+/// stream insertion/deletion batches of every `stride`-th triple while
+/// maintaining the solution. Three streams per query — `inserts` grows
+/// the reduced database back to full size, `deletes` shrinks the full
+/// database, and `mixed` alternates inserting a chunk with deleting it
+/// again. Measures only the maintenance work, which is where the
+/// counter-driven re-activation frontier pays off against per-batch cold
+/// re-solves. Both engines are asserted to agree bit for bit after every
+/// batch.
+pub fn run_incremental_churn(
+    data: &Datasets,
+    ids: &[&str],
+    batches: usize,
+    stride: usize,
+    drain: DrainStrategy,
+) -> Vec<IncrementalChurnRow> {
+    use dualsim_graph::Triple;
+    // A churn script: (insert?, batch) steps over the victim chunks.
+    type Script = Vec<(bool, Vec<dualsim_graph::Triple>)>;
+    let mut rows = Vec::new();
+    for bench in all_queries().iter().filter(|b| ids.contains(&b.id)) {
+        let db = data.for_query(bench);
+        let soi = match build_sois(db, &bench.query).pop() {
+            Some(soi) => soi,
+            None => continue,
+        };
+        let all: Vec<Triple> = db.triples().collect();
+        let victims: Vec<Triple> = all.iter().copied().step_by(stride.max(1)).collect();
+        let victim_set: std::collections::HashSet<Triple> = victims.iter().copied().collect();
+        let without: Vec<Triple> = all
+            .iter()
+            .copied()
+            .filter(|t| !victim_set.contains(t))
+            .collect();
+        let chunk = victims.len().div_ceil(batches.max(1)).max(1);
+
+        let chunks: Vec<Vec<Triple>> = victims.chunks(chunk).map(<[Triple]>::to_vec).collect();
+        let insert_script: Script = chunks.iter().map(|c| (true, c.clone())).collect();
+        let delete_script: Script = chunks.iter().map(|c| (false, c.clone())).collect();
+        let mixed_script: Script = chunks
+            .iter()
+            .flat_map(|c| [(true, c.clone()), (false, c.clone())])
+            .collect();
+        let scenarios: [(&str, &[Triple], Script); 3] = [
+            ("inserts", &without, insert_script),
+            ("deletes", &all, delete_script),
+            ("mixed", &without, mixed_script),
+        ];
+
+        for (scenario, start, script) in scenarios {
+            let mut per_mode: Vec<(Vec<_>, IncrementalChurnRow)> = Vec::new();
+            for (name, fixpoint) in FIXPOINT_MODES {
+                let cfg = SolverConfig {
+                    fixpoint,
+                    drain,
+                    early_exit: false,
+                    ..SolverConfig::default()
+                };
+                let db_start = db.with_triples(start).unwrap();
+                let mut inc = IncrementalDualSim::new(&db_start, soi.clone(), cfg);
+                let mut present: Vec<Triple> = start.to_vec();
+                let mut wall = Duration::ZERO;
+                let (mut ops, mut reactivations) = (0usize, 0usize);
+                let (mut inserted, mut deleted, mut warm_batches) = (0usize, 0usize, 0usize);
+                let mut snapshots = Vec::new();
+                for (insert, batch) in &script {
+                    if *insert {
+                        present.extend(batch.iter().copied());
+                        inserted += batch.len();
+                    } else {
+                        let batch_set: std::collections::HashSet<Triple> =
+                            batch.iter().copied().collect();
+                        present.retain(|t| !batch_set.contains(t));
+                        deleted += batch.len();
+                    }
+                    let db_after = db.with_triples(&present).unwrap();
+                    let before = inc.solution().stats.clone();
+                    let start_t = Instant::now();
+                    if *insert {
+                        inc.apply_insertions(&db_after, batch);
+                    } else {
+                        inc.apply_deletions(&db_after, batch);
+                    }
+                    wall += start_t.elapsed();
+                    let after = &inc.solution().stats;
+                    // Re-evaluation reports per-call stats, the
+                    // persistent delta engine cumulative ones; normalize
+                    // to per-call by diffing against the pre-call
+                    // snapshot. A cold re-solve (an insertion the warm
+                    // path could not absorb) also starts fresh and is
+                    // charged in full.
+                    let warm = inc.last_update_was_warm();
+                    let (ops_base, react_base) = if warm && fixpoint == FixpointMode::DeltaCounting
+                    {
+                        (before.work_ops(), before.reactivations)
+                    } else {
+                        (0, 0)
+                    };
+                    ops += after.work_ops() - ops_base;
+                    reactivations += after.reactivations - react_base;
+                    warm_batches += warm as usize;
+                    snapshots.push(inc.solution().chi.clone());
+                }
+                per_mode.push((
+                    snapshots,
+                    IncrementalChurnRow {
+                        id: format!("{}-{}", bench.id, scenario),
+                        mode: name,
+                        batches: script.len(),
+                        inserted,
+                        deleted,
+                        wall,
+                        ops,
+                        reactivations,
+                        warm_batches,
+                    },
+                ));
+            }
+            let (ref_snapshots, _) = &per_mode[0];
+            for (snapshots, row) in &per_mode[1..] {
+                assert_eq!(
+                    ref_snapshots, snapshots,
+                    "{}: engines disagree during churn maintenance",
+                    row.id
+                );
+            }
+            rows.extend(per_mode.into_iter().map(|(_, row)| row));
+        }
+    }
+    rows
+}
+
+/// Renders the churn ablation as the machine-readable
+/// `BENCH_incremental.json` document (schema `dualsim-incremental-v1`;
+/// hand-rolled writer — the workspace has no serde). Tracks per scenario
+/// and engine the maintenance work, the re-activation frontier size and
+/// how many batches stayed warm.
+pub fn incremental_report_json(
+    data: &Datasets,
+    drain: DrainStrategy,
+    rows: &[IncrementalChurnRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-incremental-v1\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str(&format!("  \"drain_threads\": {},\n", drain.threads()));
+    out.push_str("  \"churn\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"mode\": {}, \"batches\": {}, \"inserted\": {}, \
+             \"deleted\": {}, \"wall_s\": {:.6}, \"ops\": {}, \"reactivations\": {}, \
+             \"warm_batches\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.mode),
+            r.batches,
+            r.inserted,
+            r.deleted,
+            r.wall.as_secs_f64(),
+            r.ops,
+            r.reactivations,
+            r.warm_batches,
+            if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

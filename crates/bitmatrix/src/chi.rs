@@ -209,6 +209,16 @@ impl ChiVec {
         }
     }
 
+    /// Sets bit `i` to one (merging adjacent RLE runs when necessary) —
+    /// the re-admission verb of insertion maintenance.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        match self {
+            ChiVec::Dense(v) => v.set(i),
+            ChiVec::Rle(v) => v.set(i),
+        }
+    }
+
     /// Sets every bit to zero.
     pub fn clear_all(&mut self) {
         match self {
@@ -576,6 +586,8 @@ mod tests {
             assert!(a.and_assign_dense(&dense_mask));
             assert_eq!(a, drained);
             a.clear(63);
+            a.set(62);
+            a.set(64);
             let mut out = BitVec::zeros(130);
             a.or_into(&mut out);
             results.push((a.to_indices(), out, a.count_ones()));

@@ -201,6 +201,40 @@ impl RleBitVec {
         }
     }
 
+    /// Sets bit `i` to one, merging with an adjacent run (or bridging
+    /// two) so runs stay maximal. A no-op when the bit is already set.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of bounds {}", self.len);
+        let i = i as u32;
+        // First run starting strictly after i; the run before it (if
+        // any) is the only one that can already contain i.
+        let p = self.runs.partition_point(|r| r.start <= i);
+        let touches_prev = p > 0 && {
+            let prev = self.runs[p - 1];
+            if i < prev.end() {
+                return; // already set
+            }
+            prev.end() == i
+        };
+        let touches_next = p < self.runs.len() && self.runs[p].start == i + 1;
+        match (touches_prev, touches_next) {
+            (true, true) => {
+                // Bridge: [prev.start, i] ∪ {i} ∪ [i+1, next.end).
+                self.runs[p - 1].len += 1 + self.runs[p].len;
+                self.runs.remove(p);
+            }
+            (true, false) => self.runs[p - 1].len += 1,
+            (false, true) => {
+                self.runs[p].start -= 1;
+                self.runs[p].len += 1;
+            }
+            (false, false) => self.runs.insert(p, Run { start: i, len: 1 }),
+        }
+    }
+
     /// Sets every bit to zero.
     pub fn clear_all(&mut self) {
         self.runs.clear();
@@ -605,6 +639,39 @@ mod tests {
                 "clearing {victim}"
             );
         }
+    }
+
+    #[test]
+    fn set_fills_runs_like_dense_set() {
+        let indices = [3u32, 4, 5, 9, 11, 64, 66];
+        // 10 bridges 9..11, 65 bridges 64..66, 2/6 extend run edges,
+        // 20/0 insert isolated runs, 4 is already set.
+        for newcomer in [10usize, 65, 2, 6, 20, 0, 4] {
+            let mut rle = RleBitVec::from_indices(130, &indices);
+            let mut dense = BitVec::from_indices(130, &indices);
+            rle.set(newcomer);
+            dense.set(newcomer);
+            assert_eq!(rle.to_bitvec(), dense, "setting {newcomer}");
+            // Runs stay maximal after the merge.
+            assert_eq!(
+                RleBitVec::from_bitvec(&rle.to_bitvec()).num_runs(),
+                rle.num_runs(),
+                "setting {newcomer}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_then_clear_round_trips() {
+        let mut v = RleBitVec::zeros(100);
+        for i in [7usize, 8, 9, 50, 99, 0] {
+            v.set(i);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.to_indices(), vec![0, 7, 8, 9, 50, 99]);
+        v.clear(8);
+        v.set(8);
+        assert_eq!(v.num_runs(), 4, "7..10 re-coalesces into one run");
     }
 
     #[test]

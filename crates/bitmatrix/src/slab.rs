@@ -158,6 +158,31 @@ impl SparseCounters {
         }
     }
 
+    #[inline]
+    fn increment(&mut self, w: usize) -> u32 {
+        assert!(w < self.dim, "candidate {w} out of bounds {}", self.dim);
+        if self.dense.is_none() {
+            let c = self.map.entry(w as u32).or_insert(0);
+            *c += 1;
+            let new = *c;
+            // The same population bound the seeding pass enforces:
+            // insertion maintenance must not grow a sparse slab past
+            // the dense cost either.
+            if self.map.len() > spill_threshold(self.dim) {
+                let mut d = vec![0u32; self.dim];
+                for (&k, &c) in &self.map {
+                    d[k as usize] = c;
+                }
+                self.map.clear();
+                self.dense = Some(d);
+            }
+            return new;
+        }
+        let d = self.dense.as_mut().expect("spilled storage");
+        d[w] += 1;
+        d[w]
+    }
+
     fn storage_words(&self) -> usize {
         match &self.dense {
             Some(_) => dense_words(self.dim),
@@ -304,6 +329,28 @@ impl CounterSlab {
             Repr::Unseeded { .. } => panic!("count on an unseeded slab"),
             Repr::Dense(counts) => counts[w],
             Repr::Sparse(s) => s.count(w),
+        }
+    }
+
+    /// Increments the support of candidate `w` and returns the new
+    /// value; `1` means the candidate just gained its *first* witness —
+    /// the 0→1 transition that makes it a re-activation candidate
+    /// under insertion maintenance. A sparse slab whose population
+    /// crosses the spill threshold spills to dense storage here too
+    /// (callers re-observe [`CounterSlab::storage_words`] after
+    /// increments — insertion maintenance can grow the footprint).
+    ///
+    /// # Panics
+    /// Panics if the slab is unseeded or `w` is out of bounds.
+    #[inline]
+    pub fn increment(&mut self, w: usize) -> u32 {
+        match &mut self.repr {
+            Repr::Unseeded { .. } => panic!("increment on an unseeded slab"),
+            Repr::Dense(counts) => {
+                counts[w] += 1;
+                counts[w]
+            }
+            Repr::Sparse(s) => s.increment(w),
         }
     }
 
@@ -495,6 +542,38 @@ mod tests {
             assert_eq!(sparse.count(w), 1);
         }
         assert_eq!(sparse.decrement(9), 0, "spilled slabs still decrement");
+    }
+
+    #[test]
+    fn increment_reports_the_first_witness() {
+        for backend in BACKENDS {
+            let mut slab = CounterSlab::unseeded(backend);
+            let m = BitMatrix::from_edges(3, &[(0, 2)]);
+            slab.seed(&m, &BitVec::ones(3));
+            assert_eq!(slab.increment(1), 1, "0→1 is the re-activation signal");
+            assert_eq!(slab.increment(1), 2);
+            assert_eq!(slab.increment(2), 2, "existing support just grows");
+            assert_eq!(slab.decrement(1), 1);
+        }
+    }
+
+    #[test]
+    fn increment_spills_a_sparse_slab_at_the_population_bound() {
+        let dim = 100; // dense cost 50 words, spill threshold 25
+        let m = BitMatrix::from_edges(dim, &[(0, 0)]);
+        let mut slab = CounterSlab::unseeded(SlabBackend::Sparse);
+        slab.seed(&m, &BitVec::ones(dim));
+        assert_eq!(slab.storage_words(), 1);
+        for w in 1..40 {
+            assert_eq!(slab.increment(w), 1);
+        }
+        // Population 40 > 25: spilled, capped at the dense cost.
+        assert_eq!(slab.storage_words(), dense_words(dim));
+        assert_eq!(slab.backend(), SlabBackend::Sparse);
+        for w in 0..40 {
+            assert_eq!(slab.count(w), 1, "column {w} survives the spill");
+        }
+        assert_eq!(slab.increment(0), 2, "spilled slabs still increment");
     }
 
     #[test]

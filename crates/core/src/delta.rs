@@ -73,10 +73,14 @@
 //! largest solution (Prop. 2) the re-evaluation engine computes.
 //!
 //! [`DeltaSolver`] keeps its counters alive after convergence, which is
-//! what makes truly incremental **deletion** maintenance possible:
+//! what makes truly incremental **two-sided** maintenance possible:
 //! [`DeltaSolver::retract_triples`] feeds deleted triples straight into
-//! the delta queue (one counter decrement per affected inequality)
-//! instead of re-running any per-inequality evaluation — see
+//! the delta queue (one counter decrement per affected inequality), and
+//! [`DeltaSolver::insert_triples`] walks inserted triples the other way
+//! — one counter increment per affected inequality, with candidates
+//! whose support went 0→1 (plus the inserted endpoints) optimistically
+//! re-admitted and the over-approximation culled by the same drain.
+//! Neither direction re-runs any per-inequality evaluation — see
 //! [`crate::IncrementalDualSim`].
 //!
 //! [`FixpointMode::DeltaCounting`]: crate::FixpointMode::DeltaCounting
@@ -88,7 +92,7 @@ use crate::solver::{
     apply_summary_init, chi_words, evaluation_order, resolve_chi_backend, resolve_slab_backend,
     seed_chi, split_pair,
 };
-use crate::{Inequality, Soi, Solution, SolveStats, SolverConfig};
+use crate::{InitMode, Inequality, SimulationKind, Soi, Solution, SolveStats, SolverConfig};
 use dualsim_bitmatrix::{BitMatrix, ChiBackend, ChiVec, CounterSlab};
 use dualsim_graph::{GraphDb, Triple};
 
@@ -249,9 +253,17 @@ pub(crate) struct DeltaSolver {
     /// index that lets a drain round assemble its shard units in
     /// O(touched variables) instead of scanning every inequality.
     edge_ineqs_by_source: Vec<Vec<u32>>,
+    /// Edge inequality ids (absent-label ones included) per *target*
+    /// variable: insertion maintenance gates admissions and culls the
+    /// optimistic frontier through the constraints that *restrict* a
+    /// variable, the mirror view of `edge_ineqs_by_source`.
+    edge_ineqs_by_target: Vec<Vec<u32>>,
     /// Subset inequality ids per *sup* variable (the merge step resolves
     /// these inline at their inequality-order position).
     subset_ineqs_by_sup: Vec<Vec<u32>>,
+    /// Subset inequality ids per *sub* variable (the cull checks an
+    /// admitted candidate against the sup sides it must stay inside).
+    subset_ineqs_by_sub: Vec<Vec<u32>>,
     /// Per-round removals grouped by source variable. Persistent
     /// scratch: only the entries of `touched_vars` are ever non-empty,
     /// and they are cleared again at the end of the round, so deep
@@ -319,18 +331,31 @@ impl DeltaSolver {
         stats.observe_chi_words(chi_word_total);
 
         let mut edge_ineqs_by_source: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        let mut edge_ineqs_by_target: Vec<Vec<u32>> = vec![Vec::new(); nv];
         let mut subset_ineqs_by_sup: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        let mut subset_ineqs_by_sub: Vec<Vec<u32>> = vec![Vec::new(); nv];
         for (i, ineq) in soi.ineqs.iter().enumerate() {
             match *ineq {
                 Inequality::Edge {
+                    target,
                     source,
-                    label: Some(_),
+                    label,
                     ..
-                } => edge_ineqs_by_source[source].push(i as u32),
-                Inequality::Subset { sup, .. } => subset_ineqs_by_sup[sup].push(i as u32),
-                // Absent-label edges are emptied once at enforcement and
-                // never react to removals.
-                Inequality::Edge { label: None, .. } => {}
+                } => {
+                    // The target index drives insertion maintenance (the
+                    // admission gate and the cull); absent-label edges
+                    // belong there too — they block their target forever
+                    // — but never react to source removals, so only
+                    // labeled edges enter the source index.
+                    edge_ineqs_by_target[target].push(i as u32);
+                    if label.is_some() {
+                        edge_ineqs_by_source[source].push(i as u32);
+                    }
+                }
+                Inequality::Subset { sub, sup } => {
+                    subset_ineqs_by_sup[sup].push(i as u32);
+                    subset_ineqs_by_sub[sub].push(i as u32);
+                }
             }
         }
 
@@ -340,7 +365,9 @@ impl DeltaSolver {
             support: vec![CounterSlab::unseeded(slab_backend); soi.ineqs.len()],
             queue: Vec::new(),
             edge_ineqs_by_source,
+            edge_ineqs_by_target,
             subset_ineqs_by_sup,
+            subset_ineqs_by_sub,
             by_var: vec![Vec::new(); nv],
             touched_vars: Vec::new(),
             agenda: Vec::new(),
@@ -516,7 +543,8 @@ impl DeltaSolver {
 
     /// Maintains the largest solution after the given triples were
     /// **deleted**: `db_after` must be the previous database minus
-    /// `deleted` (each triple listed exactly once). Every deleted triple
+    /// `deleted` (duplicates within the batch are ignored — a triple can
+    /// only leave the edge relation once). Every deleted triple
     /// decrements the support counters of the inequalities it fed —
     /// O(#inequalities) per triple — and nodes whose support hits zero
     /// cascade through the regular delta worklist. No inequality is ever
@@ -532,6 +560,11 @@ impl DeltaSolver {
         if self.dead {
             return; // early-exited: the empty solution is final
         }
+        // A duplicated triple must not decrement twice: the edge
+        // relation is a set, so the matrix lost the entry exactly once.
+        let mut batch: Vec<Triple> = deleted.to_vec();
+        batch.sort_unstable();
+        batch.dedup();
         self.stats.iterations += 1;
         // Phase 1: take back the deleted entries' counter contributions.
         // No χ bit is cleared in this phase, so "u is still a source
@@ -548,7 +581,7 @@ impl DeltaSolver {
         // runs instead: target candidates without support are zeroed.
         let mut zeroed: Vec<(usize, u32)> = Vec::new();
         let mut seeded_this_batch = vec![false; soi.ineqs.len()];
-        for t in deleted {
+        for t in &batch {
             for (i, ineq) in soi.ineqs.iter().enumerate() {
                 let Inequality::Edge {
                     target,
@@ -606,6 +639,316 @@ impl DeltaSolver {
         self.stats.final_candidates = self.counts.iter().sum();
     }
 
+    /// Maintains the largest solution after the given triples were
+    /// **inserted**: `db_after` must be the previous database plus
+    /// `inserted` (triples not previously present; duplicates within the
+    /// batch are ignored). Two phases, the mirror image of
+    /// [`Self::retract_triples`]:
+    ///
+    /// 1. **Counter walk.** Every inserted triple increments the support
+    ///    counters of the inequalities it feeds — O(#inequalities) per
+    ///    triple, *before* any χ change, so the counter invariant is
+    ///    restored against the post-insertion matrices first. A
+    ///    still-deferred inequality is seeded on this first touch
+    ///    against `db_after`, which already contains the whole batch —
+    ///    so none of this batch's entries may increment it again
+    ///    (`seeded_this_batch`, the discipline retraction established);
+    ///    their 0→1 signals were absorbed by the seed, so each batch
+    ///    entry instead gets a direct frontier check. No deferred
+    ///    enforcement is needed here: the matrix only *grew*, so the
+    ///    deferral certificate still holds.
+    /// 2. **Re-activation frontier.** A candidate whose support went
+    ///    0→1, and every endpoint of an inserted triple, *may* have
+    ///    joined the solution. Each is optimistically re-admitted into
+    ///    χ — gated by the exact Eq.-(12)/(13) seed predicate against
+    ///    `db_after` — and admissions cascade: an admitted source
+    ///    candidate supports new columns (walking one CSR row per
+    ///    seeded inequality, like a removal in reverse), an admitted
+    ///    `sup` candidate may re-admit its `sub` twin. Unseeded slabs
+    ///    are skipped: their covers certificate says every non-empty
+    ///    column is already supported, so no 0→1 can happen there. The
+    ///    closure over-approximates the new largest solution; a cull
+    ///    pass removes admitted candidates that violate an inequality
+    ///    (zero support, absent label, outside their `sup`) and the
+    ///    standard removal drain — unchanged — cascades the rest out.
+    ///    Pre-existing candidates are never removed: their support only
+    ///    grew, so the drain cannot reach them, and the result is
+    ///    exactly the largest solution under `db_after` at cost
+    ///    proportional to the inserted triples' neighbourhood instead
+    ///    of a cold re-solve.
+    ///
+    /// Returns `false` iff the engine is dead (a previous early exit
+    /// emptied the state for good; insertions can revive a legitimately
+    /// empty solution, but a killed engine discarded the counters the
+    /// revival would need) — the caller must then fall back to a cold
+    /// solve. The state is untouched in that case.
+    pub(crate) fn insert_triples(
+        &mut self,
+        db_after: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+        inserted: &[Triple],
+    ) -> bool {
+        if self.dead {
+            return false;
+        }
+        if inserted.is_empty() {
+            return true;
+        }
+        // The edge relation is a set: a duplicated triple entered the
+        // matrix once and must count once.
+        let mut batch: Vec<Triple> = inserted.to_vec();
+        batch.sort_unstable();
+        batch.dedup();
+        debug_assert!(
+            batch.iter().all(|&t| db_after.contains_triple(t)),
+            "inserted triples must be present in db_after"
+        );
+        self.stats.iterations += 1;
+
+        // Phase 1: credit the inserted entries to the counters. No χ
+        // bit changes in this phase, so "u is a source candidate" is
+        // exactly "u's +1 belongs in the counter", for every inequality
+        // uniformly — the same freeze retraction relies on.
+        let mut attempts: Vec<(usize, u32)> = Vec::new();
+        let mut seeded_this_batch = vec![false; soi.ineqs.len()];
+        for t in &batch {
+            for (i, ineq) in soi.ineqs.iter().enumerate() {
+                let Inequality::Edge {
+                    target,
+                    source,
+                    label: Some(a),
+                    forward,
+                } = *ineq
+                else {
+                    continue;
+                };
+                if a != t.p {
+                    continue;
+                }
+                // The multiply matrix M gained entry (u, w).
+                let (u, w) = if forward { (t.s, t.o) } else { (t.o, t.s) };
+                if !self.support[i].is_seeded() && !seeded_this_batch[i] {
+                    // First touch of a deferred inequality: seed against
+                    // the post-insertion matrix, which contains the
+                    // whole batch already. M only grew since the
+                    // deferral, so the covers certificate still holds
+                    // and no deferred enforcement is due.
+                    let matrix = multiply_matrix(db_after, a, forward);
+                    let inits = self.support[i].seed(matrix, &self.chi[source]);
+                    self.stats.counter_inits += inits;
+                    self.stats.lazy_seeds += 1;
+                    self.slab_word_total += self.support[i].storage_words();
+                    seeded_this_batch[i] = true;
+                }
+                if seeded_this_batch[i] {
+                    // The seed absorbed this entry's +1 — and with it
+                    // the 0→1 signal, so check the frontier directly.
+                    // (Harmless over-approximation: the cull keeps only
+                    // genuinely supported admissions.)
+                    if self.chi[source].get(u as usize) && !self.chi[target].get(w as usize) {
+                        attempts.push((target, w));
+                    }
+                    continue;
+                }
+                if !self.chi[source].get(u as usize) {
+                    continue;
+                }
+                if self.bump_support(i, w as usize) == 1 && !self.chi[target].get(w as usize) {
+                    attempts.push((target, w));
+                }
+            }
+        }
+
+        // Every endpoint of an inserted triple joins the frontier
+        // unconditionally: a set of candidates that re-enters the
+        // solution *only by supporting each other through inserted
+        // edges* produces no 0→1 transition from the outside, but any
+        // such mutual support is witnessed by an inserted edge between
+        // its members — whose endpoints land here. (Forward simulation
+        // leaves objects unconstrained by incoming edges, so only the
+        // dual kind re-admits the object side — mirroring
+        // `apply_summary_init`.)
+        let dual = soi.kind == SimulationKind::Dual;
+        for t in &batch {
+            for e in &soi.edges {
+                if e.label == Some(t.p) {
+                    attempts.push((e.src, t.s));
+                    if dual {
+                        attempts.push((e.dst, t.o));
+                    }
+                }
+            }
+        }
+
+        // The admission gate: exactly the Eq.-(12)/(13) seed predicate
+        // of `seed_chi` + `apply_summary_init`, evaluated against
+        // `db_after` — the new largest solution lies inside the new
+        // seed, so gating never rejects a true member.
+        let mut incident: Vec<Vec<(Option<u32>, bool)>> = vec![Vec::new(); soi.vars.len()];
+        for e in &soi.edges {
+            incident[e.src].push((e.label, true));
+            if dual {
+                incident[e.dst].push((e.label, false));
+            }
+        }
+        let admissible = |v: usize, w: u32| -> bool {
+            match soi.vars[v].pinned {
+                Some(Some(node)) => w == node,
+                Some(None) => false,
+                None => {
+                    config.init != InitMode::Summaries
+                        || incident[v].iter().all(|&(label, is_src)| match label {
+                            None => false,
+                            Some(a) if is_src => db_after.f_summary(a).get(w as usize),
+                            Some(a) => db_after.b_summary(a).get(w as usize),
+                        })
+                }
+            }
+        };
+
+        // Phase 2: cascade the optimistic re-admissions to closure.
+        let mut admitted: Vec<(usize, u32)> = Vec::new();
+        while let Some((v, w)) = attempts.pop() {
+            if self.chi[v].get(w as usize) || !admissible(v, w) {
+                continue;
+            }
+            self.set_chi_bit(v, w as usize);
+            self.counts[v] += 1;
+            self.stats.reactivations += 1;
+            admitted.push((v, w));
+            // The new candidate supports one more row of every seeded
+            // inequality sourced at v; walk it like a removal in
+            // reverse. Unseeded slabs stay untouched: covers means
+            // every non-empty column is supported already, so no 0→1
+            // transition is possible there.
+            for idx in 0..self.edge_ineqs_by_source[v].len() {
+                let i = self.edge_ineqs_by_source[v][idx] as usize;
+                if !self.support[i].is_seeded() {
+                    continue;
+                }
+                let Inequality::Edge {
+                    target,
+                    label: Some(a),
+                    forward,
+                    ..
+                } = soi.ineqs[i]
+                else {
+                    unreachable!("edge_ineqs_by_source holds labeled edges only");
+                };
+                self.stats.row_lookups += 1;
+                let matrix = multiply_matrix(db_after, a, forward);
+                for &c in matrix.row(w as usize) {
+                    if self.bump_support(i, c as usize) == 1 && !self.chi[target].get(c as usize) {
+                        attempts.push((target, c));
+                    }
+                }
+            }
+            // An admitted sup candidate may free its optional twin.
+            for idx in 0..self.subset_ineqs_by_sup[v].len() {
+                let i = self.subset_ineqs_by_sup[v][idx] as usize;
+                let Inequality::Subset { sub, .. } = soi.ineqs[i] else {
+                    unreachable!("subset_ineqs_by_sup holds subset inequalities only");
+                };
+                if !self.chi[sub].get(w as usize) {
+                    attempts.push((sub, w));
+                }
+            }
+        }
+        debug_assert_eq!(
+            self.chi_word_total,
+            chi_words(&self.chi),
+            "incremental χ-word accounting drifted across re-admission"
+        );
+        // The cascade's peak is the insertion high-water mark: the cull
+        // and drain only shrink χ from here.
+        self.stats.observe_chi_words(self.chi_word_total);
+        self.stats.observe_slab_words(self.slab_word_total);
+
+        // Cull: remove admitted candidates that violate an inequality
+        // through the target-side indexes. Counters still include the
+        // contributions of already-culled bits — the drain's queue
+        // discipline ("bits cleared, decrements pending") — so a
+        // survivor leaning on a culled bit is cascaded out by the drain
+        // below, never kept.
+        let mut early = false;
+        'cull: for &(v, w) in &admitted {
+            if !self.chi[v].get(w as usize) {
+                continue; // culled already via a subset sup side
+            }
+            let mut violated = false;
+            for idx in 0..self.edge_ineqs_by_target[v].len() {
+                let i = self.edge_ineqs_by_target[v][idx] as usize;
+                match soi.ineqs[i] {
+                    Inequality::Edge { label: None, .. } => violated = true,
+                    Inequality::Edge {
+                        label: Some(a),
+                        forward,
+                        ..
+                    } => {
+                        if self.support[i].is_seeded() {
+                            violated = self.support[i].count(w as usize) == 0;
+                        } else {
+                            // Covers certificate: the unseeded slab's
+                            // source χ covers every non-empty row, so
+                            // column w is supported iff it is non-empty
+                            // (= row w of the transposed matrix).
+                            self.stats.row_lookups += 1;
+                            violated = multiply_matrix(db_after, a, !forward)
+                                .row(w as usize)
+                                .is_empty();
+                        }
+                    }
+                    Inequality::Subset { .. } => {
+                        unreachable!("edge_ineqs_by_target holds edge inequalities only")
+                    }
+                }
+                if violated {
+                    break;
+                }
+            }
+            if !violated {
+                for idx in 0..self.subset_ineqs_by_sub[v].len() {
+                    let i = self.subset_ineqs_by_sub[v][idx] as usize;
+                    let Inequality::Subset { sup, .. } = soi.ineqs[i] else {
+                        unreachable!("subset_ineqs_by_sub holds subset inequalities only");
+                    };
+                    if !self.chi[sup].get(w as usize) {
+                        violated = true;
+                        break;
+                    }
+                }
+            }
+            if violated {
+                self.clear_chi_bit(v, w as usize);
+                if self.remove_cleared_bit(soi, config, v, w) {
+                    // Unreachable in practice: the cull never drops a
+                    // count below its pre-batch value, and a live
+                    // early-exit engine keeps every mandatory variable
+                    // non-empty. Kept as defense in depth.
+                    early = true;
+                    break 'cull;
+                }
+            }
+        }
+        if early || self.drain(db_after, soi, config) {
+            self.kill();
+        }
+        // `emptied_mandatory` is sticky across retractions by design
+        // (the solve *became* empty), but an insertion can revive a
+        // legitimately empty solution under `early_exit: false` —
+        // recompute it from the live counts.
+        self.stats.emptied_mandatory = soi
+            .vars
+            .iter()
+            .enumerate()
+            .any(|(v, var)| var.mandatory && self.counts[v] == 0);
+        self.stats.observe_chi_words(self.chi_word_total);
+        self.stats.observe_slab_words(self.slab_word_total);
+        self.stats.final_candidates = self.counts.iter().sum();
+        true
+    }
+
     /// Clears bit `w` of `chi[v]` and folds the storage-word delta into
     /// the running total (an RLE clear can split a run, +1 word, or
     /// drop one, −1; dense never changes).
@@ -613,6 +956,28 @@ impl DeltaSolver {
         let before = self.chi[v].storage_words();
         self.chi[v].clear(w);
         self.chi_word_total = self.chi_word_total - before + self.chi[v].storage_words();
+    }
+
+    /// Sets bit `w` of `chi[v]` and folds the storage-word delta into
+    /// the running total (an RLE set can bridge two runs, −1 word,
+    /// extend one, ±0, or open a new one, +1; dense never changes) —
+    /// the mirror of [`Self::clear_chi_bit`].
+    fn set_chi_bit(&mut self, v: usize, w: usize) {
+        let before = self.chi[v].storage_words();
+        self.chi[v].set(w);
+        self.chi_word_total = self.chi_word_total - before + self.chi[v].storage_words();
+    }
+
+    /// Increments `support[i][w]` (the slab must be seeded) and folds
+    /// the storage-word delta into the running slab total — a sparse
+    /// slab may add a tracked column or spill to dense. Returns the new
+    /// count, so the caller can react to the 0→1 frontier signal.
+    fn bump_support(&mut self, i: usize, w: usize) -> u32 {
+        self.stats.counter_increments += 1;
+        let before = self.support[i].storage_words();
+        let count = self.support[i].increment(w);
+        self.slab_word_total = self.slab_word_total - before + self.support[i].storage_words();
+        count
     }
 
     /// Bookkeeping for a bit that the caller just cleared from `chi[v]`:
@@ -1113,7 +1478,7 @@ mod tests {
         let mut engine = DeltaSolver::new(&db, &soi, &cfg);
         let mut triples: Vec<Triple> = db.triples().collect();
         while let Some(victim) = triples.pop() {
-            let db_after = db.with_triples(&triples);
+            let db_after = db.with_triples(&triples).unwrap();
             engine.retract_triples(&db_after, &soi, &cfg, &[victim]);
             let cold = solve(&db_after, &soi, &cfg);
             assert_eq!(engine.solution().chi, cold.chi, "after {victim:?}");
@@ -1134,7 +1499,7 @@ mod tests {
         let p = db.label_id("p").unwrap();
         let victim: Triple = db.triples().find(|t| t.p == p).unwrap();
         let rest: Vec<Triple> = db.triples().filter(|&t| t != victim).collect();
-        let db_after = db.with_triples(&rest);
+        let db_after = db.with_triples(&rest).unwrap();
         engine.retract_triples(&db_after, &soi, &cfg, &[victim]);
         let after = engine.solution().stats.clone();
         assert!(after.lazy_seeds > 0, "first touch seeded lazily");
@@ -1142,6 +1507,211 @@ mod tests {
         assert_eq!(after.rows_ored, 0, "still no wholesale re-evaluation");
         let cold = solve(&db_after, &soi, &cfg);
         assert_eq!(engine.solution().chi, cold.chi);
+    }
+
+    #[test]
+    fn insertion_tracks_cold_solves_triple_by_triple() {
+        // Grow the database one triple at a time from an empty edge
+        // relation; the engine must match a cold solve at every step.
+        let db = sample_db();
+        for text in [
+            "{ ?x p ?y . ?y q ?z }",
+            "{ ?x p ?y . ?y p ?z . ?x q ?z }",
+            "{ ?x p ?x }",
+            "{ ?x p ?y OPTIONAL { ?x q ?z } }",
+            "{ ?x p <d> }",
+        ] {
+            let q = parse(text).unwrap();
+            for soi in build_sois(&db, &q) {
+                let cfg = delta_cfg(false);
+                let all: Vec<Triple> = db.triples().collect();
+                let empty = db.with_triples(&[]).unwrap();
+                let mut engine = DeltaSolver::new(&empty, &soi, &cfg);
+                for i in 0..all.len() {
+                    let db_after = db.with_triples(&all[..=i]).unwrap();
+                    assert!(engine.insert_triples(&db_after, &soi, &cfg, &[all[i]]));
+                    let cold = solve(&db_after, &soi, &cfg);
+                    assert_eq!(
+                        engine.solution().chi,
+                        cold.chi,
+                        "{text} after inserting {:?}",
+                        all[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_batches_track_cold_solves() {
+        // Same growth, but in one batch per label — exercising the
+        // seeded-this-batch discipline and multi-triple frontiers.
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(false);
+        let p = db.label_id("p").unwrap();
+        let (ps, qs): (Vec<Triple>, Vec<Triple>) = db.triples().partition(|t| t.p == p);
+        let empty = db.with_triples(&[]).unwrap();
+        let mut engine = DeltaSolver::new(&empty, &soi, &cfg);
+        let db_mid = db.with_triples(&ps).unwrap();
+        assert!(engine.insert_triples(&db_mid, &soi, &cfg, &ps));
+        assert_eq!(engine.solution().chi, solve(&db_mid, &soi, &cfg).chi);
+        assert!(engine.insert_triples(&db, &soi, &cfg, &qs));
+        assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
+    }
+
+    #[test]
+    fn insertion_lazily_seeds_deferred_inequalities() {
+        // "{ ?x p ?y }" defers both inequalities on the full database;
+        // the first inserted p-triple must seed them — against the
+        // post-insertion matrix, without double-counting the batch.
+        let db = sample_db();
+        let q = parse("{ ?x p ?y }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(false);
+        let all: Vec<Triple> = db.triples().collect();
+        let p = db.label_id("p").unwrap();
+        let victim = all.iter().position(|t| t.p == p).unwrap();
+        let rest: Vec<Triple> = all
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| (i != victim).then_some(t))
+            .collect();
+        let db_before = db.with_triples(&rest).unwrap();
+        let mut engine = DeltaSolver::new(&db_before, &soi, &cfg);
+        assert_eq!(engine.solution().stats.counter_inits, 0, "all deferred");
+        assert!(engine.insert_triples(&db, &soi, &cfg, &[all[victim]]));
+        let stats = engine.solution().stats.clone();
+        assert!(stats.lazy_seeds > 0, "first touch seeded lazily");
+        assert!(stats.counter_inits > 0);
+        assert_eq!(stats.rows_ored, 0, "still no wholesale re-evaluation");
+        assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
+    }
+
+    #[test]
+    fn insertion_counts_increments_not_evaluations() {
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(false);
+        let all: Vec<Triple> = db.triples().collect();
+        let (rest, last) = all.split_at(all.len() - 1);
+        let db_before = db.with_triples(rest).unwrap();
+        let mut engine = DeltaSolver::new(&db_before, &soi, &cfg);
+        let evals_before = engine.solution().stats.evaluations;
+        assert!(engine.insert_triples(&db, &soi, &cfg, last));
+        let stats = engine.solution().stats.clone();
+        assert_eq!(stats.rows_ored, 0);
+        assert_eq!(stats.bits_probed, 0);
+        assert_eq!(
+            stats.evaluations, evals_before,
+            "insertion maintenance evaluates no inequality wholesale"
+        );
+        assert!(
+            stats.counter_increments > 0 || stats.counter_inits > 0,
+            "the inserted entries were credited to the counters"
+        );
+        assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
+    }
+
+    #[test]
+    fn insertion_deduplicates_its_batch() {
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(false);
+        let all: Vec<Triple> = db.triples().collect();
+        let (rest, last) = all.split_at(all.len() - 1);
+        let db_before = db.with_triples(rest).unwrap();
+        let mut engine = DeltaSolver::new(&db_before, &soi, &cfg);
+        // The same triple listed three times must increment once; a
+        // phantom double increment would leave counters too high and
+        // mask later deletions.
+        assert!(engine.insert_triples(&db, &soi, &cfg, &[last[0], last[0], last[0]]));
+        assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
+        engine.retract_triples(&db_before, &soi, &cfg, last);
+        assert_eq!(engine.solution().chi, solve(&db_before, &soi, &cfg).chi);
+    }
+
+    #[test]
+    fn insertion_into_a_dead_engine_reports_failure() {
+        let db = sample_db();
+        let q = parse("{ ?x nolabel ?y }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(true);
+        let mut engine = DeltaSolver::new(&db, &soi, &cfg);
+        assert!(engine.solution().is_certainly_empty());
+        // An early-exited engine threw its counters away; it must
+        // refuse instead of producing an unsound update.
+        let t: Triple = db.triples().next().unwrap();
+        assert!(!engine.insert_triples(&db, &soi, &cfg, &[t]));
+        assert!(engine.solution().is_certainly_empty());
+    }
+
+    #[test]
+    fn insertion_revives_an_emptied_mandatory_variable() {
+        // Delete every q-triple (the query dies), then insert them
+        // back: the solution must return and `emptied_mandatory` must
+        // clear — it is a statement about the *current* counts, not a
+        // ratchet, once insertions exist.
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let cfg = delta_cfg(false);
+        let qlabel = db.label_id("q").unwrap();
+        let (qs, ps): (Vec<Triple>, Vec<Triple>) = db.triples().partition(|t| t.p == qlabel);
+        let mut engine = DeltaSolver::new(&db, &soi, &cfg);
+        assert!(!engine.solution().stats.emptied_mandatory);
+        let db_ps = db.with_triples(&ps).unwrap();
+        engine.retract_triples(&db_ps, &soi, &cfg, &qs);
+        assert!(engine.solution().stats.emptied_mandatory, "the query died");
+        assert!(engine.solution().is_certainly_empty());
+        assert!(engine.insert_triples(&db, &soi, &cfg, &qs));
+        assert!(
+            !engine.solution().stats.emptied_mandatory,
+            "the insertion revived the mandatory variables"
+        );
+        assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
+    }
+
+    #[test]
+    fn insertion_maintenance_is_backend_and_thread_invariant() {
+        use crate::SlabBackend;
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let all: Vec<Triple> = db.triples().collect();
+        let (rest, last) = all.split_at(all.len() - 2);
+        let db_before = db.with_triples(rest).unwrap();
+        let run = |cfg: &SolverConfig| {
+            let mut engine = DeltaSolver::new(&db_before, &soi, cfg);
+            assert!(engine.insert_triples(&db, &soi, cfg, last));
+            engine.retract_triples(&db_before, &soi, cfg, last);
+            assert!(engine.insert_triples(&db, &soi, cfg, last));
+            engine.solution()
+        };
+        let base = run(&delta_cfg(false));
+        assert_eq!(base.chi, solve(&db, &soi, &delta_cfg(false)).chi);
+        for chi_backend in [ChiBackend::Dense, ChiBackend::Rle] {
+            for slab_backend in [SlabBackend::Dense, SlabBackend::Sparse] {
+                for threads in [1, 4] {
+                    let cfg = SolverConfig {
+                        chi_backend,
+                        slab_backend,
+                        drain: DrainStrategy::Sharded { threads },
+                        ..delta_cfg(false)
+                    };
+                    let sol = run(&cfg);
+                    assert_eq!(base.chi, sol.chi, "({chi_backend:?}, {slab_backend:?}, {threads})");
+                    assert_eq!(
+                        base.stats.logical(),
+                        sol.stats.logical(),
+                        "({chi_backend:?}, {slab_backend:?}, {threads})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -1154,7 +1724,7 @@ mod tests {
         assert!(engine.solution().is_certainly_empty());
         let victim: Triple = db.triples().next().unwrap();
         let rest: Vec<Triple> = db.triples().skip(1).collect();
-        engine.retract_triples(&db.with_triples(&rest), &soi, &cfg, &[victim]);
+        engine.retract_triples(&db.with_triples(&rest).unwrap(), &soi, &cfg, &[victim]);
         let sol = engine.solution();
         assert!(sol.is_certainly_empty());
         assert!(sol.chi.iter().all(|c| c.none_set()));

@@ -1,5 +1,5 @@
 //! Incremental maintenance of the largest dual simulation under triple
-//! deletions.
+//! deletions **and insertions**.
 //!
 //! The largest dual simulation is *monotone in the database edges*: any
 //! dual simulation w.r.t. a sub-database is also one w.r.t. the original,
@@ -10,23 +10,31 @@
 //! [`crate::solve_from`]), typically touching only the neighbourhood of
 //! the deleted triples.
 //!
-//! Insertions are the hard direction (the solution can grow, so the
-//! previous χ is no longer an upper bound); [`IncrementalDualSim`] falls
-//! back to a cold solve for them, which is both sound and complete.
-//! This mirrors the classic split in incremental simulation maintenance
-//! (cf. Fan et al.'s incremental graph pattern matching line of work the
-//! paper builds on).
+//! Insertions are the hard direction: the solution can *grow*, so the
+//! previous χ is no longer an upper bound and warm-starting the
+//! shrink-only solver from it would miss every regained candidate. Under
+//! [`FixpointMode::Reevaluate`] a cold re-solve is the only sound
+//! option (the classic split in incremental simulation maintenance, cf.
+//! Fan et al.'s incremental graph pattern matching line of work the
+//! paper builds on). Under [`FixpointMode::DeltaCounting`], however,
+//! the persistent support counters tell exactly *which* candidates may
+//! return: an inserted triple increments the counters of the
+//! inequalities it feeds, and the **re-activation frontier** — the
+//! candidates whose support went **0→1**, plus the inserted endpoints —
+//! is optimistically re-admitted into χ and cascaded to closure; the
+//! standard removal drain then culls the over-approximation. Both
+//! update directions thus touch only the changed triples'
+//! neighbourhood, and neither ever re-evaluates an inequality
+//! wholesale.
 //!
-//! Under [`FixpointMode::DeltaCounting`] the instance additionally keeps
-//! the delta engine's support counters alive between updates: deletions
-//! are then fed *directly into the delta worklist* (one counter
-//! decrement per deleted triple and affected inequality) instead of
-//! re-running the solver over the previous χ — the fully incremental
-//! path the `ablation_fixpoint` benchmark measures. The configured
-//! [`crate::DrainStrategy`] applies to maintenance too: under
-//! `DrainStrategy::Sharded` every retraction's cascade is drained in
-//! parallel rounds, with χ and all work counters bit-identical to the
-//! sequential drain.
+//! Deletions under [`FixpointMode::DeltaCounting`] are fed *directly
+//! into the delta worklist* (one counter decrement per deleted triple
+//! and affected inequality) instead of re-running the solver over the
+//! previous χ — the fully incremental path the `ablation_fixpoint`
+//! benchmark measures. The configured [`crate::DrainStrategy`] applies
+//! to maintenance too: under `DrainStrategy::Sharded` every update's
+//! cascade is drained in parallel rounds, with χ and all work counters
+//! bit-identical to the sequential drain.
 
 use crate::delta::DeltaSolver;
 use crate::{solve, solve_from, FixpointMode, Soi, Solution, SolverConfig};
@@ -41,7 +49,7 @@ pub struct IncrementalDualSim {
     /// Persistent delta engine (support counters included); `Some` iff
     /// the configuration selects [`FixpointMode::DeltaCounting`].
     engine: Option<DeltaSolver>,
-    /// `true` while the stored solution matches the last database seen.
+    /// `true` iff the last update was served incrementally.
     warm: bool,
 }
 
@@ -60,7 +68,9 @@ impl IncrementalDualSim {
             config,
             solution,
             engine,
-            warm: true,
+            // The initial solve is a cold solve by definition; `warm`
+            // reports on *updates*, of which there have been none.
+            warm: false,
         }
     }
 
@@ -75,8 +85,8 @@ impl IncrementalDualSim {
     }
 
     /// Re-establishes the largest solution after triples were **deleted**
-    /// (`db_after` must be the old database minus `deleted`, each triple
-    /// listed exactly once).
+    /// (`db_after` must be the old database minus `deleted`; duplicates
+    /// within the batch are ignored).
     ///
     /// Under [`FixpointMode::Reevaluate`] this warm-starts the solver
     /// from the previous solution; under [`FixpointMode::DeltaCounting`]
@@ -105,23 +115,56 @@ impl IncrementalDualSim {
         before.saturating_sub(after)
     }
 
-    /// Re-establishes the largest solution after arbitrary changes
-    /// (insertions included): cold re-solve (and, for the delta engine,
-    /// a counter re-seed — insertions can *grow* the solution, which the
-    /// shrink-only counters cannot express).
-    pub fn apply_insertions(&mut self, db_after: &GraphDb) {
-        match self.config.fixpoint {
-            FixpointMode::Reevaluate => self.solution = solve(db_after, &self.soi, &self.config),
-            FixpointMode::DeltaCounting => {
-                let engine = DeltaSolver::new(db_after, &self.soi, &self.config);
+    /// Re-establishes the largest solution after triples were
+    /// **inserted** (`db_after` must be the old database plus
+    /// `inserted`; a triple already present before the update must not
+    /// be listed, duplicates within the batch are ignored).
+    ///
+    /// Under [`FixpointMode::DeltaCounting`] the insertions are walked
+    /// against the persistent support counters: the candidates whose
+    /// support went 0→1 — plus the inserted endpoints — form the
+    /// re-activation frontier, are optimistically re-admitted, and the
+    /// over-approximation is culled by the standard removal drain, so
+    /// the update costs work proportional to the inserted triples'
+    /// neighbourhood. Under [`FixpointMode::Reevaluate`] the previous χ
+    /// is no upper bound any more (the solution can grow), so the
+    /// update falls back to a cold re-solve — as it does for a delta
+    /// engine that a previous early exit emptied for good (the rebuild
+    /// restores the counters, so later updates are incremental again).
+    ///
+    /// Returns the number of candidates gained by the update.
+    pub fn apply_insertions(&mut self, db_after: &GraphDb, inserted: &[Triple]) -> usize {
+        debug_assert!(
+            inserted.iter().all(|t| db_after.contains_triple(*t)),
+            "inserted triples must be present in db_after"
+        );
+        let before: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
+        let mut warm = false;
+        if let Some(engine) = &mut self.engine {
+            warm = engine.insert_triples(db_after, &self.soi, &self.config, inserted);
+            if warm {
                 self.solution = engine.solution();
-                self.engine = Some(engine);
             }
         }
-        self.warm = false;
+        if !warm {
+            match self.config.fixpoint {
+                FixpointMode::Reevaluate => {
+                    self.solution = solve(db_after, &self.soi, &self.config);
+                }
+                FixpointMode::DeltaCounting => {
+                    let engine = DeltaSolver::new(db_after, &self.soi, &self.config);
+                    self.solution = engine.solution();
+                    self.engine = Some(engine);
+                }
+            }
+        }
+        self.warm = warm;
+        let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
+        after.saturating_sub(before)
     }
 
-    /// `true` iff the last update was served by the warm-start path.
+    /// `true` iff the last update was served by the warm-start path
+    /// (`false` before any update: the initial solve is cold).
     pub fn last_update_was_warm(&self) -> bool {
         self.warm
     }
@@ -174,7 +217,7 @@ mod tests {
             let deleted: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) == "d").collect();
             let remaining: Vec<Triple> =
                 db.triples().filter(|t| db.node_name(t.s) != "d").collect();
-            let db_after = db.with_triples(&remaining);
+            let db_after = db.with_triples(&remaining).unwrap();
 
             let dropped = inc.apply_deletions(&db_after, &deleted);
             assert!(dropped > 0);
@@ -200,7 +243,7 @@ mod tests {
             // Remove one triple at a time; warm result must always equal
             // cold.
             while let Some(victim) = triples.pop() {
-                let db_after = db.with_triples(&triples);
+                let db_after = db.with_triples(&triples).unwrap();
                 inc.apply_deletions(&db_after, &[victim]);
                 let cold = solve(&db_after, &soi, &cfg(mode));
                 assert_eq!(
@@ -223,7 +266,7 @@ mod tests {
         let base = inc.solution().stats.clone();
         let victim: Triple = db.triples().next().unwrap();
         let remaining: Vec<Triple> = db.triples().skip(1).collect();
-        inc.apply_deletions(&db.with_triples(&remaining), &[victim]);
+        inc.apply_deletions(&db.with_triples(&remaining).unwrap(), &[victim]);
         let after = inc.solution().stats.clone();
         // The update decremented counters and never multiplied a whole
         // inequality. Seeding work may grow only through the lazy first
@@ -241,17 +284,52 @@ mod tests {
     }
 
     #[test]
-    fn insertions_fall_back_to_cold_solve() {
-        let small = {
-            let mut b = GraphDbBuilder::new();
-            b.add_node("a", dualsim_graph::NodeKind::Iri).unwrap();
-            b.add_node("b", dualsim_graph::NodeKind::Iri).unwrap();
-            b.add_node("c", dualsim_graph::NodeKind::Iri).unwrap();
-            b.intern_label("p");
-            b.intern_label("q");
-            b.add_triple("a", "p", "b").unwrap();
-            b.finish()
-        };
+    fn a_fresh_instance_reports_cold() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        for mode in MODES {
+            let inc = IncrementalDualSim::new(&db, soi.clone(), cfg(mode));
+            assert!(
+                !inc.last_update_was_warm(),
+                "the initial solve is cold by definition ({mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_deletions_decrement_once() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        for mode in MODES {
+            let mut inc = IncrementalDualSim::new(&db, soi.clone(), cfg(mode));
+            let victim: Triple = db.triples().find(|t| db.node_name(t.s) == "d").unwrap();
+            let remaining: Vec<Triple> = db.triples().filter(|&t| t != victim).collect();
+            let db_after = db.with_triples(&remaining).unwrap();
+            // The same triple listed three times must count once — a
+            // double decrement would wrongly zero other candidates'
+            // support and over-prune.
+            inc.apply_deletions(&db_after, &[victim, victim, victim]);
+            let cold = solve(&db_after, &soi, &cfg(mode));
+            assert_eq!(inc.solution().chi, cold.chi, "{mode:?}");
+        }
+    }
+
+    fn mini_db() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.add_node("a", dualsim_graph::NodeKind::Iri).unwrap();
+        b.add_node("b", dualsim_graph::NodeKind::Iri).unwrap();
+        b.add_node("c", dualsim_graph::NodeKind::Iri).unwrap();
+        b.intern_label("p");
+        b.intern_label("q");
+        b.add_triple("a", "p", "b").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn insertions_track_cold_solves_in_both_modes() {
+        let small = mini_db();
         let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
         let soi = build_sois(&small, &q).remove(0);
         for mode in MODES {
@@ -261,27 +339,66 @@ mod tests {
                 "no q edge yet"
             );
 
-            // Insert (b,q,c): the chain appears; a cold solve is required.
-            let mut triples: Vec<Triple> = small.triples().collect();
-            let p_q = small.label_id("q").unwrap();
-            triples.push(Triple::new(
+            // Insert (b,q,c): the chain appears. The delta engine serves
+            // this from its counters; re-evaluation must cold-solve.
+            let inserted = Triple::new(
                 small.node_id("b").unwrap(),
-                p_q,
+                small.label_id("q").unwrap(),
                 small.node_id("c").unwrap(),
-            ));
-            let db_after = small.with_triples(&triples);
-            inc.apply_insertions(&db_after);
-            assert!(!inc.last_update_was_warm());
+            );
+            let mut triples: Vec<Triple> = small.triples().collect();
+            triples.push(inserted);
+            let db_after = small.with_triples(&triples).unwrap();
+            let gained = inc.apply_insertions(&db_after, &[inserted]);
+            assert!(gained > 0, "the chain a→b→c appeared ({mode:?})");
+            assert_eq!(
+                inc.last_update_was_warm(),
+                mode == FixpointMode::DeltaCounting,
+                "delta serves insertions incrementally, re-evaluation cold-solves"
+            );
+            let cold = solve(&db_after, &soi, &cfg(mode));
+            assert_eq!(inc.solution().chi, cold.chi, "{mode:?}");
             let x = soi.vars_for("x")[0];
             assert!(inc.solution().chi[x].get(small.node_id("a").unwrap() as usize));
 
-            // And further deletions keep working after the re-seed.
+            // And further deletions keep working on the same instance.
             let deleted: Vec<Triple> = db_after.triples().skip(1).collect();
             let kept: Vec<Triple> = db_after.triples().take(1).collect();
-            let db_final = db_after.with_triples(&kept);
+            let db_final = db_after.with_triples(&kept).unwrap();
             inc.apply_deletions(&db_final, &deleted);
             let cold = solve(&db_final, &soi, &cfg(mode));
             assert_eq!(inc.solution().chi, cold.chi, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn delta_mode_insertions_skip_reevaluation_work() {
+        let small = mini_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&small, &q).remove(0);
+        let mut inc = IncrementalDualSim::new(&small, soi.clone(), cfg(FixpointMode::DeltaCounting));
+        let base = inc.solution().stats.clone();
+        let inserted = Triple::new(
+            small.node_id("b").unwrap(),
+            small.label_id("q").unwrap(),
+            small.node_id("c").unwrap(),
+        );
+        let mut triples: Vec<Triple> = small.triples().collect();
+        triples.push(inserted);
+        let db_after = small.with_triples(&triples).unwrap();
+        inc.apply_insertions(&db_after, &[inserted]);
+        assert!(inc.last_update_was_warm());
+        let after = inc.solution().stats.clone();
+        // Zero wholesale re-seeds: the only evaluation-engine work is
+        // whatever the cold solve already paid. Counter work grew only
+        // by the inserted neighbourhood's increments (plus lazy first
+        // touches of deferred inequalities) and the frontier was
+        // re-admitted rather than recomputed.
+        assert_eq!(after.rows_ored, 0, "no whole-inequality multiplies");
+        assert_eq!(after.bits_probed, 0);
+        assert_eq!(after.evaluations, base.evaluations, "no new evaluations");
+        assert!(after.reactivations > 0, "the frontier was re-admitted");
+        let final_count: usize = inc.solution().chi.iter().map(|c| c.count_ones()).sum();
+        assert!(final_count > 0);
     }
 }

@@ -3,7 +3,8 @@
 //! [`FixpointMode::DeltaCounting`] and [`FixpointMode::Reevaluate`]
 //! must produce bit-identical χ fixpoints and agree on emptiness — for
 //! dual and forward-only simulation, with and without early exit, and
-//! along incremental deletion chains — and the χ backends
+//! along incremental deletion chains and interleaved
+//! insertion/deletion churn — and the χ backends
 //! ([`ChiBackend::Dense`] / [`ChiBackend::Rle`]), the counter-slab
 //! backends (`SlabBackend::{Dense, Sparse, Auto}`), the drain
 //! strategies and the seeding/draining thread counts must additionally
@@ -121,7 +122,7 @@ proptest! {
             .filter(|(i, _)| i % keep_every != 0)
             .map(|(_, t)| t)
             .collect();
-        let db_after = db.with_triples(&remaining);
+        let db_after = db.with_triples(&remaining).unwrap();
         for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
             for fixpoint in [FixpointMode::Reevaluate, FixpointMode::DeltaCounting] {
                 let config = cfg(fixpoint, false);
@@ -194,7 +195,7 @@ proptest! {
             let mut triples: Vec<Triple> = db.triples().collect();
             while triples.len() > 1 {
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
-                let db_after = db.with_triples(&triples);
+                let db_after = db.with_triples(&triples).unwrap();
                 for inc in engines.iter_mut() {
                     inc.apply_deletions(&db_after, &batch);
                 }
@@ -260,7 +261,7 @@ proptest! {
             let mut triples: Vec<Triple> = db.triples().collect();
             while triples.len() > 1 {
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
-                let db_after = db.with_triples(&triples);
+                let db_after = db.with_triples(&triples).unwrap();
                 dense.apply_deletions(&db_after, &batch);
                 rle.apply_deletions(&db_after, &batch);
                 prop_assert_eq!(&dense.solution().chi, &rle.solution().chi, "{}", q);
@@ -377,7 +378,7 @@ proptest! {
             let mut triples: Vec<Triple> = db.triples().collect();
             while triples.len() > 1 {
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
-                let db_after = db.with_triples(&triples);
+                let db_after = db.with_triples(&triples).unwrap();
                 for inc in engines.iter_mut() {
                     inc.apply_deletions(&db_after, &batch);
                 }
@@ -392,6 +393,97 @@ proptest! {
                 }
                 let cold = solve(&db_after, &soi, &cfg(FixpointMode::Reevaluate, false));
                 prop_assert_eq!(&reference.solution().chi, &cold.chi, "{} vs cold", q);
+            }
+        }
+    }
+
+    /// Interleaved insertion/deletion churn stays bit-identical to cold
+    /// solves in both fixpoint modes, across both slab backends, both χ
+    /// backends and thread counts {1, 4} — the delta engines serving
+    /// *both* update directions from their persistent counters (the
+    /// insertion side through the 0→1 re-activation frontier) and
+    /// agreeing with each other on every logical work counter.
+    #[test]
+    fn interleaved_updates_agree_with_cold_solves(
+        db in arb_db(),
+        q in arb_query(),
+        script in proptest::collection::vec((any::<bool>(), any::<u32>()), 1..10),
+    ) {
+        let reev_cfg = cfg(FixpointMode::Reevaluate, false);
+        let delta_cfgs = [
+            cfg(FixpointMode::DeltaCounting, false),
+            SolverConfig {
+                slab_backend: SlabBackend::Sparse,
+                seed_threads: 4,
+                drain: DrainStrategy::Sharded { threads: 4 },
+                drain_inline_below: 0,
+                ..cfg(FixpointMode::DeltaCounting, false)
+            },
+            SolverConfig {
+                chi_backend: ChiBackend::Rle,
+                slab_backend: SlabBackend::Sparse,
+                ..cfg(FixpointMode::DeltaCounting, false)
+            },
+        ];
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let mut reev = IncrementalDualSim::new(&db, soi.clone(), reev_cfg.clone());
+            let mut deltas: Vec<IncrementalDualSim> = delta_cfgs
+                .iter()
+                .map(|c| IncrementalDualSim::new(&db, soi.clone(), c.clone()))
+                .collect();
+            let mut present: Vec<Triple> = db.triples().collect();
+            let mut absent: Vec<Triple> = Vec::new();
+            for &(insert, pick) in &script {
+                let (from, to) = if insert {
+                    (&mut absent, &mut present)
+                } else {
+                    (&mut present, &mut absent)
+                };
+                if from.is_empty() {
+                    continue;
+                }
+                // Move one or two triples between the present and
+                // absent pools, chosen by the script.
+                let mut batch: Vec<Triple> = Vec::new();
+                for round in 0..=(pick as usize % 2) {
+                    if from.is_empty() {
+                        break;
+                    }
+                    let idx = (pick as usize + round) % from.len();
+                    batch.push(from.swap_remove(idx));
+                }
+                to.extend(&batch);
+                let db_after = db.with_triples(&present).unwrap();
+                if insert {
+                    reev.apply_insertions(&db_after, &batch);
+                    for inc in deltas.iter_mut() {
+                        inc.apply_insertions(&db_after, &batch);
+                    }
+                } else {
+                    reev.apply_deletions(&db_after, &batch);
+                    for inc in deltas.iter_mut() {
+                        inc.apply_deletions(&db_after, &batch);
+                    }
+                }
+                let cold = solve(&db_after, &soi, &reev_cfg);
+                let op = if insert { "insert" } else { "delete" };
+                prop_assert_eq!(
+                    &reev.solution().chi, &cold.chi,
+                    "{} reevaluate vs cold after {} {:?}", q, op, batch
+                );
+                let (reference, others) = deltas.split_first().unwrap();
+                prop_assert_eq!(
+                    &reference.solution().chi, &cold.chi,
+                    "{} delta vs cold after {} {:?}", q, op, batch
+                );
+                for inc in others {
+                    prop_assert_eq!(&reference.solution().chi, &inc.solution().chi, "{}", q);
+                    prop_assert_eq!(
+                        reference.solution().stats.logical(),
+                        inc.solution().stats.logical(),
+                        "{} logical stats diverged after {} {:?}", q, op, batch
+                    );
+                }
             }
         }
     }
@@ -413,7 +505,7 @@ proptest! {
                 // Delete two triples per batch to exercise multi-triple
                 // retraction.
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
-                let db_after = db.with_triples(&triples);
+                let db_after = db.with_triples(&triples).unwrap();
                 reev.apply_deletions(&db_after, &batch);
                 delta.apply_deletions(&db_after, &batch);
                 prop_assert_eq!(

@@ -56,6 +56,7 @@ impl PruneReport {
     /// Materializes the pruned database (shared vocabulary, stable ids).
     pub fn pruned_db(&self, db: &GraphDb) -> GraphDb {
         db.with_triples(&self.kept_triples)
+            .expect("kept triples come from `db` itself")
     }
 
     /// Sum of solver iterations across branches (the §5.3 metric: two for

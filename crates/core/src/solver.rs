@@ -213,6 +213,15 @@ pub struct SolveStats {
     pub counter_inits: usize,
     /// Support-counter decrements during delta removal propagation.
     pub counter_decrements: usize,
+    /// Support-counter increments during delta *insertion* maintenance
+    /// (the counter walk over each inserted triple's matching
+    /// inequalities — zero on cold solves and deletion-only streams).
+    pub counter_increments: usize,
+    /// Candidates optimistically re-admitted into χ by insertion
+    /// maintenance (the 0→1 re-activation frontier plus the inserted
+    /// endpoints); the subsequent drain culls the over-approximation,
+    /// so re-admissions are an upper bound on the candidates gained.
+    pub reactivations: usize,
     /// Matrix CSR row/segment lookups performed by the delta drain: the
     /// per-bit drain pays one per removed node (`M.row(u)`), the
     /// run-aware drain under RLE χ pays one per *run* of consecutive
@@ -274,7 +283,11 @@ impl SolveStats {
     /// row visit or one counter touch, so the two engines are directly
     /// comparable — this is what `BENCH_fixpoint.json` tracks.
     pub fn work_ops(&self) -> usize {
-        self.rows_ored + self.bits_probed + self.counter_inits + self.counter_decrements
+        self.rows_ored
+            + self.bits_probed
+            + self.counter_inits
+            + self.counter_decrements
+            + self.counter_increments
     }
 
     /// The logical-work projection: every counter except the

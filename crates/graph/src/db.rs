@@ -206,26 +206,25 @@ impl GraphDb {
     }
 
     /// Builds a database over the same vocabulary containing exactly the
-    /// given triples. This is how per-query prunings are materialized:
-    /// identifiers remain valid across both instances.
+    /// given triples. This is how per-query prunings and update-stream
+    /// snapshots are materialized: identifiers remain valid across both
+    /// instances.
     ///
-    /// Triples mentioning labels or nodes unknown to this database are
-    /// rejected with a panic in debug builds and silently dropped in
-    /// release builds, as they cannot be expressed over the shared
-    /// vocabulary.
-    pub fn with_triples(&self, triples: &[Triple]) -> GraphDb {
+    /// A triple mentioning a label or node unknown to this database is
+    /// rejected with [`GraphError::ForeignTriple`]: it cannot be
+    /// expressed over the shared vocabulary, and dropping it silently
+    /// (the historical behavior in release builds) made corrupt update
+    /// streams vanish instead of surfacing.
+    pub fn with_triples(&self, triples: &[Triple]) -> Result<GraphDb, GraphError> {
         let mut per_label: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.vocab.num_labels()];
         let n = self.vocab.num_nodes() as u32;
         for t in triples {
-            debug_assert!(
-                (t.p as usize) < per_label.len() && t.s < n && t.o < n,
-                "triple {t:?} outside vocabulary"
-            );
-            if (t.p as usize) < per_label.len() && t.s < n && t.o < n {
-                per_label[t.p as usize].push((t.s, t.o));
+            if (t.p as usize) >= per_label.len() || t.s >= n || t.o >= n {
+                return Err(GraphError::ForeignTriple(*t));
             }
+            per_label[t.p as usize].push((t.s, t.o));
         }
-        GraphDb::build(Arc::clone(&self.vocab), per_label)
+        Ok(GraphDb::build(Arc::clone(&self.vocab), per_label))
     }
 }
 
@@ -392,7 +391,7 @@ mod tests {
             .triples()
             .filter(|t| db.label_name(t.p) == "directed")
             .collect();
-        let pruned = db.with_triples(&keep);
+        let pruned = db.with_triples(&keep).unwrap();
         assert_eq!(pruned.num_triples(), 2);
         assert_eq!(pruned.num_nodes(), db.num_nodes());
         assert_eq!(
@@ -433,10 +432,26 @@ mod tests {
         let db = movie_db();
         let all: Vec<Triple> = db.triples().collect();
         assert_eq!(all.len(), db.num_triples());
-        let rebuilt = db.with_triples(&all);
+        let rebuilt = db.with_triples(&all).unwrap();
         assert_eq!(rebuilt.num_triples(), db.num_triples());
         for t in all {
             assert!(rebuilt.contains_triple(t));
+        }
+    }
+
+    #[test]
+    fn with_triples_rejects_out_of_vocabulary_triples() {
+        let db = movie_db();
+        let n = db.num_nodes() as u32;
+        let p = db.label_id("directed").unwrap();
+        for foreign in [
+            Triple::new(n, p, 0),
+            Triple::new(0, db.num_labels() as u32, 1),
+            Triple::new(0, p, n + 7),
+        ] {
+            let err = db.with_triples(&[foreign]).unwrap_err();
+            assert_eq!(err, GraphError::ForeignTriple(foreign));
+            assert!(err.to_string().contains("outside the shared vocabulary"));
         }
     }
 

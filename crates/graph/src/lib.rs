@@ -58,6 +58,11 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A triple mentions a node or label id outside the shared
+    /// vocabulary ([`GraphDb::with_triples`]): derived databases reuse
+    /// their parent's dictionary, so such a triple is inexpressible —
+    /// usually a sign of a corrupt or misrouted update stream.
+    ForeignTriple(Triple),
 }
 
 impl std::fmt::Display for GraphError {
@@ -71,6 +76,13 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "N-Triples parse error on line {line}: {message}")
+            }
+            GraphError::ForeignTriple(t) => {
+                write!(
+                    f,
+                    "triple ({}, {}, {}) lies outside the shared vocabulary",
+                    t.s, t.p, t.o
+                )
             }
         }
     }

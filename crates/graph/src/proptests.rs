@@ -86,7 +86,7 @@ proptest! {
             .zip(keep_mask.iter().cycle())
             .filter_map(|(t, &keep)| keep.then_some(*t))
             .collect();
-        let derived = db.with_triples(&kept);
+        let derived = db.with_triples(&kept).unwrap();
         prop_assert_eq!(derived.num_triples(), kept.len());
         prop_assert_eq!(derived.num_nodes(), db.num_nodes());
         for t in &kept {

@@ -2,15 +2,20 @@
 //! paper's prototype of the same name.
 //!
 //! ```text
-//! sparqlsim stats  --data DB.nt
-//! sparqlsim solve  --data DB.nt (--query Q.rq | --query-text '…') [--strategy S] [--no-early-exit]
-//! sparqlsim prune  --data DB.nt (--query Q.rq | --query-text '…') [--output PRUNED.nt]
-//! sparqlsim eval   --data DB.nt (--query Q.rq | --query-text '…') [--engine nested|hash] [--limit N] [--pruned]
+//! sparqlsim stats    --data DB.nt
+//! sparqlsim solve    --data DB.nt (--query Q.rq | --query-text '…') [--strategy S] [--no-early-exit]
+//! sparqlsim prune    --data DB.nt (--query Q.rq | --query-text '…') [--output PRUNED.nt]
+//! sparqlsim eval     --data DB.nt (--query Q.rq | --query-text '…') [--engine nested|hash] [--limit N] [--pruned]
+//! sparqlsim maintain --data DB.nt (--query Q.rq | --query-text '…') --updates U.txt [--fixpoint delta]
 //! ```
 //!
 //! `solve` prints the largest dual simulation per query variable,
-//! `prune` writes/reports the per-query pruning (Sect. 5.2), and `eval`
-//! runs one of the reference engines, optionally on the pruned database.
+//! `prune` writes/reports the per-query pruning (Sect. 5.2), `eval`
+//! runs one of the reference engines, optionally on the pruned database,
+//! and `maintain` keeps one solution alive across a signed update stream
+//! (N-Triples lines prefixed `+`/`-`; consecutive same-sign lines form a
+//! batch) — with `--fixpoint delta` every batch is absorbed by the warm
+//! counter-driven maintenance paths instead of a cold re-solve.
 
 use dualsim::core::{
     prune, solve_query, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode, SlabBackend,
@@ -59,6 +64,7 @@ commands:
   solve        compute the largest dual simulation for a query
   prune        prune the database for a query (Sect. 5.2)
   eval         evaluate a query with a reference engine
+  maintain     maintain one solution across a +/- update stream
   fingerprint  build the simulation-quotient index (Sect. 6 extension)
 
 options:
@@ -84,6 +90,9 @@ options:
                         scoped threads (default 1; identical solution and
                         work counts for every N)
   --no-early-exit       keep solving after a mandatory variable empties
+  --updates FILE        maintain: signed update stream — N-Triples lines
+                        prefixed '+' (insert) or '-' (delete); terms must
+                        come from the database's fixed vocabulary
   --output FILE.nt      prune: write the pruned database as N-Triples
   --engine E            eval: nested | hash            (default nested)
   --limit N             eval: print at most N rows     (default 20)
@@ -103,6 +112,7 @@ struct Opts {
     slab_backend: SlabBackend,
     seed_threads: usize,
     early_exit: bool,
+    updates: Option<String>,
     output: Option<String>,
     engine: String,
     limit: usize,
@@ -123,6 +133,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         slab_backend: SlabBackend::Dense,
         seed_threads: 1,
         early_exit: true,
+        updates: None,
         output: None,
         engine: "nested".to_owned(),
         limit: 20,
@@ -138,6 +149,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         };
         match flag.as_str() {
             "--data" => opts.data = Some(value()?),
+            "--updates" => opts.updates = Some(value()?),
             "--query" => opts.query = Some(value()?),
             "--query-text" => opts.query_text = Some(value()?),
             "--output" => opts.output = Some(value()?),
@@ -218,9 +230,170 @@ fn run(args: &[String]) -> Result<(), String> {
             opts.output.as_deref(),
         ),
         "eval" => cmd_eval(&db, &load_query(&opts)?, &opts),
+        "maintain" => cmd_maintain(&db, &load_query(&opts)?, &opts),
         "fingerprint" => cmd_fingerprint(&db, &opts),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Parses a signed update stream: N-Triples lines (IRI terms only)
+/// prefixed `+` or `-`; consecutive lines with the same sign form one
+/// batch. Every term must resolve in `db`'s fixed vocabulary.
+fn parse_update_batches(
+    text: &str,
+    db: &GraphDb,
+) -> Result<Vec<(bool, Vec<dualsim::graph::Triple>)>, String> {
+    use dualsim::graph::Triple;
+    let mut batches: Vec<(bool, Vec<Triple>)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line_no = idx + 1;
+        let (insert, mut rest) = if let Some(r) = line.strip_prefix('+') {
+            (true, r)
+        } else if let Some(r) = line.strip_prefix('-') {
+            (false, r)
+        } else {
+            return Err(format!(
+                "updates line {line_no}: expected a '+' or '-' sign before the triple"
+            ));
+        };
+        let mut term = |what: &str| -> Result<String, String> {
+            let t = rest.trim_start().strip_prefix('<').ok_or_else(|| {
+                format!("updates line {line_no}: expected '<' opening the {what}")
+            })?;
+            let end = t
+                .find('>')
+                .ok_or_else(|| format!("updates line {line_no}: unterminated {what}"))?;
+            rest = &t[end + 1..];
+            Ok(t[..end].to_owned())
+        };
+        let (s, p, o) = (term("subject")?, term("predicate")?, term("object")?);
+        if rest.trim() != "." {
+            return Err(format!("updates line {line_no}: expected terminating '.'"));
+        }
+        let node = |name: &str| {
+            db.node_id(name).ok_or_else(|| {
+                format!(
+                    "updates line {line_no}: node <{name}> is outside the database's \
+                     vocabulary (fixed at load time)"
+                )
+            })
+        };
+        let label = db.label_id(&p).ok_or_else(|| {
+            format!(
+                "updates line {line_no}: predicate <{p}> is outside the database's \
+                 vocabulary (fixed at load time)"
+            )
+        })?;
+        let t = Triple::new(node(&s)?, label, node(&o)?);
+        match batches.last_mut() {
+            Some((sign, batch)) if *sign == insert => batch.push(t),
+            _ => batches.push((insert, vec![t])),
+        }
+    }
+    Ok(batches)
+}
+
+/// The resident-solution loop: one initial solve, then every update
+/// batch maintained in place. Under `--fixpoint delta` insertions ride
+/// the counter-driven re-activation frontier and deletions the support
+/// countdown, so no batch triggers a cold re-solve; under the default
+/// re-evaluation engine insertions fall back to a cold solve — the
+/// per-batch `warm`/`cold` tag makes the difference visible.
+fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> {
+    use dualsim::core::{build_sois, IncrementalDualSim};
+    use dualsim::graph::Triple;
+    let path = opts.updates.as_deref().ok_or("--updates is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let batches = parse_update_batches(&text, db)?;
+    let cfg = config(opts);
+    let started = std::time::Instant::now();
+    let mut engines: Vec<IncrementalDualSim> = build_sois(db, query)
+        .into_iter()
+        .map(|soi| IncrementalDualSim::new(db, soi, cfg.clone()))
+        .collect();
+    println!(
+        "initial solve in {:?} ({} union branch(es))",
+        started.elapsed(),
+        engines.len()
+    );
+    let mut present: std::collections::BTreeSet<Triple> = db.triples().collect();
+    for (i, (insert, batch)) in batches.iter().enumerate() {
+        for t in batch {
+            let applies = if *insert {
+                present.insert(*t)
+            } else {
+                present.remove(t)
+            };
+            if !applies {
+                return Err(format!(
+                    "update batch {}: triple (<{}> <{}> <{}>) is {} the database",
+                    i + 1,
+                    db.node_name(t.s),
+                    db.label_name(t.p),
+                    db.node_name(t.o),
+                    if *insert { "already in" } else { "not in" }
+                ));
+            }
+        }
+        let triples: Vec<Triple> = present.iter().copied().collect();
+        let db_after = db.with_triples(&triples).map_err(|e| e.to_string())?;
+        let started = std::time::Instant::now();
+        let mut changed = 0usize;
+        let mut warm = true;
+        for engine in &mut engines {
+            changed += if *insert {
+                engine.apply_insertions(&db_after, batch)
+            } else {
+                engine.apply_deletions(&db_after, batch)
+            };
+            warm &= engine.last_update_was_warm();
+        }
+        println!(
+            "batch {}: {}{} triple(s), {} candidate(s) {}, {} in {:?}",
+            i + 1,
+            if *insert { "+" } else { "-" },
+            batch.len(),
+            changed,
+            if *insert { "gained" } else { "dropped" },
+            if warm { "warm maintenance" } else { "cold re-solve" },
+            started.elapsed()
+        );
+    }
+    for (i, engine) in engines.iter().enumerate() {
+        if engines.len() > 1 {
+            println!("— union branch {i} —");
+        }
+        let (soi, solution) = (engine.soi(), engine.solution());
+        for var in query.vars() {
+            let chi = solution.var_solution(soi, var);
+            let count = chi.count_ones();
+            let preview: Vec<&str> = chi
+                .iter_ones()
+                .take(5)
+                .map(|n| db.node_name(n as u32))
+                .collect();
+            let ellipsis = if count > 5 { ", …" } else { "" };
+            println!(
+                "?{var}: {count} candidates [{}{ellipsis}]",
+                preview.join(", ")
+            );
+        }
+        let s = &solution.stats;
+        println!(
+            "maintenance work: counter_increments={} reactivations={} counter_decrements={} \
+             delta_removals={} ops={}",
+            s.counter_increments,
+            s.reactivations,
+            s.counter_decrements,
+            s.delta_removals,
+            s.work_ops()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_fingerprint(db: &GraphDb, opts: &Opts) -> Result<(), String> {
@@ -521,6 +694,37 @@ mod tests {
     fn parse_args_rejects_unknown_flags() {
         let args: Vec<String> = ["solve", "--nope"].iter().map(|s| s.to_string()).collect();
         assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn update_streams_parse_into_signed_batches() {
+        use dualsim::graph::parse_ntriples;
+        let db = parse_ntriples("<a> <p> <b> .\n<b> <p> <c> .\n").unwrap();
+        let batches = parse_update_batches(
+            "# churn\n- <a> <p> <b> .\n- <b> <p> <c> .\n+ <a> <p> <b> .\n",
+            &db,
+        )
+        .unwrap();
+        let shape: Vec<(bool, usize)> = batches.iter().map(|(s, b)| (*s, b.len())).collect();
+        assert_eq!(shape, vec![(false, 2), (true, 1)]);
+
+        let unsigned = parse_update_batches("<a> <p> <b> .\n", &db).unwrap_err();
+        assert!(unsigned.contains("'+' or '-'"), "{unsigned}");
+        let foreign = parse_update_batches("+ <zz> <p> <b> .\n", &db).unwrap_err();
+        assert!(foreign.contains("outside the database's"), "{foreign}");
+        let unterminated = parse_update_batches("+ <a> <p> <b>\n", &db).unwrap_err();
+        assert!(unterminated.contains("terminating '.'"), "{unterminated}");
+    }
+
+    #[test]
+    fn parse_args_reads_the_updates_flag() {
+        let args: Vec<String> = ["maintain", "--data", "db.nt", "--updates", "u.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.command, "maintain");
+        assert_eq!(opts.updates.as_deref(), Some("u.txt"));
     }
 
     #[test]

@@ -374,7 +374,7 @@ proptest! {
             .filter(|t| !kept.contains(t))
             .copied()
             .collect();
-        let db_after = db.with_triples(&kept);
+        let db_after = db.with_triples(&kept).unwrap();
         inc.apply_deletions(&db_after, &deleted);
         let cold = solve(&db_after, &soi, &cfg);
         prop_assert_eq!(&inc.solution().chi, &cold.chi, "warm != cold for {}", q);
