@@ -112,7 +112,7 @@ fn incremental_deletions(c: &mut Criterion) {
                 |b, template| {
                     b.iter(|| {
                         let mut inc = template.clone();
-                        black_box(inc.apply_deletions(&db_after, &deleted));
+                        black_box(inc.apply_deletions(&db_after, &deleted).unwrap());
                     })
                 },
             );

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [table2|table3|table4|table5|iterations|pruning-power|spectrum|
 //!              fixpoint|incremental|strategies|quotient|chi-backend|slab|all]
-//!             [--smoke] [--threads N] [--out FILE]
+//!             [--smoke] [--threads N] [--chaos] [--out FILE]
 //! ```
 //!
 //! Dataset sizes: `DUALSIM_LUBM_UNIS` (default 15) and
@@ -20,15 +20,18 @@
 //! `fixpoint --threads N` drains the delta engine's worklist with the
 //! sharded strategy; for `N > 1` a single-threaded reference run is
 //! compared work-counter for work-counter — the sharded-drain
-//! determinism gate.
+//! determinism gate. `incremental --chaos` additionally measures the
+//! rollback journal's happy-path overhead (journal on/off A/B) and the
+//! cost of failpoint-killed batches (rollback + retry recovery), gated
+//! against a cold-solve reference.
 
 use dualsim_bench::{
     chi_report_json, default_datasets, fixpoint_report_json, incremental_report_json,
     quotient_report_json, render_table, run_chi_backend_ablation, run_fixpoint_incremental,
-    run_fixpoint_solve, run_incremental_churn, run_iterations, run_pruning_power,
-    run_quotient_ablation, run_simulation_spectrum, run_slab_ablation, run_strategies_ablation,
-    run_table2, run_table3, run_table45, secs, slab_report_json, strategies_report_json,
-    tiny_datasets, Datasets,
+    run_fixpoint_solve, run_incremental_chaos, run_incremental_churn, run_iterations,
+    run_journal_overhead, run_pruning_power, run_quotient_ablation, run_simulation_spectrum,
+    run_slab_ablation, run_strategies_ablation, run_table2, run_table3, run_table45, secs,
+    slab_report_json, strategies_report_json, tiny_datasets, Datasets,
 };
 use dualsim_core::DrainStrategy;
 use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
@@ -36,6 +39,7 @@ use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut chaos = false;
     let mut out_path: Option<String> = None;
     let mut threads = 1usize;
     let mut which = "all".to_owned();
@@ -43,6 +47,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             "--out" => {
                 out_path = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("--out needs a value");
@@ -85,7 +90,7 @@ fn main() {
         "pruning-power" => pruning_power(&data),
         "spectrum" => spectrum(&data),
         "fixpoint" => fixpoint(&data, smoke, threads, &out("BENCH_fixpoint.json")),
-        "incremental" => incremental(&data, smoke, threads, &out("BENCH_incremental.json")),
+        "incremental" => incremental(&data, smoke, chaos, threads, &out("BENCH_incremental.json")),
         "strategies" => strategies(&data, smoke, &out("BENCH_strategies.json")),
         "quotient" => quotient(&data, smoke, &out("BENCH_quotient.json")),
         "chi-backend" => chi_backend(&data, smoke, &out("BENCH_chi.json")),
@@ -105,7 +110,7 @@ fn main() {
             pruning_power(&data);
             spectrum(&data);
             fixpoint(&data, smoke, threads, &out("BENCH_fixpoint.json"));
-            incremental(&data, smoke, threads, "BENCH_incremental.json");
+            incremental(&data, smoke, chaos, threads, "BENCH_incremental.json");
             strategies(&data, smoke, "BENCH_strategies.json");
             quotient(&data, smoke, "BENCH_quotient.json");
             chi_backend(&data, smoke, "BENCH_chi.json");
@@ -269,8 +274,12 @@ fn fixpoint(data: &Datasets, smoke: bool, threads: usize, out_path: &str) {
 /// asserted inside the run) and must stay warm through every batch —
 /// zero cold re-solves on the insertion path. With `--threads N > 1` a
 /// sequential reference run gates work-count parity of the sharded
-/// drain.
-fn incremental(data: &Datasets, smoke: bool, threads: usize, out_path: &str) {
+/// drain. With `--chaos` two robustness harnesses run on top: the
+/// journal-on/off A/B (gates the happy-path journal overhead at zero
+/// logical ops) and the failpoint chaos churn (kills every other batch
+/// mid-maintenance, gates rollback + retry recovery to a cold-solve
+/// match), both recorded in the report's `journal` / `chaos` sections.
+fn incremental(data: &Datasets, smoke: bool, chaos: bool, threads: usize, out_path: &str) {
     let drain = if threads > 1 {
         DrainStrategy::Sharded { threads }
     } else {
@@ -301,9 +310,87 @@ fn incremental(data: &Datasets, smoke: bool, threads: usize, out_path: &str) {
             &table
         )
     );
+    let (journal_rows, chaos_rows) = if chaos {
+        println!("\n== Rollback journal: happy-path overhead (same stream, journal on/off) ==\n");
+        let journal_rows = run_journal_overhead(data, &["L0", "L1"], batches, stride, drain);
+        let table: Vec<Vec<String>> = journal_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.clone(),
+                    r.mode.to_owned(),
+                    r.batches.to_string(),
+                    secs(r.wall),
+                    r.ops.to_string(),
+                    r.journal_entries.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &["Scenario", "journal", "batches", "wall", "ops", "entries"],
+                &table
+            )
+        );
+        for pair in journal_rows.chunks(2) {
+            let (on, off) = (&pair[0], &pair[1]);
+            println!(
+                "{}: journal wall overhead {:+.1}% at identical logical ops ({} entries)",
+                on.id,
+                100.0 * (on.wall.as_secs_f64() / off.wall.as_secs_f64().max(1e-9) - 1.0),
+                on.journal_entries
+            );
+        }
+
+        println!("\n== Chaos churn: failpoint kills, rollback + retry recovery ==\n");
+        let chaos_rows = run_incremental_chaos(data, &["L0", "L1"], batches, stride, drain);
+        let table: Vec<Vec<String>> = chaos_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.clone(),
+                    r.site.to_owned(),
+                    format!("{}/{}", r.killed, r.batches),
+                    r.rollbacks.to_string(),
+                    secs(r.rollback_wall),
+                    secs(r.recovery_wall),
+                    secs(r.maintain_wall),
+                    if r.recovered { "yes" } else { "NO" }.to_owned(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &["Scenario", "site", "killed", "rollbacks", "rollback wall", "recovery wall",
+                  "maintain wall", "recovered"],
+                &table
+            )
+        );
+        // Hard gates — chaos runs are correctness evidence, not timing.
+        for r in &chaos_rows {
+            assert!(
+                r.recovered,
+                "{}/{}: recovered solution diverged from the cold solve",
+                r.id, r.site
+            );
+            assert!(r.killed > 0, "{}/{}: no batch was killed", r.id, r.site);
+            assert_eq!(
+                r.rollbacks, r.killed,
+                "{}/{}: every kill must be answered by exactly one rollback",
+                r.id, r.site
+            );
+        }
+        println!("every killed batch rolled back and recovered to the cold-solve solution");
+        (journal_rows, chaos_rows)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
     // Write the report before any gating so a regression still leaves
     // the machine-readable evidence behind.
-    let json = incremental_report_json(data, drain, &rows);
+    let json = incremental_report_json(data, drain, &rows, &journal_rows, &chaos_rows);
     write_report(out_path, &json);
 
     if threads > 1 {

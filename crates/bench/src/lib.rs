@@ -570,7 +570,7 @@ pub fn run_fixpoint_incremental(
                 let db_after = db.with_triples(&remaining).unwrap();
                 let before_ops = inc.solution().stats.work_ops();
                 let start = Instant::now();
-                dropped += inc.apply_deletions(&db_after, batch);
+                dropped += inc.apply_deletions(&db_after, batch).unwrap();
                 wall += start.elapsed();
                 let after = inc.solution();
                 // Re-evaluation reports per-call stats, the persistent
@@ -803,9 +803,9 @@ pub fn run_incremental_churn(
                     let before = inc.solution().stats.clone();
                     let start_t = Instant::now();
                     if *insert {
-                        inc.apply_insertions(&db_after, batch);
+                        inc.apply_insertions(&db_after, batch).unwrap();
                     } else {
-                        inc.apply_deletions(&db_after, batch);
+                        inc.apply_deletions(&db_after, batch).unwrap();
                     }
                     wall += start_t.elapsed();
                     let after = &inc.solution().stats;
@@ -856,18 +856,255 @@ pub fn run_incremental_churn(
     rows
 }
 
+/// One engine's cost over a deletion churn with the rollback journal on
+/// vs. off ([`run_journal_overhead`]) — the happy-path price of epoch
+/// protection.
+#[derive(Debug, Clone)]
+pub struct JournalOverheadRow {
+    /// Scenario id (`<query>-journal`).
+    pub id: String,
+    /// `journal-on` / `journal-off`.
+    pub mode: &'static str,
+    /// Update batches applied.
+    pub batches: usize,
+    /// Wall time summed over all maintenance calls.
+    pub wall: Duration,
+    /// Logical work operations summed over all updates.
+    pub ops: usize,
+    /// Journal records written (0 with the journal off).
+    pub journal_entries: usize,
+}
+
+/// Measures the happy-path cost of the rollback journal: the same
+/// deletion churn stream is maintained twice, once with the per-batch
+/// journal on (the default) and once with it off. Journaling is pure
+/// bookkeeping — the run asserts the logical work counters are
+/// bit-identical either way — so the wall-time delta between the two
+/// rows *is* the journal overhead.
+pub fn run_journal_overhead(
+    data: &Datasets,
+    ids: &[&str],
+    batches: usize,
+    stride: usize,
+    drain: DrainStrategy,
+) -> Vec<JournalOverheadRow> {
+    use dualsim_graph::Triple;
+    let mut rows = Vec::new();
+    for bench in all_queries().iter().filter(|b| ids.contains(&b.id)) {
+        let db = data.for_query(bench);
+        let soi = match build_sois(db, &bench.query).pop() {
+            Some(soi) => soi,
+            None => continue,
+        };
+        let all: Vec<Triple> = db.triples().collect();
+        let victims: Vec<Triple> = all.iter().copied().step_by(stride.max(1)).collect();
+        let chunk = victims.len().div_ceil(batches.max(1)).max(1);
+        let chunks: Vec<Vec<Triple>> = victims.chunks(chunk).map(<[Triple]>::to_vec).collect();
+
+        let mut per_mode: Vec<JournalOverheadRow> = Vec::new();
+        for (mode, journal) in [("journal-on", true), ("journal-off", false)] {
+            let cfg = SolverConfig {
+                fixpoint: FixpointMode::DeltaCounting,
+                drain,
+                early_exit: false,
+                journal,
+                ..SolverConfig::default()
+            };
+            let mut inc = IncrementalDualSim::new(db, soi.clone(), cfg);
+            let mut present: Vec<Triple> = all.clone();
+            let mut wall = Duration::ZERO;
+            for batch in &chunks {
+                let batch_set: std::collections::HashSet<Triple> =
+                    batch.iter().copied().collect();
+                present.retain(|t| !batch_set.contains(t));
+                let db_after = db.with_triples(&present).unwrap();
+                let start_t = Instant::now();
+                inc.apply_deletions(&db_after, batch).unwrap();
+                wall += start_t.elapsed();
+            }
+            let stats = inc.maintenance_stats().clone();
+            per_mode.push(JournalOverheadRow {
+                id: format!("{}-journal", bench.id),
+                mode,
+                batches: chunks.len(),
+                wall,
+                ops: stats.work_ops(),
+                journal_entries: stats.journal_entries,
+            });
+        }
+        assert_eq!(
+            per_mode[0].ops, per_mode[1].ops,
+            "{}: the journal changed the logical work",
+            per_mode[0].id
+        );
+        assert!(
+            per_mode[0].journal_entries > 0 && per_mode[1].journal_entries == 0,
+            "{}: journal accounting is off ({} on / {} off entries)",
+            per_mode[0].id,
+            per_mode[0].journal_entries,
+            per_mode[1].journal_entries
+        );
+        rows.extend(per_mode);
+    }
+    rows
+}
+
+/// One chaos-churn measurement of [`run_incremental_chaos`]: a mixed
+/// churn stream with a failpoint killing maintenance mid-batch, the
+/// rollback absorbed and the batch retried.
+#[derive(Debug, Clone)]
+pub struct ChaosChurnRow {
+    /// Scenario id (`<query>-chaos`).
+    pub id: String,
+    /// Failpoint site the kills were injected at.
+    pub site: &'static str,
+    /// Update batches in the stream.
+    pub batches: usize,
+    /// Batches killed by the failpoint (each rolled back, then retried).
+    pub killed: usize,
+    /// Rollbacks the engine recorded ([`SolveStats::rollbacks`]).
+    pub rollbacks: usize,
+    /// Wall time spent inside the killed maintenance calls (injection
+    /// up to the completed rollback).
+    pub rollback_wall: Duration,
+    /// Wall time of the retries that re-applied the killed batches.
+    pub recovery_wall: Duration,
+    /// Wall time of the undisturbed maintenance calls.
+    pub maintain_wall: Duration,
+    /// `true` iff the final maintained χ matches a cold solve of the
+    /// final database bit for bit.
+    pub recovered: bool,
+}
+
+/// The chaos churn: a mixed insertion/deletion stream where every other
+/// batch is killed mid-maintenance by a deterministic failpoint. The
+/// epoch journal rolls each killed batch back; the harness then retries
+/// it with the failpoint disarmed and, at the end of the stream, checks
+/// the maintained solution against a cold solve. Measures what a
+/// mid-flight fault costs (rollback wall time) and what recovery costs
+/// (retry wall time) next to the undisturbed batches.
+pub fn run_incremental_chaos(
+    data: &Datasets,
+    ids: &[&str],
+    batches: usize,
+    stride: usize,
+    drain: DrainStrategy,
+) -> Vec<ChaosChurnRow> {
+    use dualsim_core::{failpoints, MaintainError};
+    use dualsim_graph::Triple;
+    let mut rows = Vec::new();
+    for bench in all_queries().iter().filter(|b| ids.contains(&b.id)) {
+        let db = data.for_query(bench);
+        let soi = match build_sois(db, &bench.query).pop() {
+            Some(soi) => soi,
+            None => continue,
+        };
+        let all: Vec<Triple> = db.triples().collect();
+        let victims: Vec<Triple> = all.iter().copied().step_by(stride.max(1)).collect();
+        let victim_set: std::collections::HashSet<Triple> = victims.iter().copied().collect();
+        let without: Vec<Triple> = all
+            .iter()
+            .copied()
+            .filter(|t| !victim_set.contains(t))
+            .collect();
+        let chunk = victims.len().div_ceil(batches.max(1)).max(1);
+        let chunks: Vec<Vec<Triple>> = victims.chunks(chunk).map(<[Triple]>::to_vec).collect();
+        let script: Vec<(bool, Vec<Triple>)> = chunks
+            .iter()
+            .flat_map(|c| [(true, c.clone()), (false, c.clone())])
+            .collect();
+
+        for site in ["counter-increment", "pre-drain"] {
+            let cfg = SolverConfig {
+                fixpoint: FixpointMode::DeltaCounting,
+                drain,
+                early_exit: false,
+                ..SolverConfig::default()
+            };
+            let db_start = db.with_triples(&without).unwrap();
+            let mut inc = IncrementalDualSim::new(&db_start, soi.clone(), cfg.clone());
+            let mut present: Vec<Triple> = without.clone();
+            let (mut killed, mut rollback_wall) = (0usize, Duration::ZERO);
+            let (mut recovery_wall, mut maintain_wall) = (Duration::ZERO, Duration::ZERO);
+            for (k, (insert, batch)) in script.iter().enumerate() {
+                if *insert {
+                    present.extend(batch.iter().copied());
+                } else {
+                    let batch_set: std::collections::HashSet<Triple> =
+                        batch.iter().copied().collect();
+                    present.retain(|t| !batch_set.contains(t));
+                }
+                let db_after = db.with_triples(&present).unwrap();
+                // Kill every other batch on its first pass through the
+                // site; the countdown keeps the schedule deterministic.
+                let inject = k % 2 == 0;
+                if inject {
+                    failpoints::arm(site, 0);
+                }
+                let start_t = Instant::now();
+                let first = if *insert {
+                    inc.apply_insertions(&db_after, batch).map(|_| ())
+                } else {
+                    inc.apply_deletions(&db_after, batch).map(|_| ())
+                };
+                match first {
+                    Ok(()) => {
+                        maintain_wall += start_t.elapsed();
+                        assert!(!inject, "armed failpoint {site} did not fire on batch {k}");
+                    }
+                    Err(MaintainError::Failpoint { .. }) => {
+                        rollback_wall += start_t.elapsed();
+                        killed += 1;
+                        failpoints::disarm_all();
+                        let retry_t = Instant::now();
+                        let retried = if *insert {
+                            inc.apply_insertions(&db_after, batch).map(|_| ())
+                        } else {
+                            inc.apply_deletions(&db_after, batch).map(|_| ())
+                        };
+                        retried.unwrap();
+                        recovery_wall += retry_t.elapsed();
+                    }
+                    Err(e) => panic!("{}-chaos/{site}: unexpected error {e}", bench.id),
+                }
+            }
+            failpoints::disarm_all();
+            let db_final = db.with_triples(&present).unwrap();
+            let cold = solve(&db_final, &soi, &cfg);
+            let recovered = inc.solution().chi == cold.chi;
+            rows.push(ChaosChurnRow {
+                id: format!("{}-chaos", bench.id),
+                site,
+                batches: script.len(),
+                killed,
+                rollbacks: inc.maintenance_stats().rollbacks,
+                rollback_wall,
+                recovery_wall,
+                maintain_wall,
+                recovered,
+            });
+        }
+    }
+    rows
+}
+
 /// Renders the churn ablation as the machine-readable
-/// `BENCH_incremental.json` document (schema `dualsim-incremental-v1`;
+/// `BENCH_incremental.json` document (schema `dualsim-incremental-v2`;
 /// hand-rolled writer — the workspace has no serde). Tracks per scenario
 /// and engine the maintenance work, the re-activation frontier size and
-/// how many batches stayed warm.
+/// how many batches stayed warm; the optional `journal` and `chaos`
+/// sections (populated by `experiments incremental --chaos`) record the
+/// rollback journal's happy-path cost and the measured rollback/recovery
+/// overhead under injected faults.
 pub fn incremental_report_json(
     data: &Datasets,
     drain: DrainStrategy,
     rows: &[IncrementalChurnRow],
+    journal_rows: &[JournalOverheadRow],
+    chaos_rows: &[ChaosChurnRow],
 ) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"dualsim-incremental-v1\",\n");
+    out.push_str("{\n  \"schema\": \"dualsim-incremental-v2\",\n");
     out.push_str(&datasets_json(data));
     out.push_str(&format!("  \"drain_threads\": {},\n", drain.threads()));
     out.push_str("  \"churn\": [\n");
@@ -886,6 +1123,38 @@ pub fn incremental_report_json(
             r.reactivations,
             r.warm_batches,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"journal\": [\n");
+    for (i, r) in journal_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"mode\": {}, \"batches\": {}, \"wall_s\": {:.6}, \
+             \"ops\": {}, \"journal_entries\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.mode),
+            r.batches,
+            r.wall.as_secs_f64(),
+            r.ops,
+            r.journal_entries,
+            if i + 1 == journal_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"chaos\": [\n");
+    for (i, r) in chaos_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"site\": {}, \"batches\": {}, \"killed\": {}, \
+             \"rollbacks\": {}, \"rollback_wall_s\": {:.6}, \"recovery_wall_s\": {:.6}, \
+             \"maintain_wall_s\": {:.6}, \"recovered\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.site),
+            r.batches,
+            r.killed,
+            r.rollbacks,
+            r.rollback_wall.as_secs_f64(),
+            r.recovery_wall.as_secs_f64(),
+            r.maintain_wall.as_secs_f64(),
+            r.recovered,
+            if i + 1 == chaos_rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -373,6 +373,16 @@ impl CounterSlab {
             Repr::Sparse(s) => s.decrement(w),
         }
     }
+
+    /// Drops the seeded storage, returning the slab to the unseeded
+    /// state for its current backend — the rollback-journal inverse of
+    /// a lazy-seed promotion. A spilled sparse slab unseeds back to
+    /// plain sparse (the spill is storage-local and reproduced
+    /// deterministically on re-seed). No-op on an unseeded slab.
+    pub fn unseed(&mut self) {
+        let sparse = self.backend() == SlabBackend::Sparse;
+        self.repr = Repr::Unseeded { sparse };
+    }
 }
 
 /// The sparse seeding pass: hash-counter increments per selected run's
@@ -611,6 +621,24 @@ mod tests {
                 assert_eq!(a.count(w), b.count(w), "column {w} ({backend:?})");
             }
             assert_eq!(a.storage_words(), b.storage_words());
+        }
+    }
+
+    #[test]
+    fn unseed_reverses_a_lazy_seed_promotion() {
+        for backend in BACKENDS {
+            let mut slab = CounterSlab::unseeded(backend);
+            let m = BitMatrix::from_edges(5, &[(0, 1), (0, 2), (1, 0)]);
+            slab.seed(&m, &BitVec::ones(5));
+            assert!(slab.is_seeded());
+            slab.unseed();
+            assert!(!slab.is_seeded());
+            assert_eq!(slab.storage_words(), 0);
+            assert_eq!(slab.backend(), backend, "backend survives the unseed");
+            // Re-seeding after an unseed reproduces the original state.
+            let inits = slab.seed(&m, &BitVec::ones(5));
+            assert_eq!(inits, 3);
+            assert_eq!(slab.count(1), 1);
         }
     }
 

@@ -88,6 +88,8 @@
 //! [`CounterSlab`]: dualsim_bitmatrix::CounterSlab
 //! [`SolveStats`]: crate::SolveStats
 
+use crate::errors::MaintainError;
+use crate::failpoints;
 use crate::solver::{
     apply_summary_init, chi_words, evaluation_order, resolve_chi_backend, resolve_slab_backend,
     seed_chi, split_pair,
@@ -95,6 +97,66 @@ use crate::solver::{
 use crate::{InitMode, Inequality, SimulationKind, Soi, Solution, SolveStats, SolverConfig};
 use dualsim_bitmatrix::{BitMatrix, ChiBackend, ChiVec, CounterSlab};
 use dualsim_graph::{GraphDb, Triple};
+
+/// One undo record of the epoch rollback journal. Records are appended
+/// as the mutation happens and replayed in reverse by
+/// [`DeltaSolver::abort_epoch`]; each op's undo is its exact inverse,
+/// so a reverse replay restores the pre-epoch χ and counters bit for
+/// bit. `counts`, `stats` and the liveness flag are snapshot-restored
+/// wholesale instead of op-by-op (they are small and epoch-begin
+/// captures them in O(#vars)).
+#[derive(Debug, Clone)]
+enum JournalOp {
+    /// χ\[v\] gained bit w (insertion re-admission); undo: clear it.
+    ChiSet { v: u32, w: u32 },
+    /// χ\[v\] lost bit w (cull, drain, retraction); undo: set it.
+    ChiClear { v: u32, w: u32 },
+    /// `support[i][w]` was incremented; undo: decrement. (A sparse slab
+    /// that spilled to dense on the increment stays spilled — the spill
+    /// is a storage representation, counts and all future logical work
+    /// are identical, and the storage gauges are snapshot-restored.)
+    SlabInc { i: u32, w: u32 },
+    /// `support[i][w]` was decremented; undo: increment.
+    SlabDec { i: u32, w: u32 },
+    /// `support[i]` was lazily seeded this epoch; undo:
+    /// [`CounterSlab::unseed`] (the deferral certificate held before
+    /// the batch, so it holds again once the batch is rolled back).
+    SlabSeeded { i: u32 },
+    /// [`DeltaSolver::kill`] ran (early exit mid-epoch): χ was bulk
+    /// cleared, so the undo restores this pre-kill snapshot and the
+    /// remaining journal unwinds from there.
+    Killed { chi: Vec<ChiVec> },
+}
+
+/// The undo state captured by [`DeltaSolver::begin_epoch`] when
+/// `SolverConfig::journal` is on.
+#[derive(Debug, Clone)]
+struct Journal {
+    ops: Vec<JournalOp>,
+    /// Pre-epoch work counters, restored wholesale on abort (the
+    /// robustness counters are then re-bumped on top, so degradations
+    /// stay observable across their own rollback).
+    stats: SolveStats,
+    /// Pre-epoch per-variable candidate counts.
+    counts: Vec<usize>,
+    /// Pre-epoch liveness.
+    dead: bool,
+}
+
+/// One in-flight maintenance epoch: every `retract_triples` /
+/// `insert_triples` batch runs inside one, so a mid-flight error
+/// (failpoint, budget exhaustion) rolls the engine back to the exact
+/// pre-batch state instead of leaving half-applied counters.
+#[derive(Debug, Clone)]
+struct Epoch {
+    /// `None` iff `SolverConfig::journal` is off — the epoch then still
+    /// scopes the drain budget and failpoints, but an abort cannot
+    /// restore state and poisons the engine instead.
+    journal: Option<Journal>,
+    /// [`SolveStats::work_ops`] at epoch begin: the drain budget bounds
+    /// the work *of this batch*, not the engine's lifetime total.
+    work_at_begin: usize,
+}
 
 /// One-shot entry point used by [`crate::solve_from`] for
 /// [`crate::FixpointMode::DeltaCounting`].
@@ -150,6 +212,11 @@ struct ShardUnit {
     row_lookups: usize,
     inits: usize,
     lazy_seeded: bool,
+    /// Columns decremented this round, recorded for the rollback
+    /// journal (`Some` iff the drain runs inside a journaling epoch);
+    /// the merge step folds them into the epoch's undo log on the
+    /// coordinator thread.
+    journal: Option<Vec<u32>>,
 }
 
 impl ShardUnit {
@@ -189,6 +256,9 @@ impl ShardUnit {
                     matrix.rows_segment(removals[i] as usize, removals[j - 1] as usize + 1);
                 for &w in segment {
                     self.decrements += 1;
+                    if let Some(log) = &mut self.journal {
+                        log.push(w);
+                    }
                     if self.slab.decrement(w as usize) == 0 && target.get(w as usize) {
                         self.proposals.push(w);
                     }
@@ -200,6 +270,9 @@ impl ShardUnit {
                 self.row_lookups += 1;
                 for &w in matrix.row(u as usize) {
                     self.decrements += 1;
+                    if let Some(log) = &mut self.journal {
+                        log.push(w);
+                    }
                     if self.slab.decrement(w as usize) == 0 && target.get(w as usize) {
                         self.proposals.push(w);
                     }
@@ -300,6 +373,15 @@ pub(crate) struct DeltaSolver {
     /// Set once an early exit emptied everything; the state is final and
     /// the counters are no longer meaningful.
     dead: bool,
+    /// The in-flight maintenance epoch (`Some` between `begin_epoch`
+    /// and commit/abort); cold solves never open one.
+    epoch: Option<Epoch>,
+    /// Set when a batch was aborted without a trustworthy rollback
+    /// (budget exhaustion, rollback failure, journaling off): the state
+    /// may be inconsistent, so every further maintenance call refuses
+    /// with [`MaintainError::Poisoned`] until the owner rebuilds from a
+    /// cold solve.
+    poisoned: bool,
 }
 
 impl DeltaSolver {
@@ -378,6 +460,8 @@ impl DeltaSolver {
             run_aware: chi_backend == ChiBackend::Rle,
             stats,
             dead: false,
+            epoch: None,
+            poisoned: false,
         };
 
         // A mandatory variable may be empty straight after initialization
@@ -523,7 +607,9 @@ impl DeltaSolver {
 
         // Seed enforcement can split RLE runs; sample before draining.
         solver.stats.observe_chi_words(solver.chi_word_total);
-        if early || solver.drain(db, soi, config) {
+        // A cold solve runs outside any epoch, so the drain can neither
+        // hit the budget nor a failpoint — the Err arm is unreachable.
+        if early || solver.drain(db, soi, config).unwrap_or(false) {
             solver.kill();
         } else if !soi.ineqs.is_empty() {
             // The worklist-drain equivalent of one stabilization pass.
@@ -550,16 +636,41 @@ impl DeltaSolver {
     /// cascade through the regular delta worklist. No inequality is ever
     /// re-evaluated wholesale; a still-deferred inequality is seeded on
     /// this first touch, against the post-deletion matrices.
+    ///
+    /// The batch runs inside an update epoch: on any mid-flight error
+    /// (failpoint, drain-budget exhaustion) the rollback journal
+    /// restores the exact pre-batch state and the error is returned —
+    /// χ, counters and the logical stats are bit-identical to before
+    /// the call. Out-of-vocabulary triples are rejected up front, state
+    /// untouched. A poisoned engine refuses immediately.
     pub(crate) fn retract_triples(
         &mut self,
         db_after: &GraphDb,
         soi: &Soi,
         config: &SolverConfig,
         deleted: &[Triple],
-    ) {
-        if self.dead {
-            return; // early-exited: the empty solution is final
+    ) -> Result<(), MaintainError> {
+        if self.poisoned {
+            return Err(MaintainError::Poisoned);
         }
+        if self.dead {
+            return Ok(()); // early-exited: the empty solution is final
+        }
+        validate_batch(db_after, deleted)?;
+        self.begin_epoch(config);
+        let result = self.retract_inner(db_after, soi, config, deleted);
+        self.finish_epoch(result)
+    }
+
+    /// The epoch body of [`Self::retract_triples`]; every `?` inside is
+    /// an abort point the wrapper rolls back.
+    fn retract_inner(
+        &mut self,
+        db_after: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+        deleted: &[Triple],
+    ) -> Result<(), MaintainError> {
         // A duplicated triple must not decrement twice: the edge
         // relation is a set, so the matrix lost the entry exactly once.
         let mut batch: Vec<Triple> = deleted.to_vec();
@@ -582,6 +693,7 @@ impl DeltaSolver {
         let mut zeroed: Vec<(usize, u32)> = Vec::new();
         let mut seeded_this_batch = vec![false; soi.ineqs.len()];
         for t in &batch {
+            failpoints::check("counter-increment")?;
             for (i, ineq) in soi.ineqs.iter().enumerate() {
                 let Inequality::Edge {
                     target,
@@ -601,6 +713,7 @@ impl DeltaSolver {
                     self.stats.counter_inits += inits;
                     self.stats.lazy_seeds += 1;
                     self.slab_word_total += self.support[i].storage_words();
+                    self.journal_op(JournalOp::SlabSeeded { i: i as u32 });
                     seeded_this_batch[i] = true;
                     zeroed.extend(
                         unsupported(&self.support[i], &self.chi[target]).map(|w| (target, w)),
@@ -613,6 +726,10 @@ impl DeltaSolver {
                     continue;
                 }
                 self.stats.counter_decrements += 1;
+                self.journal_op(JournalOp::SlabDec {
+                    i: i as u32,
+                    w,
+                });
                 if self.support[i].decrement(w as usize) == 0 {
                     zeroed.push((target, w));
                 }
@@ -631,12 +748,14 @@ impl DeltaSolver {
                 }
             }
         }
-        if early || self.drain(db_after, soi, config) {
+        failpoints::check("pre-drain")?;
+        if early || self.drain(db_after, soi, config)? {
             self.kill();
         }
         self.stats.observe_chi_words(self.chi_word_total);
         self.stats.observe_slab_words(self.slab_word_total);
         self.stats.final_candidates = self.counts.iter().sum();
+        Ok(())
     }
 
     /// Maintains the largest solution after the given triples were
@@ -677,24 +796,49 @@ impl DeltaSolver {
     ///    proportional to the inserted triples' neighbourhood instead
     ///    of a cold re-solve.
     ///
-    /// Returns `false` iff the engine is dead (a previous early exit
+    /// Returns `Ok(false)` iff the engine is dead (a previous early exit
     /// emptied the state for good; insertions can revive a legitimately
     /// empty solution, but a killed engine discarded the counters the
     /// revival would need) — the caller must then fall back to a cold
     /// solve. The state is untouched in that case.
+    ///
+    /// Like [`Self::retract_triples`], the batch runs inside an update
+    /// epoch: any mid-flight error rolls back to the exact pre-batch
+    /// state before the error is returned, out-of-vocabulary triples
+    /// are rejected up front, and a poisoned engine refuses
+    /// immediately.
     pub(crate) fn insert_triples(
         &mut self,
         db_after: &GraphDb,
         soi: &Soi,
         config: &SolverConfig,
         inserted: &[Triple],
-    ) -> bool {
+    ) -> Result<bool, MaintainError> {
+        if self.poisoned {
+            return Err(MaintainError::Poisoned);
+        }
         if self.dead {
-            return false;
+            return Ok(false);
         }
         if inserted.is_empty() {
-            return true;
+            return Ok(true);
         }
+        validate_batch(db_after, inserted)?;
+        self.begin_epoch(config);
+        let result = self.insert_inner(db_after, soi, config, inserted);
+        self.finish_epoch(result)?;
+        Ok(true)
+    }
+
+    /// The epoch body of [`Self::insert_triples`]; every `?` inside is
+    /// an abort point the wrapper rolls back.
+    fn insert_inner(
+        &mut self,
+        db_after: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+        inserted: &[Triple],
+    ) -> Result<(), MaintainError> {
         // The edge relation is a set: a duplicated triple entered the
         // matrix once and must count once.
         let mut batch: Vec<Triple> = inserted.to_vec();
@@ -713,6 +857,7 @@ impl DeltaSolver {
         let mut attempts: Vec<(usize, u32)> = Vec::new();
         let mut seeded_this_batch = vec![false; soi.ineqs.len()];
         for t in &batch {
+            failpoints::check("counter-increment")?;
             for (i, ineq) in soi.ineqs.iter().enumerate() {
                 let Inequality::Edge {
                     target,
@@ -739,6 +884,7 @@ impl DeltaSolver {
                     self.stats.counter_inits += inits;
                     self.stats.lazy_seeds += 1;
                     self.slab_word_total += self.support[i].storage_words();
+                    self.journal_op(JournalOp::SlabSeeded { i: i as u32 });
                     seeded_this_batch[i] = true;
                 }
                 if seeded_this_batch[i] {
@@ -931,7 +1077,9 @@ impl DeltaSolver {
                 }
             }
         }
-        if early || self.drain(db_after, soi, config) {
+        failpoints::check("post-cull")?;
+        failpoints::check("pre-drain")?;
+        if early || self.drain(db_after, soi, config)? {
             self.kill();
         }
         // `emptied_mandatory` is sticky across retractions by design
@@ -946,7 +1094,7 @@ impl DeltaSolver {
         self.stats.observe_chi_words(self.chi_word_total);
         self.stats.observe_slab_words(self.slab_word_total);
         self.stats.final_candidates = self.counts.iter().sum();
-        true
+        Ok(())
     }
 
     /// Clears bit `w` of `chi[v]` and folds the storage-word delta into
@@ -956,6 +1104,10 @@ impl DeltaSolver {
         let before = self.chi[v].storage_words();
         self.chi[v].clear(w);
         self.chi_word_total = self.chi_word_total - before + self.chi[v].storage_words();
+        self.journal_op(JournalOp::ChiClear {
+            v: v as u32,
+            w: w as u32,
+        });
     }
 
     /// Sets bit `w` of `chi[v]` and folds the storage-word delta into
@@ -966,6 +1118,10 @@ impl DeltaSolver {
         let before = self.chi[v].storage_words();
         self.chi[v].set(w);
         self.chi_word_total = self.chi_word_total - before + self.chi[v].storage_words();
+        self.journal_op(JournalOp::ChiSet {
+            v: v as u32,
+            w: w as u32,
+        });
     }
 
     /// Increments `support[i][w]` (the slab must be seeded) and folds
@@ -977,7 +1133,25 @@ impl DeltaSolver {
         let before = self.support[i].storage_words();
         let count = self.support[i].increment(w);
         self.slab_word_total = self.slab_word_total - before + self.support[i].storage_words();
+        self.journal_op(JournalOp::SlabInc {
+            i: i as u32,
+            w: w as u32,
+        });
         count
+    }
+
+    /// Appends one undo record to the epoch journal. Outside an epoch —
+    /// or with journaling off — this is a branch and nothing else, so
+    /// cold solves pay (almost) nothing for passing through the
+    /// journaled mutation helpers.
+    #[inline]
+    fn journal_op(&mut self, op: JournalOp) {
+        if let Some(epoch) = &mut self.epoch {
+            if let Some(journal) = &mut epoch.journal {
+                journal.ops.push(op);
+                self.stats.journal_entries += 1;
+            }
+        }
     }
 
     /// Bookkeeping for a bit that the caller just cleared from `chi[v]`:
@@ -1000,8 +1174,16 @@ impl DeltaSolver {
     /// shards the pending removals by inequality, runs the shard phase
     /// (inline or across scoped threads, per [`SolverConfig::drain`] —
     /// the logical work is identical either way), and merges the
-    /// proposed removals back into χ in inequality order. Returns `true`
-    /// iff an early exit triggered (the state must then be killed).
+    /// proposed removals back into χ in inequality order. Returns
+    /// `Ok(true)` iff an early exit triggered (the state must then be
+    /// killed).
+    ///
+    /// Inside a maintenance epoch every round boundary is a cooperative
+    /// cancellation point: the epoch's work budget
+    /// ([`SolverConfig::drain_budget`]) is checked before the round's
+    /// removals are taken, and the `mid-round` failpoint fires there
+    /// too. Outside an epoch (cold solves) neither check runs and the
+    /// `Err` arm is unreachable.
     ///
     /// Two invisible-to-the-counters engineering details:
     ///
@@ -1017,9 +1199,30 @@ impl DeltaSolver {
     ///   even under [`crate::DrainStrategy::Sharded`] — same algorithm,
     ///   same χ, same counters, no thread-spawn overhead for a handful
     ///   of removals.
-    fn drain(&mut self, db: &GraphDb, soi: &Soi, config: &SolverConfig) -> bool {
+    fn drain(
+        &mut self,
+        db: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+    ) -> Result<bool, MaintainError> {
         let thread_budget = config.drain.threads();
+        let journaling = self
+            .epoch
+            .as_ref()
+            .is_some_and(|epoch| epoch.journal.is_some());
         while !self.queue.is_empty() {
+            // Cooperative cancellation at the round boundary: the queue
+            // is intact and the scratch buffers are clean, so an Err
+            // here leaves nothing half-merged for the rollback to chase.
+            if let Some(epoch) = &self.epoch {
+                if let Some(budget) = config.drain_budget {
+                    let spent = self.stats.work_ops().saturating_sub(epoch.work_at_begin);
+                    if spent > budget {
+                        return Err(MaintainError::BudgetExceeded { budget, spent });
+                    }
+                }
+                failpoints::check("mid-round")?;
+            }
             let batch = std::mem::take(&mut self.queue);
             self.stats.drain_rounds += 1;
             self.stats.delta_removals += batch.len();
@@ -1078,6 +1281,7 @@ impl DeltaSolver {
                         run_aware: self.run_aware,
                         slab: std::mem::take(&mut self.support[i as usize]),
                         proposals: self.proposal_pool.pop().unwrap_or_default(),
+                        journal: journaling.then(Vec::new),
                         decrements: 0,
                         row_lookups: 0,
                         inits: 0,
@@ -1112,6 +1316,10 @@ impl DeltaSolver {
                         })
                         .collect();
                     for h in handles {
+                        // Structural invariant: a shard worker only
+                        // reads frozen state and its own unit; a panic
+                        // there is a bug, not a recoverable condition.
+                        #[allow(clippy::expect_used)]
                         h.join().expect("drain shard panicked");
                     }
                 });
@@ -1127,13 +1335,24 @@ impl DeltaSolver {
             let mut unit_iter = units.drain(..).peekable();
             for &i in &agenda {
                 if unit_iter.peek().map(|u| u.ineq) == Some(i) {
-                    let unit = unit_iter.next().expect("peeked");
+                    // Structural invariant: peek just returned Some.
+                    #[allow(clippy::expect_used)]
+                    let mut unit = unit_iter.next().expect("peeked");
                     self.stats.counter_decrements += unit.decrements;
                     self.stats.counter_inits += unit.inits;
                     self.stats.row_lookups += unit.row_lookups;
                     if unit.lazy_seeded {
                         self.stats.lazy_seeds += 1;
                         self.slab_word_total += unit.slab.storage_words();
+                        self.journal_op(JournalOp::SlabSeeded { i });
+                    }
+                    // Fold the shard's decrement log into the epoch
+                    // journal (seed first: reverse replay then undoes
+                    // the decrements before dropping the seed).
+                    if let Some(log) = unit.journal.take() {
+                        for &w in &log {
+                            self.journal_op(JournalOp::SlabDec { i, w });
+                        }
                     }
                     let target = unit.target as usize;
                     let mut proposals = unit.proposals;
@@ -1187,15 +1406,26 @@ impl DeltaSolver {
             self.stats.observe_chi_words(self.chi_word_total);
             self.stats.observe_slab_words(self.slab_word_total);
             if early {
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     /// Early exit: empties every variable (the convention shared with the
     /// re-evaluation engine's `empty_solution`) and freezes the state.
     fn kill(&mut self) {
+        // Wholesale clears are not per-bit ops; journal the pre-kill χ
+        // snapshot instead (only when a journaling epoch is open — the
+        // clone is not free).
+        if self
+            .epoch
+            .as_ref()
+            .is_some_and(|epoch| epoch.journal.is_some())
+        {
+            let snapshot = self.chi.clone();
+            self.journal_op(JournalOp::Killed { chi: snapshot });
+        }
         for c in self.chi.iter_mut() {
             c.clear_all();
         }
@@ -1205,6 +1435,158 @@ impl DeltaSolver {
         self.queue.clear();
         self.dead = true;
     }
+
+    /// `true` iff an aborted batch left the engine without a trustworthy
+    /// rollback; the owner must rebuild from a cold solve.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The engine's cumulative work counters (no χ clone, unlike
+    /// [`Self::solution`]).
+    pub(crate) fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Folds the robustness counters of a previous engine's stats into
+    /// this one — used by [`crate::IncrementalDualSim`] when a poisoned
+    /// engine is replaced by a cold rebuild, so `rollbacks`/`poisonings`
+    /// /`budget_aborts`/`journal_entries` keep counting across the
+    /// engine's lifetimes.
+    pub(crate) fn carry_robustness_from(&mut self, prev: &SolveStats) {
+        self.stats.rollbacks += prev.rollbacks;
+        self.stats.poisonings += prev.poisonings;
+        self.stats.budget_aborts += prev.budget_aborts;
+        self.stats.journal_entries += prev.journal_entries;
+    }
+
+    /// Opens the update epoch for one maintenance batch: snapshots the
+    /// cheap scalar state (stats, counts, liveness) and starts an empty
+    /// journal when [`SolverConfig::journal`] is on. The work-ops
+    /// watermark anchors the drain-budget accounting.
+    fn begin_epoch(&mut self, config: &SolverConfig) {
+        debug_assert!(self.epoch.is_none(), "maintenance epochs never nest");
+        debug_assert!(self.queue.is_empty(), "worklist drained between batches");
+        let journal = config.journal.then(|| Journal {
+            ops: Vec::new(),
+            stats: self.stats.clone(),
+            counts: self.counts.clone(),
+            dead: self.dead,
+        });
+        self.epoch = Some(Epoch {
+            journal,
+            work_at_begin: self.stats.work_ops(),
+        });
+    }
+
+    /// Commits the epoch: the batch applied fully, so the journal is
+    /// simply dropped.
+    fn commit_epoch(&mut self) {
+        self.epoch = None;
+    }
+
+    /// Routes the epoch body's outcome: commit on success, roll back on
+    /// error (applying the poison policy), and hand the original error
+    /// back to the caller.
+    fn finish_epoch(&mut self, result: Result<(), MaintainError>) -> Result<(), MaintainError> {
+        match result {
+            Ok(()) => {
+                self.commit_epoch();
+                Ok(())
+            }
+            Err(cause) => {
+                self.handle_abort(&cause);
+                Err(cause)
+            }
+        }
+    }
+
+    /// The degradation ladder for an aborted batch. A successful
+    /// rollback restores the pre-batch state and counts in `rollbacks`;
+    /// budget exhaustion additionally poisons the engine (the batch was
+    /// too expensive to maintain incrementally — retrying would burn the
+    /// same budget again, so the owner should fall back to a cold
+    /// solve). A failed rollback (or journaling turned off) poisons
+    /// without restoring: the state cannot be trusted in either
+    /// direction.
+    fn handle_abort(&mut self, cause: &MaintainError) {
+        let budget_abort = matches!(cause, MaintainError::BudgetExceeded { .. });
+        match self.abort_epoch() {
+            Ok(()) => {
+                self.stats.rollbacks += 1;
+                if budget_abort {
+                    self.stats.budget_aborts += 1;
+                    self.poison();
+                }
+            }
+            Err(_) => {
+                if budget_abort {
+                    self.stats.budget_aborts += 1;
+                }
+                self.poison();
+            }
+        }
+    }
+
+    /// Marks the engine unusable until a cold rebuild.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.stats.poisonings += 1;
+    }
+
+    /// Replays the journal in reverse, restoring the exact pre-batch
+    /// state: χ bit flips are inverted, counter increments/decrements
+    /// undone, lazy-seed promotions unseeded, and a kill's χ snapshot
+    /// restored wholesale; the scalar snapshots (stats, counts,
+    /// liveness) are then copied back and the storage-word gauges
+    /// recomputed. Fails when journaling was off for this epoch — or
+    /// when the `rollback` failpoint models a crashing rollback — in
+    /// which case the state is left as-is for the caller to poison.
+    fn abort_epoch(&mut self) -> Result<(), MaintainError> {
+        debug_assert!(self.epoch.is_some(), "abort_epoch outside an epoch");
+        let Some(epoch) = self.epoch.take() else {
+            return Err(MaintainError::Poisoned);
+        };
+        let Some(mut journal) = epoch.journal else {
+            return Err(MaintainError::Poisoned);
+        };
+        failpoints::check("rollback")?;
+        while let Some(op) = journal.ops.pop() {
+            match op {
+                JournalOp::ChiSet { v, w } => self.chi[v as usize].clear(w as usize),
+                JournalOp::ChiClear { v, w } => self.chi[v as usize].set(w as usize),
+                JournalOp::SlabInc { i, w } => {
+                    self.support[i as usize].decrement(w as usize);
+                }
+                JournalOp::SlabDec { i, w } => {
+                    self.support[i as usize].increment(w as usize);
+                }
+                JournalOp::SlabSeeded { i } => self.support[i as usize].unseed(),
+                JournalOp::Killed { chi } => self.chi = chi,
+            }
+        }
+        self.stats = journal.stats;
+        self.counts = journal.counts;
+        self.dead = journal.dead;
+        self.queue.clear();
+        self.chi_word_total = chi_words(&self.chi);
+        self.slab_word_total = self.support.iter().map(CounterSlab::storage_words).sum();
+        Ok(())
+    }
+}
+
+/// Rejects updates that name nodes or labels outside the database's
+/// interned vocabulary *before* any epoch opens — an invalid batch
+/// leaves the engine untouched without needing a rollback.
+fn validate_batch(db: &GraphDb, batch: &[Triple]) -> Result<(), MaintainError> {
+    let nodes = db.num_nodes() as u32;
+    let labels = db.num_labels() as u32;
+    for &triple in batch {
+        if triple.s >= nodes || triple.o >= nodes || triple.p >= labels {
+            return Err(MaintainError::OutOfVocabulary { triple });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1479,7 +1861,7 @@ mod tests {
         let mut triples: Vec<Triple> = db.triples().collect();
         while let Some(victim) = triples.pop() {
             let db_after = db.with_triples(&triples).unwrap();
-            engine.retract_triples(&db_after, &soi, &cfg, &[victim]);
+            engine.retract_triples(&db_after, &soi, &cfg, &[victim]).unwrap();
             let cold = solve(&db_after, &soi, &cfg);
             assert_eq!(engine.solution().chi, cold.chi, "after {victim:?}");
         }
@@ -1500,7 +1882,9 @@ mod tests {
         let victim: Triple = db.triples().find(|t| t.p == p).unwrap();
         let rest: Vec<Triple> = db.triples().filter(|&t| t != victim).collect();
         let db_after = db.with_triples(&rest).unwrap();
-        engine.retract_triples(&db_after, &soi, &cfg, &[victim]);
+        engine
+            .retract_triples(&db_after, &soi, &cfg, &[victim])
+            .unwrap();
         let after = engine.solution().stats.clone();
         assert!(after.lazy_seeds > 0, "first touch seeded lazily");
         assert!(after.counter_inits > 0);
@@ -1529,7 +1913,9 @@ mod tests {
                 let mut engine = DeltaSolver::new(&empty, &soi, &cfg);
                 for i in 0..all.len() {
                     let db_after = db.with_triples(&all[..=i]).unwrap();
-                    assert!(engine.insert_triples(&db_after, &soi, &cfg, &[all[i]]));
+                    assert!(engine
+                        .insert_triples(&db_after, &soi, &cfg, &[all[i]])
+                        .unwrap());
                     let cold = solve(&db_after, &soi, &cfg);
                     assert_eq!(
                         engine.solution().chi,
@@ -1555,9 +1941,9 @@ mod tests {
         let empty = db.with_triples(&[]).unwrap();
         let mut engine = DeltaSolver::new(&empty, &soi, &cfg);
         let db_mid = db.with_triples(&ps).unwrap();
-        assert!(engine.insert_triples(&db_mid, &soi, &cfg, &ps));
+        assert!(engine.insert_triples(&db_mid, &soi, &cfg, &ps).unwrap());
         assert_eq!(engine.solution().chi, solve(&db_mid, &soi, &cfg).chi);
-        assert!(engine.insert_triples(&db, &soi, &cfg, &qs));
+        assert!(engine.insert_triples(&db, &soi, &cfg, &qs).unwrap());
         assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
     }
 
@@ -1581,7 +1967,9 @@ mod tests {
         let db_before = db.with_triples(&rest).unwrap();
         let mut engine = DeltaSolver::new(&db_before, &soi, &cfg);
         assert_eq!(engine.solution().stats.counter_inits, 0, "all deferred");
-        assert!(engine.insert_triples(&db, &soi, &cfg, &[all[victim]]));
+        assert!(engine
+            .insert_triples(&db, &soi, &cfg, &[all[victim]])
+            .unwrap());
         let stats = engine.solution().stats.clone();
         assert!(stats.lazy_seeds > 0, "first touch seeded lazily");
         assert!(stats.counter_inits > 0);
@@ -1600,7 +1988,7 @@ mod tests {
         let db_before = db.with_triples(rest).unwrap();
         let mut engine = DeltaSolver::new(&db_before, &soi, &cfg);
         let evals_before = engine.solution().stats.evaluations;
-        assert!(engine.insert_triples(&db, &soi, &cfg, last));
+        assert!(engine.insert_triples(&db, &soi, &cfg, last).unwrap());
         let stats = engine.solution().stats.clone();
         assert_eq!(stats.rows_ored, 0);
         assert_eq!(stats.bits_probed, 0);
@@ -1628,9 +2016,11 @@ mod tests {
         // The same triple listed three times must increment once; a
         // phantom double increment would leave counters too high and
         // mask later deletions.
-        assert!(engine.insert_triples(&db, &soi, &cfg, &[last[0], last[0], last[0]]));
+        assert!(engine
+            .insert_triples(&db, &soi, &cfg, &[last[0], last[0], last[0]])
+            .unwrap());
         assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
-        engine.retract_triples(&db_before, &soi, &cfg, last);
+        engine.retract_triples(&db_before, &soi, &cfg, last).unwrap();
         assert_eq!(engine.solution().chi, solve(&db_before, &soi, &cfg).chi);
     }
 
@@ -1645,7 +2035,7 @@ mod tests {
         // An early-exited engine threw its counters away; it must
         // refuse instead of producing an unsound update.
         let t: Triple = db.triples().next().unwrap();
-        assert!(!engine.insert_triples(&db, &soi, &cfg, &[t]));
+        assert_eq!(engine.insert_triples(&db, &soi, &cfg, &[t]), Ok(false));
         assert!(engine.solution().is_certainly_empty());
     }
 
@@ -1664,10 +2054,10 @@ mod tests {
         let mut engine = DeltaSolver::new(&db, &soi, &cfg);
         assert!(!engine.solution().stats.emptied_mandatory);
         let db_ps = db.with_triples(&ps).unwrap();
-        engine.retract_triples(&db_ps, &soi, &cfg, &qs);
+        engine.retract_triples(&db_ps, &soi, &cfg, &qs).unwrap();
         assert!(engine.solution().stats.emptied_mandatory, "the query died");
         assert!(engine.solution().is_certainly_empty());
-        assert!(engine.insert_triples(&db, &soi, &cfg, &qs));
+        assert!(engine.insert_triples(&db, &soi, &cfg, &qs).unwrap());
         assert!(
             !engine.solution().stats.emptied_mandatory,
             "the insertion revived the mandatory variables"
@@ -1686,9 +2076,9 @@ mod tests {
         let db_before = db.with_triples(rest).unwrap();
         let run = |cfg: &SolverConfig| {
             let mut engine = DeltaSolver::new(&db_before, &soi, cfg);
-            assert!(engine.insert_triples(&db, &soi, cfg, last));
-            engine.retract_triples(&db_before, &soi, cfg, last);
-            assert!(engine.insert_triples(&db, &soi, cfg, last));
+            assert!(engine.insert_triples(&db, &soi, cfg, last).unwrap());
+            engine.retract_triples(&db_before, &soi, cfg, last).unwrap();
+            assert!(engine.insert_triples(&db, &soi, cfg, last).unwrap());
             engine.solution()
         };
         let base = run(&delta_cfg(false));
@@ -1724,9 +2114,268 @@ mod tests {
         assert!(engine.solution().is_certainly_empty());
         let victim: Triple = db.triples().next().unwrap();
         let rest: Vec<Triple> = db.triples().skip(1).collect();
-        engine.retract_triples(&db.with_triples(&rest).unwrap(), &soi, &cfg, &[victim]);
+        engine
+            .retract_triples(&db.with_triples(&rest).unwrap(), &soi, &cfg, &[victim])
+            .unwrap();
         let sol = engine.solution();
         assert!(sol.is_certainly_empty());
         assert!(sol.chi.iter().all(|c| c.none_set()));
+    }
+
+    use crate::{failpoints, MaintainError};
+
+    /// A fixture with a real deletion cascade: engine on the full
+    /// database, plus the deletion batch (all q-triples) and the
+    /// post-deletion database.
+    fn retraction_fixture(cfg: &SolverConfig) -> (GraphDb, Soi, DeltaSolver, GraphDb, Vec<Triple>) {
+        let db = sample_db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let engine = DeltaSolver::new(&db, &soi, cfg);
+        let qlabel = db.label_id("q").unwrap();
+        let (qs, ps): (Vec<Triple>, Vec<Triple>) = db.triples().partition(|t| t.p == qlabel);
+        let db_after = db.with_triples(&ps).unwrap();
+        (db, soi, engine, db_after, qs)
+    }
+
+    #[test]
+    fn out_of_vocabulary_batches_are_rejected_before_the_epoch() {
+        let cfg = delta_cfg(false);
+        let (db, soi, mut engine, db_after, qs) = retraction_fixture(&cfg);
+        let pre = engine.solution();
+        let alien = Triple::new(db.num_nodes() as u32, 0, 0);
+        assert_eq!(
+            engine.retract_triples(&db_after, &soi, &cfg, &[alien]),
+            Err(MaintainError::OutOfVocabulary { triple: alien })
+        );
+        assert_eq!(
+            engine.insert_triples(&db, &soi, &cfg, &[Triple::new(0, db.num_labels() as u32, 0)]),
+            Err(MaintainError::OutOfVocabulary {
+                triple: Triple::new(0, db.num_labels() as u32, 0)
+            })
+        );
+        // No epoch ever opened: the state is untouched — not even a
+        // rollback was needed or counted.
+        let post = engine.solution();
+        assert_eq!(pre.chi, post.chi);
+        assert_eq!(pre.stats, post.stats);
+        assert_eq!(post.stats.rollbacks, 0);
+        // …and the engine is still warm.
+        engine.retract_triples(&db_after, &soi, &cfg, &qs).unwrap();
+        assert_eq!(engine.solution().chi, solve(&db_after, &soi, &cfg).chi);
+    }
+
+    #[test]
+    fn failpoint_aborts_restore_the_exact_pre_batch_state() {
+        for point in ["counter-increment", "pre-drain", "mid-round"] {
+            let cfg = delta_cfg(false);
+            let (_db, soi, mut engine, db_after, qs) = retraction_fixture(&cfg);
+            let pre = engine.solution();
+            failpoints::disarm_all();
+            failpoints::arm(point, 0);
+            assert_eq!(
+                engine.retract_triples(&db_after, &soi, &cfg, &qs),
+                Err(MaintainError::Failpoint { point }),
+                "{point} must be reached by a cascading retraction"
+            );
+            failpoints::disarm_all();
+            let post = engine.solution();
+            assert_eq!(pre.chi, post.chi, "χ bit-identical after {point} abort");
+            assert_eq!(
+                pre.stats.logical(),
+                post.stats.logical(),
+                "logical stats bit-identical after {point} abort"
+            );
+            assert_eq!(post.stats.rollbacks, 1);
+            assert_eq!(post.stats.poisonings, 0, "a clean rollback never poisons");
+            assert!(!engine.is_poisoned());
+            // The rolled-back engine stays warm: the same batch applies
+            // cleanly and matches a cold solve.
+            engine.retract_triples(&db_after, &soi, &cfg, &qs).unwrap();
+            assert_eq!(engine.solution().chi, solve(&db_after, &soi, &cfg).chi);
+        }
+    }
+
+    #[test]
+    fn insertion_failpoint_aborts_restore_the_pre_batch_state() {
+        for point in ["counter-increment", "post-cull", "pre-drain"] {
+            let cfg = delta_cfg(false);
+            let db = sample_db();
+            let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+            let soi = build_sois(&db, &q).remove(0);
+            let all: Vec<Triple> = db.triples().collect();
+            let (rest, last) = all.split_at(all.len() - 2);
+            let db_before = db.with_triples(rest).unwrap();
+            let mut engine = DeltaSolver::new(&db_before, &soi, &cfg);
+            let pre = engine.solution();
+            failpoints::disarm_all();
+            failpoints::arm(point, 0);
+            assert_eq!(
+                engine.insert_triples(&db, &soi, &cfg, last),
+                Err(MaintainError::Failpoint { point }),
+                "{point} must be reached by an insertion batch"
+            );
+            failpoints::disarm_all();
+            let post = engine.solution();
+            assert_eq!(pre.chi, post.chi, "χ bit-identical after {point} abort");
+            assert_eq!(pre.stats.logical(), post.stats.logical(), "{point}");
+            assert_eq!(post.stats.rollbacks, 1);
+            assert!(!engine.is_poisoned());
+            assert!(engine.insert_triples(&db, &soi, &cfg, last).unwrap());
+            assert_eq!(engine.solution().chi, solve(&db, &soi, &cfg).chi);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_rolls_back_and_poisons() {
+        let cfg = SolverConfig {
+            drain_budget: Some(0),
+            ..delta_cfg(false)
+        };
+        let (_db, soi, mut engine, db_after, qs) = retraction_fixture(&cfg);
+        let pre = engine.solution();
+        let err = engine
+            .retract_triples(&db_after, &soi, &cfg, &qs)
+            .unwrap_err();
+        assert!(
+            matches!(err, MaintainError::BudgetExceeded { budget: 0, spent } if spent > 0),
+            "{err:?}"
+        );
+        // The rollback succeeded — the state is pristine — but the
+        // batch is too expensive to maintain within budget, so the
+        // engine degrades.
+        let post = engine.solution();
+        assert_eq!(pre.chi, post.chi);
+        assert_eq!(pre.stats.logical(), post.stats.logical());
+        assert_eq!(post.stats.rollbacks, 1);
+        assert_eq!(post.stats.budget_aborts, 1);
+        assert_eq!(post.stats.poisonings, 1);
+        assert!(engine.is_poisoned());
+        assert_eq!(
+            engine.retract_triples(&db_after, &soi, &cfg, &qs),
+            Err(MaintainError::Poisoned)
+        );
+        assert_eq!(
+            engine.insert_triples(&db_after, &soi, &cfg, &qs),
+            Err(MaintainError::Poisoned)
+        );
+    }
+
+    #[test]
+    fn failing_rollback_poisons_without_restoring() {
+        let cfg = delta_cfg(false);
+        let (_db, soi, mut engine, db_after, qs) = retraction_fixture(&cfg);
+        failpoints::disarm_all();
+        failpoints::arm("pre-drain", 0);
+        failpoints::arm("rollback", 0);
+        assert_eq!(
+            engine.retract_triples(&db_after, &soi, &cfg, &qs),
+            Err(MaintainError::Failpoint { point: "pre-drain" }),
+            "the original cause propagates, not the rollback failure"
+        );
+        failpoints::disarm_all();
+        let stats = engine.stats().clone();
+        assert_eq!(stats.rollbacks, 0, "the rollback never completed");
+        assert_eq!(stats.poisonings, 1);
+        assert!(engine.is_poisoned());
+    }
+
+    #[test]
+    fn journal_off_trades_atomicity_for_poisoning() {
+        let cfg = SolverConfig {
+            journal: false,
+            ..delta_cfg(false)
+        };
+        let (_db, soi, mut engine, db_after, qs) = retraction_fixture(&cfg);
+        failpoints::disarm_all();
+        failpoints::arm("pre-drain", 0);
+        assert_eq!(
+            engine.retract_triples(&db_after, &soi, &cfg, &qs),
+            Err(MaintainError::Failpoint { point: "pre-drain" })
+        );
+        failpoints::disarm_all();
+        assert!(engine.is_poisoned(), "no journal, no rollback — poisoned");
+        assert_eq!(engine.stats().rollbacks, 0);
+        assert_eq!(engine.stats().poisonings, 1);
+    }
+
+    #[test]
+    fn journal_records_the_happy_path_without_logical_work() {
+        let with = delta_cfg(false);
+        let without = SolverConfig {
+            journal: false,
+            ..delta_cfg(false)
+        };
+        let (_db, soi, mut journaled, db_after, qs) = retraction_fixture(&with);
+        let (_db2, _soi2, mut bare, db_after2, qs2) = retraction_fixture(&without);
+        journaled.retract_triples(&db_after, &soi, &with, &qs).unwrap();
+        bare.retract_triples(&db_after2, &soi, &without, &qs2).unwrap();
+        let a = journaled.solution();
+        let b = bare.solution();
+        assert_eq!(a.chi, b.chi);
+        assert_eq!(
+            a.stats.logical(),
+            b.stats.logical(),
+            "journaling performs zero additional logical work"
+        );
+        assert!(a.stats.journal_entries > 0, "the epoch was recorded");
+        assert_eq!(b.stats.journal_entries, 0);
+    }
+
+    #[test]
+    fn rollback_is_invariant_across_backends_and_threads() {
+        use crate::SlabBackend;
+        // The satellite matrix: chi {dense,rle} × slab {dense,sparse} ×
+        // drain {sequential,sharded} × threads {1,4}. Every combination
+        // must abort back to its own bit-identical pre-batch snapshot,
+        // and the logical outcome must also agree *across* the matrix.
+        let mut logical_reference: Option<SolveStats> = None;
+        for chi_backend in [ChiBackend::Dense, ChiBackend::Rle] {
+            for slab_backend in [SlabBackend::Dense, SlabBackend::Sparse] {
+                for threads in [1usize, 4] {
+                    let drain = if threads == 1 {
+                        DrainStrategy::Sequential
+                    } else {
+                        DrainStrategy::Sharded { threads }
+                    };
+                    let cfg = SolverConfig {
+                        chi_backend,
+                        slab_backend,
+                        drain,
+                        // Shard even the small fixture rounds so the
+                        // threaded merge path actually runs.
+                        drain_inline_below: 0,
+                        ..delta_cfg(false)
+                    };
+                    let label = format!("({chi_backend:?}, {slab_backend:?}, {drain:?})");
+                    let (_db, soi, mut engine, db_after, qs) = retraction_fixture(&cfg);
+                    let pre = engine.solution();
+                    failpoints::disarm_all();
+                    failpoints::arm("mid-round", 0);
+                    assert_eq!(
+                        engine.retract_triples(&db_after, &soi, &cfg, &qs),
+                        Err(MaintainError::Failpoint { point: "mid-round" }),
+                        "{label}"
+                    );
+                    failpoints::disarm_all();
+                    let post = engine.solution();
+                    assert_eq!(pre.chi, post.chi, "{label}");
+                    assert_eq!(pre.stats.logical(), post.stats.logical(), "{label}");
+                    assert_eq!(post.stats.rollbacks, 1, "{label}");
+                    assert!(!engine.is_poisoned(), "{label}");
+                    // The next batch applies as if the abort never
+                    // happened…
+                    engine.retract_triples(&db_after, &soi, &cfg, &qs).unwrap();
+                    assert_eq!(engine.solution().chi, solve(&db_after, &soi, &cfg).chi, "{label}");
+                    // …with the logical stats identical across the
+                    // whole matrix.
+                    let logical = engine.solution().stats.logical();
+                    match &logical_reference {
+                        None => logical_reference = Some(logical),
+                        Some(reference) => assert_eq!(reference, &logical, "{label}"),
+                    }
+                }
+            }
+        }
     }
 }

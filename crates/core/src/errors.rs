@@ -1,0 +1,102 @@
+//! Typed errors for transactional maintenance.
+//!
+//! Every maintenance entry point of the resident engine
+//! ([`crate::IncrementalDualSim`], the delta engine underneath it, and
+//! the `sparqlsim maintain` CLI above it) reports failures through
+//! [`MaintainError`] instead of panicking: a batch that errors
+//! mid-flight is rolled back by the epoch journal, never left
+//! half-applied. The taxonomy mirrors the degradation ladder — input
+//! errors (`OutOfVocabulary`) are recoverable per batch, resource
+//! errors (`BudgetExceeded`) poison the engine until the next cold
+//! rebuild, injected faults (`Failpoint`) exist only for the chaos
+//! harness, and `Poisoned` is what a caller sees when it keeps driving
+//! an engine that already degraded.
+
+use dualsim_graph::Triple;
+use std::fmt;
+
+/// Why a maintenance batch could not be applied.
+///
+/// Returned by `DeltaSolver::insert_triples` / `retract_triples` and by
+/// [`crate::IncrementalDualSim::apply_insertions`] /
+/// [`crate::IncrementalDualSim::apply_deletions`]. Whenever one of
+/// these surfaces from a batch, the epoch journal has already restored
+/// the engine to its exact pre-batch state (or, if the rollback itself
+/// failed, marked it poisoned so the next query falls back to a cold
+/// solve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintainError {
+    /// An update triple lies outside the database's fixed vocabulary
+    /// (node or label id past the interned range). Carries the
+    /// offending triple so callers can report it.
+    OutOfVocabulary {
+        /// The triple that failed vocabulary validation.
+        triple: Triple,
+    },
+    /// The cooperative drain budget (`SolverConfig::drain_budget`) was
+    /// exhausted at a round boundary; the batch was rolled back and the
+    /// engine poisoned.
+    BudgetExceeded {
+        /// The configured budget in logical work ops.
+        budget: usize,
+        /// Logical work ops spent when the budget check fired.
+        spent: usize,
+    },
+    /// An armed test failpoint fired (see `failpoints`); the batch was
+    /// rolled back exactly as a real mid-flight fault would be.
+    Failpoint {
+        /// The name of the failpoint site that fired.
+        point: &'static str,
+    },
+    /// The engine was poisoned by an earlier aborted batch (budget
+    /// exhaustion or rollback failure) and cannot accept maintenance
+    /// until it is rebuilt from a cold solve.
+    Poisoned,
+}
+
+impl fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintainError::OutOfVocabulary { triple } => write!(
+                f,
+                "update triple ({}, {}, {}) lies outside the database vocabulary",
+                triple.s, triple.p, triple.o
+            ),
+            MaintainError::BudgetExceeded { budget, spent } => write!(
+                f,
+                "maintenance drain exceeded its work budget ({spent} logical ops spent, budget {budget})"
+            ),
+            MaintainError::Failpoint { point } => {
+                write!(f, "injected failpoint `{point}` fired")
+            }
+            MaintainError::Poisoned => {
+                write!(f, "engine is poisoned by an earlier aborted batch; rebuild from a cold solve")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_diagnostic_payload() {
+        let e = MaintainError::OutOfVocabulary {
+            triple: Triple { s: 7, p: 1, o: 9 },
+        };
+        assert!(e.to_string().contains("(7, 1, 9)"));
+        let e = MaintainError::BudgetExceeded {
+            budget: 100,
+            spent: 140,
+        };
+        assert!(e.to_string().contains("140"));
+        assert!(e.to_string().contains("100"));
+        assert!(MaintainError::Failpoint { point: "pre-drain" }
+            .to_string()
+            .contains("pre-drain"));
+        assert!(MaintainError::Poisoned.to_string().contains("poisoned"));
+    }
+}

@@ -37,7 +37,7 @@
 //! bit-identical to the sequential drain.
 
 use crate::delta::DeltaSolver;
-use crate::{solve, solve_from, FixpointMode, Soi, Solution, SolverConfig};
+use crate::{solve, solve_from, FixpointMode, MaintainError, Soi, Solution, SolverConfig};
 use dualsim_graph::{GraphDb, Triple};
 
 /// A maintained largest-solution instance for one SOI.
@@ -94,25 +94,53 @@ impl IncrementalDualSim {
     /// queue, touching only the counters the deleted triples supported.
     ///
     /// Returns the number of candidates dropped by the update.
-    pub fn apply_deletions(&mut self, db_after: &GraphDb, deleted: &[Triple]) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// The delta engine runs each batch inside an update epoch, so an
+    /// erroring batch was rolled back to the pre-batch state before the
+    /// error surfaces here. Degradations the engine can recover from on
+    /// its own — a poisoned engine ([`MaintainError::Poisoned`]) or a
+    /// drain-budget abort ([`MaintainError::BudgetExceeded`]) — are
+    /// handled *transparently*: the update is served by a cold rebuild
+    /// instead (`last_update_was_warm` reports `false`, the robustness
+    /// counters carry over) and no error is returned. Only errors the
+    /// caller must act on propagate: an out-of-vocabulary triple in the
+    /// batch, or an injected failpoint under the chaos harness.
+    pub fn apply_deletions(
+        &mut self,
+        db_after: &GraphDb,
+        deleted: &[Triple],
+    ) -> Result<usize, MaintainError> {
+        // Out-of-vocabulary triples are a recoverable input error the
+        // engine reports itself — skip them here so the consistency
+        // assert never indexes past the interned range.
         debug_assert!(
-            deleted.iter().all(|t| !db_after.contains_triple(*t)),
+            deleted
+                .iter()
+                .all(|t| !in_vocabulary(db_after, t) || !db_after.contains_triple(*t)),
             "deleted triples must be absent from db_after"
         );
         let before: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
         if let Some(engine) = &mut self.engine {
-            engine.retract_triples(db_after, &self.soi, &self.config, deleted);
-            self.solution = engine.solution();
+            match engine.retract_triples(db_after, &self.soi, &self.config, deleted) {
+                Ok(()) => {
+                    self.solution = engine.solution();
+                    self.warm = true;
+                }
+                Err(e) if Self::degrades_to_cold(&e) => self.rebuild_cold(db_after),
+                Err(e) => return Err(e),
+            }
         } else {
             // The previous χ is an upper bound of the new largest
             // solution; early exit stays valid because emptiness is
             // monotone too.
             let initial = self.solution.chi.clone();
             self.solution = solve_from(db_after, &self.soi, &self.config, initial);
+            self.warm = true;
         }
-        self.warm = true;
         let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
-        before.saturating_sub(after)
+        Ok(before.saturating_sub(after))
     }
 
     /// Re-establishes the largest solution after triples were
@@ -133,15 +161,37 @@ impl IncrementalDualSim {
     /// restores the counters, so later updates are incremental again).
     ///
     /// Returns the number of candidates gained by the update.
-    pub fn apply_insertions(&mut self, db_after: &GraphDb, inserted: &[Triple]) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::apply_deletions`]: engine-internal
+    /// degradations (poisoned engine, drain-budget abort) are served by
+    /// a transparent cold rebuild, while out-of-vocabulary batches and
+    /// injected failpoints roll back and propagate.
+    pub fn apply_insertions(
+        &mut self,
+        db_after: &GraphDb,
+        inserted: &[Triple],
+    ) -> Result<usize, MaintainError> {
+        // See `apply_deletions` on the vocabulary guard.
         debug_assert!(
-            inserted.iter().all(|t| db_after.contains_triple(*t)),
+            inserted
+                .iter()
+                .all(|t| !in_vocabulary(db_after, t) || db_after.contains_triple(*t)),
             "inserted triples must be present in db_after"
         );
         let before: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
         let mut warm = false;
         if let Some(engine) = &mut self.engine {
-            warm = engine.insert_triples(db_after, &self.soi, &self.config, inserted);
+            match engine.insert_triples(db_after, &self.soi, &self.config, inserted) {
+                Ok(w) => warm = w,
+                Err(e) if Self::degrades_to_cold(&e) => {
+                    self.rebuild_cold(db_after);
+                    let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
+                    return Ok(after.saturating_sub(before));
+                }
+                Err(e) => return Err(e),
+            }
             if warm {
                 self.solution = engine.solution();
             }
@@ -152,15 +202,13 @@ impl IncrementalDualSim {
                     self.solution = solve(db_after, &self.soi, &self.config);
                 }
                 FixpointMode::DeltaCounting => {
-                    let engine = DeltaSolver::new(db_after, &self.soi, &self.config);
-                    self.solution = engine.solution();
-                    self.engine = Some(engine);
+                    self.rebuild_cold(db_after);
                 }
             }
         }
         self.warm = warm;
         let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
-        after.saturating_sub(before)
+        Ok(after.saturating_sub(before))
     }
 
     /// `true` iff the last update was served by the warm-start path
@@ -168,6 +216,72 @@ impl IncrementalDualSim {
     pub fn last_update_was_warm(&self) -> bool {
         self.warm
     }
+
+    /// `true` iff the resident delta engine is poisoned (an aborted
+    /// batch without a trustworthy rollback). The next update heals it
+    /// transparently through a cold rebuild; this accessor only exists
+    /// so harnesses can observe the degradation in between.
+    pub fn engine_is_poisoned(&self) -> bool {
+        self.engine.as_ref().is_some_and(DeltaSolver::is_poisoned)
+    }
+
+    /// The live maintenance statistics. Prefers the resident delta
+    /// engine's counters over the solution snapshot: after a rolled-back
+    /// batch the snapshot still shows the pre-batch stats, while the
+    /// engine has already recorded the rollback in its robustness
+    /// counters. Falls back to the solution stats when no delta engine
+    /// is resident ([`FixpointMode::Reevaluate`]).
+    pub fn maintenance_stats(&self) -> &crate::SolveStats {
+        match &self.engine {
+            Some(engine) => engine.stats(),
+            None => &self.solution.stats,
+        }
+    }
+
+    /// The errors [`Self::apply_insertions`] / [`Self::apply_deletions`]
+    /// absorb by degrading to a cold rebuild instead of propagating:
+    /// the engine poisoned itself (now or in an earlier batch), so the
+    /// resident state is gone either way and a fresh solve is the
+    /// serving path. Input errors and injected faults stay visible to
+    /// the caller.
+    fn degrades_to_cold(e: &MaintainError) -> bool {
+        matches!(
+            e,
+            MaintainError::Poisoned | MaintainError::BudgetExceeded { .. }
+        )
+    }
+
+    /// Replaces the resident engine (and solution) with a cold solve of
+    /// `db_after`, carrying the robustness counters across the rebuild
+    /// so `rollbacks`/`poisonings`/`budget_aborts` remain cumulative
+    /// over the instance's lifetime. Serves both the dead-engine
+    /// insertion fallback and the poisoned-engine degradation path.
+    fn rebuild_cold(&mut self, db_after: &GraphDb) {
+        // The robustness counters live in the *engine's* stats — after
+        // an abort they are ahead of the last published solution
+        // snapshot (the abort itself bumped them).
+        let prev_stats = match &self.engine {
+            Some(engine) => engine.stats().clone(),
+            None => self.solution.stats.clone(),
+        };
+        let mut engine = DeltaSolver::new(db_after, &self.soi, &self.config);
+        engine.carry_robustness_from(&prev_stats);
+        self.solution = engine.solution();
+        self.engine = Some(engine);
+        self.warm = false;
+    }
+}
+
+/// `true` iff the triple's node and label ids lie inside the database's
+/// interned vocabulary (the debug consistency asserts must not index
+/// past it — out-of-vocabulary triples are reported, not assumed away).
+/// Not `cfg(debug_assertions)`-gated: `debug_assert!` bodies are
+/// type-checked in release builds too, where the optimizer drops the
+/// dead call.
+fn in_vocabulary(db: &GraphDb, t: &Triple) -> bool {
+    (t.s as usize) < db.num_nodes()
+        && (t.o as usize) < db.num_nodes()
+        && (t.p as usize) < db.num_labels()
 }
 
 #[cfg(test)]
@@ -219,7 +333,7 @@ mod tests {
                 db.triples().filter(|t| db.node_name(t.s) != "d").collect();
             let db_after = db.with_triples(&remaining).unwrap();
 
-            let dropped = inc.apply_deletions(&db_after, &deleted);
+            let dropped = inc.apply_deletions(&db_after, &deleted).unwrap();
             assert!(dropped > 0);
             assert!(inc.last_update_was_warm());
             let cold = solve(&db_after, &soi, &config);
@@ -244,7 +358,7 @@ mod tests {
             // cold.
             while let Some(victim) = triples.pop() {
                 let db_after = db.with_triples(&triples).unwrap();
-                inc.apply_deletions(&db_after, &[victim]);
+                inc.apply_deletions(&db_after, &[victim]).unwrap();
                 let cold = solve(&db_after, &soi, &cfg(mode));
                 assert_eq!(
                     inc.solution().chi,
@@ -266,7 +380,8 @@ mod tests {
         let base = inc.solution().stats.clone();
         let victim: Triple = db.triples().next().unwrap();
         let remaining: Vec<Triple> = db.triples().skip(1).collect();
-        inc.apply_deletions(&db.with_triples(&remaining).unwrap(), &[victim]);
+        inc.apply_deletions(&db.with_triples(&remaining).unwrap(), &[victim])
+            .unwrap();
         let after = inc.solution().stats.clone();
         // The update decremented counters and never multiplied a whole
         // inequality. Seeding work may grow only through the lazy first
@@ -310,7 +425,8 @@ mod tests {
             // The same triple listed three times must count once — a
             // double decrement would wrongly zero other candidates'
             // support and over-prune.
-            inc.apply_deletions(&db_after, &[victim, victim, victim]);
+            inc.apply_deletions(&db_after, &[victim, victim, victim])
+                .unwrap();
             let cold = solve(&db_after, &soi, &cfg(mode));
             assert_eq!(inc.solution().chi, cold.chi, "{mode:?}");
         }
@@ -349,7 +465,7 @@ mod tests {
             let mut triples: Vec<Triple> = small.triples().collect();
             triples.push(inserted);
             let db_after = small.with_triples(&triples).unwrap();
-            let gained = inc.apply_insertions(&db_after, &[inserted]);
+            let gained = inc.apply_insertions(&db_after, &[inserted]).unwrap();
             assert!(gained > 0, "the chain a→b→c appeared ({mode:?})");
             assert_eq!(
                 inc.last_update_was_warm(),
@@ -365,7 +481,7 @@ mod tests {
             let deleted: Vec<Triple> = db_after.triples().skip(1).collect();
             let kept: Vec<Triple> = db_after.triples().take(1).collect();
             let db_final = db_after.with_triples(&kept).unwrap();
-            inc.apply_deletions(&db_final, &deleted);
+            inc.apply_deletions(&db_final, &deleted).unwrap();
             let cold = solve(&db_final, &soi, &cfg(mode));
             assert_eq!(inc.solution().chi, cold.chi, "{mode:?}");
         }
@@ -386,7 +502,7 @@ mod tests {
         let mut triples: Vec<Triple> = small.triples().collect();
         triples.push(inserted);
         let db_after = small.with_triples(&triples).unwrap();
-        inc.apply_insertions(&db_after, &[inserted]);
+        inc.apply_insertions(&db_after, &[inserted]).unwrap();
         assert!(inc.last_update_was_warm());
         let after = inc.solution().stats.clone();
         // Zero wholesale re-seeds: the only evaluation-engine work is
@@ -400,5 +516,119 @@ mod tests {
         assert!(after.reactivations > 0, "the frontier was re-admitted");
         let final_count: usize = inc.solution().chi.iter().map(|c| c.count_ones()).sum();
         assert!(final_count > 0);
+    }
+
+    use crate::failpoints;
+
+    #[test]
+    fn failpoint_errors_propagate_and_leave_the_solution_unchanged() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let mut inc = IncrementalDualSim::new(&db, soi, cfg(FixpointMode::DeltaCounting));
+        let pre = inc.solution().clone();
+        let deleted: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) == "d").collect();
+        let remaining: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) != "d").collect();
+        let db_after = db.with_triples(&remaining).unwrap();
+        failpoints::disarm_all();
+        failpoints::arm("pre-drain", 0);
+        assert_eq!(
+            inc.apply_deletions(&db_after, &deleted),
+            Err(MaintainError::Failpoint { point: "pre-drain" })
+        );
+        failpoints::disarm_all();
+        assert_eq!(inc.solution().chi, pre.chi, "rolled back, not half-applied");
+        assert!(!inc.engine_is_poisoned());
+        // Retrying the same batch succeeds and matches a cold solve.
+        let dropped = inc.apply_deletions(&db_after, &deleted).unwrap();
+        assert!(dropped > 0);
+        assert!(inc.last_update_was_warm());
+        assert_eq!(
+            inc.solution().chi,
+            solve(&db_after, &inc.soi().clone(), &cfg(FixpointMode::DeltaCounting)).chi
+        );
+        assert_eq!(inc.solution().stats.rollbacks, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_a_transparent_cold_rebuild() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let config = SolverConfig {
+            drain_budget: Some(0),
+            ..cfg(FixpointMode::DeltaCounting)
+        };
+        let mut inc = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+        let deleted: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) == "d").collect();
+        let remaining: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) != "d").collect();
+        let db_after = db.with_triples(&remaining).unwrap();
+        // The engine aborts on budget, poisons itself — and the update
+        // is still served, by the cold rebuild.
+        let dropped = inc.apply_deletions(&db_after, &deleted).unwrap();
+        assert!(dropped > 0);
+        assert!(!inc.last_update_was_warm(), "served cold, not warm");
+        assert!(!inc.engine_is_poisoned(), "the rebuild healed the engine");
+        assert_eq!(inc.solution().chi, solve(&db_after, &soi, &config).chi);
+        // The degradation is observable in the carried counters.
+        let stats = &inc.solution().stats;
+        assert_eq!(stats.rollbacks, 1);
+        assert_eq!(stats.budget_aborts, 1);
+        assert_eq!(stats.poisonings, 1);
+        // The rebuilt engine has fresh counters: later updates are warm
+        // again (the cold solve ran without a budget — it is not a
+        // maintenance drain).
+        let mut triples = remaining.clone();
+        let victim = triples.pop().unwrap();
+        let db_final = db.with_triples(&triples).unwrap();
+        inc.apply_deletions(&db_final, &[victim]).unwrap();
+        assert_eq!(inc.solution().chi, solve(&db_final, &soi, &config).chi);
+    }
+
+    #[test]
+    fn a_poisoned_engine_heals_on_the_next_update() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let config = cfg(FixpointMode::DeltaCounting);
+        let mut inc = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+        let deleted: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) == "d").collect();
+        let remaining: Vec<Triple> = db.triples().filter(|t| db.node_name(t.s) != "d").collect();
+        let db_after = db.with_triples(&remaining).unwrap();
+        // A failing rollback (both the batch and its rollback crash)
+        // poisons the resident engine.
+        failpoints::disarm_all();
+        failpoints::arm("pre-drain", 0);
+        failpoints::arm("rollback", 0);
+        assert_eq!(
+            inc.apply_deletions(&db_after, &deleted),
+            Err(MaintainError::Failpoint { point: "pre-drain" })
+        );
+        failpoints::disarm_all();
+        assert!(inc.engine_is_poisoned());
+        // The next update heals transparently: Ok, served cold, correct.
+        let dropped = inc.apply_deletions(&db_after, &deleted).unwrap();
+        assert!(dropped > 0);
+        assert!(!inc.last_update_was_warm());
+        assert!(!inc.engine_is_poisoned());
+        assert_eq!(inc.solution().chi, solve(&db_after, &soi, &config).chi);
+        assert_eq!(inc.solution().stats.poisonings, 1, "carried across rebuild");
+        assert_eq!(inc.solution().stats.rollbacks, 0, "the rollback failed");
+    }
+
+    #[test]
+    fn out_of_vocabulary_updates_propagate_in_delta_mode() {
+        let db = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db, &q).remove(0);
+        let mut inc = IncrementalDualSim::new(&db, soi, cfg(FixpointMode::DeltaCounting));
+        let pre = inc.solution().clone();
+        let alien = Triple::new(db.num_nodes() as u32, 0, 0);
+        assert_eq!(
+            inc.apply_insertions(&db, &[alien]),
+            Err(MaintainError::OutOfVocabulary { triple: alien })
+        );
+        assert_eq!(inc.solution().chi, pre.chi);
+        assert_eq!(inc.solution().stats, pre.stats, "not even an epoch opened");
     }
 }

@@ -47,10 +47,18 @@
 //! ```
 
 #![warn(missing_docs)]
+// Robustness gate: library code must not panic on reachable input
+// paths — maintenance errors flow through `MaintainError` and the
+// epoch rollback instead. Structural invariants (scoped-thread joins,
+// peeked-iterator advances) carry scoped `expect` allows with a
+// justification at the site. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
 pub mod check;
 mod delta;
+mod errors;
+pub mod failpoints;
 mod incremental;
 mod pruning;
 mod quotient;
@@ -61,6 +69,7 @@ mod strong;
 #[cfg(test)]
 mod proptests;
 
+pub use errors::MaintainError;
 pub use incremental::IncrementalDualSim;
 pub use pruning::{
     prune, prune_with, prune_with_threads, solve_query, solve_query_with, PruneReport,

@@ -197,7 +197,7 @@ proptest! {
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
                 let db_after = db.with_triples(&triples).unwrap();
                 for inc in engines.iter_mut() {
-                    inc.apply_deletions(&db_after, &batch);
+                    inc.apply_deletions(&db_after, &batch).unwrap();
                 }
                 let (seq, sharded) = engines.split_first().unwrap();
                 for inc in sharded {
@@ -262,8 +262,8 @@ proptest! {
             while triples.len() > 1 {
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
                 let db_after = db.with_triples(&triples).unwrap();
-                dense.apply_deletions(&db_after, &batch);
-                rle.apply_deletions(&db_after, &batch);
+                dense.apply_deletions(&db_after, &batch).unwrap();
+                rle.apply_deletions(&db_after, &batch).unwrap();
                 prop_assert_eq!(&dense.solution().chi, &rle.solution().chi, "{}", q);
                 prop_assert_eq!(
                     dense.solution().stats.logical(),
@@ -380,7 +380,7 @@ proptest! {
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
                 let db_after = db.with_triples(&triples).unwrap();
                 for inc in engines.iter_mut() {
-                    inc.apply_deletions(&db_after, &batch);
+                    inc.apply_deletions(&db_after, &batch).unwrap();
                 }
                 let (reference, others) = engines.split_first().unwrap();
                 for inc in others {
@@ -455,14 +455,14 @@ proptest! {
                 to.extend(&batch);
                 let db_after = db.with_triples(&present).unwrap();
                 if insert {
-                    reev.apply_insertions(&db_after, &batch);
+                    reev.apply_insertions(&db_after, &batch).unwrap();
                     for inc in deltas.iter_mut() {
-                        inc.apply_insertions(&db_after, &batch);
+                        inc.apply_insertions(&db_after, &batch).unwrap();
                     }
                 } else {
-                    reev.apply_deletions(&db_after, &batch);
+                    reev.apply_deletions(&db_after, &batch).unwrap();
                     for inc in deltas.iter_mut() {
-                        inc.apply_deletions(&db_after, &batch);
+                        inc.apply_deletions(&db_after, &batch).unwrap();
                     }
                 }
                 let cold = solve(&db_after, &soi, &reev_cfg);
@@ -506,14 +506,134 @@ proptest! {
                 // retraction.
                 let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
                 let db_after = db.with_triples(&triples).unwrap();
-                reev.apply_deletions(&db_after, &batch);
-                delta.apply_deletions(&db_after, &batch);
+                reev.apply_deletions(&db_after, &batch).unwrap();
+                delta.apply_deletions(&db_after, &batch).unwrap();
                 prop_assert_eq!(
                     &reev.solution().chi, &delta.solution().chi,
                     "{} after deleting {:?}", q, batch
                 );
                 let cold = solve(&db_after, &soi, &cfg(FixpointMode::Reevaluate, false));
                 prop_assert_eq!(&delta.solution().chi, &cold.chi, "{} vs cold", q);
+            }
+        }
+    }
+
+    /// Chaos: kill maintenance at every failpoint site across random
+    /// insert/delete/mixed churn. A crashed batch must roll back to the
+    /// exact pre-batch solution; the recovered engine (warm after a
+    /// clean rollback, cold-rebuilt after a poisoned one) must then
+    /// serve the same batch bit-identically to a cold solve. The
+    /// `rollback` site is exercised as a *failing rollback* (armed
+    /// together with a crash point), which must poison and then heal.
+    #[test]
+    fn chaos_killed_maintenance_recovers_to_cold_solves(
+        db in arb_db(),
+        q in arb_query(),
+        script in proptest::collection::vec((any::<bool>(), 0u8..250), 1..7),
+        countdown in 0u32..3,
+    ) {
+        use crate::{failpoints, MaintainError};
+        let config = cfg(FixpointMode::DeltaCounting, false);
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let mut inc = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+            let mut present: Vec<Triple> = db.triples().collect();
+            let mut absent: Vec<Triple> = Vec::new();
+            for (step, &(insert, pick)) in script.iter().enumerate() {
+                let (from, to) = if insert {
+                    (&mut absent, &mut present)
+                } else {
+                    (&mut present, &mut absent)
+                };
+                if from.is_empty() {
+                    continue;
+                }
+                let mut batch: Vec<Triple> = Vec::new();
+                for round in 0..=(pick as usize % 2) {
+                    if from.is_empty() {
+                        break;
+                    }
+                    let idx = (pick as usize + round) % from.len();
+                    batch.push(from.swap_remove(idx));
+                }
+                to.extend(&batch);
+                let db_after = db.with_triples(&present).unwrap();
+                let pre_chi = inc.solution().chi.clone();
+
+                // Rotate the crash site through every failpoint the
+                // engine exposes; the `rollback` site additionally arms
+                // `pre-drain` so there is an abort whose rollback can
+                // fail.
+                let point = failpoints::SITES[(step + pick as usize) % failpoints::SITES.len()];
+                failpoints::disarm_all();
+                failpoints::arm(point, countdown);
+                if point == "rollback" {
+                    failpoints::arm("pre-drain", 0);
+                }
+                let crashed = if insert {
+                    inc.apply_insertions(&db_after, &batch).map(|_| ())
+                } else {
+                    inc.apply_deletions(&db_after, &batch).map(|_| ())
+                };
+                failpoints::disarm_all();
+
+                match crashed {
+                    Err(MaintainError::Failpoint { .. }) => {
+                        // The batch rolled back (or poisoned): the
+                        // published solution must be the untouched
+                        // pre-batch one either way.
+                        prop_assert_eq!(
+                            &inc.solution().chi, &pre_chi,
+                            "{} crash at {} left a half-applied batch", q, point
+                        );
+                        // Re-apply without faults: a warm engine
+                        // continues, a poisoned one heals by rebuild.
+                        let healed = if insert {
+                            inc.apply_insertions(&db_after, &batch).map(|_| ())
+                        } else {
+                            inc.apply_deletions(&db_after, &batch).map(|_| ())
+                        };
+                        prop_assert!(healed.is_ok(), "{} retry after {}: {:?}", q, point, healed);
+                        prop_assert!(!inc.engine_is_poisoned(), "{} still poisoned", q);
+                    }
+                    Err(e) => prop_assert!(false, "{} unexpected error {:?}", q, e),
+                    // The armed site was not reached (or its countdown
+                    // did not elapse): the batch applied normally.
+                    Ok(()) => {}
+                }
+                let cold = solve(&db_after, &soi, &config);
+                prop_assert_eq!(
+                    &inc.solution().chi, &cold.chi,
+                    "{} diverged from cold after {} crash at {} ({:?})",
+                    q, if insert { "insert" } else { "delete" }, point, batch
+                );
+            }
+        }
+    }
+
+    /// The drain budget is a sound degradation, never a wrong answer:
+    /// under an absurdly tight budget every update still produces the
+    /// cold-solve solution (served by rollback + transparent rebuild),
+    /// and the robustness counters record how often that ladder was
+    /// taken.
+    #[test]
+    fn chaos_tight_budgets_never_change_solutions(db in arb_db(), q in arb_query()) {
+        let config = SolverConfig {
+            drain_budget: Some(1),
+            ..cfg(FixpointMode::DeltaCounting, false)
+        };
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let mut inc = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+            let mut triples: Vec<Triple> = db.triples().collect();
+            while triples.len() > 1 {
+                let batch: Vec<Triple> = triples.split_off(triples.len().saturating_sub(2));
+                let db_after = db.with_triples(&triples).unwrap();
+                let res = inc.apply_deletions(&db_after, &batch);
+                prop_assert!(res.is_ok(), "{}: budget aborts are transparent, got {:?}", q, res);
+                let cold = solve(&db_after, &soi, &config);
+                prop_assert_eq!(
+                    &inc.solution().chi, &cold.chi,
+                    "{} diverged from cold under budget after deleting {:?}", q, batch
+                );
             }
         }
     }

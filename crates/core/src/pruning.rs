@@ -55,6 +55,9 @@ impl PruneReport {
 
     /// Materializes the pruned database (shared vocabulary, stable ids).
     pub fn pruned_db(&self, db: &GraphDb) -> GraphDb {
+        // Structural invariant: every kept triple was read out of `db`,
+        // so re-materializing against the same vocabulary cannot fail.
+        #[allow(clippy::expect_used)]
         db.with_triples(&self.kept_triples)
             .expect("kept triples come from `db` itself")
     }
@@ -160,6 +163,9 @@ pub fn prune_with(
                     })
                 })
                 .collect();
+            // Structural invariant: a worker panic is a bug, not a
+            // recoverable condition.
+            #[allow(clippy::expect_used)]
             handles
                 .into_iter()
                 .map(|h| h.join().expect("extraction worker panicked"))

@@ -139,6 +139,9 @@ impl QuotientIndex {
     pub fn expand(&self, quotient_chi: &BitVec) -> BitVec {
         let mut out = BitVec::zeros(self.block_of.len());
         for (node, &block) in self.block_of.iter().enumerate() {
+            // Structural invariant: `build_quotient_db` interned one
+            // node per block.
+            #[allow(clippy::expect_used)]
             let q = self
                 .quotient
                 .node_id(&block_name(block))
@@ -164,6 +167,8 @@ fn build_quotient_db(
     let mut b = GraphDbBuilder::new();
     // Intern blocks in order so block b gets a stable node name.
     for block in 0..num_blocks as u32 {
+        // Structural invariant: block names are fresh IRIs.
+        #[allow(clippy::unwrap_used)]
         b.add_node(&block_name(block), dualsim_graph::NodeKind::Iri)
             .unwrap();
     }
@@ -177,6 +182,8 @@ fn build_quotient_db(
         edges.sort_unstable();
         edges.dedup();
         for (s, o) in edges {
+            // Structural invariant: both endpoints were interned above.
+            #[allow(clippy::unwrap_used)]
             b.add_triple(&block_name(s), &name, &block_name(o)).unwrap();
         }
     }

@@ -172,6 +172,25 @@ pub struct SolverConfig {
     /// off to obtain the mathematical largest solution even for
     /// unsatisfiable (components of) queries.
     pub early_exit: bool,
+    /// Cooperative work budget for *maintenance* drains (epochs), in
+    /// logical work ops ([`SolveStats::work_ops`] spent within the
+    /// batch). Checked at drain round boundaries only — a runaway drain
+    /// is cancelled between rounds, never mid-shard. On cancellation
+    /// the epoch rolls back, the batch reports
+    /// `MaintainError::BudgetExceeded`, and the engine is poisoned
+    /// (the degradation ladder falls back to a cold solve). `None`
+    /// (the default) never cancels. Cold solves ignore the budget —
+    /// it bounds incremental maintenance, not initial convergence.
+    pub drain_budget: Option<usize>,
+    /// Record a rollback journal during maintenance epochs so an
+    /// erroring batch can be aborted back to the exact pre-batch state.
+    /// Journaling performs **zero** additional logical work (it only
+    /// appends undo records on mutations that already happen) — the
+    /// `journal_entries` gauge and `experiments incremental --chaos`
+    /// measure its wall-clock cost. Disabling it trades atomicity for
+    /// that constant factor: an erroring batch then poisons the engine
+    /// instead of rolling back. On by default.
+    pub journal: bool,
 }
 
 impl Default for SolverConfig {
@@ -187,6 +206,8 @@ impl Default for SolverConfig {
             slab_backend: SlabBackend::Dense,
             seed_threads: 1,
             early_exit: true,
+            drain_budget: None,
+            journal: true,
         }
     }
 }
@@ -272,6 +293,29 @@ pub struct SolveStats {
     /// [`crate::FixpointMode::Reevaluate`] and for inequalities whose
     /// seeding stayed deferred.
     pub slab_peak_words: usize,
+    /// Maintenance epochs aborted and rolled back to their pre-batch
+    /// state (failpoints, out-of-vocabulary batches, budget
+    /// cancellations). A rollback restores χ, counters and the logical
+    /// stats exactly; this counter (carried outside the restored
+    /// snapshot) is how the degradation stays observable.
+    pub rollbacks: usize,
+    /// Times the engine was marked poisoned — after a budget
+    /// cancellation or a failed rollback — forcing the next query onto
+    /// the cold-solve fallback. Carried across the rebuild by
+    /// [`crate::IncrementalDualSim`].
+    pub poisonings: usize,
+    /// Maintenance drains cancelled at a round boundary by
+    /// [`SolverConfig::drain_budget`] (each one also counts a rollback
+    /// and a poisoning).
+    pub budget_aborts: usize,
+    /// Undo records appended to the rollback journal across the run —
+    /// the journal's size gauge. Journaling adds **no** logical work
+    /// (every entry shadows a mutation that already happened), so like
+    /// the storage gauges this is excluded from
+    /// [`SolveStats::logical`]; unlike them it is identical across
+    /// backends, but it differs with [`SolverConfig::journal`] on/off,
+    /// which the parity gates must not see.
+    pub journal_entries: usize,
     /// A mandatory variable lost all candidates (no matches exist).
     pub emptied_mandatory: bool,
 }
@@ -293,16 +337,25 @@ impl SolveStats {
     /// The logical-work projection: every counter except the
     /// backend-dependent gauges — χ storage (`chi_peak_words`), counter
     /// storage (`slab_peak_words`) and the drain's row-pointer loads
-    /// (`row_lookups`, which the run-aware RLE-χ drain compresses).
-    /// All χ-backend × slab-backend × drain-strategy × thread-count
-    /// combinations must agree on this projection bit for bit (the
-    /// backend parity discipline, extending the PR-3 drain-strategy
-    /// parity).
+    /// (`row_lookups`, which the run-aware RLE-χ drain compresses) —
+    /// and the robustness bookkeeping (`rollbacks`, `poisonings`,
+    /// `budget_aborts`, `journal_entries`), which records degradation
+    /// *events* rather than fixpoint work: an aborted epoch restores
+    /// the logical counters exactly, and the journal gauge depends on
+    /// [`SolverConfig::journal`], so neither belongs in a parity
+    /// comparison. All χ-backend × slab-backend × drain-strategy ×
+    /// thread-count combinations must agree on this projection bit for
+    /// bit (the backend parity discipline, extending the PR-3
+    /// drain-strategy parity).
     pub fn logical(&self) -> SolveStats {
         SolveStats {
             chi_peak_words: 0,
             slab_peak_words: 0,
             row_lookups: 0,
+            rollbacks: 0,
+            poisonings: 0,
+            budget_aborts: 0,
+            journal_entries: 0,
             ..self.clone()
         }
     }

@@ -72,6 +72,9 @@ pub fn strong_simulation(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Stro
         soi.is_plain_bgp(),
         "strong simulation is defined for plain BGP patterns"
     );
+    // Documented precondition (like the `is_plain_bgp` assert above):
+    // strong simulation is defined over connected, non-empty patterns.
+    #[allow(clippy::expect_used)]
     let diameter =
         pattern_diameter(soi).expect("strong simulation requires a connected, non-empty pattern");
     let n = db.num_nodes();
@@ -90,6 +93,8 @@ pub fn strong_simulation(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Stro
 
     // Center variable: the pattern variable with the fewest global
     // candidates (fewest balls to inspect).
+    // Structural invariant: the empty-vars case returned above.
+    #[allow(clippy::expect_used)]
     let center_var = (0..soi.vars.len())
         .min_by_key(|&v| global.chi[v].count_ones())
         .expect("at least one variable");
@@ -137,6 +142,9 @@ fn pattern_diameter(soi: &Soi) -> Option<usize> {
                 }
             }
         }
+        // Structural invariant: `dist` has one entry per variable and
+        // the empty pattern returned `None` above.
+        #[allow(clippy::expect_used)]
         let ecc = *dist.iter().max().expect("non-empty");
         if ecc == usize::MAX {
             return None; // disconnected

@@ -218,9 +218,27 @@ impl GraphDb {
     pub fn with_triples(&self, triples: &[Triple]) -> Result<GraphDb, GraphError> {
         let mut per_label: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.vocab.num_labels()];
         let n = self.vocab.num_nodes() as u32;
-        for t in triples {
+        for (idx, t) in triples.iter().enumerate() {
             if (t.p as usize) >= per_label.len() || t.s >= n || t.o >= n {
-                return Err(GraphError::ForeignTriple(*t));
+                let node = |id: u32| {
+                    if id < n {
+                        self.vocab.node_name(id).to_owned()
+                    } else {
+                        format!("#{id}")
+                    }
+                };
+                let label = if (t.p as usize) < per_label.len() {
+                    self.vocab.label_name(t.p).to_owned()
+                } else {
+                    format!("#{}", t.p)
+                };
+                return Err(GraphError::ForeignTriple {
+                    triple: *t,
+                    subject: node(t.s),
+                    predicate: label,
+                    object: node(t.o),
+                    index: idx + 1,
+                });
             }
             per_label[t.p as usize].push((t.s, t.o));
         }
@@ -450,9 +468,43 @@ mod tests {
             Triple::new(0, p, n + 7),
         ] {
             let err = db.with_triples(&[foreign]).unwrap_err();
-            assert_eq!(err, GraphError::ForeignTriple(foreign));
+            let GraphError::ForeignTriple { triple, index, .. } = &err else {
+                panic!("expected ForeignTriple, got {err:?}");
+            };
+            assert_eq!(*triple, foreign);
+            assert_eq!(*index, 1);
             assert!(err.to_string().contains("outside the shared vocabulary"));
         }
+    }
+
+    #[test]
+    fn foreign_triple_reports_terms_and_batch_position() {
+        let db = movie_db();
+        let n = db.num_nodes() as u32;
+        let p = db.label_id("directed").unwrap();
+        let ok: Triple = db.triples().next().unwrap();
+        // The in-range ids resolve to their interned names; the
+        // out-of-range object becomes a placeholder; the index is the
+        // 1-based position within the batch.
+        let bad = Triple::new(0, p, n + 7);
+        let err = db.with_triples(&[ok, bad]).unwrap_err();
+        let GraphError::ForeignTriple {
+            subject,
+            predicate,
+            object,
+            index,
+            ..
+        } = &err
+        else {
+            panic!("expected ForeignTriple, got {err:?}");
+        };
+        assert_eq!(subject, db.node_name(0));
+        assert_eq!(predicate, "directed");
+        assert_eq!(object, &format!("#{}", n + 7));
+        assert_eq!(*index, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("triple 2"), "{msg}");
+        assert!(msg.contains("directed"), "{msg}");
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Robustness gate (shared with `dualsim-core`): library code must not
+// panic on reachable input paths — errors flow through [`GraphError`].
+// Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod db;
 mod ntriples;
@@ -61,8 +65,23 @@ pub enum GraphError {
     /// A triple mentions a node or label id outside the shared
     /// vocabulary ([`GraphDb::with_triples`]): derived databases reuse
     /// their parent's dictionary, so such a triple is inexpressible —
-    /// usually a sign of a corrupt or misrouted update stream.
-    ForeignTriple(Triple),
+    /// usually a sign of a corrupt or misrouted update stream. Carries
+    /// the offending terms (resolved against the vocabulary where the
+    /// id is in range, a `#<id>` placeholder where it is not) and the
+    /// triple's 1-based position in the batch, so stream tooling can
+    /// point at the exact line.
+    ForeignTriple {
+        /// The offending triple, raw ids.
+        triple: Triple,
+        /// Subject term (node name, or `#<id>` if out of range).
+        subject: String,
+        /// Predicate term (label name, or `#<id>` if out of range).
+        predicate: String,
+        /// Object term (node name, or `#<id>` if out of range).
+        object: String,
+        /// 1-based index of the triple within the rejected batch.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -77,11 +96,16 @@ impl std::fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "N-Triples parse error on line {line}: {message}")
             }
-            GraphError::ForeignTriple(t) => {
+            GraphError::ForeignTriple {
+                subject,
+                predicate,
+                object,
+                index,
+                ..
+            } => {
                 write!(
                     f,
-                    "triple ({}, {}, {}) lies outside the shared vocabulary",
-                    t.s, t.p, t.o
+                    "triple {index} ({subject}, {predicate}, {object}) lies outside the shared vocabulary"
                 )
             }
         }

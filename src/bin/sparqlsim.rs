@@ -93,11 +93,37 @@ options:
   --updates FILE        maintain: signed update stream — N-Triples lines
                         prefixed '+' (insert) or '-' (delete); terms must
                         come from the database's fixed vocabulary
+  --on-error P          maintain: skip | abort | rollback (default abort)
+                        what to do when an update line fails to parse or
+                        a batch fails to apply — skip it and continue,
+                        abort the run, or roll the batch back and keep
+                        the recovered pre-batch solution
+  --drain-budget N      delta: cancel any maintenance drain that exceeds
+                        N logical ops in one batch; the engine rolls the
+                        batch back and the next update falls back to a
+                        cold re-solve (default unlimited)
+  --no-journal          delta: disable the per-batch rollback journal
+                        (errors then poison the engine instead of
+                        restoring the pre-batch solution)
   --output FILE.nt      prune: write the pruned database as N-Triples
   --engine E            eval: nested | hash            (default nested)
   --limit N             eval: print at most N rows     (default 20)
   --pruned              eval: evaluate on the pruned database
   --exclude-labels L,M  fingerprint: predicates to leave out of the index";
+
+/// What `maintain` does when an update line fails to parse or a batch
+/// fails to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OnError {
+    /// Report the failure and continue with the next line / batch.
+    Skip,
+    /// Stop immediately with a non-zero exit (default).
+    Abort,
+    /// Report, roll the failing batch back (every union branch restored
+    /// to its pre-batch solution), drop the rest of the stream, and
+    /// still print the recovered solution with a zero exit.
+    Rollback,
+}
 
 /// Parsed command line.
 struct Opts {
@@ -113,6 +139,9 @@ struct Opts {
     seed_threads: usize,
     early_exit: bool,
     updates: Option<String>,
+    on_error: OnError,
+    drain_budget: Option<usize>,
+    journal: bool,
     output: Option<String>,
     engine: String,
     limit: usize,
@@ -134,6 +163,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         seed_threads: 1,
         early_exit: true,
         updates: None,
+        on_error: OnError::Abort,
+        drain_budget: None,
+        journal: true,
         output: None,
         engine: "nested".to_owned(),
         limit: 20,
@@ -150,6 +182,22 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         match flag.as_str() {
             "--data" => opts.data = Some(value()?),
             "--updates" => opts.updates = Some(value()?),
+            "--on-error" => {
+                opts.on_error = match value()?.as_str() {
+                    "skip" => OnError::Skip,
+                    "abort" => OnError::Abort,
+                    "rollback" => OnError::Rollback,
+                    other => return Err(format!("unknown on-error policy {other:?}")),
+                };
+            }
+            "--drain-budget" => {
+                opts.drain_budget = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--drain-budget: {e}"))?,
+                );
+            }
+            "--no-journal" => opts.journal = false,
             "--query" => opts.query = Some(value()?),
             "--query-text" => opts.query_text = Some(value()?),
             "--output" => opts.output = Some(value()?),
@@ -236,65 +284,91 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// One update batch: the sign (`true` = insert) and its triples.
+type UpdateBatch = (bool, Vec<dualsim::graph::Triple>);
+
+/// Parses one signed update line (`+`/`-` sign, three IRI terms, `.`).
+fn parse_update_line(
+    line: &str,
+    line_no: usize,
+    db: &GraphDb,
+) -> Result<(bool, dualsim::graph::Triple), String> {
+    use dualsim::graph::Triple;
+    let (insert, mut rest) = if let Some(r) = line.strip_prefix('+') {
+        (true, r)
+    } else if let Some(r) = line.strip_prefix('-') {
+        (false, r)
+    } else {
+        return Err(format!(
+            "updates line {line_no}: expected a '+' or '-' sign before the triple"
+        ));
+    };
+    let mut term = |what: &str| -> Result<String, String> {
+        let t = rest
+            .trim_start()
+            .strip_prefix('<')
+            .ok_or_else(|| format!("updates line {line_no}: expected '<' opening the {what}"))?;
+        let end = t
+            .find('>')
+            .ok_or_else(|| format!("updates line {line_no}: unterminated {what}"))?;
+        rest = &t[end + 1..];
+        Ok(t[..end].to_owned())
+    };
+    let (s, p, o) = (term("subject")?, term("predicate")?, term("object")?);
+    if rest.trim() != "." {
+        return Err(format!("updates line {line_no}: expected terminating '.'"));
+    }
+    let node = |name: &str| {
+        db.node_id(name).ok_or_else(|| {
+            format!(
+                "updates line {line_no}: node <{name}> is outside the database's \
+                 vocabulary (fixed at load time)"
+            )
+        })
+    };
+    let label = db.label_id(&p).ok_or_else(|| {
+        format!(
+            "updates line {line_no}: predicate <{p}> is outside the database's \
+             vocabulary (fixed at load time)"
+        )
+    })?;
+    Ok((insert, Triple::new(node(&s)?, label, node(&o)?)))
+}
+
 /// Parses a signed update stream: N-Triples lines (IRI terms only)
 /// prefixed `+` or `-`; consecutive lines with the same sign form one
 /// batch. Every term must resolve in `db`'s fixed vocabulary.
+///
+/// With `skip_bad_lines` each unparsable line is collected (with its
+/// 1-based line number) instead of failing the whole stream; otherwise
+/// the first bad line aborts parsing. The returned `Vec<String>` holds
+/// the reports for the skipped lines, in stream order.
 fn parse_update_batches(
     text: &str,
     db: &GraphDb,
-) -> Result<Vec<(bool, Vec<dualsim::graph::Triple>)>, String> {
-    use dualsim::graph::Triple;
-    let mut batches: Vec<(bool, Vec<Triple>)> = Vec::new();
+    skip_bad_lines: bool,
+) -> Result<(Vec<UpdateBatch>, Vec<String>), String> {
+    let mut batches: Vec<UpdateBatch> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let line_no = idx + 1;
-        let (insert, mut rest) = if let Some(r) = line.strip_prefix('+') {
-            (true, r)
-        } else if let Some(r) = line.strip_prefix('-') {
-            (false, r)
-        } else {
-            return Err(format!(
-                "updates line {line_no}: expected a '+' or '-' sign before the triple"
-            ));
+        let (insert, t) = match parse_update_line(line, idx + 1, db) {
+            Ok(parsed) => parsed,
+            Err(msg) if skip_bad_lines => {
+                skipped.push(msg);
+                continue;
+            }
+            Err(msg) => return Err(msg),
         };
-        let mut term = |what: &str| -> Result<String, String> {
-            let t = rest.trim_start().strip_prefix('<').ok_or_else(|| {
-                format!("updates line {line_no}: expected '<' opening the {what}")
-            })?;
-            let end = t
-                .find('>')
-                .ok_or_else(|| format!("updates line {line_no}: unterminated {what}"))?;
-            rest = &t[end + 1..];
-            Ok(t[..end].to_owned())
-        };
-        let (s, p, o) = (term("subject")?, term("predicate")?, term("object")?);
-        if rest.trim() != "." {
-            return Err(format!("updates line {line_no}: expected terminating '.'"));
-        }
-        let node = |name: &str| {
-            db.node_id(name).ok_or_else(|| {
-                format!(
-                    "updates line {line_no}: node <{name}> is outside the database's \
-                     vocabulary (fixed at load time)"
-                )
-            })
-        };
-        let label = db.label_id(&p).ok_or_else(|| {
-            format!(
-                "updates line {line_no}: predicate <{p}> is outside the database's \
-                 vocabulary (fixed at load time)"
-            )
-        })?;
-        let t = Triple::new(node(&s)?, label, node(&o)?);
         match batches.last_mut() {
             Some((sign, batch)) if *sign == insert => batch.push(t),
             _ => batches.push((insert, vec![t])),
         }
     }
-    Ok(batches)
+    Ok((batches, skipped))
 }
 
 /// The resident-solution loop: one initial solve, then every update
@@ -308,7 +382,10 @@ fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> 
     use dualsim::graph::Triple;
     let path = opts.updates.as_deref().ok_or("--updates is required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let batches = parse_update_batches(&text, db)?;
+    let (batches, bad_lines) = parse_update_batches(&text, db, opts.on_error == OnError::Skip)?;
+    for msg in &bad_lines {
+        eprintln!("warning: {msg} — line skipped");
+    }
     let cfg = config(opts);
     let started = std::time::Instant::now();
     let mut engines: Vec<IncrementalDualSim> = build_sois(db, query)
@@ -322,14 +399,18 @@ fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> 
     );
     let mut present: std::collections::BTreeSet<Triple> = db.triples().collect();
     for (i, (insert, batch)) in batches.iter().enumerate() {
+        // Stage the batch against a copy: a rejected batch must leave
+        // the resident triple set exactly as it was.
+        let mut next = present.clone();
+        let mut problem: Option<String> = None;
         for t in batch {
             let applies = if *insert {
-                present.insert(*t)
+                next.insert(*t)
             } else {
-                present.remove(t)
+                next.remove(t)
             };
             if !applies {
-                return Err(format!(
+                problem = Some(format!(
                     "update batch {}: triple (<{}> <{}> <{}>) is {} the database",
                     i + 1,
                     db.node_name(t.s),
@@ -337,31 +418,84 @@ fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> 
                     db.node_name(t.o),
                     if *insert { "already in" } else { "not in" }
                 ));
+                break;
             }
         }
-        let triples: Vec<Triple> = present.iter().copied().collect();
-        let db_after = db.with_triples(&triples).map_err(|e| e.to_string())?;
         let started = std::time::Instant::now();
         let mut changed = 0usize;
         let mut warm = true;
-        for engine in &mut engines {
-            changed += if *insert {
-                engine.apply_insertions(&db_after, batch)
-            } else {
-                engine.apply_deletions(&db_after, batch)
-            };
-            warm &= engine.last_update_was_warm();
+        // Union branches that committed the batch before a later branch
+        // failed — they must be walked back so every branch reflects
+        // the same database again.
+        let mut committed = 0usize;
+        if problem.is_none() {
+            let triples: Vec<Triple> = next.iter().copied().collect();
+            match db.with_triples(&triples) {
+                Err(e) => problem = Some(format!("update batch {}: {e}", i + 1)),
+                Ok(db_after) => {
+                    for engine in &mut engines {
+                        let applied = if *insert {
+                            engine.apply_insertions(&db_after, batch)
+                        } else {
+                            engine.apply_deletions(&db_after, batch)
+                        };
+                        match applied {
+                            Ok(n) => {
+                                changed += n;
+                                warm &= engine.last_update_was_warm();
+                                committed += 1;
+                            }
+                            Err(e) => {
+                                problem = Some(format!("update batch {}: {e}", i + 1));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
         }
-        println!(
-            "batch {}: {}{} triple(s), {} candidate(s) {}, {} in {:?}",
-            i + 1,
-            if *insert { "+" } else { "-" },
-            batch.len(),
-            changed,
-            if *insert { "gained" } else { "dropped" },
-            if warm { "warm maintenance" } else { "cold re-solve" },
-            started.elapsed()
-        );
+        let msg = match problem {
+            None => {
+                present = next;
+                println!(
+                    "batch {}: {}{} triple(s), {} candidate(s) {}, {} in {:?}",
+                    i + 1,
+                    if *insert { "+" } else { "-" },
+                    batch.len(),
+                    changed,
+                    if *insert { "gained" } else { "dropped" },
+                    if warm { "warm maintenance" } else { "cold re-solve" },
+                    started.elapsed()
+                );
+                continue;
+            }
+            Some(msg) if opts.on_error == OnError::Abort => return Err(msg),
+            Some(msg) => msg,
+        };
+        // The failing branch rolled its own epoch back; undo the
+        // branches that had already committed by applying the inverse
+        // batch (the largest dual simulation is unique per database, so
+        // this restores the pre-batch solution exactly).
+        if committed > 0 {
+            let prev: Vec<Triple> = present.iter().copied().collect();
+            let db_before = db
+                .with_triples(&prev)
+                .map_err(|e| format!("undoing batch {}: {e}", i + 1))?;
+            for engine in engines.iter_mut().take(committed) {
+                let undone = if *insert {
+                    engine.apply_deletions(&db_before, batch)
+                } else {
+                    engine.apply_insertions(&db_before, batch)
+                };
+                undone.map_err(|e| format!("undoing batch {}: {e}", i + 1))?;
+            }
+        }
+        if opts.on_error == OnError::Skip {
+            eprintln!("warning: {msg} — batch rolled back, continuing");
+        } else {
+            eprintln!("warning: {msg} — batch rolled back, dropping the rest of the stream");
+            break;
+        }
     }
     for (i, engine) in engines.iter().enumerate() {
         if engines.len() > 1 {
@@ -382,7 +516,7 @@ fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> 
                 preview.join(", ")
             );
         }
-        let s = &solution.stats;
+        let s = engine.maintenance_stats();
         println!(
             "maintenance work: counter_increments={} reactivations={} counter_decrements={} \
              delta_removals={} ops={}",
@@ -391,6 +525,10 @@ fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> 
             s.counter_decrements,
             s.delta_removals,
             s.work_ops()
+        );
+        println!(
+            "robustness: rollbacks={} poisonings={} budget_aborts={} journal_entries={}",
+            s.rollbacks, s.poisonings, s.budget_aborts, s.journal_entries
         );
     }
     Ok(())
@@ -442,6 +580,8 @@ fn config(opts: &Opts) -> SolverConfig {
         slab_backend: opts.slab_backend,
         seed_threads: opts.seed_threads,
         early_exit: opts.early_exit,
+        drain_budget: opts.drain_budget,
+        journal: opts.journal,
         ..SolverConfig::default()
     }
 }
@@ -700,20 +840,73 @@ mod tests {
     fn update_streams_parse_into_signed_batches() {
         use dualsim::graph::parse_ntriples;
         let db = parse_ntriples("<a> <p> <b> .\n<b> <p> <c> .\n").unwrap();
-        let batches = parse_update_batches(
+        let (batches, skipped) = parse_update_batches(
             "# churn\n- <a> <p> <b> .\n- <b> <p> <c> .\n+ <a> <p> <b> .\n",
             &db,
+            false,
+        )
+        .unwrap();
+        assert!(skipped.is_empty());
+        let shape: Vec<(bool, usize)> = batches.iter().map(|(s, b)| (*s, b.len())).collect();
+        assert_eq!(shape, vec![(false, 2), (true, 1)]);
+
+        let unsigned = parse_update_batches("<a> <p> <b> .\n", &db, false).unwrap_err();
+        assert!(unsigned.contains("'+' or '-'"), "{unsigned}");
+        let foreign = parse_update_batches("+ <zz> <p> <b> .\n", &db, false).unwrap_err();
+        assert!(foreign.contains("outside the database's"), "{foreign}");
+        let unterminated = parse_update_batches("+ <a> <p> <b>\n", &db, false).unwrap_err();
+        assert!(unterminated.contains("terminating '.'"), "{unterminated}");
+    }
+
+    #[test]
+    fn skipping_bad_update_lines_keeps_the_rest_and_reports_line_numbers() {
+        use dualsim::graph::parse_ntriples;
+        let db = parse_ntriples("<a> <p> <b> .\n<b> <p> <c> .\n").unwrap();
+        // Line 2 is unsigned, line 4 mentions a foreign node; both are
+        // skipped, the surviving lines still group into signed batches.
+        let (batches, skipped) = parse_update_batches(
+            "- <a> <p> <b> .\n<b> <p> <c> .\n- <b> <p> <c> .\n+ <zz> <p> <b> .\n+ <a> <p> <b> .\n",
+            &db,
+            true,
         )
         .unwrap();
         let shape: Vec<(bool, usize)> = batches.iter().map(|(s, b)| (*s, b.len())).collect();
         assert_eq!(shape, vec![(false, 2), (true, 1)]);
+        assert_eq!(skipped.len(), 2);
+        assert!(skipped[0].contains("line 2"), "{}", skipped[0]);
+        assert!(skipped[1].contains("line 4"), "{}", skipped[1]);
+    }
 
-        let unsigned = parse_update_batches("<a> <p> <b> .\n", &db).unwrap_err();
-        assert!(unsigned.contains("'+' or '-'"), "{unsigned}");
-        let foreign = parse_update_batches("+ <zz> <p> <b> .\n", &db).unwrap_err();
-        assert!(foreign.contains("outside the database's"), "{foreign}");
-        let unterminated = parse_update_batches("+ <a> <p> <b>\n", &db).unwrap_err();
-        assert!(unterminated.contains("terminating '.'"), "{unterminated}");
+    #[test]
+    fn parse_args_reads_the_robustness_flags() {
+        let args: Vec<String> = [
+            "maintain",
+            "--on-error",
+            "rollback",
+            "--drain-budget",
+            "5000",
+            "--no-journal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.on_error, OnError::Rollback);
+        assert_eq!(opts.drain_budget, Some(5000));
+        assert!(!opts.journal);
+
+        for (name, expected) in [("skip", OnError::Skip), ("abort", OnError::Abort)] {
+            let args: Vec<String> = ["maintain", "--on-error", name]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert_eq!(parse_args(&args).unwrap().on_error, expected);
+        }
+        let bad: Vec<String> = ["maintain", "--on-error", "retry"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&bad).is_err());
     }
 
     #[test]

@@ -375,7 +375,7 @@ proptest! {
             .copied()
             .collect();
         let db_after = db.with_triples(&kept).unwrap();
-        inc.apply_deletions(&db_after, &deleted);
+        inc.apply_deletions(&db_after, &deleted).unwrap();
         let cold = solve(&db_after, &soi, &cfg);
         prop_assert_eq!(&inc.solution().chi, &cold.chi, "warm != cold for {}", q);
     }
