@@ -1161,6 +1161,456 @@ pub fn incremental_report_json(
     out
 }
 
+/// A fresh scratch directory for a durability run, unique per process
+/// and call.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dualsim-bench-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The newest `snapshot-*.snap` file in a durability directory, with
+/// its size (epoch-padded names sort chronologically).
+fn newest_snapshot(dir: &std::path::Path) -> Option<(std::path::PathBuf, u64)> {
+    let mut best: Option<(std::ffi::OsString, u64)> = None;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_snap = name
+                .to_str()
+                .is_some_and(|n| n.starts_with("snapshot-") && n.ends_with(".snap"));
+            if !is_snap {
+                continue;
+            }
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            if best.as_ref().is_none_or(|(b, _)| name > *b) {
+                best = Some((name, len));
+            }
+        }
+    }
+    best.map(|(name, len)| (dir.join(name), len))
+}
+
+/// One (query, mode) measurement of the durability ablation
+/// ([`run_durability`]): the same deletion churn maintained without
+/// durability, with the write-ahead log fsynced per batch, and with
+/// the fsync disabled (isolating serialization from disk flushes).
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Scenario id (`<query>-durability`).
+    pub id: String,
+    /// `plain` / `durable` / `durable-nosync`.
+    pub mode: &'static str,
+    /// Update batches applied.
+    pub batches: usize,
+    /// Wall time summed over all maintenance calls.
+    pub wall: Duration,
+    /// Logical work operations summed over all updates — asserted
+    /// bit-identical across the three modes: like the journal, the WAL
+    /// is pure bookkeeping with zero logical-op overhead.
+    pub ops: usize,
+    /// Final write-ahead log size in bytes (0 without durability).
+    pub wal_bytes: u64,
+    /// Size of a full-state snapshot of the final database (0 without
+    /// durability) — the "snapshot size vs. graph size" axis.
+    pub snapshot_bytes: u64,
+    /// Triples in the final database the snapshot serializes.
+    pub db_triples: usize,
+}
+
+/// One restart measurement of [`run_durability`]: warm recovery
+/// (epoch-0 snapshot + full WAL tail replay) next to a cold rebuild of
+/// the same final state.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Scenario id (`<query>-recovery`).
+    pub id: String,
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// WAL records replayed past the snapshot.
+    pub records_replayed: usize,
+    /// Wall time of `IncrementalDualSim::recover`.
+    pub recovery_wall: Duration,
+    /// Wall time of a cold solve of the same final database.
+    pub cold_wall: Duration,
+    /// `true` iff the recovered χ and logical work counters are
+    /// bit-identical to the uninterrupted plain run.
+    pub recovered: bool,
+}
+
+/// One crash-kill measurement of [`run_durability_crash`]: maintenance
+/// killed at one registered failpoint site, the process "dies" (the
+/// resident instance is dropped), and recovery restarts from disk.
+#[derive(Debug, Clone)]
+pub struct CrashKillRow {
+    /// Scenario id (`<query>-crash`).
+    pub id: String,
+    /// Failpoint site the kill was injected at.
+    pub site: &'static str,
+    /// `true` iff the armed site actually fired during the stream.
+    pub killed: bool,
+    /// Batches the recovered instance reports as committed.
+    pub committed: u64,
+    /// Wall time of the post-kill recovery.
+    pub recovery_wall: Duration,
+    /// `true` iff the recovered χ and logical work counters are
+    /// bit-identical to an uninterrupted run over the committed prefix.
+    pub recovered: bool,
+}
+
+/// The durability ablation: the same deletion churn stream maintained
+/// three ways — plain, durable (WAL fsynced per batch, the default
+/// crash-consistency setting), and durable without fsync. Asserts the
+/// logical work counters and per-batch χ are bit-identical across all
+/// three (the WAL, like the journal, must cost zero logical ops), then
+/// measures the restart axis: warm recovery from the epoch-0 snapshot
+/// plus the full WAL tail against a cold rebuild of the final state.
+pub fn run_durability(
+    data: &Datasets,
+    ids: &[&str],
+    batches: usize,
+    stride: usize,
+    drain: DrainStrategy,
+) -> (Vec<DurabilityRow>, Vec<RecoveryRow>) {
+    use dualsim_core::DurabilityOptions;
+    use dualsim_graph::Triple;
+    let (mut rows, mut recoveries) = (Vec::new(), Vec::new());
+    for bench in all_queries().iter().filter(|b| ids.contains(&b.id)) {
+        let db = data.for_query(bench);
+        let soi = match build_sois(db, &bench.query).pop() {
+            Some(soi) => soi,
+            None => continue,
+        };
+        let all: Vec<Triple> = db.triples().collect();
+        let victims: Vec<Triple> = all.iter().copied().step_by(stride.max(1)).collect();
+        let chunk = victims.len().div_ceil(batches.max(1)).max(1);
+        let chunks: Vec<Vec<Triple>> = victims.chunks(chunk).map(<[Triple]>::to_vec).collect();
+        let cfg = SolverConfig {
+            fixpoint: FixpointMode::DeltaCounting,
+            drain,
+            early_exit: false,
+            ..SolverConfig::default()
+        };
+
+        let mut per_mode: Vec<(Vec<_>, DurabilityRow)> = Vec::new();
+        let mut durable_dir: Option<std::path::PathBuf> = None;
+        for (mode, durable, fsync) in [
+            ("plain", false, false),
+            ("durable", true, true),
+            ("durable-nosync", true, false),
+        ] {
+            let dir = if durable {
+                scratch_dir("durability")
+            } else {
+                std::path::PathBuf::new()
+            };
+            let mut inc = if durable {
+                let mut opts = DurabilityOptions::new(&dir);
+                opts.fsync = fsync;
+                IncrementalDualSim::new_durable(db, soi.clone(), cfg.clone(), &opts)
+                    .expect("durable construction")
+            } else {
+                IncrementalDualSim::new(db, soi.clone(), cfg.clone())
+            };
+            let mut present: Vec<Triple> = all.clone();
+            let mut wall = Duration::ZERO;
+            let mut snapshots = Vec::new();
+            for batch in &chunks {
+                let batch_set: std::collections::HashSet<Triple> =
+                    batch.iter().copied().collect();
+                present.retain(|t| !batch_set.contains(t));
+                let db_after = db.with_triples(&present).unwrap();
+                let start_t = Instant::now();
+                inc.apply_deletions(&db_after, batch).unwrap();
+                wall += start_t.elapsed();
+                snapshots.push(inc.solution().chi.clone());
+            }
+            let wal_bytes = if durable {
+                std::fs::metadata(dir.join("wal.log")).map(|m| m.len()).unwrap_or(0)
+            } else {
+                0
+            };
+            // The snapshot-size axis: serialize the *final* resident
+            // state once, after the stream (off the maintenance clock).
+            let snapshot_bytes = if durable {
+                let db_final = db.with_triples(&present).unwrap();
+                inc.snapshot_now(&db_final).expect("final snapshot");
+                newest_snapshot(&dir).map_or(0, |(_, len)| len)
+            } else {
+                0
+            };
+            per_mode.push((
+                snapshots,
+                DurabilityRow {
+                    id: format!("{}-durability", bench.id),
+                    mode,
+                    batches: chunks.len(),
+                    wall,
+                    ops: inc.maintenance_stats().work_ops(),
+                    wal_bytes,
+                    snapshot_bytes,
+                    db_triples: present.len(),
+                },
+            ));
+            if durable && fsync {
+                durable_dir = Some(dir);
+            } else if durable {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        let (ref_snapshots, ref_row) = &per_mode[0];
+        for (snapshots, row) in &per_mode[1..] {
+            assert_eq!(
+                ref_snapshots, snapshots,
+                "{} ({}): durable maintenance diverged from the plain run",
+                row.id, row.mode
+            );
+            assert_eq!(
+                ref_row.ops, row.ops,
+                "{} ({}): the WAL changed the logical work",
+                row.id, row.mode
+            );
+        }
+
+        // Restart axis: recover from the fsynced run's directory —
+        // epoch-0 snapshot plus every WAL record — and race a cold
+        // rebuild of the same final database.
+        let dir = durable_dir.expect("fsynced durable run ran");
+        let plain = {
+            // Reference for bit-identical recovery: the uninterrupted
+            // plain run is per_mode[0], but its instance is gone; redo
+            // cheaply via chi snapshots? χ is in ref_snapshots; logical
+            // stats need a live instance, so rebuild one.
+            let mut inc = IncrementalDualSim::new(db, soi.clone(), cfg.clone());
+            let mut present: Vec<Triple> = all.clone();
+            for batch in &chunks {
+                let batch_set: std::collections::HashSet<Triple> =
+                    batch.iter().copied().collect();
+                present.retain(|t| !batch_set.contains(t));
+                let db_after = db.with_triples(&present).unwrap();
+                inc.apply_deletions(&db_after, batch).unwrap();
+            }
+            (inc, present)
+        };
+        // The final sizing snapshot would make recovery trivial (zero
+        // records replayed); drop it so the measured restart is the
+        // realistic one — epoch-0 snapshot load plus full WAL tail.
+        if let Some((path, _)) = newest_snapshot(&dir) {
+            let _ = std::fs::remove_file(path);
+        }
+        let opts = DurabilityOptions::new(&dir);
+        let start_t = Instant::now();
+        let rec = IncrementalDualSim::recover(&opts).expect("recovery");
+        let recovery_wall = start_t.elapsed();
+        let db_final = db.with_triples(&plain.1).unwrap();
+        let start_t = Instant::now();
+        let cold = solve(&db_final, &soi, &cfg);
+        let cold_wall = start_t.elapsed();
+        let recovered = rec.sim.solution().chi == plain.0.solution().chi
+            && rec.sim.maintenance_stats().logical() == plain.0.maintenance_stats().logical()
+            && cold.chi == rec.sim.solution().chi;
+        recoveries.push(RecoveryRow {
+            id: format!("{}-recovery", bench.id),
+            snapshot_epoch: rec.report.snapshot_epoch,
+            records_replayed: rec.report.records_replayed,
+            recovery_wall,
+            cold_wall,
+            recovered,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.extend(per_mode.into_iter().map(|(_, row)| row));
+    }
+    (rows, recoveries)
+}
+
+/// The crash-recovery sweep: for every registered failpoint site, a
+/// durable deletion churn is killed at that site (the armed failpoint
+/// makes the maintenance call fail exactly as a crash would interrupt
+/// it), the resident instance is dropped — the "process death" — and
+/// [`IncrementalDualSim::recover`] restarts from the snapshot and the
+/// WAL. The recovered χ and logical work counters must be bit-identical
+/// to an uninterrupted run over the committed prefix the report names.
+pub fn run_durability_crash(data: &Datasets, ids: &[&str]) -> Vec<CrashKillRow> {
+    use dualsim_core::{failpoints, DurabilityOptions};
+    use dualsim_graph::Triple;
+    let mut rows = Vec::new();
+    for bench in all_queries().iter().filter(|b| ids.contains(&b.id)) {
+        let db = data.for_query(bench);
+        let soi = match build_sois(db, &bench.query).pop() {
+            Some(soi) => soi,
+            None => continue,
+        };
+        let all: Vec<Triple> = db.triples().collect();
+        let victims: Vec<Triple> = all.iter().copied().step_by(3).collect();
+        let chunk = victims.len().div_ceil(2).max(1);
+        // A mixed script — delete a chunk, insert it back — so both the
+        // decrement/drain sites and the insertion frontier's increment
+        // sites lie on the stream's path.
+        let script: Vec<(bool, Vec<Triple>)> = victims
+            .chunks(chunk)
+            .flat_map(|c| [(false, c.to_vec()), (true, c.to_vec())])
+            .collect();
+        let cfg = SolverConfig {
+            fixpoint: FixpointMode::DeltaCounting,
+            early_exit: false,
+            ..SolverConfig::default()
+        };
+        for site in failpoints::registered_sites() {
+            let dir = scratch_dir("crash");
+            let mut opts = DurabilityOptions::new(&dir);
+            // Snapshot on every even epoch so the kill window (armed
+            // from the second batch on) exercises the snapshot path too.
+            opts.snapshot_every = Some(2);
+            let mut inc = IncrementalDualSim::new_durable(db, soi.clone(), cfg.clone(), &opts)
+                .expect("durable construction");
+            let mut present: Vec<Triple> = all.clone();
+            let mut killed = false;
+            for (k, (insert, batch)) in script.iter().enumerate() {
+                let batch_set: std::collections::HashSet<Triple> =
+                    batch.iter().copied().collect();
+                let mut next = present.clone();
+                if *insert {
+                    next.extend(batch.iter().copied());
+                    next.sort_unstable();
+                } else {
+                    next.retain(|t| !batch_set.contains(t));
+                }
+                let db_after = db.with_triples(&next).unwrap();
+                if k == 1 {
+                    failpoints::arm(site, 0);
+                    if site == "rollback" {
+                        // The rollback site is only reached while a
+                        // rollback is in flight; trigger one.
+                        failpoints::arm("pre-drain", 0);
+                    }
+                }
+                let applied = if *insert {
+                    inc.apply_insertions(&db_after, batch).map(|_| ())
+                } else {
+                    inc.apply_deletions(&db_after, batch).map(|_| ())
+                };
+                match applied {
+                    Ok(()) => present = next,
+                    Err(_) => {
+                        // The kill: drop the resident instance with the
+                        // failure un-handled, exactly like a dying
+                        // process would.
+                        killed = true;
+                        break;
+                    }
+                }
+            }
+            failpoints::disarm_all();
+            drop(inc);
+            let start_t = Instant::now();
+            let rec = IncrementalDualSim::recover(&DurabilityOptions::new(&dir))
+                .expect("post-kill recovery");
+            let recovery_wall = start_t.elapsed();
+            let committed = rec.report.epoch;
+            // Uninterrupted reference over the committed prefix.
+            let mut reference = IncrementalDualSim::new(db, soi.clone(), cfg.clone());
+            let mut present: Vec<Triple> = all.clone();
+            for (insert, batch) in script.iter().take(committed as usize) {
+                let batch_set: std::collections::HashSet<Triple> =
+                    batch.iter().copied().collect();
+                if *insert {
+                    present.extend(batch.iter().copied());
+                    present.sort_unstable();
+                } else {
+                    present.retain(|t| !batch_set.contains(t));
+                }
+                let db_after = db.with_triples(&present).unwrap();
+                if *insert {
+                    reference.apply_insertions(&db_after, batch).unwrap();
+                } else {
+                    reference.apply_deletions(&db_after, batch).unwrap();
+                }
+            }
+            let recovered = rec.sim.solution().chi == reference.solution().chi
+                && rec.sim.maintenance_stats().logical() == reference.maintenance_stats().logical();
+            rows.push(CrashKillRow {
+                id: format!("{}-crash", bench.id),
+                site,
+                killed,
+                committed,
+                recovery_wall,
+                recovered,
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    rows
+}
+
+/// Renders the durability ablation as the machine-readable
+/// `BENCH_durability.json` document (schema `dualsim-durability-v1`;
+/// hand-rolled writer — the workspace has no serde): the WAL append
+/// overhead per batch at asserted-zero logical-op cost, snapshot size
+/// against graph size, warm recovery against a cold rebuild, and the
+/// kill-at-every-failpoint crash sweep.
+pub fn durability_report_json(
+    data: &Datasets,
+    rows: &[DurabilityRow],
+    recoveries: &[RecoveryRow],
+    crashes: &[CrashKillRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-durability-v1\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str("  \"churn\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"mode\": {}, \"batches\": {}, \"wall_s\": {:.6}, \
+             \"ops\": {}, \"wal_bytes\": {}, \"snapshot_bytes\": {}, \"db_triples\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.mode),
+            r.batches,
+            r.wall.as_secs_f64(),
+            r.ops,
+            r.wal_bytes,
+            r.snapshot_bytes,
+            r.db_triples,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in recoveries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"snapshot_epoch\": {}, \"records_replayed\": {}, \
+             \"recovery_wall_s\": {:.6}, \"cold_wall_s\": {:.6}, \"recovered\": {}}}{}\n",
+            json_str(&r.id),
+            r.snapshot_epoch,
+            r.records_replayed,
+            r.recovery_wall.as_secs_f64(),
+            r.cold_wall.as_secs_f64(),
+            r.recovered,
+            if i + 1 == recoveries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"crash\": [\n");
+    for (i, r) in crashes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"site\": {}, \"killed\": {}, \"committed\": {}, \
+             \"recovery_wall_s\": {:.6}, \"recovered\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.site),
+            r.killed,
+            r.committed,
+            r.recovery_wall.as_secs_f64(),
+            r.recovered,
+            if i + 1 == crashes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// The queries of the §3.3 heuristics ablation: the two Fig. 6 queries,
 /// the other cyclic LUBM query, and two DBpedia shapes (the same slice
 /// the `ablation_strategies` criterion bench measures).

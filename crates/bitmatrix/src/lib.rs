@@ -35,7 +35,7 @@ pub use bitvec::{BitVec, Ones};
 pub use chi::{ChiBackend, ChiOnes, ChiRead, ChiVec, AUTO_RLE_DENSITY_DIVISOR};
 pub use matrix::{BitMatrix, RowSelector};
 pub use rle::{RleBitVec, RleOnes};
-pub use slab::{CounterSlab, SlabBackend};
+pub use slab::{CounterSlab, SeededSlabState, SlabBackend};
 
 #[cfg(test)]
 mod proptests;

@@ -207,6 +207,11 @@ impl Default for Repr {
     }
 }
 
+/// Serializable state of a seeded [`CounterSlab`] as returned by
+/// [`CounterSlab::export_state`]: counter dimension, sparse-spill flag,
+/// and the non-zero `(column, count)` entries in ascending column order.
+pub type SeededSlabState = (usize, bool, Vec<(u32, u32)>);
+
 /// A slab of per-column support counters, lazily seeded, stored densely
 /// or as hash counters per [`SlabBackend`].
 #[derive(Debug, Clone, Default)]
@@ -382,6 +387,87 @@ impl CounterSlab {
     pub fn unseed(&mut self) {
         let sparse = self.backend() == SlabBackend::Sparse;
         self.repr = Repr::Unseeded { sparse };
+    }
+
+    /// Serializable view of the slab: `None` while unseeded, otherwise
+    /// the counter dimension, whether a sparse slab has spilled to
+    /// dense storage, and every non-zero `(column, count)` entry in
+    /// ascending column order. Together with [`CounterSlab::backend`]
+    /// this captures the slab exactly — [`CounterSlab::restore`]
+    /// rebuilds a bit-identical slab (same backend, same spill state,
+    /// same counters, same [`CounterSlab::storage_words`]).
+    pub fn export_state(&self) -> Option<SeededSlabState> {
+        match &self.repr {
+            Repr::Unseeded { .. } => None,
+            Repr::Dense(counts) => {
+                let entries = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(w, &c)| (w as u32, c))
+                    .collect();
+                Some((counts.len(), false, entries))
+            }
+            Repr::Sparse(s) => {
+                let spilled = s.dense.is_some();
+                let mut entries: Vec<(u32, u32)> = match &s.dense {
+                    Some(d) => d
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c != 0)
+                        .map(|(w, &c)| (w as u32, c))
+                        .collect(),
+                    None => s.map.iter().map(|(&w, &c)| (w, c)).collect(),
+                };
+                entries.sort_unstable();
+                Some((s.dim, spilled, entries))
+            }
+        }
+    }
+
+    /// Rebuilds a seeded slab from an [`CounterSlab::export_state`]
+    /// view: `backend` selects the representation, `spilled` restores a
+    /// sparse slab's dense spill storage (so the restored slab reports
+    /// the exact pre-export [`CounterSlab::storage_words`] and spills —
+    /// or doesn't — at the same future increments).
+    ///
+    /// # Panics
+    /// Panics on [`SlabBackend::Auto`] (resolved before slabs exist)
+    /// and on an entry column at or past `dim`.
+    pub fn restore(backend: SlabBackend, dim: usize, spilled: bool, entries: &[(u32, u32)]) -> Self {
+        assert!(
+            entries.iter().all(|&(w, _)| (w as usize) < dim),
+            "slab entry column out of bounds"
+        );
+        let repr = match backend {
+            SlabBackend::Dense => {
+                let mut counts = vec![0u32; dim];
+                for &(w, c) in entries {
+                    counts[w as usize] = c;
+                }
+                Repr::Dense(counts)
+            }
+            SlabBackend::Sparse => {
+                let mut s = SparseCounters {
+                    dim,
+                    ..SparseCounters::default()
+                };
+                if spilled {
+                    let mut d = vec![0u32; dim];
+                    for &(w, c) in entries {
+                        d[w as usize] = c;
+                    }
+                    s.dense = Some(d);
+                } else {
+                    s.map = entries.iter().map(|&(w, c)| (w, c)).collect();
+                }
+                Repr::Sparse(s)
+            }
+            SlabBackend::Auto => {
+                panic!("Auto must be resolved to a concrete backend before constructing slabs")
+            }
+        };
+        CounterSlab { repr }
     }
 }
 
@@ -639,6 +725,63 @@ mod tests {
             let inits = slab.seed(&m, &BitVec::ones(5));
             assert_eq!(inits, 3);
             assert_eq!(slab.count(1), 1);
+        }
+    }
+
+    #[test]
+    fn export_restore_round_trips_every_representation() {
+        // Unseeded slabs export None for either backend.
+        for backend in BACKENDS {
+            assert_eq!(CounterSlab::unseeded(backend).export_state(), None);
+        }
+        let m = BitMatrix::from_edges(100, &[(0, 3), (1, 3), (2, 97)]);
+        for backend in BACKENDS {
+            let mut slab = CounterSlab::unseeded(backend);
+            slab.seed(&m, &BitVec::ones(100));
+            let (dim, spilled, entries) = slab.export_state().unwrap();
+            assert_eq!(dim, 100);
+            assert!(!spilled);
+            assert_eq!(entries, vec![(3, 2), (97, 1)]);
+            let restored = CounterSlab::restore(backend, dim, spilled, &entries);
+            assert_eq!(restored.backend(), backend);
+            assert_eq!(restored.storage_words(), slab.storage_words());
+            for w in 0..100 {
+                assert_eq!(restored.count(w), slab.count(w), "column {w}");
+            }
+        }
+        // A spilled sparse slab restores as spilled: dense storage cost,
+        // still reporting the sparse backend.
+        let dim = 10;
+        let edges: Vec<(u32, u32)> = (0..dim as u32).map(|j| (0, j)).collect();
+        let wide = BitMatrix::from_edges(dim, &edges);
+        let mut sparse = CounterSlab::unseeded(SlabBackend::Sparse);
+        sparse.seed(&wide, &BitVec::ones(dim));
+        let (d, spilled, entries) = sparse.export_state().unwrap();
+        assert!(spilled);
+        let restored = CounterSlab::restore(SlabBackend::Sparse, d, spilled, &entries);
+        assert_eq!(restored.backend(), SlabBackend::Sparse);
+        assert_eq!(restored.storage_words(), dense_words(dim));
+        for w in 0..dim {
+            assert_eq!(restored.count(w), 1);
+        }
+    }
+
+    #[test]
+    fn restored_slabs_keep_mutating_like_the_original() {
+        let m = BitMatrix::from_edges(100, &[(0, 0), (1, 1)]);
+        for backend in BACKENDS {
+            let mut a = CounterSlab::unseeded(backend);
+            a.seed(&m, &BitVec::ones(100));
+            let (dim, spilled, entries) = a.export_state().unwrap();
+            let mut b = CounterSlab::restore(backend, dim, spilled, &entries);
+            // Drive both through the same mutation trace, incl. enough
+            // increments to cross a sparse slab's spill threshold.
+            for w in 0..40 {
+                assert_eq!(a.increment(w), b.increment(w), "column {w}");
+            }
+            assert_eq!(a.decrement(0), b.decrement(0));
+            assert_eq!(a.storage_words(), b.storage_words());
+            assert_eq!(a.export_state(), b.export_state());
         }
     }
 

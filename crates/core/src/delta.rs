@@ -95,7 +95,7 @@ use crate::solver::{
     seed_chi, split_pair,
 };
 use crate::{InitMode, Inequality, SimulationKind, Soi, Solution, SolveStats, SolverConfig};
-use dualsim_bitmatrix::{BitMatrix, ChiBackend, ChiVec, CounterSlab};
+use dualsim_bitmatrix::{BitMatrix, ChiBackend, ChiVec, CounterSlab, SeededSlabState, SlabBackend};
 use dualsim_graph::{GraphDb, Triple};
 
 /// One undo record of the epoch rollback journal. Records are appended
@@ -384,10 +384,170 @@ pub(crate) struct DeltaSolver {
     poisoned: bool,
 }
 
+/// A commit-time callback threaded into a maintenance epoch (see
+/// [`DeltaSolver::retract_triples_durable`]): the durability layer's
+/// WAL append, run between a successful batch body and the epoch
+/// commit so a failed append aborts and rolls back the batch.
+pub(crate) type CommitHook<'a> = &'a mut dyn FnMut() -> Result<(), MaintainError>;
+
+/// Serializable state of one support-counter slab: its backend and —
+/// once seeded — the counter dimension, sparse-spill status and
+/// non-zero entries (the `CounterSlab::export_state` view).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SlabState {
+    pub(crate) backend: SlabBackend,
+    pub(crate) seeded: Option<SeededSlabState>,
+}
+
+/// The full serializable resident state of a [`DeltaSolver`]: what a
+/// durability snapshot stores and [`DeltaSolver::from_state`] restores.
+/// Scratch buffers, the (always empty between batches) removal queue
+/// and the inequality indexes are excluded — the indexes are a pure
+/// function of the SOI and are rebuilt on restore.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineState {
+    pub(crate) chi: Vec<ChiVec>,
+    pub(crate) slabs: Vec<SlabState>,
+    pub(crate) run_aware: bool,
+    pub(crate) stats: SolveStats,
+    pub(crate) dead: bool,
+    pub(crate) poisoned: bool,
+}
+
+/// Builds the per-variable inequality indexes from the SOI — shared by
+/// the cold-solve constructor and the snapshot restore path.
+#[allow(clippy::type_complexity)]
+fn build_ineq_indexes(soi: &Soi) -> (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let nv = soi.vars.len();
+    let mut edge_ineqs_by_source: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    let mut edge_ineqs_by_target: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    let mut subset_ineqs_by_sup: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    let mut subset_ineqs_by_sub: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for (i, ineq) in soi.ineqs.iter().enumerate() {
+        match *ineq {
+            Inequality::Edge {
+                target,
+                source,
+                label,
+                ..
+            } => {
+                // The target index drives insertion maintenance (the
+                // admission gate and the cull); absent-label edges
+                // belong there too — they block their target forever
+                // — but never react to source removals, so only
+                // labeled edges enter the source index.
+                edge_ineqs_by_target[target].push(i as u32);
+                if label.is_some() {
+                    edge_ineqs_by_source[source].push(i as u32);
+                }
+            }
+            Inequality::Subset { sub, sup } => {
+                subset_ineqs_by_sup[sup].push(i as u32);
+                subset_ineqs_by_sub[sub].push(i as u32);
+            }
+        }
+    }
+    (
+        edge_ineqs_by_source,
+        edge_ineqs_by_target,
+        subset_ineqs_by_sup,
+        subset_ineqs_by_sub,
+    )
+}
+
 impl DeltaSolver {
     /// Cold solve: seeds χ from Eq. (12) plus constant pinning.
     pub(crate) fn new(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Self {
         Self::from_chi(db, soi, config, seed_chi(db, soi, config))
+    }
+
+    /// The engine's serializable resident state, for durability
+    /// snapshots. Must not be called mid-epoch (the queue would be
+    /// non-empty and the journal un-serialized); between batches both
+    /// are structurally empty.
+    pub(crate) fn export_state(&self) -> EngineState {
+        debug_assert!(self.epoch.is_none(), "no snapshot mid-epoch");
+        debug_assert!(self.queue.is_empty(), "worklist drained between batches");
+        EngineState {
+            chi: self.chi.clone(),
+            slabs: self
+                .support
+                .iter()
+                .map(|slab| SlabState {
+                    backend: slab.backend(),
+                    seeded: slab.export_state(),
+                })
+                .collect(),
+            run_aware: self.run_aware,
+            stats: self.stats.clone(),
+            dead: self.dead,
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot's [`EngineState`]: χ and the
+    /// slabs are restored bit-identically (backend included — `Auto`
+    /// was resolved before the original engine existed, so no
+    /// re-resolution happens here), the inequality indexes are rebuilt
+    /// from the SOI, candidate counts are recomputed from χ, and the
+    /// scratch state starts empty exactly as it is between batches.
+    pub(crate) fn from_state(soi: &Soi, state: EngineState) -> Result<Self, MaintainError> {
+        let nv = soi.vars.len();
+        if state.chi.len() != nv {
+            return Err(MaintainError::Corrupt {
+                detail: format!(
+                    "engine state has {} χ vectors for {} SOI variables",
+                    state.chi.len(),
+                    nv
+                ),
+            });
+        }
+        if state.slabs.len() != soi.ineqs.len() {
+            return Err(MaintainError::Corrupt {
+                detail: format!(
+                    "engine state has {} slabs for {} inequalities",
+                    state.slabs.len(),
+                    soi.ineqs.len()
+                ),
+            });
+        }
+        let support: Vec<CounterSlab> = state
+            .slabs
+            .into_iter()
+            .map(|s| match s.seeded {
+                Some((dim, spilled, entries)) => {
+                    CounterSlab::restore(s.backend, dim, spilled, &entries)
+                }
+                None => CounterSlab::unseeded(s.backend),
+            })
+            .collect();
+        let counts: Vec<usize> = state.chi.iter().map(ChiVec::count_ones).collect();
+        let chi_word_total = chi_words(&state.chi);
+        let slab_word_total = support.iter().map(CounterSlab::storage_words).sum();
+        let (edge_ineqs_by_source, edge_ineqs_by_target, subset_ineqs_by_sup, subset_ineqs_by_sub) =
+            build_ineq_indexes(soi);
+        Ok(DeltaSolver {
+            chi: state.chi,
+            counts,
+            support,
+            queue: Vec::new(),
+            edge_ineqs_by_source,
+            edge_ineqs_by_target,
+            subset_ineqs_by_sup,
+            subset_ineqs_by_sub,
+            by_var: vec![Vec::new(); nv],
+            touched_vars: Vec::new(),
+            agenda: Vec::new(),
+            units: Vec::new(),
+            proposal_pool: Vec::new(),
+            chi_word_total,
+            slab_word_total,
+            run_aware: state.run_aware,
+            stats: state.stats,
+            dead: state.dead,
+            epoch: None,
+            poisoned: state.poisoned,
+        })
     }
 
     /// Warm start: converges from a caller-provided superset of the
@@ -412,34 +572,8 @@ impl DeltaSolver {
         let chi_word_total = chi_words(&chi);
         stats.observe_chi_words(chi_word_total);
 
-        let mut edge_ineqs_by_source: Vec<Vec<u32>> = vec![Vec::new(); nv];
-        let mut edge_ineqs_by_target: Vec<Vec<u32>> = vec![Vec::new(); nv];
-        let mut subset_ineqs_by_sup: Vec<Vec<u32>> = vec![Vec::new(); nv];
-        let mut subset_ineqs_by_sub: Vec<Vec<u32>> = vec![Vec::new(); nv];
-        for (i, ineq) in soi.ineqs.iter().enumerate() {
-            match *ineq {
-                Inequality::Edge {
-                    target,
-                    source,
-                    label,
-                    ..
-                } => {
-                    // The target index drives insertion maintenance (the
-                    // admission gate and the cull); absent-label edges
-                    // belong there too — they block their target forever
-                    // — but never react to source removals, so only
-                    // labeled edges enter the source index.
-                    edge_ineqs_by_target[target].push(i as u32);
-                    if label.is_some() {
-                        edge_ineqs_by_source[source].push(i as u32);
-                    }
-                }
-                Inequality::Subset { sub, sup } => {
-                    subset_ineqs_by_sup[sup].push(i as u32);
-                    subset_ineqs_by_sub[sub].push(i as u32);
-                }
-            }
-        }
+        let (edge_ineqs_by_source, edge_ineqs_by_target, subset_ineqs_by_sup, subset_ineqs_by_sub) =
+            build_ineq_indexes(soi);
 
         let mut solver = DeltaSolver {
             chi,
@@ -643,6 +777,7 @@ impl DeltaSolver {
     /// χ, counters and the logical stats are bit-identical to before
     /// the call. Out-of-vocabulary triples are rejected up front, state
     /// untouched. A poisoned engine refuses immediately.
+    #[cfg(test)]
     pub(crate) fn retract_triples(
         &mut self,
         db_after: &GraphDb,
@@ -650,16 +785,38 @@ impl DeltaSolver {
         config: &SolverConfig,
         deleted: &[Triple],
     ) -> Result<(), MaintainError> {
+        self.retract_triples_durable(db_after, soi, config, deleted, None)
+    }
+
+    /// [`Self::retract_triples`] with a commit hook threaded into the
+    /// epoch: the hook (the WAL append of the durability layer) runs
+    /// after the batch body succeeded but *before* the epoch commits,
+    /// so a failing hook aborts the epoch and the in-memory batch rolls
+    /// back with it — a batch is committed iff its log record is.
+    pub(crate) fn retract_triples_durable(
+        &mut self,
+        db_after: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+        deleted: &[Triple],
+        hook: Option<CommitHook<'_>>,
+    ) -> Result<(), MaintainError> {
         if self.poisoned {
             return Err(MaintainError::Poisoned);
         }
         if self.dead {
-            return Ok(()); // early-exited: the empty solution is final
+            // Early-exited: the empty solution is final. The database
+            // still evolved, though, so a durable caller logs the batch
+            // — recovery must replay the same triple history.
+            return match hook {
+                Some(h) => h(),
+                None => Ok(()),
+            };
         }
         validate_batch(db_after, deleted)?;
         self.begin_epoch(config);
         let result = self.retract_inner(db_after, soi, config, deleted);
-        self.finish_epoch(result)
+        self.finish_epoch(result, hook)
     }
 
     /// The epoch body of [`Self::retract_triples`]; every `?` inside is
@@ -807,12 +964,28 @@ impl DeltaSolver {
     /// state before the error is returned, out-of-vocabulary triples
     /// are rejected up front, and a poisoned engine refuses
     /// immediately.
+    #[cfg(test)]
     pub(crate) fn insert_triples(
         &mut self,
         db_after: &GraphDb,
         soi: &Soi,
         config: &SolverConfig,
         inserted: &[Triple],
+    ) -> Result<bool, MaintainError> {
+        self.insert_triples_durable(db_after, soi, config, inserted, None)
+    }
+
+    /// [`Self::insert_triples`] with a commit hook threaded into the
+    /// epoch — same contract as [`Self::retract_triples_durable`]. The
+    /// dead-engine fallback (`Ok(false)`) runs **no** hook: the caller
+    /// serves that batch by a cold rebuild and logs it there.
+    pub(crate) fn insert_triples_durable(
+        &mut self,
+        db_after: &GraphDb,
+        soi: &Soi,
+        config: &SolverConfig,
+        inserted: &[Triple],
+        hook: Option<CommitHook<'_>>,
     ) -> Result<bool, MaintainError> {
         if self.poisoned {
             return Err(MaintainError::Poisoned);
@@ -821,12 +994,19 @@ impl DeltaSolver {
             return Ok(false);
         }
         if inserted.is_empty() {
-            return Ok(true);
+            // Nothing to do in memory, but the batch still occupies an
+            // epoch id in the log — record it so recovery replays the
+            // identical (empty) step sequence.
+            return match hook {
+                Some(h) => h(),
+                None => Ok(()),
+            }
+            .map(|()| true);
         }
         validate_batch(db_after, inserted)?;
         self.begin_epoch(config);
         let result = self.insert_inner(db_after, soi, config, inserted);
-        self.finish_epoch(result)?;
+        self.finish_epoch(result, hook)?;
         Ok(true)
     }
 
@@ -1487,8 +1667,20 @@ impl DeltaSolver {
 
     /// Routes the epoch body's outcome: commit on success, roll back on
     /// error (applying the poison policy), and hand the original error
-    /// back to the caller.
-    fn finish_epoch(&mut self, result: Result<(), MaintainError>) -> Result<(), MaintainError> {
+    /// back to the caller. A commit hook, when present, is the last
+    /// abort point: it runs after the body succeeded, and its error
+    /// rolls the batch back exactly like a mid-body fault — the
+    /// ordering that makes "committed in memory" imply "recorded in
+    /// the write-ahead log".
+    fn finish_epoch(
+        &mut self,
+        result: Result<(), MaintainError>,
+        hook: Option<CommitHook<'_>>,
+    ) -> Result<(), MaintainError> {
+        let result = result.and_then(|()| match hook {
+            Some(h) => h(),
+            None => Ok(()),
+        });
         match result {
             Ok(()) => {
                 self.commit_epoch();

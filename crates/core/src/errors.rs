@@ -10,7 +10,11 @@
 //! errors (`BudgetExceeded`) poison the engine until the next cold
 //! rebuild, injected faults (`Failpoint`) exist only for the chaos
 //! harness, and `Poisoned` is what a caller sees when it keeps driving
-//! an engine that already degraded.
+//! an engine that already degraded. The durability layer adds two more
+//! rungs: `Io` for failed WAL/snapshot writes (the in-memory batch
+//! rolls back with them — no batch commits without its WAL record) and
+//! `Corrupt` for on-disk state that fails checksum or sequence
+//! validation during recovery.
 
 use dualsim_graph::Triple;
 use std::fmt;
@@ -52,6 +56,27 @@ pub enum MaintainError {
     /// exhaustion or rollback failure) and cannot accept maintenance
     /// until it is rebuilt from a cold solve.
     Poisoned,
+    /// A durability-layer I/O operation failed (WAL append, fsync,
+    /// snapshot write or rename). When this surfaces from
+    /// `apply_insertions`/`apply_deletions` the in-memory batch was
+    /// rolled back too: a batch is only committed once its WAL record
+    /// is fully on disk. Carries the failed operation and the OS error
+    /// text (not the `std::io::Error` itself, which is neither `Clone`
+    /// nor `Eq`).
+    Io {
+        /// The durability operation that failed (e.g. `wal append`).
+        op: &'static str,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+    /// On-disk durability state failed validation during recovery: a
+    /// bad magic number, an unsupported format version, a checksum
+    /// mismatch with no older snapshot to fall back to, or a WAL
+    /// record sequence that cannot extend any verified snapshot.
+    Corrupt {
+        /// What failed to validate, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MaintainError {
@@ -71,6 +96,12 @@ impl fmt::Display for MaintainError {
             }
             MaintainError::Poisoned => {
                 write!(f, "engine is poisoned by an earlier aborted batch; rebuild from a cold solve")
+            }
+            MaintainError::Io { op, message } => {
+                write!(f, "durability I/O failed during {op}: {message}")
+            }
+            MaintainError::Corrupt { detail } => {
+                write!(f, "durable state failed validation: {detail}")
             }
         }
     }
@@ -98,5 +129,15 @@ mod tests {
             .to_string()
             .contains("pre-drain"));
         assert!(MaintainError::Poisoned.to_string().contains("poisoned"));
+        let e = MaintainError::Io {
+            op: "wal append",
+            message: "disk full".into(),
+        };
+        assert!(e.to_string().contains("wal append"));
+        assert!(e.to_string().contains("disk full"));
+        let e = MaintainError::Corrupt {
+            detail: "snapshot-3.snap: checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("snapshot-3.snap"));
     }
 }

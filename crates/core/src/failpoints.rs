@@ -42,6 +42,29 @@ pub const SITES: [&str; 5] = [
     "rollback",
 ];
 
+/// The failpoint site names of the durability layer, in the order a
+/// committed batch passes them: the WAL append (before any byte is
+/// written, mid-record to model a torn write, before the fsync) and
+/// the snapshot path (before the temp write, mid-payload, before its
+/// fsync, before the atomic rename).
+pub const DURABILITY_SITES: [&str; 7] = [
+    "wal-append",
+    "wal-tear",
+    "wal-fsync",
+    "snapshot-write",
+    "snapshot-tear",
+    "snapshot-fsync",
+    "snapshot-rename",
+];
+
+/// Every registered failpoint site — the engine's maintenance sites
+/// ([`SITES`]) followed by the durability layer's ([`DURABILITY_SITES`]).
+/// Chaos harnesses iterate this instead of hard-coding a site list, so
+/// a site added to either layer is automatically crash-tested.
+pub fn registered_sites() -> Vec<&'static str> {
+    SITES.iter().chain(DURABILITY_SITES.iter()).copied().collect()
+}
+
 /// Arms `point` to fire after `countdown` additional passes through the
 /// site (0 = fire on the very next pass). Re-arming an already-armed
 /// point replaces its countdown. The point disarms itself when it
@@ -125,6 +148,22 @@ mod tests {
         );
         assert!(!any_armed(), "a fired point disarms itself");
         assert_eq!(check("mid-round"), Ok(()));
+    }
+
+    #[test]
+    fn registered_sites_cover_both_layers_without_duplicates() {
+        let sites = registered_sites();
+        assert_eq!(sites.len(), SITES.len() + DURABILITY_SITES.len());
+        for s in SITES {
+            assert!(sites.contains(&s), "{s} missing from registered_sites");
+        }
+        for s in DURABILITY_SITES {
+            assert!(sites.contains(&s), "{s} missing from registered_sites");
+        }
+        let mut dedup = sites.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sites.len(), "site names must be unique");
     }
 
     #[test]

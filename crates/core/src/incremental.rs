@@ -37,11 +37,12 @@
 //! bit-identical to the sequential drain.
 
 use crate::delta::DeltaSolver;
+use crate::durability::{self, Durability, DurabilityOptions, Recovered, SnapshotState};
 use crate::{solve, solve_from, FixpointMode, MaintainError, Soi, Solution, SolverConfig};
 use dualsim_graph::{GraphDb, Triple};
 
 /// A maintained largest-solution instance for one SOI.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IncrementalDualSim {
     soi: Soi,
     config: SolverConfig,
@@ -51,6 +52,31 @@ pub struct IncrementalDualSim {
     engine: Option<DeltaSolver>,
     /// `true` iff the last update was served incrementally.
     warm: bool,
+    /// Write-ahead log + snapshot handle; `Some` iff the instance was
+    /// created with [`Self::new_durable`] or by [`Self::recover`].
+    durability: Option<Durability>,
+    /// Committed update count: 0 after the initial solve, +1 per served
+    /// batch (warm or cold). WAL record ids — each committed batch logs
+    /// exactly one record carrying this epoch.
+    epoch: u64,
+}
+
+impl Clone for IncrementalDualSim {
+    /// Clones the resident state only: the clone is *not* durable (a
+    /// WAL file handle cannot be shared by two writers). It continues
+    /// from the same epoch with durability detached; attach a fresh
+    /// directory via [`Self::new_durable`] if the copy must persist.
+    fn clone(&self) -> Self {
+        IncrementalDualSim {
+            soi: self.soi.clone(),
+            config: self.config.clone(),
+            solution: self.solution.clone(),
+            engine: self.engine.clone(),
+            warm: self.warm,
+            durability: None,
+            epoch: self.epoch,
+        }
+    }
 }
 
 impl IncrementalDualSim {
@@ -71,6 +97,139 @@ impl IncrementalDualSim {
             // The initial solve is a cold solve by definition; `warm`
             // reports on *updates*, of which there have been none.
             warm: false,
+            durability: None,
+            epoch: 0,
+        }
+    }
+
+    /// Solves from scratch and starts **durable** maintenance: a
+    /// write-ahead log is created in `opts.dir` (any previous WAL or
+    /// snapshots there are discarded — use [`Self::recover`] to resume
+    /// an existing instance instead), every committed batch appends one
+    /// checksummed record before `apply_insertions`/`apply_deletions`
+    /// returns, and an initial epoch-0 snapshot of the full resident
+    /// state is written so recovery always has a base to replay from.
+    ///
+    /// # Errors
+    ///
+    /// [`MaintainError::Io`] if the durability directory, the WAL, or
+    /// the initial snapshot cannot be written.
+    pub fn new_durable(
+        db: &GraphDb,
+        soi: Soi,
+        config: SolverConfig,
+        opts: &DurabilityOptions,
+    ) -> Result<Self, MaintainError> {
+        let mut sim = Self::new(db, soi, config);
+        sim.durability = Some(Durability::create(opts)?);
+        sim.snapshot_now(db)?;
+        Ok(sim)
+    }
+
+    /// Recovers a durable instance from its directory: loads the newest
+    /// snapshot whose checksum verifies, truncates any torn WAL tail,
+    /// replays the WAL records past the snapshot's epoch through the
+    /// ordinary maintenance paths, and resumes warm with durability
+    /// re-attached. The replay is deterministic: the recovered χ and
+    /// logical [`crate::SolveStats`] are bit-identical to an
+    /// uninterrupted run over the same committed batch prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`MaintainError::Io`] if the directory cannot be read, and
+    /// [`MaintainError::Corrupt`] if no snapshot passes validation or
+    /// the WAL cannot extend any verified snapshot gap-free.
+    pub fn recover(opts: &DurabilityOptions) -> Result<Recovered, MaintainError> {
+        durability::recover(opts)
+    }
+
+    /// Rebuilds an instance from decoded snapshot state (the recovery
+    /// path; durability is attached separately once the WAL tail has
+    /// been replayed).
+    pub(crate) fn from_restored(
+        soi: Soi,
+        config: SolverConfig,
+        engine: Option<DeltaSolver>,
+        solution: Solution,
+        warm: bool,
+        epoch: u64,
+    ) -> Self {
+        IncrementalDualSim {
+            soi,
+            config,
+            solution,
+            engine,
+            warm,
+            durability: None,
+            epoch,
+        }
+    }
+
+    /// Re-attaches the WAL of a recovered instance (called by
+    /// [`durability::recover`] after the replay, so the replayed batches
+    /// are not appended a second time).
+    pub(crate) fn attach_recovered(&mut self, durability: Durability) {
+        self.durability = Some(durability);
+    }
+
+    /// The committed update count: 0 after the initial solve, +1 per
+    /// batch served by `apply_insertions`/`apply_deletions`. Doubles as
+    /// the WAL record id of the last committed batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` iff this instance persists its updates to a write-ahead
+    /// log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Writes a checksummed snapshot of the full resident state (graph,
+    /// SOI, configuration, χ, support counters, statistics) to the
+    /// durability directory, atomically. A no-op without durability.
+    /// Older snapshots are kept: recovery falls back to them (replaying
+    /// a longer WAL tail) if the newest fails its checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`MaintainError::Io`] if the snapshot cannot be written; the
+    /// resident state and the WAL are unaffected, so the failure costs
+    /// only recovery time, never committed data.
+    pub fn snapshot_now(&mut self, db: &GraphDb) -> Result<(), MaintainError> {
+        let Some(durability) = &mut self.durability else {
+            return Ok(());
+        };
+        let meta = durability.meta().to_string();
+        let engine_state = self.engine.as_ref().map(DeltaSolver::export_state);
+        let solution = if engine_state.is_some() {
+            None
+        } else {
+            Some((&self.solution.chi[..], &self.solution.stats))
+        };
+        let state = SnapshotState {
+            epoch: self.epoch,
+            meta: &meta,
+            config: &self.config,
+            db,
+            soi: &self.soi,
+            warm: self.warm,
+            engine: engine_state,
+            solution,
+        };
+        durability.write_snapshot(&state)
+    }
+
+    /// Applies the automatic snapshot policy
+    /// ([`DurabilityOptions::snapshot_every`]) after a committed batch.
+    fn snapshot_if_due(&mut self, db: &GraphDb) -> Result<(), MaintainError> {
+        let Some(every) = self.durability.as_ref().and_then(Durability::snapshot_every) else {
+            return Ok(());
+        };
+        if self.epoch.is_multiple_of(every.max(1)) {
+            self.snapshot_now(db)
+        } else {
+            Ok(())
         }
     }
 
@@ -106,7 +265,13 @@ impl IncrementalDualSim {
     /// instead (`last_update_was_warm` reports `false`, the robustness
     /// counters carry over) and no error is returned. Only errors the
     /// caller must act on propagate: an out-of-vocabulary triple in the
-    /// batch, or an injected failpoint under the chaos harness.
+    /// batch, an injected failpoint under the chaos harness, or — for a
+    /// durable instance — a failed WAL append ([`MaintainError::Io`]),
+    /// which rolls the in-memory batch back with it (a batch commits
+    /// iff its WAL record is fully on disk). The one exception to
+    /// "error ⟹ rolled back" is a failed *snapshot* after the batch
+    /// committed: the error surfaces, but the batch is already durable
+    /// in the WAL and [`Self::epoch`] has advanced past it.
     pub fn apply_deletions(
         &mut self,
         db_after: &GraphDb,
@@ -122,16 +287,35 @@ impl IncrementalDualSim {
             "deleted triples must be absent from db_after"
         );
         let before: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
+        let epoch_next = self.epoch + 1;
         if let Some(engine) = &mut self.engine {
-            match engine.retract_triples(db_after, &self.soi, &self.config, deleted) {
+            // The WAL append runs as the epoch's commit hook, between a
+            // successful batch body and the commit: if it errors the
+            // batch rolls back with it, so memory and log agree.
+            let durability = &mut self.durability;
+            let mut hook = || wal_append(durability, epoch_next, false, deleted);
+            match engine.retract_triples_durable(
+                db_after,
+                &self.soi,
+                &self.config,
+                deleted,
+                Some(&mut hook),
+            ) {
                 Ok(()) => {
                     self.solution = engine.solution();
                     self.warm = true;
                 }
-                Err(e) if Self::degrades_to_cold(&e) => self.rebuild_cold(db_after),
+                Err(e) if Self::degrades_to_cold(&e) => {
+                    // Served by a cold rebuild instead: log the record
+                    // *before* rebuilding, so a failed append leaves
+                    // the batch unserved rather than unlogged.
+                    wal_append(&mut self.durability, epoch_next, false, deleted)?;
+                    self.rebuild_cold(db_after);
+                }
                 Err(e) => return Err(e),
             }
         } else {
+            wal_append(&mut self.durability, epoch_next, false, deleted)?;
             // The previous χ is an upper bound of the new largest
             // solution; early exit stays valid because emptiness is
             // monotone too.
@@ -139,6 +323,8 @@ impl IncrementalDualSim {
             self.solution = solve_from(db_after, &self.soi, &self.config, initial);
             self.warm = true;
         }
+        self.epoch = epoch_next;
+        self.snapshot_if_due(db_after)?;
         let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
         Ok(before.saturating_sub(after))
     }
@@ -181,12 +367,25 @@ impl IncrementalDualSim {
             "inserted triples must be present in db_after"
         );
         let before: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
+        let epoch_next = self.epoch + 1;
         let mut warm = false;
         if let Some(engine) = &mut self.engine {
-            match engine.insert_triples(db_after, &self.soi, &self.config, inserted) {
+            // See `apply_deletions`: the WAL append is the commit hook.
+            let durability = &mut self.durability;
+            let mut hook = || wal_append(durability, epoch_next, true, inserted);
+            match engine.insert_triples_durable(
+                db_after,
+                &self.soi,
+                &self.config,
+                inserted,
+                Some(&mut hook),
+            ) {
                 Ok(w) => warm = w,
                 Err(e) if Self::degrades_to_cold(&e) => {
+                    wal_append(&mut self.durability, epoch_next, true, inserted)?;
                     self.rebuild_cold(db_after);
+                    self.epoch = epoch_next;
+                    self.snapshot_if_due(db_after)?;
                     let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
                     return Ok(after.saturating_sub(before));
                 }
@@ -197,6 +396,11 @@ impl IncrementalDualSim {
             }
         }
         if !warm {
+            // Cold serving paths commit without running the engine's
+            // hook (a dead engine declines insertions before opening an
+            // epoch; re-evaluation has no engine at all) — log directly,
+            // before mutating, under the same append-then-serve order.
+            wal_append(&mut self.durability, epoch_next, true, inserted)?;
             match self.config.fixpoint {
                 FixpointMode::Reevaluate => {
                     self.solution = solve(db_after, &self.soi, &self.config);
@@ -207,6 +411,8 @@ impl IncrementalDualSim {
             }
         }
         self.warm = warm;
+        self.epoch = epoch_next;
+        self.snapshot_if_due(db_after)?;
         let after: usize = self.solution.chi.iter().map(|c| c.count_ones()).sum();
         Ok(after.saturating_sub(before))
     }
@@ -269,6 +475,22 @@ impl IncrementalDualSim {
         self.solution = engine.solution();
         self.engine = Some(engine);
         self.warm = false;
+    }
+}
+
+/// Appends one update record to the WAL, if durability is attached. A
+/// free function (not a method) so the apply paths can capture the
+/// `durability` field in a commit-hook closure while the `engine` field
+/// is mutably borrowed — the borrows are disjoint.
+fn wal_append(
+    durability: &mut Option<Durability>,
+    epoch: u64,
+    insert: bool,
+    batch: &[Triple],
+) -> Result<(), MaintainError> {
+    match durability {
+        Some(d) => d.append(epoch, insert, batch),
+        None => Ok(()),
     }
 }
 
@@ -614,6 +836,233 @@ mod tests {
         assert_eq!(inc.solution().chi, solve(&db_after, &soi, &config).chi);
         assert_eq!(inc.solution().stats.poisonings, 1, "carried across rebuild");
         assert_eq!(inc.solution().stats.rollbacks, 0, "the rollback failed");
+    }
+
+    use crate::DurabilityOptions;
+
+    /// A unique scratch directory per test invocation — the container
+    /// has no tempfile crate, so process id + a static counter stand in.
+    fn tmpdir() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dualsim-durability-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_updates_recover_bit_identical() {
+        let db0 = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db0, &q).remove(0);
+        for mode in MODES {
+            let dir = tmpdir();
+            let opts = DurabilityOptions::new(&dir);
+            let mut durable =
+                IncrementalDualSim::new_durable(&db0, soi.clone(), cfg(mode), &opts).unwrap();
+            let mut plain = IncrementalDualSim::new(&db0, soi.clone(), cfg(mode));
+
+            // Batch 1: delete the d-chain. Batch 2: insert it back.
+            let batch: Vec<Triple> =
+                db0.triples().filter(|t| db0.node_name(t.s) == "d").collect();
+            let remaining: Vec<Triple> =
+                db0.triples().filter(|t| db0.node_name(t.s) != "d").collect();
+            let db1 = db0.with_triples(&remaining).unwrap();
+            durable.apply_deletions(&db1, &batch).unwrap();
+            plain.apply_deletions(&db1, &batch).unwrap();
+            durable.apply_insertions(&db0, &batch).unwrap();
+            plain.apply_insertions(&db0, &batch).unwrap();
+            assert_eq!(durable.epoch(), 2);
+            assert!(durable.is_durable() && !plain.is_durable());
+            drop(durable); // "crash": only the durability directory survives
+
+            let rec = IncrementalDualSim::recover(&opts).unwrap();
+            assert_eq!(rec.report.snapshot_epoch, 0, "only the initial snapshot");
+            assert_eq!(rec.report.records_replayed, 2);
+            assert_eq!(rec.report.torn_bytes, 0);
+            assert_eq!(rec.report.epoch, 2);
+            assert_eq!(rec.sim.epoch(), 2);
+            assert_eq!(rec.sim.solution().chi, plain.solution().chi, "{mode:?}");
+            assert_eq!(
+                rec.sim.maintenance_stats().logical(),
+                plain.maintenance_stats().logical(),
+                "recovered logical stats are bit-identical ({mode:?})"
+            );
+            assert_eq!(rec.db.num_triples(), db0.num_triples());
+            // The recovered instance keeps serving durable updates.
+            let mut rec_sim = rec.sim;
+            rec_sim.apply_deletions(&db1, &batch).unwrap();
+            assert_eq!(rec_sim.epoch(), 3);
+            assert_eq!(
+                rec_sim.solution().chi,
+                solve(&db1, &soi, &cfg(mode)).chi,
+                "{mode:?}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn recovery_starts_from_the_newest_snapshot() {
+        let db0 = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db0, &q).remove(0);
+        let dir = tmpdir();
+        let mut opts = DurabilityOptions::new(&dir);
+        opts.snapshot_every = Some(1);
+        opts.meta = "branch 0 of { ?x p ?y }".to_string();
+        let mut durable = IncrementalDualSim::new_durable(
+            &db0,
+            soi.clone(),
+            cfg(FixpointMode::DeltaCounting),
+            &opts,
+        )
+        .unwrap();
+        let mut triples: Vec<Triple> = db0.triples().collect();
+        for _ in 0..3 {
+            let victim = triples.pop().unwrap();
+            let db_after = db0.with_triples(&triples).unwrap();
+            durable.apply_deletions(&db_after, &[victim]).unwrap();
+        }
+        drop(durable);
+        let rec = IncrementalDualSim::recover(&opts).unwrap();
+        assert_eq!(rec.report.snapshot_epoch, 3, "snapshot after every batch");
+        assert_eq!(rec.report.records_replayed, 0);
+        assert_eq!(rec.meta, "branch 0 of { ?x p ?y }", "meta round-trips");
+        let db_after = db0.with_triples(&triples).unwrap();
+        assert_eq!(
+            rec.sim.solution().chi,
+            solve(&db_after, &soi, &cfg(FixpointMode::DeltaCounting)).chi
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_torn_wal_tail_is_truncated_to_the_last_committed_record() {
+        let db0 = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db0, &q).remove(0);
+        let dir = tmpdir();
+        let opts = DurabilityOptions::new(&dir);
+        let mut durable = IncrementalDualSim::new_durable(
+            &db0,
+            soi.clone(),
+            cfg(FixpointMode::DeltaCounting),
+            &opts,
+        )
+        .unwrap();
+        let batch: Vec<Triple> = db0.triples().filter(|t| db0.node_name(t.s) == "d").collect();
+        let remaining: Vec<Triple> =
+            db0.triples().filter(|t| db0.node_name(t.s) != "d").collect();
+        let db1 = db0.with_triples(&remaining).unwrap();
+        durable.apply_deletions(&db1, &batch).unwrap();
+        drop(durable);
+        // A crash mid-append leaves a torn frame behind the committed
+        // records; recovery must land on the last committed epoch.
+        use std::io::Write;
+        let mut wal = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.log"))
+            .unwrap();
+        wal.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        drop(wal);
+        let rec = IncrementalDualSim::recover(&opts).unwrap();
+        assert_eq!(rec.report.torn_bytes, 3);
+        assert_eq!(rec.report.records_replayed, 1);
+        assert_eq!(rec.report.epoch, 1);
+        assert_eq!(
+            rec.sim.solution().chi,
+            solve(&db1, &soi, &cfg(FixpointMode::DeltaCounting)).chi
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_failed_wal_append_rolls_back_the_batch() {
+        let db0 = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db0, &q).remove(0);
+        let dir = tmpdir();
+        let opts = DurabilityOptions::new(&dir);
+        let mut durable = IncrementalDualSim::new_durable(
+            &db0,
+            soi.clone(),
+            cfg(FixpointMode::DeltaCounting),
+            &opts,
+        )
+        .unwrap();
+        let pre = durable.solution().clone();
+        let batch: Vec<Triple> = db0.triples().filter(|t| db0.node_name(t.s) == "d").collect();
+        let remaining: Vec<Triple> =
+            db0.triples().filter(|t| db0.node_name(t.s) != "d").collect();
+        let db1 = db0.with_triples(&remaining).unwrap();
+        failpoints::disarm_all();
+        failpoints::arm("wal-append", 0);
+        assert_eq!(
+            durable.apply_deletions(&db1, &batch),
+            Err(MaintainError::Failpoint { point: "wal-append" })
+        );
+        failpoints::disarm_all();
+        assert_eq!(durable.solution().chi, pre.chi, "rolled back with the log");
+        assert_eq!(durable.epoch(), 0, "the batch never committed");
+        assert!(!durable.engine_is_poisoned());
+        // Retrying succeeds, and the WAL holds exactly one record.
+        durable.apply_deletions(&db1, &batch).unwrap();
+        assert_eq!(durable.epoch(), 1);
+        drop(durable);
+        let rec = IncrementalDualSim::recover(&opts).unwrap();
+        assert_eq!(rec.report.records_replayed, 1);
+        assert_eq!(
+            rec.sim.solution().chi,
+            solve(&db1, &soi, &cfg(FixpointMode::DeltaCounting)).chi
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_failed_snapshot_leaves_the_batch_committed_and_durable() {
+        let db0 = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db0, &q).remove(0);
+        let dir = tmpdir();
+        let mut opts = DurabilityOptions::new(&dir);
+        opts.snapshot_every = Some(1);
+        let mut durable = IncrementalDualSim::new_durable(
+            &db0,
+            soi.clone(),
+            cfg(FixpointMode::DeltaCounting),
+            &opts,
+        )
+        .unwrap();
+        let batch: Vec<Triple> = db0.triples().filter(|t| db0.node_name(t.s) == "d").collect();
+        let remaining: Vec<Triple> =
+            db0.triples().filter(|t| db0.node_name(t.s) != "d").collect();
+        let db1 = db0.with_triples(&remaining).unwrap();
+        failpoints::disarm_all();
+        failpoints::arm("snapshot-write", 0);
+        // The documented exception: the snapshot error surfaces, but
+        // the batch is already in the WAL and the epoch advanced.
+        assert_eq!(
+            durable.apply_deletions(&db1, &batch),
+            Err(MaintainError::Failpoint {
+                point: "snapshot-write"
+            })
+        );
+        failpoints::disarm_all();
+        assert_eq!(durable.epoch(), 1, "committed before the snapshot failed");
+        drop(durable);
+        let rec = IncrementalDualSim::recover(&opts).unwrap();
+        assert_eq!(rec.report.snapshot_epoch, 0, "fell back to the initial snapshot");
+        assert_eq!(rec.report.records_replayed, 1);
+        assert_eq!(
+            rec.sim.solution().chi,
+            solve(&db1, &soi, &cfg(FixpointMode::DeltaCounting)).chi
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

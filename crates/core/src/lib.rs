@@ -57,6 +57,7 @@
 pub mod baseline;
 pub mod check;
 mod delta;
+mod durability;
 mod errors;
 pub mod failpoints;
 mod incremental;
@@ -69,6 +70,7 @@ mod strong;
 #[cfg(test)]
 mod proptests;
 
+pub use durability::{DurabilityOptions, Recovered, RecoveryReport};
 pub use errors::MaintainError;
 pub use incremental::IncrementalDualSim;
 pub use pruning::{

@@ -86,6 +86,20 @@ fn cfg(fixpoint: FixpointMode, early_exit: bool) -> SolverConfig {
     }
 }
 
+/// A unique scratch directory per call for durability tests (the
+/// container has no tempfile crate).
+fn scratch_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dualsim-proptest-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -518,13 +532,18 @@ proptest! {
         }
     }
 
-    /// Chaos: kill maintenance at every failpoint site across random
-    /// insert/delete/mixed churn. A crashed batch must roll back to the
-    /// exact pre-batch solution; the recovered engine (warm after a
-    /// clean rollback, cold-rebuilt after a poisoned one) must then
-    /// serve the same batch bit-identically to a cold solve. The
-    /// `rollback` site is exercised as a *failing rollback* (armed
-    /// together with a crash point), which must poison and then heal.
+    /// Chaos: kill maintenance at **every registered failpoint site**
+    /// (the engine's and the durability layer's —
+    /// `failpoints::registered_sites()`, so a site added to either
+    /// layer is covered automatically) across random
+    /// insert/delete/mixed churn on a *durable* instance. A batch
+    /// crashed before its WAL record was committed must roll back to
+    /// the exact pre-batch solution; a batch crashed in the *snapshot*
+    /// path after its record committed stays applied (the documented
+    /// exception). Either way the instance must then converge to the
+    /// cold solve. The `rollback` site is exercised as a *failing
+    /// rollback* (armed together with a crash point), which must poison
+    /// and then heal.
     #[test]
     fn chaos_killed_maintenance_recovers_to_cold_solves(
         db in arb_db(),
@@ -532,10 +551,17 @@ proptest! {
         script in proptest::collection::vec((any::<bool>(), 0u8..250), 1..7),
         countdown in 0u32..3,
     ) {
-        use crate::{failpoints, MaintainError};
+        use crate::{failpoints, DurabilityOptions, MaintainError};
         let config = cfg(FixpointMode::DeltaCounting, false);
-        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
-            let mut inc = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+        let sites = failpoints::registered_sites();
+        for (branch, soi) in build_sois_with(&db, &q, SimulationKind::Dual).into_iter().enumerate() {
+            let dir = scratch_dir();
+            let mut opts = DurabilityOptions::new(&dir);
+            // Snapshot every batch so the snapshot sites are reachable.
+            opts.snapshot_every = Some(1);
+            opts.meta = format!("branch {branch}");
+            let mut inc =
+                IncrementalDualSim::new_durable(&db, soi.clone(), config.clone(), &opts).unwrap();
             let mut present: Vec<Triple> = db.triples().collect();
             let mut absent: Vec<Triple> = Vec::new();
             for (step, &(insert, pick)) in script.iter().enumerate() {
@@ -559,11 +585,11 @@ proptest! {
                 let db_after = db.with_triples(&present).unwrap();
                 let pre_chi = inc.solution().chi.clone();
 
-                // Rotate the crash site through every failpoint the
-                // engine exposes; the `rollback` site additionally arms
+                // Rotate the crash site through every registered
+                // failpoint; the `rollback` site additionally arms
                 // `pre-drain` so there is an abort whose rollback can
                 // fail.
-                let point = failpoints::SITES[(step + pick as usize) % failpoints::SITES.len()];
+                let point = sites[(step + pick as usize) % sites.len()];
                 failpoints::disarm_all();
                 failpoints::arm(point, countdown);
                 if point == "rollback" {
@@ -577,6 +603,12 @@ proptest! {
                 failpoints::disarm_all();
 
                 match crashed {
+                    // A crash in the snapshot path happens *after* the
+                    // batch committed (WAL record on disk, epoch
+                    // advanced): the solution is the post-batch one and
+                    // no retry is due.
+                    Err(MaintainError::Failpoint { point })
+                        if point.starts_with("snapshot-") => {}
                     Err(MaintainError::Failpoint { .. }) => {
                         // The batch rolled back (or poisoned): the
                         // published solution must be the untouched
@@ -607,7 +639,318 @@ proptest! {
                     q, if insert { "insert" } else { "delete" }, point, batch
                 );
             }
+            std::fs::remove_dir_all(&dir).ok();
         }
+    }
+
+    /// Durable chaos: kill a durable resident at every registered
+    /// failpoint site mid-script, abandon the in-memory instance (the
+    /// "process died"), and [`IncrementalDualSim::recover`] from disk.
+    /// The recovered χ and logical `SolveStats` must be bit-identical
+    /// to an uninterrupted plain run over the committed batch prefix —
+    /// across χ {Dense, Rle} × slab {Dense, Sparse} × drain
+    /// {Sequential, Sharded} × seed threads, and in re-evaluation mode.
+    #[test]
+    fn chaos_durable_kills_recover_bit_identical(
+        db in arb_db(),
+        q in arb_query(),
+        script in proptest::collection::vec((any::<bool>(), 0u8..250), 1..6),
+        site_pick in 0usize..12,
+        countdown in 0u32..2,
+    ) {
+        use crate::{failpoints, DurabilityOptions, MaintainError};
+        let configs = [
+            cfg(FixpointMode::DeltaCounting, false),
+            SolverConfig {
+                chi_backend: ChiBackend::Rle,
+                slab_backend: SlabBackend::Sparse,
+                ..cfg(FixpointMode::DeltaCounting, false)
+            },
+            SolverConfig {
+                slab_backend: SlabBackend::Sparse,
+                seed_threads: 4,
+                drain: DrainStrategy::Sharded { threads: 4 },
+                drain_inline_below: 0,
+                ..cfg(FixpointMode::DeltaCounting, false)
+            },
+            cfg(FixpointMode::Reevaluate, false),
+        ];
+        let sites = failpoints::registered_sites();
+        let Some(soi) = build_sois_with(&db, &q, SimulationKind::Dual).into_iter().next() else {
+            return Ok(());
+        };
+        for config in &configs {
+            let dir = scratch_dir();
+            let mut opts = DurabilityOptions::new(&dir);
+            opts.snapshot_every = Some(2);
+            let mut durable =
+                IncrementalDualSim::new_durable(&db, soi.clone(), config.clone(), &opts).unwrap();
+            let mut present: Vec<Triple> = db.triples().collect();
+            let mut absent: Vec<Triple> = Vec::new();
+            // Every batch attempted, in order — WAL epoch e holds batch
+            // `history[e - 1]`.
+            let mut history: Vec<(bool, Vec<Triple>)> = Vec::new();
+            for (step, &(insert, pick)) in script.iter().enumerate() {
+                let (from, to) = if insert {
+                    (&mut absent, &mut present)
+                } else {
+                    (&mut present, &mut absent)
+                };
+                if from.is_empty() {
+                    continue;
+                }
+                let mut batch: Vec<Triple> = Vec::new();
+                for round in 0..=(pick as usize % 2) {
+                    if from.is_empty() {
+                        break;
+                    }
+                    let idx = (pick as usize + round) % from.len();
+                    batch.push(from.swap_remove(idx));
+                }
+                to.extend(&batch);
+                let db_after = db.with_triples(&present).unwrap();
+                let point = sites[(step + site_pick) % sites.len()];
+                failpoints::disarm_all();
+                failpoints::arm(point, countdown);
+                if point == "rollback" {
+                    failpoints::arm("pre-drain", 0);
+                }
+                let res = if insert {
+                    durable.apply_insertions(&db_after, &batch).map(|_| ())
+                } else {
+                    durable.apply_deletions(&db_after, &batch).map(|_| ())
+                };
+                failpoints::disarm_all();
+                history.push((insert, batch));
+                match res {
+                    Ok(()) => {}
+                    // The "process dies" at the injected fault: stop
+                    // driving the instance mid-script.
+                    Err(MaintainError::Failpoint { .. }) => break,
+                    Err(e) => prop_assert!(false, "{} unexpected error {:?}", q, e),
+                }
+            }
+            drop(durable); // crash: only the durability directory survives
+
+            let rec = IncrementalDualSim::recover(&opts).unwrap();
+            let committed = rec.report.epoch as usize;
+            // Recovery lands on a committed prefix of the attempted
+            // history: everything the run acknowledged, plus possibly
+            // the killed batch itself iff its WAL record hit the disk
+            // before the crash (a torn or unwritten record drops it, a
+            // fully framed one — e.g. a crash between write and fsync
+            // acknowledgment, or in the snapshot path — keeps it).
+            prop_assert!(
+                committed <= history.len(),
+                "{} recovered {} epochs from {} attempts", q, committed, history.len()
+            );
+            // Reference: an uninterrupted plain run over that prefix.
+            let mut reference = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+            let mut ref_present: Vec<Triple> = db.triples().collect();
+            for (insert, batch) in &history[..committed] {
+                if *insert {
+                    ref_present.extend(batch.iter().copied());
+                } else {
+                    ref_present.retain(|t| !batch.contains(t));
+                }
+                let db_i = db.with_triples(&ref_present).unwrap();
+                if *insert {
+                    reference.apply_insertions(&db_i, batch).unwrap();
+                } else {
+                    reference.apply_deletions(&db_i, batch).unwrap();
+                }
+            }
+            prop_assert_eq!(
+                &rec.sim.solution().chi, &reference.solution().chi,
+                "{} recovered χ diverged over {} committed epochs ({:?})",
+                q, committed, config
+            );
+            prop_assert_eq!(
+                rec.sim.maintenance_stats().logical(),
+                reference.maintenance_stats().logical(),
+                "{} recovered logical stats diverged ({:?})", q, config
+            );
+            prop_assert_eq!(rec.db.num_triples(), db.with_triples(&ref_present).unwrap().num_triples());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Recovery fuzzing: truncate the WAL at **every record boundary**
+    /// and at a random intra-record offset, from the tail downwards.
+    /// Each recovery must land exactly on the longest committed prefix
+    /// — χ and logical stats bit-identical to an uninterrupted run of
+    /// that prefix — reporting the torn bytes it discarded.
+    #[test]
+    fn fuzzed_wal_truncation_recovers_every_committed_prefix(
+        db in arb_db(),
+        q in arb_query(),
+        intra in 1usize..64,
+    ) {
+        use crate::DurabilityOptions;
+        let config = cfg(FixpointMode::DeltaCounting, false);
+        let Some(soi) = build_sois_with(&db, &q, SimulationKind::Dual).into_iter().next() else {
+            return Ok(());
+        };
+        let dir = scratch_dir();
+        let opts = DurabilityOptions::new(&dir);
+        let mut durable =
+            IncrementalDualSim::new_durable(&db, soi.clone(), config.clone(), &opts).unwrap();
+        // One deletion batch per triple, up to 4 batches; record the
+        // expected solution after every prefix.
+        let mut triples: Vec<Triple> = db.triples().collect();
+        let mut reference = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+        let mut expected = vec![(
+            reference.solution().chi.clone(),
+            reference.maintenance_stats().logical(),
+        )];
+        let batches = triples.len().min(4);
+        for _ in 0..batches {
+            let victim = triples.pop().unwrap();
+            let db_after = db.with_triples(&triples).unwrap();
+            durable.apply_deletions(&db_after, &[victim]).unwrap();
+            reference.apply_deletions(&db_after, &[victim]).unwrap();
+            expected.push((
+                reference.solution().chi.clone(),
+                reference.maintenance_stats().logical(),
+            ));
+        }
+        drop(durable);
+        drop(reference);
+
+        // Parse the WAL frames to find every record boundary: 8-byte
+        // header, then per record a 4-byte length + 4-byte CRC + body.
+        let wal_path = dir.join("wal.log");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        let mut boundaries = vec![8usize];
+        let mut pos = 8usize;
+        while pos + 8 <= bytes.len() {
+            let len = u32::from_le_bytes([bytes[pos], bytes[pos+1], bytes[pos+2], bytes[pos+3]]) as usize;
+            pos += 8 + len;
+            prop_assert!(pos <= bytes.len(), "clean WAL has no torn frame");
+            boundaries.push(pos);
+        }
+        prop_assert_eq!(boundaries.len(), batches + 1, "one record per batch");
+
+        // Truncate from the tail downwards: first mid-record (a torn
+        // final record), then exactly at the boundary below it.
+        for i in (0..batches).rev() {
+            let record_len = boundaries[i + 1] - boundaries[i];
+            let cut = boundaries[i] + 1 + (intra % (record_len - 1));
+            for (offset, expect_epoch) in [(cut, i), (boundaries[i], i)] {
+                let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+                f.set_len(offset as u64).unwrap();
+                drop(f);
+                let rec = IncrementalDualSim::recover(&opts).unwrap();
+                prop_assert_eq!(
+                    rec.report.epoch as usize, expect_epoch,
+                    "{} truncated at byte {} (boundary {})", q, offset, boundaries[i]
+                );
+                let (chi, logical) = &expected[expect_epoch];
+                prop_assert_eq!(&rec.sim.solution().chi, chi, "{} prefix {}", q, expect_epoch);
+                prop_assert_eq!(
+                    &rec.sim.maintenance_stats().logical(), logical,
+                    "{} prefix {} logical stats", q, expect_epoch
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Recovery fuzzing: flip a random byte in the WAL body (the CRC
+    /// must detect it — recovery lands on the prefix before the damaged
+    /// record) and in the newest snapshot (recovery must skip it and
+    /// fall back to an older snapshot plus a longer WAL replay),
+    /// asserting parity with an uninterrupted run in both cases.
+    #[test]
+    fn fuzzed_bit_flips_are_detected_by_checksums(
+        db in arb_db(),
+        q in arb_query(),
+        flip_pos in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        use crate::DurabilityOptions;
+        let config = cfg(FixpointMode::DeltaCounting, false);
+        let Some(soi) = build_sois_with(&db, &q, SimulationKind::Dual).into_iter().next() else {
+            return Ok(());
+        };
+
+        // Run with snapshots disabled: only the epoch-0 snapshot, all
+        // batches in the WAL. Flip one byte of the WAL.
+        let dir = scratch_dir();
+        let opts = DurabilityOptions::new(&dir);
+        let mut durable =
+            IncrementalDualSim::new_durable(&db, soi.clone(), config.clone(), &opts).unwrap();
+        let mut reference = IncrementalDualSim::new(&db, soi.clone(), config.clone());
+        let mut expected = vec![(
+            reference.solution().chi.clone(),
+            reference.maintenance_stats().logical(),
+        )];
+        let mut triples: Vec<Triple> = db.triples().collect();
+        let batches = triples.len().min(3);
+        for _ in 0..batches {
+            let victim = triples.pop().unwrap();
+            let db_after = db.with_triples(&triples).unwrap();
+            durable.apply_deletions(&db_after, &[victim]).unwrap();
+            reference.apply_deletions(&db_after, &[victim]).unwrap();
+            expected.push((
+                reference.solution().chi.clone(),
+                reference.maintenance_stats().logical(),
+            ));
+        }
+        drop(durable);
+
+        let wal_path = dir.join("wal.log");
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let pos = (flip_pos as usize) % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let rec = IncrementalDualSim::recover(&opts).unwrap();
+        let committed = rec.report.epoch as usize;
+        prop_assert!(committed <= batches, "{} flip at byte {} bit {}", q, pos, flip_bit);
+        let (chi, logical) = &expected[committed];
+        prop_assert_eq!(
+            &rec.sim.solution().chi, chi,
+            "{} flip at byte {} bit {} recovered a damaged prefix", q, pos, flip_bit
+        );
+        prop_assert_eq!(&rec.sim.maintenance_stats().logical(), logical, "{}", q);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Run with a snapshot per batch; flip one byte of the *newest*
+        // snapshot. Recovery must skip it for an older one and replay
+        // the WAL tail to full parity.
+        let dir = scratch_dir();
+        let mut opts = DurabilityOptions::new(&dir);
+        opts.snapshot_every = Some(1);
+        let mut durable =
+            IncrementalDualSim::new_durable(&db, soi.clone(), config.clone(), &opts).unwrap();
+        let mut triples: Vec<Triple> = db.triples().collect();
+        for _ in 0..batches {
+            let victim = triples.pop().unwrap();
+            let db_after = db.with_triples(&triples).unwrap();
+            durable.apply_deletions(&db_after, &[victim]).unwrap();
+        }
+        drop(durable);
+        let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+            .collect();
+        snaps.sort();
+        let newest = snaps.last().unwrap();
+        let mut bytes = std::fs::read(newest).unwrap();
+        let pos = (flip_pos as usize) % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        std::fs::write(newest, &bytes).unwrap();
+        let rec = IncrementalDualSim::recover(&opts).unwrap();
+        prop_assert!(
+            rec.report.snapshots_skipped >= 1,
+            "{} damaged snapshot was not skipped", q
+        );
+        prop_assert_eq!(rec.report.epoch as usize, batches, "{}", q);
+        let (chi, logical) = &expected[batches];
+        prop_assert_eq!(&rec.sim.solution().chi, chi, "{}", q);
+        prop_assert_eq!(&rec.sim.maintenance_stats().logical(), logical, "{}", q);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The drain budget is a sound degradation, never a wrong answer:

@@ -6,7 +6,8 @@
 //! sparqlsim solve    --data DB.nt (--query Q.rq | --query-text '…') [--strategy S] [--no-early-exit]
 //! sparqlsim prune    --data DB.nt (--query Q.rq | --query-text '…') [--output PRUNED.nt]
 //! sparqlsim eval     --data DB.nt (--query Q.rq | --query-text '…') [--engine nested|hash] [--limit N] [--pruned]
-//! sparqlsim maintain --data DB.nt (--query Q.rq | --query-text '…') --updates U.txt [--fixpoint delta]
+//! sparqlsim maintain --data DB.nt (--query Q.rq | --query-text '…') --updates U.txt [--fixpoint delta] [--wal DIR [--snapshot-every N]]
+//! sparqlsim maintain --resume --wal DIR [--updates MORE.txt]
 //! ```
 //!
 //! `solve` prints the largest dual simulation per query variable,
@@ -15,11 +16,15 @@
 //! and `maintain` keeps one solution alive across a signed update stream
 //! (N-Triples lines prefixed `+`/`-`; consecutive same-sign lines form a
 //! batch) — with `--fixpoint delta` every batch is absorbed by the warm
-//! counter-driven maintenance paths instead of a cold re-solve.
+//! counter-driven maintenance paths instead of a cold re-solve. With
+//! `--wal DIR` the resident solution is durable: every committed batch
+//! is written ahead to a checksummed log and full-state snapshots are
+//! kept, so a later `--resume` run recovers the database, the query and
+//! the warm solution from disk instead of `--data`/`--query`.
 
 use dualsim::core::{
-    prune, solve_query, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode, SlabBackend,
-    SolverConfig,
+    build_sois, prune, solve_query, ChiBackend, DrainStrategy, DurabilityOptions, EvalStrategy,
+    FixpointMode, IncrementalDualSim, SlabBackend, SolverConfig,
 };
 use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
 use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
@@ -98,6 +103,19 @@ options:
                         a batch fails to apply — skip it and continue,
                         abort the run, or roll the batch back and keep
                         the recovered pre-batch solution
+  --wal DIR             maintain: durable mode — append every committed
+                        batch to a checksummed write-ahead log and keep
+                        full-state snapshots under DIR (one branch-<i>/
+                        subdirectory per union branch)
+  --snapshot-every N    maintain: with --wal, also write a snapshot after
+                        every N committed batches (default: only the
+                        initial post-solve snapshot; N must be > 0)
+  --resume              maintain: recover database, query and resident
+                        solution from --wal DIR (newest snapshot whose
+                        checksum verifies, plus the WAL tail; a torn
+                        final record is truncated) instead of loading
+                        --data/--query, then apply --updates (optional
+                        here) on top of the recovered state
   --drain-budget N      delta: cancel any maintenance drain that exceeds
                         N logical ops in one batch; the engine rolls the
                         batch back and the next update falls back to a
@@ -139,6 +157,9 @@ struct Opts {
     seed_threads: usize,
     early_exit: bool,
     updates: Option<String>,
+    wal: Option<String>,
+    snapshot_every: Option<u64>,
+    resume: bool,
     on_error: OnError,
     drain_budget: Option<usize>,
     journal: bool,
@@ -163,6 +184,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         seed_threads: 1,
         early_exit: true,
         updates: None,
+        wal: None,
+        snapshot_every: None,
+        resume: false,
         on_error: OnError::Abort,
         drain_budget: None,
         journal: true,
@@ -182,6 +206,17 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         match flag.as_str() {
             "--data" => opts.data = Some(value()?),
             "--updates" => opts.updates = Some(value()?),
+            "--wal" => opts.wal = Some(value()?),
+            "--snapshot-every" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-every: {e}"))?;
+                if n == 0 {
+                    return Err("--snapshot-every must be at least 1".into());
+                }
+                opts.snapshot_every = Some(n);
+            }
+            "--resume" => opts.resume = true,
             "--on-error" => {
                 opts.on_error = match value()?.as_str() {
                     "skip" => OnError::Skip,
@@ -263,6 +298,17 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
 
 fn run(args: &[String]) -> Result<(), String> {
     let opts = parse_args(args)?;
+    if opts.resume {
+        if opts.command != "maintain" {
+            return Err("--resume only applies to the maintain command".into());
+        }
+        // The database, the query and the solution all come from the
+        // durability directory — no --data/--query cold load.
+        return cmd_maintain_resume(&opts);
+    }
+    if opts.snapshot_every.is_some() && opts.wal.is_none() {
+        return Err("--snapshot-every requires --wal DIR".into());
+    }
     let data_path = opts.data.as_deref().ok_or("--data is required")?;
     let text =
         std::fs::read_to_string(data_path).map_err(|e| format!("reading {data_path}: {e}"))?;
@@ -378,8 +424,6 @@ fn parse_update_batches(
 /// re-evaluation engine insertions fall back to a cold solve — the
 /// per-batch `warm`/`cold` tag makes the difference visible.
 fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> {
-    use dualsim::core::{build_sois, IncrementalDualSim};
-    use dualsim::graph::Triple;
     let path = opts.updates.as_deref().ok_or("--updates is required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let (batches, bad_lines) = parse_update_batches(&text, db, opts.on_error == OnError::Skip)?;
@@ -388,15 +432,130 @@ fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> 
     }
     let cfg = config(opts);
     let started = std::time::Instant::now();
-    let mut engines: Vec<IncrementalDualSim> = build_sois(db, query)
-        .into_iter()
-        .map(|soi| IncrementalDualSim::new(db, soi, cfg.clone()))
-        .collect();
+    let sois = build_sois(db, query);
+    let mut engines: Vec<IncrementalDualSim> = Vec::with_capacity(sois.len());
+    match opts.wal.as_deref() {
+        None => {
+            for soi in sois {
+                engines.push(IncrementalDualSim::new(db, soi, cfg.clone()));
+            }
+        }
+        Some(wal) => {
+            // The snapshot carries the query text as opaque metadata so
+            // `--resume` can rebuild the printable query without a
+            // --query flag.
+            let meta = query_source_text(opts)?;
+            for (i, soi) in sois.into_iter().enumerate() {
+                let mut d = DurabilityOptions::new(branch_dir(wal, i));
+                d.snapshot_every = opts.snapshot_every;
+                d.meta = meta.clone();
+                let sim = IncrementalDualSim::new_durable(db, soi, cfg.clone(), &d)
+                    .map_err(|e| format!("durability for union branch {i}: {e}"))?;
+                engines.push(sim);
+            }
+        }
+    }
     println!(
-        "initial solve in {:?} ({} union branch(es))",
+        "initial solve in {:?} ({} union branch(es){})",
         started.elapsed(),
-        engines.len()
+        engines.len(),
+        if opts.wal.is_some() { ", durable" } else { "" }
     );
+    maintain_stream(db, query, engines, &batches, opts)
+}
+
+/// Per-union-branch durability directory under the `--wal` root.
+fn branch_dir(wal: &str, branch: usize) -> std::path::PathBuf {
+    std::path::Path::new(wal).join(format!("branch-{branch}"))
+}
+
+/// The `maintain --resume` path: every `branch-<i>/` directory under
+/// `--wal` is recovered (newest verified snapshot + WAL tail), the
+/// database and the query are rebuilt from the snapshot, and an optional
+/// `--updates` stream is applied on top of the recovered state.
+fn cmd_maintain_resume(opts: &Opts) -> Result<(), String> {
+    let wal = opts.wal.as_deref().ok_or("--resume requires --wal DIR")?;
+    if opts.data.is_some() || opts.query.is_some() || opts.query_text.is_some() {
+        return Err(
+            "--resume restores the database and the query from the snapshot; \
+             drop --data/--query/--query-text"
+                .into(),
+        );
+    }
+    let mut engines: Vec<IncrementalDualSim> = Vec::new();
+    let mut db: Option<GraphDb> = None;
+    let mut meta: Option<String> = None;
+    for i in 0usize.. {
+        let dir = branch_dir(wal, i);
+        if !dir.is_dir() {
+            break;
+        }
+        let mut d = DurabilityOptions::new(&dir);
+        d.snapshot_every = opts.snapshot_every;
+        let rec = IncrementalDualSim::recover(&d)
+            .map_err(|e| format!("recovering union branch {i} from {}: {e}", dir.display()))?;
+        print!(
+            "branch {i}: recovered at epoch {} (snapshot epoch {}, {} WAL record(s) replayed",
+            rec.report.epoch, rec.report.snapshot_epoch, rec.report.records_replayed,
+        );
+        if rec.report.torn_bytes > 0 {
+            print!(", {} torn byte(s) truncated", rec.report.torn_bytes);
+        }
+        if rec.report.snapshots_skipped > 0 {
+            print!(", {} corrupt snapshot(s) skipped", rec.report.snapshots_skipped);
+        }
+        println!(")");
+        db = Some(rec.db);
+        meta = Some(rec.meta);
+        engines.push(rec.sim);
+    }
+    let (Some(db), Some(meta)) = (db, meta) else {
+        return Err(format!(
+            "nothing to resume: no {} directory under {wal}",
+            branch_dir(wal, 0).display()
+        ));
+    };
+    // A kill between the per-branch commits of one batch leaves the
+    // branches at different epochs; their recovered databases disagree,
+    // so resuming the shared update stream would be unsound.
+    let epochs: Vec<u64> = engines.iter().map(IncrementalDualSim::epoch).collect();
+    if epochs.windows(2).any(|w| w[0] != w[1]) {
+        return Err(format!(
+            "union branches recovered at different epochs {epochs:?}; \
+             the crash hit between branch commits — restart cold from --data"
+        ));
+    }
+    let query = parse(&meta).map_err(|e| format!("query stored in snapshot: {e}"))?;
+    let batches = match opts.updates.as_deref() {
+        None => Vec::new(),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let (batches, bad_lines) =
+                parse_update_batches(&text, &db, opts.on_error == OnError::Skip)?;
+            for msg in &bad_lines {
+                eprintln!("warning: {msg} — line skipped");
+            }
+            batches
+        }
+    };
+    maintain_stream(&db, &query, engines, &batches, opts)
+}
+
+/// The shared maintenance loop: applies every update batch to every
+/// union branch (staged against a copy of the resident triple set, with
+/// inverse-batch undo on error) and prints the per-branch solution and
+/// work counters. `db` is the resident database the engines currently
+/// reflect — the freshly loaded one for a cold start, the recovered one
+/// under `--resume`.
+fn maintain_stream(
+    db: &GraphDb,
+    query: &Query,
+    mut engines: Vec<IncrementalDualSim>,
+    batches: &[UpdateBatch],
+    opts: &Opts,
+) -> Result<(), String> {
+    use dualsim::graph::Triple;
     let mut present: std::collections::BTreeSet<Triple> = db.triples().collect();
     for (i, (insert, batch)) in batches.iter().enumerate() {
         // Stage the batch against a copy: a rejected batch must leave
@@ -586,15 +745,19 @@ fn config(opts: &Opts) -> SolverConfig {
     }
 }
 
-fn load_query(opts: &Opts) -> Result<Query, String> {
-    let text = match (&opts.query, &opts.query_text) {
+/// The query's concrete text, from `--query FILE` or `--query-text`.
+fn query_source_text(opts: &Opts) -> Result<String, String> {
+    match (&opts.query, &opts.query_text) {
         (Some(path), None) => {
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
         }
-        (None, Some(text)) => text.clone(),
-        _ => return Err("exactly one of --query / --query-text is required".into()),
-    };
-    parse(&text).map_err(|e| e.to_string())
+        (None, Some(text)) => Ok(text.clone()),
+        _ => Err("exactly one of --query / --query-text is required".into()),
+    }
+}
+
+fn load_query(opts: &Opts) -> Result<Query, String> {
+    parse(&query_source_text(opts)?).map_err(|e| e.to_string())
 }
 
 fn cmd_stats(db: &GraphDb) -> Result<(), String> {
@@ -907,6 +1070,63 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(parse_args(&bad).is_err());
+    }
+
+    #[test]
+    fn parse_args_reads_the_durability_flags() {
+        let args: Vec<String> = [
+            "maintain",
+            "--wal",
+            "state.d",
+            "--snapshot-every",
+            "16",
+            "--resume",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.wal.as_deref(), Some("state.d"));
+        assert_eq!(opts.snapshot_every, Some(16));
+        assert!(opts.resume);
+
+        let defaults = parse_args(&["maintain".to_string()]).unwrap();
+        assert_eq!(defaults.wal, None);
+        assert_eq!(defaults.snapshot_every, None);
+        assert!(!defaults.resume);
+
+        for bad in [
+            &["maintain", "--snapshot-every", "0"][..],
+            &["maintain", "--snapshot-every", "soon"][..],
+            &["maintain", "--wal"][..],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_args(&args).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn resume_is_rejected_outside_maintain_and_needs_a_wal_dir() {
+        let solve: Vec<String> = ["solve", "--resume", "--wal", "d"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&solve).unwrap_err().contains("maintain"));
+        let no_wal: Vec<String> = ["maintain", "--resume"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&no_wal).unwrap_err().contains("--wal"));
+        let with_data: Vec<String> = ["maintain", "--resume", "--wal", "d", "--data", "x.nt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&with_data).unwrap_err().contains("snapshot"));
+        let snap_only: Vec<String> = ["maintain", "--snapshot-every", "4", "--data", "x.nt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&snap_only).unwrap_err().contains("--wal"));
     }
 
     #[test]

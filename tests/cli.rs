@@ -282,6 +282,73 @@ fn fingerprint_reports_compression() {
 }
 
 #[test]
+fn durable_maintain_resumes_from_the_wal_directory() {
+    let db = write_db("maintain_durable.nt");
+    let dir = std::env::temp_dir().join("dualsim-cli-tests/maintain-durable");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("state.d");
+    let first = dir.join("first.txt");
+    let second = dir.join("second.txt");
+    std::fs::write(&first, "- <T. Young> <directed> <Thunderball> .\n").unwrap();
+    std::fs::write(
+        &second,
+        "- <G. Hamilton> <worked_with> <H. Saltzman> .\n+ <G. Hamilton> <worked_with> <H. Saltzman> .\n",
+    )
+    .unwrap();
+    let query = "{ ?d directed ?m . ?d worked_with ?c }";
+
+    // Leg 1: cold durable start, one deletion batch committed to the WAL.
+    let out = sparqlsim(&[
+        "maintain",
+        "--data",
+        db.to_str().unwrap(),
+        "--query-text",
+        query,
+        "--fixpoint",
+        "delta",
+        "--updates",
+        first.to_str().unwrap(),
+        "--wal",
+        wal.to_str().unwrap(),
+        "--snapshot-every",
+        "8",
+    ]);
+    let text = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(out.status.success(), "{text}{}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("durable"), "{text}");
+    assert!(text.contains("?d: 2 candidates"), "{text}");
+    assert!(wal.join("branch-0/wal.log").is_file());
+
+    // Leg 2: a fresh process resumes from disk — no --data/--query —
+    // and applies the remaining stream on top of the recovered state.
+    let out = sparqlsim(&[
+        "maintain",
+        "--resume",
+        "--wal",
+        wal.to_str().unwrap(),
+        "--updates",
+        second.to_str().unwrap(),
+    ]);
+    let text = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(out.status.success(), "{text}{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        text.contains("branch 0: recovered at epoch 1 (snapshot epoch 0, 1 WAL record(s) replayed)"),
+        "{text}"
+    );
+    assert!(text.contains("?d: 2 candidates"), "{text}");
+    assert!(text.contains("B. De Palma"), "{text}");
+
+    // Leg 3: resuming with no further updates just reprints the
+    // recovered solution, now from epoch 3.
+    let out = sparqlsim(&["maintain", "--resume", "--wal", wal.to_str().unwrap()]);
+    let text = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(out.status.success(), "{text}{}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("recovered at epoch 3"), "{text}");
+    assert!(text.contains("?d: 2 candidates"), "{text}");
+}
+
+#[test]
 fn unknown_flags_fail_with_usage() {
     let out = sparqlsim(&["solve", "--bogus"]);
     assert!(!out.status.success());
