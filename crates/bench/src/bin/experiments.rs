@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [table2|table3|table4|table5|iterations|pruning-power|spectrum|
 //!              fixpoint|incremental|strategies|quotient|chi-backend|slab|
-//!              durability|all]
+//!              kernels|durability|all]
 //!             [--smoke] [--threads N] [--chaos] [--out FILE]
 //! ```
 //!
@@ -16,8 +16,9 @@
 //! `fixpoint` → `BENCH_fixpoint.json`, `incremental` →
 //! `BENCH_incremental.json`, `strategies` →
 //! `BENCH_strategies.json`, `quotient` → `BENCH_quotient.json`,
-//! `chi-backend` → `BENCH_chi.json`, `slab` → `BENCH_slab.json` (path
-//! override via `--out`, which applies to the selected subcommand).
+//! `chi-backend` → `BENCH_chi.json`, `slab` → `BENCH_slab.json`,
+//! `kernels` → `BENCH_kernels.json` (path override via `--out`, which
+//! applies to the selected subcommand).
 //! `fixpoint --threads N` drains the delta engine's worklist with the
 //! sharded strategy; for `N > 1` a single-threaded reference run is
 //! compared work-counter for work-counter — the sharded-drain
@@ -32,12 +33,13 @@
 
 use dualsim_bench::{
     chi_report_json, default_datasets, durability_report_json, fixpoint_report_json,
-    incremental_report_json, quotient_report_json, render_table, run_chi_backend_ablation,
-    run_durability, run_durability_crash, run_fixpoint_incremental, run_fixpoint_solve,
-    run_incremental_chaos, run_incremental_churn, run_iterations, run_journal_overhead,
-    run_pruning_power, run_quotient_ablation, run_simulation_spectrum, run_slab_ablation,
-    run_strategies_ablation, run_table2, run_table3, run_table45, secs, slab_report_json,
-    strategies_report_json, tiny_datasets, Datasets,
+    incremental_report_json, kernels_report_json, quotient_report_json, render_table,
+    run_chi_backend_ablation, run_durability, run_durability_crash, run_fixpoint_incremental,
+    run_fixpoint_solve, run_incremental_chaos, run_incremental_churn, run_iterations,
+    run_journal_overhead, run_kernels_ablation, run_pruning_power, run_quotient_ablation,
+    run_simulation_spectrum, run_slab_ablation, run_strategies_ablation, run_table2, run_table3,
+    run_table45, secs, slab_report_json, strategies_report_json, tiny_datasets, Datasets,
+    KERNEL_BACKENDS,
 };
 use dualsim_core::DrainStrategy;
 use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
@@ -101,6 +103,7 @@ fn main() {
         "quotient" => quotient(&data, smoke, &out("BENCH_quotient.json")),
         "chi-backend" => chi_backend(&data, smoke, &out("BENCH_chi.json")),
         "slab" => slab(&data, smoke, &out("BENCH_slab.json")),
+        "kernels" => kernels(&data, smoke, &out("BENCH_kernels.json")),
         "durability" => durability(&data, smoke, threads, &out("BENCH_durability.json")),
         "all" => {
             // Three reports would fight over one path; `all` always
@@ -122,13 +125,14 @@ fn main() {
             quotient(&data, smoke, "BENCH_quotient.json");
             chi_backend(&data, smoke, "BENCH_chi.json");
             slab(&data, smoke, "BENCH_slab.json");
+            kernels(&data, smoke, "BENCH_kernels.json");
             durability(&data, smoke, threads, "BENCH_durability.json");
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected \
                  table2|table3|table4|table5|iterations|pruning-power|spectrum|\
-                 fixpoint|incremental|strategies|quotient|chi-backend|slab|durability|all"
+                 fixpoint|incremental|strategies|quotient|chi-backend|slab|kernels|durability|all"
             );
             std::process::exit(2);
         }
@@ -621,6 +625,107 @@ fn slab(data: &Datasets, smoke: bool, out_path: &str) {
         }
     }
     println!("parallel seeding (4 threads): bit-identical stats on the sparse scenarios");
+}
+
+/// The word-kernel ablation: every workload query plus the S0–S3
+/// sparse scenarios and the S4 dense-saturation adversary, under both
+/// fixpoint engines × every kernel selection (scalar / unrolled / simd
+/// / auto). Emits `BENCH_kernels.json`. The hard gate is *work
+/// neutrality* — identical χ and logical counters for every kernel,
+/// asserted inside the run and re-checked on the emitted rows here; the
+/// wall-time comparison is evidence the committed report carries, never
+/// a smoke-mode assertion (timing is machine-dependent, the counters
+/// are not).
+fn kernels(data: &Datasets, smoke: bool, out_path: &str) {
+    println!("\n== Ablation: word-level kernels (scalar vs. unrolled vs. SIMD) ==\n");
+    let reps = if smoke { 1 } else { 5 };
+    let rows = run_kernels_ablation(data, reps);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.mode.to_owned(),
+                r.backend.to_owned(),
+                r.resolved.to_owned(),
+                secs(r.wall),
+                r.rows_ored.to_string(),
+                r.final_candidates.to_string(),
+                r.ops.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Query", "engine", "kernel", "resolved", "wall", "rows ored", "final cand", "ops"],
+            &table
+        )
+    );
+    let json = kernels_report_json(data, &rows);
+    write_report(out_path, &json);
+
+    // Gate — zero logical-op delta at the report level: within each
+    // (query, engine) group of kernel selections, every emitted counter
+    // the report carries must match the scalar row exactly.
+    for group in rows.chunks(KERNEL_BACKENDS.len()) {
+        let scalar = &group[0];
+        for r in &group[1..] {
+            assert_eq!(
+                (scalar.id.as_str(), scalar.mode, scalar.ops, scalar.rows_ored,
+                 scalar.final_candidates),
+                (r.id.as_str(), r.mode, r.ops, r.rows_ored, r.final_candidates),
+                "kernel {} broke work neutrality on {} ({})",
+                r.backend,
+                r.id,
+                r.mode
+            );
+        }
+    }
+    println!("work neutrality: every kernel emitted identical logical counters");
+
+    // Evidence — the wall-time picture on the densest rows, where the
+    // word loops dominate. Informational under --smoke (tiny datasets
+    // time in the noise floor); on the full datasets this is what the
+    // committed BENCH_kernels.json shows.
+    let mut dense_rows: Vec<&dualsim_bench::KernelRow> = rows
+        .iter()
+        .filter(|r| r.backend == "scalar")
+        .collect();
+    dense_rows.sort_by_key(|r| std::cmp::Reverse(r.wall));
+    for scalar in dense_rows.iter().take(3) {
+        let pick = |name: &str| {
+            rows.iter()
+                .find(|r| r.id == scalar.id && r.mode == scalar.mode && r.backend == name)
+                .expect("kernel row exists")
+        };
+        let (unrolled, simd) = (pick("unrolled"), pick("simd"));
+        println!(
+            "{} ({}): scalar {} | unrolled {} ({:.2}x) | simd→{} {} ({:.2}x)",
+            scalar.id,
+            scalar.mode,
+            secs(scalar.wall),
+            secs(unrolled.wall),
+            scalar.wall.as_secs_f64() / unrolled.wall.as_secs_f64().max(1e-9),
+            simd.resolved,
+            secs(simd.wall),
+            scalar.wall.as_secs_f64() / simd.wall.as_secs_f64().max(1e-9),
+        );
+    }
+    if !smoke {
+        let wins = dense_rows
+            .iter()
+            .take(3)
+            .filter(|scalar| {
+                rows.iter()
+                    .filter(|r| r.id == scalar.id && r.mode == scalar.mode)
+                    .any(|r| r.backend != "scalar" && r.wall < scalar.wall)
+            })
+            .count();
+        if wins == 0 {
+            eprintln!("warning: no kernel beat scalar on the slowest rows — inspect the report");
+        }
+    }
 }
 
 /// The §3.3 heuristics ablation (strategy × ordering × initialization)

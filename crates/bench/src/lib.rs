@@ -20,10 +20,10 @@
 use dualsim_core::baseline::dual_simulation_ma;
 use dualsim_core::{
     build_sois, prune, solve, ChiBackend, DrainStrategy, EvalStrategy, FixpointMode,
-    IncrementalDualSim, IneqOrdering, InitMode, QuotientIndex, SlabBackend, SolveStats,
-    SolverConfig,
+    IncrementalDualSim, IneqOrdering, InitMode, KernelBackend, QuotientIndex, SlabBackend,
+    SolveStats, SolverConfig,
 };
-use dualsim_datagen::workloads::{all_queries, BenchQuery, Dataset};
+use dualsim_datagen::workloads::{adversarial_queries, all_queries, BenchQuery, Dataset};
 use dualsim_datagen::{generate_dbpedia, generate_lubm, DbpediaConfig, LubmConfig};
 use dualsim_engine::{required_triples, Engine};
 use dualsim_graph::GraphDb;
@@ -2097,6 +2097,168 @@ pub fn slab_report_json(data: &Datasets, rows: &[SlabRow]) -> String {
     out
 }
 
+/// The four word-kernel selections as (display name, backend) pairs.
+/// All four are measured: `simd` on a host without AVX2 resolves to the
+/// scalar fallback (still a valid parity row — the report records what
+/// each selection *resolved to*), and `auto` documents the default
+/// per-solve resolution.
+pub const KERNEL_BACKENDS: [(&str, KernelBackend); 4] = [
+    ("scalar", KernelBackend::Scalar),
+    ("unrolled", KernelBackend::Unrolled),
+    ("simd", KernelBackend::Simd),
+    ("auto", KernelBackend::Auto),
+];
+
+/// One (workload, engine, kernel) measurement of the word-kernel
+/// ablation: wall time plus the logical work counters that must be
+/// bit-identical across kernels — a kernel moves the same words faster,
+/// it never changes *which* words move. The evidence
+/// `BENCH_kernels.json` tracks.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Query id (workload rows, the S0–S3 sparse scenarios, and the
+    /// S4 dense-saturation adversary).
+    pub id: String,
+    /// Fixpoint engine name (`reevaluate` / `delta`).
+    pub mode: &'static str,
+    /// Requested kernel selection (`scalar` / `unrolled` / `simd` /
+    /// `auto`).
+    pub backend: &'static str,
+    /// Concrete kernel the selection resolved to on this host.
+    pub resolved: &'static str,
+    /// Median wall time over the measured repetitions.
+    pub wall: Duration,
+    /// Candidates after initialization.
+    pub initial_candidates: usize,
+    /// Candidates at the fixpoint.
+    pub final_candidates: usize,
+    /// Matrix rows OR-ed.
+    pub rows_ored: usize,
+    /// Candidate rows probed.
+    pub bits_probed: usize,
+    /// Support-counter increments.
+    pub counter_inits: usize,
+    /// Support-counter decrements.
+    pub counter_decrements: usize,
+    /// Unified work measure ([`SolveStats::work_ops`]) — must be
+    /// identical across kernels for fixed (query, engine).
+    pub ops: usize,
+}
+
+/// The word-kernel ablation: cold solves of every workload query — plus
+/// the S0–S3 sparse scenarios and the S4 dense-saturation adversary on
+/// the LUBM database — under both fixpoint engines × every kernel
+/// selection. Asserts the kernel work-neutrality discipline along the
+/// way: per (query, engine), every kernel must produce bit-identical χ
+/// and identical *logical* work counters ([`SolveStats::logical`]) to
+/// the scalar reference; only wall time may differ.
+pub fn run_kernels_ablation(data: &Datasets, reps: usize) -> Vec<KernelRow> {
+    let mut scenarios: Vec<(String, &GraphDb, Query)> = all_queries()
+        .into_iter()
+        .map(|bench| {
+            (
+                bench.id.to_owned(),
+                data.for_query(&bench),
+                bench.query.clone(),
+            )
+        })
+        .collect();
+    for (id, text) in CHI_SPARSE_SCENARIOS.iter().chain(&SLAB_SPARSE_SCENARIOS) {
+        let query = dualsim_query::parse(text).expect("sparse scenario parses");
+        scenarios.push(((*id).to_owned(), &data.lubm, query));
+    }
+    for bench in adversarial_queries() {
+        scenarios.push((bench.id.to_owned(), data.for_query(&bench), bench.query));
+    }
+    let mut rows = Vec::new();
+    for (id, db, query) in &scenarios {
+        for (mode, fixpoint) in FIXPOINT_MODES {
+            let mut reference: Option<Vec<(dualsim_core::Soi, dualsim_core::Solution)>> = None;
+            for (bname, kernel_backend) in KERNEL_BACKENDS {
+                let cfg = SolverConfig {
+                    fixpoint,
+                    kernel_backend,
+                    ..SolverConfig::default()
+                };
+                let (branches, wall) =
+                    time_median(reps, || dualsim_core::solve_query(db, query, &cfg));
+                let stats = sum_branch_stats(&branches);
+                rows.push(KernelRow {
+                    id: id.clone(),
+                    mode,
+                    backend: bname,
+                    resolved: kernel_backend.resolve().name(),
+                    wall,
+                    initial_candidates: stats.initial_candidates,
+                    final_candidates: stats.final_candidates,
+                    rows_ored: stats.rows_ored,
+                    bits_probed: stats.bits_probed,
+                    counter_inits: stats.counter_inits,
+                    counter_decrements: stats.counter_decrements,
+                    ops: stats.work_ops(),
+                });
+                match &reference {
+                    None => reference = Some(branches),
+                    Some(scalar) => {
+                        assert_eq!(scalar.len(), branches.len(), "{id} ({mode})");
+                        for ((_, s), (_, k)) in scalar.iter().zip(branches.iter()) {
+                            assert_eq!(
+                                s.chi, k.chi,
+                                "{id} ({mode}): χ differs between scalar and {bname} kernels"
+                            );
+                            assert_eq!(
+                                s.stats.logical(),
+                                k.stats.logical(),
+                                "{id} ({mode}): logical work differs between scalar and \
+                                 {bname} kernels"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the word-kernel ablation as the machine-readable
+/// `BENCH_kernels.json` document (schema `dualsim-kernels-v1`). The
+/// top-level `simd_available` flag records whether the measuring host
+/// had AVX2, which is what the committed `simd` rows resolved against.
+pub fn kernels_report_json(data: &Datasets, rows: &[KernelRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-kernels-v1\",\n");
+    out.push_str(&format!(
+        "  \"simd_available\": {},\n",
+        dualsim_core::KernelBackend::Simd.resolve() == dualsim_core::KernelBackend::Simd
+    ));
+    out.push_str(&datasets_json(data));
+    out.push_str("  \"solve\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"mode\": {}, \"backend\": {}, \"resolved\": {}, \
+             \"wall_s\": {:.6}, \"initial_candidates\": {}, \"final_candidates\": {}, \
+             \"rows_ored\": {}, \"bits_probed\": {}, \"counter_inits\": {}, \
+             \"counter_decrements\": {}, \"ops\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.mode),
+            json_str(r.backend),
+            json_str(r.resolved),
+            r.wall.as_secs_f64(),
+            r.initial_candidates,
+            r.final_candidates,
+            r.rows_ored,
+            r.bits_probed,
+            r.counter_inits,
+            r.counter_decrements,
+            r.ops,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Construction-side statistics of the Sect.-6 fingerprint ablation.
 #[derive(Debug, Clone)]
 pub struct QuotientBuildStats {
@@ -2566,6 +2728,63 @@ mod tests {
         }
         let json = slab_report_json(&data, &rows);
         assert!(json.starts_with("{\n  \"schema\": \"dualsim-slab-v1\""));
+        assert_eq!(json.matches("\"id\":").count(), rows.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn kernels_report_is_work_neutral_and_well_formed() {
+        let data = tiny_datasets();
+        let rows = run_kernels_ablation(&data, 1);
+        // Every scenario × engine × kernel selection is measured (the
+        // harness itself asserts χ + logical-stats parity per solve).
+        assert_eq!(
+            rows.len(),
+            2 * KERNEL_BACKENDS.len()
+                * (all_queries().len()
+                    + CHI_SPARSE_SCENARIOS.len()
+                    + SLAB_SPARSE_SCENARIOS.len()
+                    + adversarial_queries().len())
+        );
+        // Rows come in per-(query, engine) groups of four kernel
+        // selections, scalar first: the emitted logical counters must be
+        // identical within each group — the zero-logical-delta gate the
+        // committed report is held to.
+        for group in rows.chunks(KERNEL_BACKENDS.len()) {
+            let scalar = &group[0];
+            assert_eq!(scalar.backend, "scalar");
+            assert_eq!(scalar.resolved, "scalar");
+            for r in &group[1..] {
+                assert_eq!(
+                    (scalar.id.as_str(), scalar.mode, scalar.ops, scalar.rows_ored),
+                    (r.id.as_str(), r.mode, r.ops, r.rows_ored),
+                    "kernel {} broke work neutrality on {} ({})",
+                    r.backend,
+                    r.id,
+                    r.mode
+                );
+                assert_eq!(scalar.final_candidates, r.final_candidates, "{}", r.id);
+                // Every selection resolves to something concrete.
+                assert_ne!(r.resolved, "auto", "{} ({})", r.id, r.backend);
+            }
+        }
+        // The S4 adversary is present and genuinely dense: it seeds
+        // (and keeps) more candidates than the sparse S0 scenario.
+        let s4 = rows
+            .iter()
+            .find(|r| r.id == "S4-dense-saturated")
+            .expect("S4 measured");
+        let s0 = rows.iter().find(|r| r.id == "S0-heads").expect("S0 measured");
+        assert!(
+            s4.initial_candidates > 10 * s0.initial_candidates,
+            "S4 is not dense: {} vs {} seeded candidates",
+            s4.initial_candidates,
+            s0.initial_candidates
+        );
+        let json = kernels_report_json(&data, &rows);
+        assert!(json.starts_with("{\n  \"schema\": \"dualsim-kernels-v1\""));
+        assert!(json.contains("\"simd_available\": "));
         assert_eq!(json.matches("\"id\":").count(), rows.len());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

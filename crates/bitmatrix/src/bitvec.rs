@@ -5,6 +5,13 @@
 //! operations report whether they changed the vector, which is what the
 //! fixpoint solver uses to decide when inequalities must be re-marked
 //! unstable.
+//!
+//! The word-level inner loops (`∧`, `∨`, `∧¬`, subset, popcount, drain)
+//! route through the pluggable [`kernels`](crate::kernels) layer, so the
+//! per-solve [`KernelBackend`](crate::KernelBackend) selection applies
+//! to every `BitVec` operation uniformly.
+
+use crate::kernels;
 
 pub(crate) const BLOCK_BITS: usize = 64;
 
@@ -108,7 +115,7 @@ impl BitVec {
     /// strategy choice.
     #[inline]
     pub fn count_ones(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        kernels::count_ones_words(&self.blocks)
     }
 
     /// In-place intersection `self ∧= other`; returns `true` iff `self`
@@ -118,25 +125,13 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn and_assign(&mut self, other: &BitVec) -> bool {
         self.check_len(other);
-        let mut changed = false;
-        for (a, &b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
-            let new = *a & b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::and_assign_words(&mut self.blocks, &other.blocks)
     }
 
     /// In-place union `self ∨= other`; returns `true` iff `self` changed.
     pub fn or_assign(&mut self, other: &BitVec) -> bool {
         self.check_len(other);
-        let mut changed = false;
-        for (a, &b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
-            let new = *a | b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::or_assign_words(&mut self.blocks, &other.blocks)
     }
 
     /// In-place intersection that *records* the removals: `self ∧= other`,
@@ -153,43 +148,21 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn drain_cleared(&mut self, other: &BitVec, removed: &mut Vec<u32>) -> bool {
         self.check_len(other);
-        let mut changed = false;
-        for (bi, (a, &b)) in self.blocks.iter_mut().zip(other.blocks.iter()).enumerate() {
-            let mut cleared = *a & !b;
-            if cleared != 0 {
-                changed = true;
-                *a &= b;
-                while cleared != 0 {
-                    let bit = cleared.trailing_zeros() as usize;
-                    cleared &= cleared - 1;
-                    removed.push((bi * BLOCK_BITS + bit) as u32);
-                }
-            }
-        }
-        changed
+        kernels::drain_cleared_words(&mut self.blocks, &other.blocks, removed)
     }
 
     /// In-place difference `self ∧= ¬other`; returns `true` iff `self`
     /// changed.
     pub fn and_not_assign(&mut self, other: &BitVec) -> bool {
         self.check_len(other);
-        let mut changed = false;
-        for (a, &b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
-            let new = *a & !b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::and_not_assign_words(&mut self.blocks, &other.blocks)
     }
 
     /// Subset test `self ≤ other` (component-wise, as in the inequalities
     /// of Eq. (10)/(11)).
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
         self.check_len(other);
-        self.blocks
-            .iter()
-            .zip(other.blocks.iter())
-            .all(|(&a, &b)| a & !b == 0)
+        kernels::is_subset_words(&self.blocks, &other.blocks)
     }
 
     /// `true` iff `self ∩ other ≠ ∅` (the test of Eq. (4)).
@@ -222,9 +195,27 @@ impl BitVec {
 
     /// Collects the set-bit indices into a vector (`u32` indices, matching
     /// the node-id width used throughout the workspace).
+    ///
+    /// Walks whole blocks with the same all-zero block skip the dense
+    /// fast path of `BitMatrix::multiply_into` uses (plus an all-ones
+    /// run emit), instead of probing bit by bit through the iterator.
     pub fn to_indices(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.count_ones());
-        out.extend(self.iter_ones().map(|i| i as u32));
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            if block == 0 {
+                continue;
+            }
+            let base = (bi * BLOCK_BITS) as u32;
+            if block == !0u64 {
+                out.extend(base..base + BLOCK_BITS as u32);
+                continue;
+            }
+            let mut b = block;
+            while b != 0 {
+                out.push(base + b.trailing_zeros());
+                b &= b - 1;
+            }
+        }
         out
     }
 
@@ -241,10 +232,11 @@ impl BitVec {
     /// matrix row into an accumulator).
     #[inline]
     pub fn set_indices(&mut self, indices: &[u32]) {
+        #[cfg(debug_assertions)]
         for &i in indices {
             debug_assert!((i as usize) < self.len);
-            self.blocks[i as usize / BLOCK_BITS] |= 1u64 << (i as usize % BLOCK_BITS);
         }
+        kernels::or_scatter(&mut self.blocks, indices);
     }
 
     /// `true` iff any index in the sorted run is a set bit
@@ -340,6 +332,14 @@ impl BitVec {
     #[inline]
     pub(crate) fn blocks(&self) -> &[u64] {
         &self.blocks
+    }
+
+    /// Mutable view of the raw blocks, for callers that hoist the kernel
+    /// dispatch out of their own loops (`BitMatrix::multiply_into`).
+    /// Writers must preserve the zero-tail invariant.
+    #[inline]
+    pub(crate) fn blocks_mut(&mut self) -> &mut [u64] {
+        &mut self.blocks
     }
 
     fn mask_tail(&mut self) {

@@ -457,6 +457,10 @@ pub trait ChiRead: PartialEq<BitVec> {
     fn intersects_indices(&self, indices: &[u32]) -> bool;
     /// Subset test against a same-representation vector.
     fn is_subset_of(&self, other: &Self) -> bool;
+    /// Subset test against a dense vector (the product accumulator of
+    /// [`BitMatrix::multiply_subset_into`](crate::BitMatrix::multiply_subset_into)),
+    /// without densifying `self`.
+    fn is_subset_of_bits(&self, dense: &BitVec) -> bool;
 }
 
 impl ChiRead for BitVec {
@@ -478,6 +482,9 @@ impl ChiRead for BitVec {
     fn is_subset_of(&self, other: &Self) -> bool {
         BitVec::is_subset_of(self, other)
     }
+    fn is_subset_of_bits(&self, dense: &BitVec) -> bool {
+        BitVec::is_subset_of(self, dense)
+    }
 }
 
 impl ChiRead for ChiVec {
@@ -498,6 +505,9 @@ impl ChiRead for ChiVec {
     }
     fn is_subset_of(&self, other: &Self) -> bool {
         ChiVec::is_subset_of(self, other)
+    }
+    fn is_subset_of_bits(&self, dense: &BitVec) -> bool {
+        ChiVec::is_subset_of_dense(self, dense)
     }
 }
 

@@ -1,0 +1,782 @@
+//! Pluggable word-level kernels for the bitwise hot loops.
+//!
+//! Every hot path of the engine bottoms out in a handful of loops over
+//! `u64` blocks (`∧`, `∨`, `∧¬`, subset tests, popcounts, cleared-bit
+//! drains) or over compressed row indices (the `×b` OR-scatter and the
+//! counter-seeding increment-scatter). This module provides each of
+//! those inner loops in three interchangeable instantiations, selected
+//! per solve by [`KernelBackend`] (`SolverConfig::kernel_backend` /
+//! `sparqlsim --kernel-backend` in the downstream crates):
+//!
+//! * **`Scalar`** — the straightforward one-word-at-a-time loop;
+//! * **`Unrolled`** — a portable 4×-unrolled loop (one change/violation
+//!   accumulator per lane, folded once per chunk), which gives the
+//!   autovectorizer and the load/store units four independent chains;
+//! * **`Simd`** — an explicit AVX2 `std::arch` path (256-bit lanes,
+//!   `vptest`-based early exits), compiled on `x86_64` and selected
+//!   only when `is_x86_feature_detected!` proves the CPU supports it;
+//!   on other architectures, or without AVX2 at runtime, a request for
+//!   `Simd` falls back to `Scalar`;
+//! * **`Auto`** — resolves to the best available instantiation (`Simd`
+//!   when detected, `Unrolled` otherwise).
+//!
+//! **Work-neutrality invariant.** All instantiations are bit-identical:
+//! same result words, same change flags, same drain order (ascending),
+//! same scatter effects. Kernels change how many *machine* operations a
+//! word loop costs, never how many *logical* operations the engine
+//! performs — `SolveStats::logical()` is untouched by the kernel
+//! choice, which is what lets the parity harness gate kernel swaps the
+//! same way it gates χ/slab backend swaps. The differential proptests
+//! in this crate pin every instantiation against `Scalar` at the word
+//! level (including tail-word boundaries).
+//!
+//! The *active* kernel is a process-wide resolved selection
+//! ([`KernelBackend::install`] / [`active`]): `BitVec` and `BitMatrix`
+//! route their inner loops through it with the dispatch hoisted to one
+//! relaxed atomic load per operation (or per multiply, for the scatter
+//! loops). Because every instantiation is bit-identical, concurrent
+//! solves installing different kernels can only ever change wall time,
+//! never results — the per-query plan in `dualsim-core` installs the
+//! configured kernel at solve start.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Word-kernel backend selection, configured per solve
+/// (`SolverConfig::kernel_backend` in `dualsim-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelBackend {
+    /// One-word-at-a-time loops — the reference instantiation every
+    /// other backend is differentially tested against.
+    Scalar,
+    /// Portable 4×-unrolled loops (four independent dependency chains
+    /// per iteration; no target-feature requirements).
+    Unrolled,
+    /// Explicit AVX2 (`std::arch`) 256-bit loops with runtime feature
+    /// detection; falls back to `Scalar` when AVX2 is unavailable.
+    Simd,
+    /// Resolve to the best available instantiation at install time:
+    /// `Simd` when the CPU supports AVX2, `Unrolled` otherwise.
+    #[default]
+    Auto,
+}
+
+impl KernelBackend {
+    /// Parses a backend name (`scalar` / `unrolled` / `simd` / `auto`),
+    /// as accepted by the `sparqlsim --kernel-backend` flag.
+    pub fn from_name(name: &str) -> Option<KernelBackend> {
+        match name {
+            "scalar" => Some(KernelBackend::Scalar),
+            "unrolled" => Some(KernelBackend::Unrolled),
+            "simd" => Some(KernelBackend::Simd),
+            "auto" => Some(KernelBackend::Auto),
+            _ => None,
+        }
+    }
+
+    /// The backend's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Unrolled => "unrolled",
+            KernelBackend::Simd => "simd",
+            KernelBackend::Auto => "auto",
+        }
+    }
+
+    /// Resolves the selection to a concrete, runnable instantiation:
+    /// `Auto` picks `Simd` when AVX2 is detected and `Unrolled`
+    /// otherwise; `Simd` without AVX2 support falls back to `Scalar`
+    /// (the conservative fallback an explicit request degrades to);
+    /// concrete selections resolve to themselves.
+    pub fn resolve(self) -> KernelBackend {
+        match self {
+            KernelBackend::Scalar => KernelBackend::Scalar,
+            KernelBackend::Unrolled => KernelBackend::Unrolled,
+            KernelBackend::Simd => {
+                if simd_available() {
+                    KernelBackend::Simd
+                } else {
+                    KernelBackend::Scalar
+                }
+            }
+            KernelBackend::Auto => {
+                if simd_available() {
+                    KernelBackend::Simd
+                } else {
+                    KernelBackend::Unrolled
+                }
+            }
+        }
+    }
+
+    /// Resolves the selection ([`KernelBackend::resolve`]) and installs
+    /// it as the process-wide active kernel, returning the concrete
+    /// backend installed. Installation is a single relaxed atomic store
+    /// — cheap enough to run at every solve/maintenance entry point.
+    pub fn install(self) -> KernelBackend {
+        let concrete = self.resolve();
+        ACTIVE.store(encode(concrete), Ordering::Relaxed);
+        concrete
+    }
+}
+
+/// `true` iff the explicit SIMD instantiation can run on this machine
+/// (x86_64 with AVX2 and POPCNT, verified at runtime).
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The process-wide active kernel, always concrete. Before anything is
+/// installed this resolves `Auto` once (best available instantiation),
+/// so standalone `BitVec`/`BitMatrix` users get the fast loops too.
+pub fn active() -> KernelBackend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        UNRESOLVED => KernelBackend::Auto.install(),
+        raw => decode(raw),
+    }
+}
+
+const UNRESOLVED: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+fn encode(k: KernelBackend) -> u8 {
+    match k {
+        KernelBackend::Scalar => 0,
+        KernelBackend::Unrolled => 1,
+        KernelBackend::Simd => 2,
+        KernelBackend::Auto => UNRESOLVED,
+    }
+}
+
+fn decode(raw: u8) -> KernelBackend {
+    match raw {
+        0 => KernelBackend::Scalar,
+        1 => KernelBackend::Unrolled,
+        _ => KernelBackend::Simd,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatchers: one relaxed load + one jump per operation. The `_with`
+// variants take an explicit (concrete) backend so callers can hoist
+// the dispatch out of their own loops and the differential proptests
+// can pin each instantiation deterministically.
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($k:expr, $scalar:expr, $unrolled:expr, $simd:expr) => {
+        match $k {
+            KernelBackend::Scalar | KernelBackend::Auto => $scalar,
+            KernelBackend::Unrolled => $unrolled,
+            // `resolve` only ever yields `Simd` when `simd_available`
+            // held, so the target-feature call is safe here.
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Simd => unsafe { $simd },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Simd => $scalar,
+        }
+    };
+}
+
+/// `a[i] &= b[i]` over all words; returns `true` iff any word changed.
+#[inline]
+pub(crate) fn and_assign_words(a: &mut [u64], b: &[u64]) -> bool {
+    and_assign_words_with(active(), a, b)
+}
+
+/// [`and_assign_words`] under an explicit concrete backend.
+#[inline]
+pub(crate) fn and_assign_words_with(k: KernelBackend, a: &mut [u64], b: &[u64]) -> bool {
+    dispatch!(k, and_scalar(a, b), and_unrolled(a, b), and_avx2(a, b))
+}
+
+/// `a[i] |= b[i]` over all words; returns `true` iff any word changed.
+#[inline]
+pub(crate) fn or_assign_words(a: &mut [u64], b: &[u64]) -> bool {
+    or_assign_words_with(active(), a, b)
+}
+
+/// [`or_assign_words`] under an explicit concrete backend.
+#[inline]
+pub(crate) fn or_assign_words_with(k: KernelBackend, a: &mut [u64], b: &[u64]) -> bool {
+    dispatch!(k, or_scalar(a, b), or_unrolled(a, b), or_avx2(a, b))
+}
+
+/// `a[i] &= !b[i]` over all words; returns `true` iff any word changed.
+#[inline]
+pub(crate) fn and_not_assign_words(a: &mut [u64], b: &[u64]) -> bool {
+    and_not_assign_words_with(active(), a, b)
+}
+
+/// [`and_not_assign_words`] under an explicit concrete backend.
+#[inline]
+pub(crate) fn and_not_assign_words_with(k: KernelBackend, a: &mut [u64], b: &[u64]) -> bool {
+    dispatch!(
+        k,
+        and_not_scalar(a, b),
+        and_not_unrolled(a, b),
+        and_not_avx2(a, b)
+    )
+}
+
+/// `true` iff `a[i] & !b[i] == 0` for every word (subset test), with an
+/// early exit on the first violating word/lane.
+#[inline]
+pub(crate) fn is_subset_words(a: &[u64], b: &[u64]) -> bool {
+    is_subset_words_with(active(), a, b)
+}
+
+/// [`is_subset_words`] under an explicit concrete backend.
+#[inline]
+pub(crate) fn is_subset_words_with(k: KernelBackend, a: &[u64], b: &[u64]) -> bool {
+    dispatch!(
+        k,
+        subset_scalar(a, b),
+        subset_unrolled(a, b),
+        subset_avx2(a, b)
+    )
+}
+
+/// Total popcount over all words.
+#[inline]
+pub(crate) fn count_ones_words(a: &[u64]) -> usize {
+    count_ones_words_with(active(), a)
+}
+
+/// [`count_ones_words`] under an explicit concrete backend.
+#[inline]
+pub(crate) fn count_ones_words_with(k: KernelBackend, a: &[u64]) -> usize {
+    dispatch!(k, count_scalar(a), count_unrolled(a), count_avx2(a))
+}
+
+/// `a[i] &= b[i]` over all words, appending the absolute bit index of
+/// every cleared bit to `removed` in ascending order; returns `true`
+/// iff any word changed. The unrolled/SIMD instantiations only buy a
+/// faster *scan* for words with cleared bits — decode order is
+/// identical across backends (the delta engine's removal log is part
+/// of the bit-identical contract).
+#[inline]
+pub(crate) fn drain_cleared_words(a: &mut [u64], b: &[u64], removed: &mut Vec<u32>) -> bool {
+    drain_cleared_words_with(active(), a, b, removed)
+}
+
+/// [`drain_cleared_words`] under an explicit concrete backend.
+#[inline]
+pub(crate) fn drain_cleared_words_with(
+    k: KernelBackend,
+    a: &mut [u64],
+    b: &[u64],
+    removed: &mut Vec<u32>,
+) -> bool {
+    dispatch!(
+        k,
+        drain_scalar(a, b, removed),
+        drain_unrolled(a, b, removed),
+        drain_avx2(a, b, removed)
+    )
+}
+
+/// OR-scatter: sets bit `i` of the block array for every index in
+/// `indices` (the inner loop of the row-wise `×b` accumulation). Not a
+/// word-parallel shape — `Simd` shares the unrolled instantiation.
+#[inline]
+pub(crate) fn or_scatter(blocks: &mut [u64], indices: &[u32]) {
+    or_scatter_with(active(), blocks, indices)
+}
+
+/// [`or_scatter`] under an explicit concrete backend.
+#[inline]
+pub(crate) fn or_scatter_with(k: KernelBackend, blocks: &mut [u64], indices: &[u32]) {
+    match k {
+        KernelBackend::Scalar | KernelBackend::Auto => or_scatter_scalar(blocks, indices),
+        KernelBackend::Unrolled | KernelBackend::Simd => or_scatter_unrolled(blocks, indices),
+    }
+}
+
+/// Increment-scatter under an explicit concrete backend: `counts[i] +=
+/// 1` for every index in `indices` (the inner loop of the
+/// counter-seeding `count_into`, which hoists the dispatch per seed).
+/// Not a word-parallel shape — `Simd` shares the unrolled instantiation.
+#[inline]
+pub(crate) fn increment_scatter_with(k: KernelBackend, counts: &mut [u32], indices: &[u32]) {
+    match k {
+        KernelBackend::Scalar | KernelBackend::Auto => increment_scatter_scalar(counts, indices),
+        KernelBackend::Unrolled | KernelBackend::Simd => {
+            increment_scatter_unrolled(counts, indices)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar instantiations (the reference semantics).
+// ---------------------------------------------------------------------
+
+fn and_scalar(a: &mut [u64], b: &[u64]) -> bool {
+    let mut changed = false;
+    for (x, &y) in a.iter_mut().zip(b) {
+        let new = *x & y;
+        changed |= new != *x;
+        *x = new;
+    }
+    changed
+}
+
+fn or_scalar(a: &mut [u64], b: &[u64]) -> bool {
+    let mut changed = false;
+    for (x, &y) in a.iter_mut().zip(b) {
+        let new = *x | y;
+        changed |= new != *x;
+        *x = new;
+    }
+    changed
+}
+
+fn and_not_scalar(a: &mut [u64], b: &[u64]) -> bool {
+    let mut changed = false;
+    for (x, &y) in a.iter_mut().zip(b) {
+        let new = *x & !y;
+        changed |= new != *x;
+        *x = new;
+    }
+    changed
+}
+
+fn subset_scalar(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| x & !y == 0)
+}
+
+fn count_scalar(a: &[u64]) -> usize {
+    a.iter().map(|x| x.count_ones() as usize).sum()
+}
+
+/// Decodes the set bits of `cleared` (a word at block index `bi`) into
+/// absolute indices, ascending. Shared by every drain instantiation so
+/// the removal order is identical by construction.
+#[inline]
+fn push_cleared(bi: usize, mut cleared: u64, removed: &mut Vec<u32>) {
+    let base = (bi * 64) as u32;
+    while cleared != 0 {
+        removed.push(base + cleared.trailing_zeros());
+        cleared &= cleared - 1;
+    }
+}
+
+fn drain_scalar(a: &mut [u64], b: &[u64], removed: &mut Vec<u32>) -> bool {
+    let mut changed = false;
+    for (bi, (x, &y)) in a.iter_mut().zip(b).enumerate() {
+        let cleared = *x & !y;
+        if cleared != 0 {
+            changed = true;
+            *x &= y;
+            push_cleared(bi, cleared, removed);
+        }
+    }
+    changed
+}
+
+fn or_scatter_scalar(blocks: &mut [u64], indices: &[u32]) {
+    for &i in indices {
+        blocks[i as usize / 64] |= 1u64 << (i % 64);
+    }
+}
+
+fn increment_scatter_scalar(counts: &mut [u32], indices: &[u32]) {
+    for &i in indices {
+        counts[i as usize] += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Portable 4×-unrolled instantiations. Change detection accumulates
+// XOR differences per lane and folds once per chunk — boolean-identical
+// to the per-word comparison.
+// ---------------------------------------------------------------------
+
+macro_rules! unrolled_assign {
+    ($name:ident, $op:expr) => {
+        fn $name(a: &mut [u64], b: &[u64]) -> bool {
+            let op = $op;
+            let whole = a.len() & !3;
+            let (a4, a_tail) = a.split_at_mut(whole);
+            let (b4, b_tail) = b.split_at(whole);
+            let mut diff = 0u64;
+            for (ca, cb) in a4.chunks_exact_mut(4).zip(b4.chunks_exact(4)) {
+                let n0 = op(ca[0], cb[0]);
+                let n1 = op(ca[1], cb[1]);
+                let n2 = op(ca[2], cb[2]);
+                let n3 = op(ca[3], cb[3]);
+                diff |= (n0 ^ ca[0]) | (n1 ^ ca[1]) | (n2 ^ ca[2]) | (n3 ^ ca[3]);
+                ca[0] = n0;
+                ca[1] = n1;
+                ca[2] = n2;
+                ca[3] = n3;
+            }
+            for (x, &y) in a_tail.iter_mut().zip(b_tail) {
+                let new = op(*x, y);
+                diff |= new ^ *x;
+                *x = new;
+            }
+            diff != 0
+        }
+    };
+}
+
+unrolled_assign!(and_unrolled, |x: u64, y: u64| x & y);
+unrolled_assign!(or_unrolled, |x: u64, y: u64| x | y);
+unrolled_assign!(and_not_unrolled, |x: u64, y: u64| x & !y);
+
+fn subset_unrolled(a: &[u64], b: &[u64]) -> bool {
+    let whole = a.len() & !3;
+    for (ca, cb) in a[..whole].chunks_exact(4).zip(b[..whole].chunks_exact(4)) {
+        let v = (ca[0] & !cb[0]) | (ca[1] & !cb[1]) | (ca[2] & !cb[2]) | (ca[3] & !cb[3]);
+        if v != 0 {
+            return false;
+        }
+    }
+    a[whole..].iter().zip(&b[whole..]).all(|(&x, &y)| x & !y == 0)
+}
+
+fn count_unrolled(a: &[u64]) -> usize {
+    let whole = a.len() & !3;
+    let mut c0 = 0usize;
+    let mut c1 = 0usize;
+    let mut c2 = 0usize;
+    let mut c3 = 0usize;
+    for ca in a[..whole].chunks_exact(4) {
+        c0 += ca[0].count_ones() as usize;
+        c1 += ca[1].count_ones() as usize;
+        c2 += ca[2].count_ones() as usize;
+        c3 += ca[3].count_ones() as usize;
+    }
+    c0 + c1 + c2 + c3 + a[whole..].iter().map(|x| x.count_ones() as usize).sum::<usize>()
+}
+
+fn drain_unrolled(a: &mut [u64], b: &[u64], removed: &mut Vec<u32>) -> bool {
+    let whole = a.len() & !3;
+    let mut changed = false;
+    let mut bi = 0usize;
+    {
+        let (a4, _) = a.split_at_mut(whole);
+        let (b4, _) = b.split_at(whole);
+        for (ca, cb) in a4.chunks_exact_mut(4).zip(b4.chunks_exact(4)) {
+            let c0 = ca[0] & !cb[0];
+            let c1 = ca[1] & !cb[1];
+            let c2 = ca[2] & !cb[2];
+            let c3 = ca[3] & !cb[3];
+            // Fast skip: most chunks clear nothing in late drain rounds.
+            if c0 | c1 | c2 | c3 != 0 {
+                changed = true;
+                ca[0] &= cb[0];
+                ca[1] &= cb[1];
+                ca[2] &= cb[2];
+                ca[3] &= cb[3];
+                push_cleared(bi, c0, removed);
+                push_cleared(bi + 1, c1, removed);
+                push_cleared(bi + 2, c2, removed);
+                push_cleared(bi + 3, c3, removed);
+            }
+            bi += 4;
+        }
+    }
+    for (off, (x, &y)) in a[whole..].iter_mut().zip(&b[whole..]).enumerate() {
+        let cleared = *x & !y;
+        if cleared != 0 {
+            changed = true;
+            *x &= y;
+            push_cleared(whole + off, cleared, removed);
+        }
+    }
+    changed
+}
+
+fn or_scatter_unrolled(blocks: &mut [u64], indices: &[u32]) {
+    let mut chunks = indices.chunks_exact(4);
+    for c in &mut chunks {
+        // The four read-modify-writes run in program order, so indices
+        // landing in the same block compose exactly like the scalar loop.
+        blocks[c[0] as usize / 64] |= 1u64 << (c[0] % 64);
+        blocks[c[1] as usize / 64] |= 1u64 << (c[1] % 64);
+        blocks[c[2] as usize / 64] |= 1u64 << (c[2] % 64);
+        blocks[c[3] as usize / 64] |= 1u64 << (c[3] % 64);
+    }
+    for &i in chunks.remainder() {
+        blocks[i as usize / 64] |= 1u64 << (i % 64);
+    }
+}
+
+fn increment_scatter_unrolled(counts: &mut [u32], indices: &[u32]) {
+    let mut chunks = indices.chunks_exact(4);
+    for c in &mut chunks {
+        counts[c[0] as usize] += 1;
+        counts[c[1] as usize] += 1;
+        counts[c[2] as usize] += 1;
+        counts[c[3] as usize] += 1;
+    }
+    for &i in chunks.remainder() {
+        counts[i as usize] += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 instantiations (x86_64 only; callers guarantee runtime support
+// via `KernelBackend::resolve`). 256-bit lanes = 4 words per step; the
+// tail (< 4 words) runs the scalar loop. Change/violation detection
+// uses `vptest` on an accumulated difference vector — boolean-identical
+// to the scalar comparison.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::push_cleared;
+    use std::arch::x86_64::*;
+
+    macro_rules! avx2_assign {
+        ($name:ident, $combine:expr, $scalar_op:expr) => {
+            /// # Safety
+            /// Requires AVX2 (checked by `KernelBackend::resolve`).
+            #[target_feature(enable = "avx2")]
+            pub(super) unsafe fn $name(a: &mut [u64], b: &[u64]) -> bool {
+                let whole = a.len() & !3;
+                let ap = a.as_mut_ptr();
+                let bp = b.as_ptr();
+                let mut diff = _mm256_setzero_si256();
+                let mut i = 0usize;
+                while i < whole {
+                    let va = _mm256_loadu_si256(ap.add(i).cast());
+                    let vb = _mm256_loadu_si256(bp.add(i).cast());
+                    let vn = $combine(va, vb);
+                    diff = _mm256_or_si256(diff, _mm256_xor_si256(vn, va));
+                    _mm256_storeu_si256(ap.add(i).cast(), vn);
+                    i += 4;
+                }
+                let mut changed = _mm256_testz_si256(diff, diff) == 0;
+                for (x, &y) in a[whole..].iter_mut().zip(&b[whole..]) {
+                    let new = $scalar_op(*x, y);
+                    changed |= new != *x;
+                    *x = new;
+                }
+                changed
+            }
+        };
+    }
+
+    avx2_assign!(
+        and_avx2,
+        |va, vb| _mm256_and_si256(va, vb),
+        |x: u64, y: u64| x & y
+    );
+    avx2_assign!(
+        or_avx2,
+        |va, vb| _mm256_or_si256(va, vb),
+        |x: u64, y: u64| x | y
+    );
+    avx2_assign!(
+        and_not_avx2,
+        // `andnot(vb, va)` computes `!vb & va` = `va & !vb`.
+        |va, vb| _mm256_andnot_si256(vb, va),
+        |x: u64, y: u64| x & !y
+    );
+
+    /// # Safety
+    /// Requires AVX2 (checked by `KernelBackend::resolve`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn subset_avx2(a: &[u64], b: &[u64]) -> bool {
+        let whole = a.len() & !3;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0usize;
+        while i < whole {
+            let va = _mm256_loadu_si256(ap.add(i).cast());
+            let vb = _mm256_loadu_si256(bp.add(i).cast());
+            // violation lanes: va & !vb
+            let v = _mm256_andnot_si256(vb, va);
+            if _mm256_testz_si256(v, v) == 0 {
+                return false;
+            }
+            i += 4;
+        }
+        a[whole..].iter().zip(&b[whole..]).all(|(&x, &y)| x & !y == 0)
+    }
+
+    /// # Safety
+    /// Requires AVX2 + POPCNT (checked by `KernelBackend::resolve`).
+    ///
+    /// Word-wise `popcnt` over four independent accumulators — AVX2 has
+    /// no vector popcount, but the enabled `popcnt` target feature
+    /// guarantees the hardware instruction for each lane.
+    #[target_feature(enable = "avx2,popcnt")]
+    pub(super) unsafe fn count_avx2(a: &[u64]) -> usize {
+        super::count_unrolled(a)
+    }
+
+    /// # Safety
+    /// Requires AVX2 (checked by `KernelBackend::resolve`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn drain_avx2(a: &mut [u64], b: &[u64], removed: &mut Vec<u32>) -> bool {
+        let whole = a.len() & !3;
+        let ap = a.as_mut_ptr();
+        let bp = b.as_ptr();
+        let mut changed = false;
+        let mut i = 0usize;
+        while i < whole {
+            let va = _mm256_loadu_si256(ap.add(i).cast());
+            let vb = _mm256_loadu_si256(bp.add(i).cast());
+            let vc = _mm256_andnot_si256(vb, va); // cleared = a & !b
+            // Fast skip via `vptest`: nothing cleared in these 4 words.
+            if _mm256_testz_si256(vc, vc) == 0 {
+                changed = true;
+                _mm256_storeu_si256(ap.add(i).cast(), _mm256_and_si256(va, vb));
+                let mut cleared = [0u64; 4];
+                _mm256_storeu_si256(cleared.as_mut_ptr().cast(), vc);
+                for (lane, &word) in cleared.iter().enumerate() {
+                    push_cleared(i + lane, word, removed);
+                }
+            }
+            i += 4;
+        }
+        for (off, (x, &y)) in a[whole..].iter_mut().zip(&b[whole..]).enumerate() {
+            let cleared = *x & !y;
+            if cleared != 0 {
+                changed = true;
+                *x &= y;
+                push_cleared(whole + off, cleared, removed);
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{and_avx2, and_not_avx2, count_avx2, drain_avx2, or_avx2, subset_avx2};
+
+/// Concrete instantiations testable on this machine: always scalar +
+/// unrolled, plus SIMD when the CPU supports it. Used by the in-crate
+/// differential tests and proptests.
+#[cfg(test)]
+pub(crate) fn testable_backends() -> Vec<KernelBackend> {
+    let mut v = vec![KernelBackend::Scalar, KernelBackend::Unrolled];
+    if simd_available() {
+        v.push(KernelBackend::Simd);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in [
+            KernelBackend::Scalar,
+            KernelBackend::Unrolled,
+            KernelBackend::Simd,
+            KernelBackend::Auto,
+        ] {
+            assert_eq!(KernelBackend::from_name(k.name()), Some(k));
+        }
+        assert_eq!(KernelBackend::from_name("avx2"), None);
+    }
+
+    #[test]
+    fn resolve_is_concrete_and_runnable() {
+        for k in [
+            KernelBackend::Scalar,
+            KernelBackend::Unrolled,
+            KernelBackend::Simd,
+            KernelBackend::Auto,
+        ] {
+            let concrete = k.resolve();
+            assert_ne!(concrete, KernelBackend::Auto, "{k:?}");
+            if concrete == KernelBackend::Simd {
+                assert!(simd_available());
+            }
+        }
+        assert_eq!(KernelBackend::Scalar.resolve(), KernelBackend::Scalar);
+        assert_eq!(KernelBackend::Unrolled.resolve(), KernelBackend::Unrolled);
+        if !simd_available() {
+            assert_eq!(KernelBackend::Simd.resolve(), KernelBackend::Scalar);
+            assert_eq!(KernelBackend::Auto.resolve(), KernelBackend::Unrolled);
+        }
+    }
+
+    #[test]
+    fn active_is_always_concrete() {
+        assert_ne!(active(), KernelBackend::Auto);
+        let installed = KernelBackend::Auto.install();
+        assert_eq!(active(), installed);
+    }
+
+    #[test]
+    fn every_backend_matches_scalar_on_fixed_vectors() {
+        // Deterministic multi-block vectors with tail words; the
+        // proptests fuzz the same property over random lengths.
+        let n = 11usize; // not a multiple of 4: exercises unrolled tails
+        let a0: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let b0: Vec<u64> = (0..n)
+            .map(|i| (i as u64 ^ 0xABCD).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .collect();
+        for k in testable_backends() {
+            for (op, op_with) in [
+                (
+                    and_assign_words_with as fn(KernelBackend, &mut [u64], &[u64]) -> bool,
+                    "and",
+                ),
+                (or_assign_words_with, "or"),
+                (and_not_assign_words_with, "andnot"),
+            ] {
+                let mut reference = a0.clone();
+                let ref_changed = op(KernelBackend::Scalar, &mut reference, &b0);
+                let mut words = a0.clone();
+                let changed = op(k, &mut words, &b0);
+                assert_eq!(words, reference, "{op_with} words under {k:?}");
+                assert_eq!(changed, ref_changed, "{op_with} change flag under {k:?}");
+            }
+            assert_eq!(
+                is_subset_words_with(k, &a0, &b0),
+                subset_scalar(&a0, &b0),
+                "{k:?}"
+            );
+            assert_eq!(count_ones_words_with(k, &a0), count_scalar(&a0), "{k:?}");
+            let mut ref_words = a0.clone();
+            let mut ref_removed = Vec::new();
+            let ref_changed = drain_cleared_words_with(
+                KernelBackend::Scalar,
+                &mut ref_words,
+                &b0,
+                &mut ref_removed,
+            );
+            let mut words = a0.clone();
+            let mut removed = Vec::new();
+            let changed = drain_cleared_words_with(k, &mut words, &b0, &mut removed);
+            assert_eq!(words, ref_words, "{k:?}");
+            assert_eq!(removed, ref_removed, "{k:?}");
+            assert_eq!(changed, ref_changed, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_kernels_match_scalar() {
+        let indices: Vec<u32> = vec![0, 1, 63, 64, 65, 64, 127, 130, 2, 2, 191];
+        for k in testable_backends() {
+            let mut ref_blocks = vec![0u64; 3];
+            or_scatter_with(KernelBackend::Scalar, &mut ref_blocks, &indices);
+            let mut blocks = vec![0u64; 3];
+            or_scatter_with(k, &mut blocks, &indices);
+            assert_eq!(blocks, ref_blocks, "{k:?}");
+
+            let mut ref_counts = vec![0u32; 192];
+            increment_scatter_with(KernelBackend::Scalar, &mut ref_counts, &indices);
+            let mut counts = vec![0u32; 192];
+            increment_scatter_with(k, &mut counts, &indices);
+            assert_eq!(counts, ref_counts, "{k:?}");
+        }
+    }
+}

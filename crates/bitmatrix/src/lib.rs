@@ -22,17 +22,23 @@
 //!
 //! The solver in `dualsim-core` switches between the two dynamically
 //! (Sect. 3.3 of the paper).
+//!
+//! All bitwise inner loops bottom out in the pluggable word-level
+//! [`kernels`] layer ([`KernelBackend`]): scalar, portable 4×-unrolled,
+//! and runtime-detected AVX2 instantiations, all bit-identical.
 
 #![warn(missing_docs)]
 
 mod bitvec;
 mod chi;
+pub mod kernels;
 mod matrix;
 mod rle;
 mod slab;
 
 pub use bitvec::{BitVec, Ones};
 pub use chi::{ChiBackend, ChiOnes, ChiRead, ChiVec, AUTO_RLE_DENSITY_DIVISOR};
+pub use kernels::KernelBackend;
 pub use matrix::{BitMatrix, RowSelector};
 pub use rle::{RleBitVec, RleOnes};
 pub use slab::{CounterSlab, SeededSlabState, SlabBackend};

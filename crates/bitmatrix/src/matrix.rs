@@ -6,7 +6,7 @@
 //! paper's gap-length encoded bit rows and keeps the memory footprint
 //! proportional to the number of edges rather than `|V|²`.
 
-use crate::{BitVec, ChiVec, RleBitVec};
+use crate::{kernels, BitVec, ChiRead, ChiVec, RleBitVec};
 
 /// A row selector for [`BitMatrix`] multiplications: any χ
 /// representation that can enumerate its set bits drives the row-wise
@@ -302,12 +302,41 @@ impl BitMatrix {
         assert_eq!(x.selector_len(), self.dim);
         assert_eq!(out.len(), self.dim);
         out.clear_all();
+        // Hoist the kernel dispatch out of the per-row loop: one lookup
+        // per multiply, not one per selected row.
+        let kernel = kernels::active();
         let mut rows = 0usize;
         x.for_each_selected(|i| {
-            out.set_indices(self.row(i));
+            kernels::or_scatter_with(kernel, out.blocks_mut(), self.row(i));
             rows += 1;
         });
         rows
+    }
+
+    /// Fused row-OR + subset test: computes `out = x ×b self` exactly as
+    /// [`BitMatrix::multiply_into`] and immediately tests `within ≤ out`
+    /// while the product words are still cache-hot, with the kernel
+    /// dispatch hoisted and an early exit on the first violating word.
+    /// Returns `(rows_ored, subset_holds)`.
+    ///
+    /// This is the one-pass form of the Def. 2 conditions: with
+    /// `self = B^a` and `x = χ(w)`, `subset_holds` says every candidate
+    /// of `within = χ(v)` has an `a`-successor in `χ(w)` — candidates
+    /// that would die are detected without a second full scan, and the
+    /// re-evaluation engine uses the same call to skip the intersection
+    /// write-back entirely when an inequality is already stable.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths differ from `dim`.
+    pub fn multiply_subset_into<S: RowSelector, C: ChiRead>(
+        &self,
+        x: &S,
+        out: &mut BitVec,
+        within: &C,
+    ) -> (usize, bool) {
+        assert_eq!(within.bits(), self.dim);
+        let rows = self.multiply_into(x, out);
+        (rows, within.is_subset_of_bits(out))
     }
 
     /// Counter-initializing multiply for the delta-counting fixpoint
@@ -331,12 +360,11 @@ impl BitMatrix {
     pub fn count_into<S: RowSelector>(&self, x: &S, counts: &mut [u32]) -> usize {
         assert_eq!(x.selector_len(), self.dim);
         assert_eq!(counts.len(), self.dim);
+        let kernel = kernels::active();
         let mut increments = 0usize;
         x.for_each_selected_run(|start, end| {
             let segment = self.rows_segment(start, end);
-            for &j in segment {
-                counts[j as usize] += 1;
-            }
+            kernels::increment_scatter_with(kernel, counts, segment);
             increments += segment.len();
         });
         increments

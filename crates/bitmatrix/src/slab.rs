@@ -379,6 +379,61 @@ impl CounterSlab {
         }
     }
 
+    /// Fused decrement + zero-test drain: decrements the support of
+    /// every column in `columns` (in order, with exactly the semantics
+    /// of [`CounterSlab::decrement`] per entry) and calls `zeroed` for
+    /// each column whose support reaches exactly zero, in the order the
+    /// zeros occur. The representation match is hoisted out of the
+    /// per-entry loop — one dispatch per batch instead of one per
+    /// decrement — and zero-support columns are collected *during* the
+    /// decrement walk instead of by a follow-up probe pass.
+    ///
+    /// A column appearing multiple times in `columns` is decremented
+    /// once per occurrence and reported at most once (at the occurrence
+    /// that hits zero), identical to a per-entry
+    /// `decrement(w) == 0` loop.
+    ///
+    /// # Panics
+    /// Panics if the slab is unseeded or any column is out of bounds;
+    /// debug builds additionally assert against underflow.
+    #[inline]
+    pub fn decrement_collect(&mut self, columns: &[u32], mut zeroed: impl FnMut(u32)) {
+        match &mut self.repr {
+            Repr::Unseeded { .. } => panic!("decrement on an unseeded slab"),
+            Repr::Dense(counts) => {
+                for &w in columns {
+                    let c = &mut counts[w as usize];
+                    debug_assert!(*c > 0, "support underflow on candidate {w}");
+                    *c = c.wrapping_sub(1);
+                    if *c == 0 {
+                        zeroed(w);
+                    }
+                }
+            }
+            Repr::Sparse(s) => match &mut s.dense {
+                Some(d) => {
+                    for &w in columns {
+                        assert!((w as usize) < s.dim, "candidate {w} out of bounds {}", s.dim);
+                        let c = &mut d[w as usize];
+                        debug_assert!(*c > 0, "support underflow on candidate {w}");
+                        *c = c.wrapping_sub(1);
+                        if *c == 0 {
+                            zeroed(w);
+                        }
+                    }
+                }
+                None => {
+                    for &w in columns {
+                        assert!((w as usize) < s.dim, "candidate {w} out of bounds {}", s.dim);
+                        if s.decrement(w as usize) == 0 {
+                            zeroed(w);
+                        }
+                    }
+                }
+            },
+        }
+    }
+
     /// Drops the seeded storage, returning the slab to the unseeded
     /// state for its current backend — the rollback-journal inverse of
     /// a lazy-seed promotion. A spilled sparse slab unseeds back to

@@ -5,7 +5,7 @@
 //! that claimed-largest solutions really are maximal.
 
 use crate::{PatternEdge, Soi};
-use dualsim_bitmatrix::{BitVec, ChiRead};
+use dualsim_bitmatrix::{BitVec, ChiRead, RowSelector};
 use dualsim_graph::GraphDb;
 
 /// Checks whether the relation `S = {(v, d) | d ∈ chi[v]}` is a dual
@@ -18,30 +18,60 @@ use dualsim_graph::GraphDb;
 /// A pattern edge whose label is absent from the database admits no
 /// candidates at all on either side.
 ///
-/// Generic over the χ representation ([`ChiRead`]): the solver's
-/// backend-abstracted `ChiVec` rows and the baselines' plain dense rows
-/// are certified by the same checker.
-pub fn is_dual_simulation<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
-    soi.edges.iter().all(|e| edge_respected(db, e, chi, true))
+/// Generic over the χ representation ([`ChiRead`] + [`RowSelector`]):
+/// the solver's backend-abstracted `ChiVec` rows and the baselines'
+/// plain dense rows are certified by the same checker.
+pub fn is_dual_simulation<C: ChiRead + RowSelector>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
+    let mut scratch = BitVec::zeros(db.num_nodes());
+    soi.edges
+        .iter()
+        .all(|e| edge_respected(db, e, chi, true, &mut scratch))
 }
 
 /// Checks condition (i) only — plain forward simulation, the notion the
 /// [`crate::SimulationKind::Forward`] systems characterize.
-pub fn is_forward_simulation<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
-    soi.edges.iter().all(|e| edge_respected(db, e, chi, false))
+pub fn is_forward_simulation<C: ChiRead + RowSelector>(
+    db: &GraphDb,
+    soi: &Soi,
+    chi: &[C],
+) -> bool {
+    let mut scratch = BitVec::zeros(db.num_nodes());
+    soi.edges
+        .iter()
+        .all(|e| edge_respected(db, e, chi, false, &mut scratch))
 }
 
-fn edge_respected<C: ChiRead>(db: &GraphDb, e: &PatternEdge, chi: &[C], dual: bool) -> bool {
+/// One pattern edge `(src, a, dst)`, checked as two fused
+/// product-plus-subset passes ([`dualsim_bitmatrix::BitMatrix::multiply_subset_into`])
+/// instead of per-candidate neighbor probes:
+///
+/// * condition (i) — every `v' ∈ χ(src)` has an `a`-successor in
+///   `χ(dst)` — holds iff `χ(src) ⊆ B^a ×b χ(dst)` (row `w'` of the
+///   backward matrix is exactly the `a`-predecessor set of `w'`, so the
+///   product is the set of nodes with *some* `a`-successor in `χ(dst)`);
+/// * condition (ii) symmetrically iff `χ(dst) ⊆ F^a ×b χ(src)`.
+///
+/// The violation test runs in the same cache-hot pass as the product
+/// OR, so a violating candidate is detected without a second scan.
+fn edge_respected<C: ChiRead + RowSelector>(
+    db: &GraphDb,
+    e: &PatternEdge,
+    chi: &[C],
+    dual: bool,
+    scratch: &mut BitVec,
+) -> bool {
     let Some(a) = e.label else {
         return chi[e.src].none_set() && (!dual || chi[e.dst].none_set());
     };
-    let fwd_ok =
-        chi[e.src].all_ones(|v| chi[e.dst].intersects_indices(db.out_neighbors(v as u32, a)));
+    let (_, fwd_ok) = db
+        .backward(a)
+        .multiply_subset_into(&chi[e.dst], scratch, &chi[e.src]);
     if !dual {
         return fwd_ok;
     }
-    let bwd_ok =
-        chi[e.dst].all_ones(|w| chi[e.src].intersects_indices(db.in_neighbors(w as u32, a)));
+    let (_, bwd_ok) = db
+        .forward(a)
+        .multiply_subset_into(&chi[e.src], scratch, &chi[e.dst]);
     fwd_ok && bwd_ok
 }
 
@@ -49,7 +79,7 @@ fn edge_respected<C: ChiRead>(db: &GraphDb, e: &PatternEdge, chi: &[C], dual: bo
 /// inequalities of the system, i.e. is a valid assignment for the whole
 /// SOI and not just for the pattern edges. Honours the system's
 /// [`crate::SimulationKind`].
-pub fn is_valid_assignment<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
+pub fn is_valid_assignment<C: ChiRead + RowSelector>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
     let sim_ok = match soi.kind {
         crate::SimulationKind::Dual => is_dual_simulation(db, soi, chi),
         crate::SimulationKind::Forward => is_forward_simulation(db, soi, chi),
@@ -139,7 +169,7 @@ pub fn naive_largest_solution(db: &GraphDb, soi: &Soi) -> Vec<BitVec> {
 /// validity plus maximality, certified against the reference oracle
 /// (the oracle is dense; [`ChiRead`]'s `PartialEq<BitVec>` bound
 /// compares any χ representation against it semantically).
-pub fn is_largest_solution<C: ChiRead>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
+pub fn is_largest_solution<C: ChiRead + RowSelector>(db: &GraphDb, soi: &Soi, chi: &[C]) -> bool {
     is_valid_assignment(db, soi, chi) && chi == naive_largest_solution(db, soi).as_slice()
 }
 

@@ -90,12 +90,10 @@
 
 use crate::errors::MaintainError;
 use crate::failpoints;
-use crate::solver::{
-    apply_summary_init, chi_words, evaluation_order, resolve_chi_backend, resolve_slab_backend,
-    seed_chi, split_pair,
-};
+use crate::plan::SolvePlan;
+use crate::solver::{apply_summary_init, chi_words, evaluation_order, seed_chi, split_pair};
 use crate::{InitMode, Inequality, SimulationKind, Soi, Solution, SolveStats, SolverConfig};
-use dualsim_bitmatrix::{BitMatrix, ChiBackend, ChiVec, CounterSlab, SeededSlabState, SlabBackend};
+use dualsim_bitmatrix::{BitMatrix, ChiVec, CounterSlab, SeededSlabState, SlabBackend};
 use dualsim_graph::{GraphDb, Triple};
 
 /// One undo record of the epoch rollback journal. Records are appended
@@ -242,7 +240,35 @@ impl ShardUnit {
             return;
         }
         let target = &chi[self.target as usize];
-        if self.run_aware {
+        let run_aware = self.run_aware;
+        // Split borrows for the fused drain: the zero-support callback
+        // appends proposals while the slab is exclusively borrowed by
+        // `decrement_collect`.
+        let ShardUnit {
+            slab,
+            proposals,
+            decrements,
+            row_lookups,
+            journal,
+            ..
+        } = self;
+        // Fused decrement + zero-test: `decrement_collect` hoists the
+        // slab-representation dispatch out of the per-column loop and
+        // reports zero-support columns during the same walk — same
+        // decrement sequence, same journal order, same proposal order
+        // as the former per-entry `decrement(w) == 0` form.
+        let mut drain = |segment: &[u32]| {
+            *decrements += segment.len();
+            if let Some(log) = journal.as_mut() {
+                log.extend_from_slice(segment);
+            }
+            slab.decrement_collect(segment, |w| {
+                if target.get(w as usize) {
+                    proposals.push(w);
+                }
+            });
+        };
+        if run_aware {
             // One offset-pair lookup per maximal run of consecutive
             // removed nodes, instead of one row lookup per node.
             let mut i = 0usize;
@@ -251,32 +277,14 @@ impl ShardUnit {
                 while j < removals.len() && removals[j] == removals[j - 1] + 1 {
                     j += 1;
                 }
-                self.row_lookups += 1;
-                let segment =
-                    matrix.rows_segment(removals[i] as usize, removals[j - 1] as usize + 1);
-                for &w in segment {
-                    self.decrements += 1;
-                    if let Some(log) = &mut self.journal {
-                        log.push(w);
-                    }
-                    if self.slab.decrement(w as usize) == 0 && target.get(w as usize) {
-                        self.proposals.push(w);
-                    }
-                }
+                *row_lookups += 1;
+                drain(matrix.rows_segment(removals[i] as usize, removals[j - 1] as usize + 1));
                 i = j;
             }
         } else {
             for &u in removals {
-                self.row_lookups += 1;
-                for &w in matrix.row(u as usize) {
-                    self.decrements += 1;
-                    if let Some(log) = &mut self.journal {
-                        log.push(w);
-                    }
-                    if self.slab.decrement(w as usize) == 0 && target.get(w as usize) {
-                        self.proposals.push(w);
-                    }
-                }
+                *row_lookups += 1;
+                drain(matrix.row(u as usize));
             }
         }
     }
@@ -566,9 +574,12 @@ impl DeltaSolver {
             initial_candidates: counts.iter().sum(),
             ..SolveStats::default()
         };
-        let chi_backend =
-            resolve_chi_backend(config, &mut chi, stats.initial_candidates, db.num_nodes());
-        let slab_backend = resolve_slab_backend(config, nv, stats.initial_candidates, db.num_nodes());
+        // One plan resolution pins every pluggable axis — χ backend,
+        // slab backend, drain, word kernel — for the whole engine
+        // lifetime; the hot loops below never re-decide.
+        let plan = SolvePlan::resolve(config, stats.initial_candidates, nv, db.num_nodes());
+        plan.install_kernel();
+        plan.apply_chi(&mut chi);
         let chi_word_total = chi_words(&chi);
         stats.observe_chi_words(chi_word_total);
 
@@ -578,7 +589,7 @@ impl DeltaSolver {
         let mut solver = DeltaSolver {
             chi,
             counts,
-            support: vec![CounterSlab::unseeded(slab_backend); soi.ineqs.len()],
+            support: vec![CounterSlab::unseeded(plan.slab); soi.ineqs.len()],
             queue: Vec::new(),
             edge_ineqs_by_source,
             edge_ineqs_by_target,
@@ -591,7 +602,7 @@ impl DeltaSolver {
             proposal_pool: Vec::new(),
             chi_word_total,
             slab_word_total: 0,
-            run_aware: chi_backend == ChiBackend::Rle,
+            run_aware: plan.run_aware,
             stats,
             dead: false,
             epoch: None,
@@ -1785,6 +1796,7 @@ fn validate_batch(db: &GraphDb, batch: &[Triple]) -> Result<(), MaintainError> {
 mod tests {
     use super::*;
     use crate::{build_sois, solve, DrainStrategy, FixpointMode};
+    use dualsim_bitmatrix::ChiBackend;
     use dualsim_graph::GraphDbBuilder;
     use dualsim_query::parse;
 

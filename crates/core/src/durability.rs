@@ -41,7 +41,7 @@ use crate::solver::{
     SolverConfig,
 };
 use crate::MaintainError;
-use dualsim_bitmatrix::{ChiBackend, ChiVec, SlabBackend};
+use dualsim_bitmatrix::{ChiBackend, ChiVec, KernelBackend, SlabBackend};
 use dualsim_graph::{GraphDb, GraphDbBuilder, NodeKind, Triple};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
@@ -51,7 +51,8 @@ use std::path::{Path, PathBuf};
 /// Magic + version framing of the two on-disk formats.
 const WAL_MAGIC: &[u8; 4] = b"DWAL";
 const SNAP_MAGIC: &[u8; 4] = b"DSNP";
-const FORMAT_VERSION: u32 = 1;
+/// v2 added the kernel-backend tag to the encoded [`SolverConfig`].
+const FORMAT_VERSION: u32 = 2;
 /// WAL header: magic + version.
 const WAL_HEADER_LEN: u64 = 8;
 /// Per-record frame: payload length (u32) + CRC32 of the payload (u32).
@@ -560,6 +561,25 @@ fn slab_backend_from(tag: u8, what: &str) -> Result<SlabBackend, MaintainError> 
     }
 }
 
+fn kernel_backend_tag(b: KernelBackend) -> u8 {
+    match b {
+        KernelBackend::Scalar => 0,
+        KernelBackend::Unrolled => 1,
+        KernelBackend::Simd => 2,
+        KernelBackend::Auto => 3,
+    }
+}
+
+fn kernel_backend_from(tag: u8, what: &str) -> Result<KernelBackend, MaintainError> {
+    match tag {
+        0 => Ok(KernelBackend::Scalar),
+        1 => Ok(KernelBackend::Unrolled),
+        2 => Ok(KernelBackend::Simd),
+        3 => Ok(KernelBackend::Auto),
+        v => Err(corrupt(format!("{what}: bad kernel backend tag {v}"))),
+    }
+}
+
 fn encode_config(enc: &mut Enc, c: &SolverConfig) {
     enc.u8(match c.strategy {
         EvalStrategy::RowWise => 0,
@@ -604,6 +624,7 @@ fn encode_config(enc: &mut Enc, c: &SolverConfig) {
         }
     }
     enc.bool(c.journal);
+    enc.u8(kernel_backend_tag(c.kernel_backend));
 }
 
 fn decode_config(dec: &mut Dec<'_>) -> Result<SolverConfig, MaintainError> {
@@ -644,6 +665,7 @@ fn decode_config(dec: &mut Dec<'_>) -> Result<SolverConfig, MaintainError> {
         (v, _) => return Err(corrupt(format!("config: bad budget tag {v}"))),
     };
     let journal = dec.bool()?;
+    let kernel_backend = kernel_backend_from(dec.u8()?, "config")?;
     Ok(SolverConfig {
         strategy,
         ordering,
@@ -657,6 +679,7 @@ fn decode_config(dec: &mut Dec<'_>) -> Result<SolverConfig, MaintainError> {
         early_exit,
         drain_budget,
         journal,
+        kernel_backend,
     })
 }
 
@@ -1510,6 +1533,7 @@ mod tests {
                 early_exit: false,
                 drain_budget: Some(123_456),
                 journal: false,
+                kernel_backend: KernelBackend::Unrolled,
             },
         ];
         for config in configs {

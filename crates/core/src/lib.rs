@@ -61,6 +61,7 @@ mod durability;
 mod errors;
 pub mod failpoints;
 mod incremental;
+mod plan;
 mod pruning;
 mod quotient;
 mod soi;
@@ -76,9 +77,10 @@ pub use incremental::IncrementalDualSim;
 pub use pruning::{
     prune, prune_with, prune_with_threads, solve_query, solve_query_with, PruneReport,
 };
+pub use plan::SolvePlan;
 pub use quotient::QuotientIndex;
 pub use soi::{build_sois, build_sois_with, Inequality, PatternEdge, SimulationKind, Soi, SoiVar};
-pub use dualsim_bitmatrix::{ChiBackend, ChiVec, SlabBackend};
+pub use dualsim_bitmatrix::{ChiBackend, ChiVec, KernelBackend, SlabBackend};
 pub use solver::{
     solve, solve_from, DrainStrategy, EvalStrategy, FixpointMode, IneqOrdering, InitMode, Solution,
     SolveStats, SolverConfig,

@@ -6,9 +6,10 @@
 //! along incremental deletion chains and interleaved
 //! insertion/deletion churn — and the χ backends
 //! ([`ChiBackend::Dense`] / [`ChiBackend::Rle`]), the counter-slab
-//! backends (`SlabBackend::{Dense, Sparse, Auto}`), the drain
-//! strategies and the seeding/draining thread counts must additionally
-//! agree on every *logical* work counter
+//! backends (`SlabBackend::{Dense, Sparse, Auto}`), the word-level
+//! kernel instantiations (`KernelBackend::{Scalar, Unrolled, Simd,
+//! Auto}`), the drain strategies and the seeding/draining thread
+//! counts must additionally agree on every *logical* work counter
 //! ([`crate::SolveStats::logical`] — everything except the storage
 //! gauges and the run-aware drain's `row_lookups`).
 //!
@@ -19,7 +20,7 @@
 
 use crate::{
     build_sois_with, solve, solve_from, ChiBackend, DrainStrategy, FixpointMode,
-    IncrementalDualSim, SimulationKind, SlabBackend, SolverConfig,
+    IncrementalDualSim, KernelBackend, SimulationKind, SlabBackend, SolverConfig,
 };
 use dualsim_graph::{GraphDb, GraphDbBuilder, NodeKind, Triple};
 use dualsim_query::{parse, Query};
@@ -951,6 +952,69 @@ proptest! {
         prop_assert_eq!(&rec.sim.solution().chi, chi, "{}", q);
         prop_assert_eq!(&rec.sim.maintenance_stats().logical(), logical, "{}", q);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The word-level kernel is a *pure instruction-selection choice*:
+    /// every kernel instantiation {Scalar, Unrolled, Simd, Auto} ×
+    /// χ backend {Dense, Rle} × slab backend {Dense, Sparse} ×
+    /// drain/seed thread count {1, 4} converges to bit-identical χ and
+    /// identical logical work counters, in both fixpoint engines — a
+    /// kernel moves the same words faster, it never changes *which*
+    /// words move. (`Simd` on a host without AVX2 resolves to the
+    /// scalar fallback, which is itself a valid parity case.)
+    #[test]
+    fn kernel_backends_are_equivalent(db in arb_db(), q in arb_query()) {
+        let kernels = [
+            KernelBackend::Scalar,
+            KernelBackend::Unrolled,
+            KernelBackend::Simd,
+            KernelBackend::Auto,
+        ];
+        for soi in build_sois_with(&db, &q, SimulationKind::Dual) {
+            let reference = solve(&db, &soi, &SolverConfig {
+                kernel_backend: KernelBackend::Scalar,
+                ..cfg(FixpointMode::DeltaCounting, false)
+            });
+            for kernel_backend in kernels {
+                let reev = solve(&db, &soi, &SolverConfig {
+                    kernel_backend,
+                    ..cfg(FixpointMode::Reevaluate, false)
+                });
+                prop_assert_eq!(
+                    &reference.chi, &reev.chi,
+                    "{} ({:?}, reevaluate)", q, kernel_backend
+                );
+                for chi_backend in [ChiBackend::Dense, ChiBackend::Rle] {
+                    for slab_backend in [SlabBackend::Dense, SlabBackend::Sparse] {
+                        for threads in [1usize, 4] {
+                            let config = SolverConfig {
+                                kernel_backend,
+                                chi_backend,
+                                slab_backend,
+                                seed_threads: threads,
+                                drain: if threads > 1 {
+                                    DrainStrategy::Sharded { threads }
+                                } else {
+                                    DrainStrategy::Sequential
+                                },
+                                drain_inline_below: 0,
+                                ..cfg(FixpointMode::DeltaCounting, false)
+                            };
+                            let sol = solve(&db, &soi, &config);
+                            let ctx = format!(
+                                "{q} ({kernel_backend:?}, {chi_backend:?}, \
+                                 {slab_backend:?}, {threads} threads)"
+                            );
+                            prop_assert_eq!(&reference.chi, &sol.chi, "χ diverged on {}", ctx);
+                            prop_assert_eq!(
+                                reference.stats.logical(), sol.stats.logical(),
+                                "logical stats diverged on {}", ctx
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// The drain budget is a sound degradation, never a wrong answer:

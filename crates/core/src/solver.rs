@@ -28,8 +28,11 @@
 //!   row-wise, column-wise, or the adaptive rule "row-wise iff the
 //!   source χ has fewer bits set than the target χ".
 
+use crate::plan::SolvePlan;
 use crate::{Inequality, Soi};
-use dualsim_bitmatrix::{BitVec, ChiBackend, ChiVec, SlabBackend, AUTO_RLE_DENSITY_DIVISOR};
+use dualsim_bitmatrix::{
+    BitVec, ChiBackend, ChiVec, KernelBackend, SlabBackend, AUTO_RLE_DENSITY_DIVISOR,
+};
 use dualsim_graph::GraphDb;
 
 /// How each bit-matrix multiplication is evaluated (Sect. 3.3).
@@ -191,6 +194,14 @@ pub struct SolverConfig {
     /// that constant factor: an erroring batch then poisons the engine
     /// instead of rolling back. On by default.
     pub journal: bool,
+    /// Word-level kernel instantiation for the bit-vector/-matrix inner
+    /// loops: portable scalar, 4×-unrolled, SIMD (AVX2 where the CPU
+    /// supports it), or an automatic pick of the best available. All
+    /// instantiations are bit-identical in χ and in every logical work
+    /// counter — the kernel moves the same words faster, it never
+    /// changes *which* words move — so every parity gate holds across
+    /// backends. Resolved once per solve into the [`SolvePlan`].
+    pub kernel_backend: KernelBackend,
 }
 
 impl Default for SolverConfig {
@@ -208,6 +219,7 @@ impl Default for SolverConfig {
             early_exit: true,
             drain_budget: None,
             journal: true,
+            kernel_backend: KernelBackend::Auto,
         }
     }
 }
@@ -460,7 +472,7 @@ fn seeded_candidates_bound(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> us
 /// (χ pre-seed estimate, χ exact resolution, slab resolution), so the
 /// documented "same bound" invariant cannot drift.
 #[inline]
-fn auto_prefers_compressed(candidates: usize, space: usize) -> bool {
+pub(crate) fn auto_prefers_compressed(candidates: usize, space: usize) -> bool {
     space > 0 && candidates * AUTO_RLE_DENSITY_DIVISOR <= space
 }
 
@@ -470,7 +482,7 @@ fn auto_prefers_compressed(candidates: usize, space: usize) -> bool {
 /// dense never pays a fragmented RLE seed, and one that resolves to RLE
 /// never pays a dense allocation. The engines re-resolve against the
 /// *exact* seeded counts after initialization
-/// ([`resolve_chi_backend`]); that second decision can only tighten
+/// ([`SolvePlan::resolve`]); that second decision can only tighten
 /// dense → RLE, whose conversion is bounded (runs ≤ candidates ≤
 /// space / [`AUTO_RLE_DENSITY_DIVISOR`] = the dense block count).
 fn seeding_backend(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> ChiBackend {
@@ -503,67 +515,6 @@ pub(crate) fn seed_chi(db: &GraphDb, soi: &Soi, config: &SolverConfig) -> Vec<Ch
             None => ChiVec::ones(n, backend),
         })
         .collect()
-}
-
-/// Resolves [`ChiBackend::Auto`] against the *exact* seeded candidate
-/// count and converts every χ vector to the chosen concrete backend (a
-/// no-op when the vectors are already there). `Auto` picks RLE iff the
-/// seeded density `initial_candidates / (|vars| · |V|)` is at most
-/// `1 / AUTO_RLE_DENSITY_DIVISOR`. Called by both engines right after
-/// initialization: it normalizes warm starts arriving in another
-/// backend, and tightens the cold-path estimate of `seeding_backend`
-/// (dense seed → RLE when the exact counts qualify — a bounded
-/// conversion, never a fragmentation blow-up, by the divisor-64
-/// guarantee). Returns the concrete backend every χ vector now has.
-pub(crate) fn resolve_chi_backend(
-    config: &SolverConfig,
-    chi: &mut [ChiVec],
-    initial_candidates: usize,
-    n: usize,
-) -> ChiBackend {
-    let target = match config.chi_backend {
-        ChiBackend::Dense => ChiBackend::Dense,
-        ChiBackend::Rle => ChiBackend::Rle,
-        ChiBackend::Auto => {
-            if auto_prefers_compressed(initial_candidates, chi.len() * n) {
-                ChiBackend::Rle
-            } else {
-                ChiBackend::Dense
-            }
-        }
-    };
-    for c in chi.iter_mut() {
-        c.convert_to(target);
-    }
-    target
-}
-
-/// Resolves [`SlabBackend::Auto`] for the delta engine's support
-/// counters — against the *same* exact seeded candidate-density bound
-/// [`resolve_chi_backend`] uses (`Auto` picks sparse iff
-/// `initial_candidates / (|vars| · |V|)` is at most
-/// `1 / AUTO_RLE_DENSITY_DIVISOR`): the workloads whose χ is sparse
-/// enough for RLE are exactly those whose per-inequality support
-/// populations stay far below the column space. The spill guarantee of
-/// the sparse slab additionally caps its storage at the dense cost
-/// unconditionally, so an `Auto` pick is never a regression.
-pub(crate) fn resolve_slab_backend(
-    config: &SolverConfig,
-    nv: usize,
-    initial_candidates: usize,
-    n: usize,
-) -> SlabBackend {
-    match config.slab_backend {
-        SlabBackend::Dense => SlabBackend::Dense,
-        SlabBackend::Sparse => SlabBackend::Sparse,
-        SlabBackend::Auto => {
-            if auto_prefers_compressed(initial_candidates, nv * n) {
-                SlabBackend::Sparse
-            } else {
-                SlabBackend::Dense
-            }
-        }
-    }
 }
 
 /// Applies the Eq.-(13) summary tightening in place (no-op under
@@ -675,7 +626,9 @@ fn solve_reevaluate(
     apply_summary_init(db, soi, config, &mut chi);
     let mut counts: Vec<usize> = chi.iter().map(ChiVec::count_ones).collect();
     stats.initial_candidates = counts.iter().sum();
-    resolve_chi_backend(config, &mut chi, stats.initial_candidates, n);
+    let plan = SolvePlan::resolve(config, stats.initial_candidates, nv, n);
+    plan.install_kernel();
+    plan.apply_chi(&mut chi);
     stats.observe_chi_words(chi_words(&chi));
 
     if let Some(result) = check_empty_mandatory(soi, &mut chi, &counts, &mut stats, config) {
@@ -742,10 +695,21 @@ fn solve_reevaluate(
                                 // The selector is walked in its own
                                 // representation (RLE runs never
                                 // densify); only the shared product
-                                // scratch is dense.
-                                stats.rows_ored +=
-                                    matrix.multiply_into(&chi[source], &mut scratch);
-                                chi[target].and_assign_dense(&scratch)
+                                // scratch is dense. Fused product +
+                                // subset test: a target already inside
+                                // the product is stable without a
+                                // second intersection pass.
+                                let (rows, stable) = matrix.multiply_subset_into(
+                                    &chi[source],
+                                    &mut scratch,
+                                    &chi[target],
+                                );
+                                stats.rows_ored += rows;
+                                if stable {
+                                    false
+                                } else {
+                                    chi[target].and_assign_dense(&scratch)
+                                }
                             } else {
                                 stats.colwise += 1;
                                 // Column j of F^a is row j of B^a: probe

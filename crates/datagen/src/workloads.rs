@@ -296,6 +296,26 @@ pub fn all_queries() -> Vec<BenchQuery> {
     out
 }
 
+/// Adversarial dense-saturation scenarios, *outside* the paper's
+/// table order (they stress the implementation, not the paper's
+/// workload): queries built to keep χ near-full and the multiplied
+/// matrix rows wide, so the word-level inner loops dominate wall time.
+/// S4 joins two `rdf:type`-with-variable-object patterns — every typed
+/// entity stays a candidate for `?x`/`?y`, and the backward `rdf:type`
+/// rows of the class nodes span whole entity populations — against the
+/// broad `ub:memberOf` containment. Used by the kernel-backend
+/// ablation on the LUBM database (not part of [`all_queries`], so the
+/// paper-table benchmark documents are unaffected).
+pub fn adversarial_queries() -> Vec<BenchQuery> {
+    vec![q(
+        "S4-dense-saturated",
+        Dataset::Lubm,
+        "{ ?x rdf:type ?t . ?y rdf:type ?t . \
+           ?x ub:memberOf ?d . ?y ub:memberOf ?d }",
+        false,
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +348,16 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 32);
+    }
+
+    #[test]
+    fn adversarial_ids_are_disjoint_from_the_paper_tables() {
+        let paper: Vec<_> = all_queries().iter().map(|b| b.id).collect();
+        for bench in adversarial_queries() {
+            assert!(!paper.contains(&bench.id), "{}", bench.id);
+            assert_eq!(bench.dataset, Dataset::Lubm, "{}", bench.id);
+            assert!(!bench.expect_empty, "{}", bench.id);
+        }
     }
 
     #[test]

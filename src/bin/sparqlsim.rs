@@ -24,7 +24,7 @@
 
 use dualsim::core::{
     build_sois, prune, solve_query, ChiBackend, DrainStrategy, DurabilityOptions, EvalStrategy,
-    FixpointMode, IncrementalDualSim, SlabBackend, SolverConfig,
+    FixpointMode, IncrementalDualSim, KernelBackend, SlabBackend, SolverConfig,
 };
 use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
 use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
@@ -94,6 +94,12 @@ options:
   --seed-threads N      delta: fan the eager counter seeds out over N
                         scoped threads (default 1; identical solution and
                         work counts for every N)
+  --kernel-backend K    scalar | unrolled | simd | auto (default auto)
+                        word-level kernel instantiation for the bit-vector
+                        inner loops: portable scalar, 4x-unrolled, SIMD
+                        (AVX2 with runtime detection and scalar fallback),
+                        or the best available; identical solution and work
+                        counts for every kernel
   --no-early-exit       keep solving after a mandatory variable empties
   --updates FILE        maintain: signed update stream — N-Triples lines
                         prefixed '+' (insert) or '-' (delete); terms must
@@ -154,6 +160,7 @@ struct Opts {
     fixpoint_threads: usize,
     chi_backend: ChiBackend,
     slab_backend: SlabBackend,
+    kernel_backend: KernelBackend,
     seed_threads: usize,
     early_exit: bool,
     updates: Option<String>,
@@ -181,6 +188,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         fixpoint_threads: 1,
         chi_backend: ChiBackend::Dense,
         slab_backend: SlabBackend::Dense,
+        kernel_backend: KernelBackend::Auto,
         seed_threads: 1,
         early_exit: true,
         updates: None,
@@ -272,6 +280,11 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 let name = value()?;
                 opts.slab_backend = SlabBackend::from_name(&name)
                     .ok_or_else(|| format!("unknown slab backend {name:?}"))?;
+            }
+            "--kernel-backend" => {
+                let name = value()?;
+                opts.kernel_backend = KernelBackend::from_name(&name)
+                    .ok_or_else(|| format!("unknown kernel backend {name:?}"))?;
             }
             "--seed-threads" => {
                 opts.seed_threads = value()?
@@ -737,6 +750,7 @@ fn config(opts: &Opts) -> SolverConfig {
         },
         chi_backend: opts.chi_backend,
         slab_backend: opts.slab_backend,
+        kernel_backend: opts.kernel_backend,
         seed_threads: opts.seed_threads,
         early_exit: opts.early_exit,
         drain_budget: opts.drain_budget,
@@ -969,6 +983,27 @@ mod tests {
             assert_eq!(parse_args(&args).unwrap().chi_backend, expected);
         }
         let args: Vec<String> = ["solve", "--chi-backend", "sparse"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn parse_args_accepts_every_kernel_backend_and_rejects_unknown_ones() {
+        for (name, expected) in [
+            ("scalar", KernelBackend::Scalar),
+            ("unrolled", KernelBackend::Unrolled),
+            ("simd", KernelBackend::Simd),
+            ("auto", KernelBackend::Auto),
+        ] {
+            let args: Vec<String> = ["solve", "--kernel-backend", name]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert_eq!(parse_args(&args).unwrap().kernel_backend, expected);
+        }
+        let args: Vec<String> = ["solve", "--kernel-backend", "avx512"]
             .iter()
             .map(|s| s.to_string())
             .collect();
