@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [table2|table3|table4|table5|iterations|pruning-power|spectrum|
 //!              fixpoint|incremental|strategies|quotient|chi-backend|slab|
-//!              kernels|durability|all]
+//!              kernels|durability|session|all]
 //!             [--smoke] [--threads N] [--chaos] [--out FILE]
 //! ```
 //!
@@ -29,7 +29,13 @@
 //! measures the write-ahead log's per-batch overhead (gated at zero
 //! logical ops), snapshot size against graph size, warm recovery against
 //! a cold rebuild, and the kill-at-every-failpoint crash-recovery sweep
-//! (gated bit-identical) — the CI crash-recovery smoke step.
+//! (gated bit-identical) — the CI crash-recovery smoke step. `session` →
+//! `BENCH_session.json` measures the resident multi-query session:
+//! shared-batch validation amortization against N independent
+//! maintenance loops (gated at χ and logical-work parity) and the
+//! degrade → backlog-replay heal cycle under an injected fan-out kill
+//! (gated at one failure, one replay heal, zero quarantines) — the CI
+//! session smoke step.
 
 use dualsim_bench::{
     chi_report_json, default_datasets, durability_report_json, fixpoint_report_json,
@@ -37,9 +43,9 @@ use dualsim_bench::{
     run_chi_backend_ablation, run_durability, run_durability_crash, run_fixpoint_incremental,
     run_fixpoint_solve, run_incremental_chaos, run_incremental_churn, run_iterations,
     run_journal_overhead, run_kernels_ablation, run_pruning_power, run_quotient_ablation,
-    run_simulation_spectrum, run_slab_ablation, run_strategies_ablation, run_table2, run_table3,
-    run_table45, secs, slab_report_json, strategies_report_json, tiny_datasets, Datasets,
-    KERNEL_BACKENDS,
+    run_session, run_simulation_spectrum, run_slab_ablation, run_strategies_ablation, run_table2,
+    run_table3, run_table45, secs, session_report_json, slab_report_json, strategies_report_json,
+    tiny_datasets, Datasets, KERNEL_BACKENDS, SESSION_FLEETS,
 };
 use dualsim_core::DrainStrategy;
 use dualsim_engine::{HashJoinEngine, NestedLoopEngine};
@@ -105,6 +111,7 @@ fn main() {
         "slab" => slab(&data, smoke, &out("BENCH_slab.json")),
         "kernels" => kernels(&data, smoke, &out("BENCH_kernels.json")),
         "durability" => durability(&data, smoke, threads, &out("BENCH_durability.json")),
+        "session" => session(&data, smoke, &out("BENCH_session.json")),
         "all" => {
             // Three reports would fight over one path; `all` always
             // writes each ablation's default file.
@@ -127,12 +134,14 @@ fn main() {
             slab(&data, smoke, "BENCH_slab.json");
             kernels(&data, smoke, "BENCH_kernels.json");
             durability(&data, smoke, threads, "BENCH_durability.json");
+            session(&data, smoke, "BENCH_session.json");
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected \
                  table2|table3|table4|table5|iterations|pruning-power|spectrum|\
-                 fixpoint|incremental|strategies|quotient|chi-backend|slab|kernels|durability|all"
+                 fixpoint|incremental|strategies|quotient|chi-backend|slab|kernels|durability|\
+                 session|all"
             );
             std::process::exit(2);
         }
@@ -1090,4 +1099,95 @@ fn durability(data: &Datasets, smoke: bool, threads: usize, out_path: &str) {
         }
     }
     println!("\nevery kill recovered to the bit-identical committed prefix");
+}
+
+/// The resident-session ablation: per fleet size, one shared-batch
+/// [`QuerySession`](dualsim_core::QuerySession) against N independent
+/// maintenance loops (validation amortization at asserted χ and
+/// logical-work parity), plus a chaos session measuring one
+/// degrade → backlog-replay heal cycle. Emits `BENCH_session.json`;
+/// the amortization and healing gates double as the CI session smoke
+/// step.
+fn session(data: &Datasets, smoke: bool, out_path: &str) {
+    println!("\n== Resident session: shared-batch fan-out vs. independent loops ==\n");
+    let (batches, stride) = if smoke { (6, 60) } else { (10, 25) };
+    let rows = run_session(data, &SESSION_FLEETS, batches, stride);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.mode.to_owned(),
+                r.queries.to_string(),
+                r.batches.to_string(),
+                secs(r.register_wall),
+                secs(r.wall),
+                r.validations.to_string(),
+                r.ops.to_string(),
+                format!("{}/{}/{}", r.failures, r.replay_heals, r.rebuild_heals),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Scenario", "mode", "queries", "batches", "register", "maintain", "validations",
+                "ops", "fail/replay/rebuild",
+            ],
+            &table
+        )
+    );
+    for trio in rows.chunks(3) {
+        let (session, independent, chaos) = (&trio[0], &trio[1], &trio[2]);
+        println!(
+            "{}: {} validations shared-batch vs {} independent ({:.1}× amortized), \
+             heal cycle cost {:+.1}% wall",
+            session.id,
+            session.validations,
+            independent.validations,
+            independent.validations as f64 / session.validations.max(1) as f64,
+            100.0 * (chaos.wall.as_secs_f64() / session.wall.as_secs_f64().max(1e-9) - 1.0),
+        );
+    }
+
+    // Write the report before any gating so a regression still leaves
+    // the machine-readable evidence behind.
+    let json = session_report_json(data, &rows);
+    write_report(out_path, &json);
+
+    // Hard gates — χ and logical-work parity between the session and
+    // the independent loops is already asserted inside the run; here
+    // the structural claims are enforced: shared-batch validation
+    // amortizes with fleet size, the fault-free session never heals,
+    // and the injected kill degrades exactly one query which heals by
+    // replay without ever being quarantined.
+    for trio in rows.chunks(3) {
+        let (session, independent, chaos) = (&trio[0], &trio[1], &trio[2]);
+        assert_eq!(
+            independent.validations,
+            session.validations * session.queries,
+            "{}: independent loops must validate once per query",
+            session.id
+        );
+        assert_eq!(
+            (session.failures, session.replay_heals, session.rebuild_heals, session.quarantines),
+            (0, 0, 0, 0),
+            "{}: a fault-free session healed",
+            session.id
+        );
+        assert_eq!(chaos.failures, 1, "{}: the armed kill must fire once", chaos.id);
+        assert!(
+            chaos.replay_heals >= 1,
+            "{}: the killed query must heal by backlog replay",
+            chaos.id
+        );
+        assert_eq!(
+            (chaos.rebuild_heals, chaos.quarantines),
+            (0, 0),
+            "{}: a single kill must heal without escalation",
+            chaos.id
+        );
+    }
+    println!("\nevery fleet kept shared-batch parity and healed the injected kill by replay");
 }

@@ -1611,6 +1611,329 @@ pub fn durability_report_json(
     out
 }
 
+/// Fleet sizes of the resident-session ablation: a lone standing query,
+/// a working set, and a fan-out-heavy registry.
+pub const SESSION_FLEETS: [usize; 3] = [1, 8, 32];
+
+/// One (fleet size, mode) measurement of the resident-session ablation
+/// ([`run_session`]).
+#[derive(Debug, Clone)]
+pub struct SessionRow {
+    /// Scenario id (`lubm-<N>q`).
+    pub id: String,
+    /// `session` (one shared-batch fan-out), `independent` (N separate
+    /// maintenance loops) or `session-chaos` (same session with one
+    /// fan-out kill injected).
+    pub mode: &'static str,
+    /// Standing queries in the fleet.
+    pub queries: usize,
+    /// Update batches applied.
+    pub batches: usize,
+    /// Wall time registering the fleet (the initial cold solves).
+    pub register_wall: Duration,
+    /// Wall time summed over all update batches.
+    pub wall: Duration,
+    /// Triple validations performed across the stream — the session
+    /// validates each batch once, the independent loops once per query.
+    pub validations: usize,
+    /// Logical work operations summed over every query's branches.
+    pub ops: usize,
+    /// Failed per-query batch applications.
+    pub failures: usize,
+    /// Queries healed by backlog replay.
+    pub replay_heals: usize,
+    /// Queries healed by a cold rebuild.
+    pub rebuild_heals: usize,
+    /// Queries quarantined (must stay zero under the chaos scenario —
+    /// a single kill heals without escalation).
+    pub quarantines: usize,
+}
+
+/// The standing-query fleet for a session scenario: the LUBM workload
+/// queries cycled up to `n`, each under a distinct registry name.
+fn session_fleet(n: usize) -> Vec<(String, &'static str)> {
+    let lubm: Vec<BenchQuery> = all_queries()
+        .into_iter()
+        .filter(|b| b.dataset == Dataset::Lubm)
+        .collect();
+    (0..n)
+        .map(|i| {
+            let bench = &lubm[i % lubm.len()];
+            (format!("q{:02}-{}", i, bench.id), bench.text)
+        })
+        .collect()
+}
+
+/// The resident-session ablation: for each fleet size, the same mixed
+/// churn stream (delete a chunk, insert it back) is maintained three
+/// ways — by one [`QuerySession`](dualsim_core::QuerySession) that
+/// validates each batch once and fans it out, by N independent
+/// maintenance loops that each validate, dedup and materialize the
+/// batch themselves, and by a session with one `session-fanout` kill
+/// injected (measuring the degrade → backlog-replay heal cycle).
+///
+/// Correctness is asserted inside the run: every session query must
+/// finish bit-identical (χ and logical work counters) to its
+/// independent loop, and the chaos session must converge back to the
+/// unharmed session's state with zero quarantines.
+pub fn run_session(data: &Datasets, fleets: &[usize], batches: usize, stride: usize) -> Vec<SessionRow> {
+    use dualsim_core::{failpoints, QueryOutcome, QuerySession, SessionOptions};
+    use dualsim_graph::Triple;
+    let db = &data.lubm;
+    let all: Vec<Triple> = db.triples().collect();
+    let victims: Vec<Triple> = all.iter().copied().step_by(stride.max(1)).collect();
+    let nchunks = (batches / 2).max(1);
+    let chunk = victims.len().div_ceil(nchunks).max(1);
+    let script: Vec<(bool, Vec<Triple>)> = victims
+        .chunks(chunk)
+        .flat_map(|c| [(false, c.to_vec()), (true, c.to_vec())])
+        .collect();
+    let cfg = SolverConfig {
+        fixpoint: FixpointMode::DeltaCounting,
+        early_exit: false,
+        ..SolverConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for &n in fleets {
+        let fleet = session_fleet(n);
+        let id = format!("lubm-{n}q");
+
+        // Mode 1: the shared-batch session.
+        let start_t = Instant::now();
+        let mut session = QuerySession::new(db.clone(), SessionOptions::default());
+        for (name, text) in &fleet {
+            session
+                .register(name, text, cfg.clone())
+                .expect("session registration");
+        }
+        let register_wall = start_t.elapsed();
+        let mut wall = Duration::ZERO;
+        for (insert, batch) in &script {
+            let start_t = Instant::now();
+            let report = session.apply_batch(*insert, batch).expect("session batch");
+            wall += start_t.elapsed();
+            for (name, outcome) in &report.outcomes {
+                assert!(
+                    matches!(outcome, QueryOutcome::Committed { .. }),
+                    "{id}: `{name}` did not commit a fault-free batch"
+                );
+            }
+        }
+        let ops: usize = fleet
+            .iter()
+            .map(|(name, _)| {
+                session
+                    .maintenance_stats(name)
+                    .expect("registered query")
+                    .iter()
+                    .map(|s| s.work_ops())
+                    .sum::<usize>()
+            })
+            .sum();
+        let s = session.stats().clone();
+        rows.push(SessionRow {
+            id: id.clone(),
+            mode: "session",
+            queries: n,
+            batches: script.len(),
+            register_wall,
+            wall,
+            validations: s.triples_validated,
+            ops,
+            failures: s.failures,
+            replay_heals: s.replay_heals,
+            rebuild_heals: s.rebuild_heals,
+            quarantines: s.quarantines,
+        });
+
+        // Mode 2: N independent maintenance loops — every query
+        // validates, dedups and materializes every batch on its own.
+        let start_t = Instant::now();
+        let mut loops: Vec<(String, Vec<IncrementalDualSim>)> = fleet
+            .iter()
+            .map(|(name, text)| {
+                let query = dualsim_query::parse(text).expect("workload query");
+                let sims = build_sois(db, &query)
+                    .into_iter()
+                    .map(|soi| IncrementalDualSim::new(db, soi, cfg.clone()))
+                    .collect();
+                (name.clone(), sims)
+            })
+            .collect();
+        let register_wall = start_t.elapsed();
+        let mut wall = Duration::ZERO;
+        let mut validations = 0usize;
+        let mut presents: Vec<std::collections::BTreeSet<Triple>> =
+            vec![all.iter().copied().collect(); fleet.len()];
+        for (insert, batch) in &script {
+            for ((_, sims), present) in loops.iter_mut().zip(presents.iter_mut()) {
+                let start_t = Instant::now();
+                // The per-loop copy of the validation work the session
+                // performs once: dedup the batch, drop no-ops against
+                // this loop's own resident set, materialize its own
+                // post-batch database.
+                validations += batch.len();
+                let effective: Vec<Triple> = batch
+                    .iter()
+                    .copied()
+                    .collect::<std::collections::BTreeSet<Triple>>()
+                    .into_iter()
+                    .filter(|t| *insert != present.contains(t))
+                    .collect();
+                if effective.is_empty() {
+                    continue;
+                }
+                if *insert {
+                    present.extend(effective.iter().copied());
+                } else {
+                    for t in &effective {
+                        present.remove(t);
+                    }
+                }
+                let present_vec: Vec<Triple> = present.iter().copied().collect();
+                let db_after = db.with_triples(&present_vec).expect("vocabulary-closed batch");
+                for sim in sims.iter_mut() {
+                    if *insert {
+                        sim.apply_insertions(&db_after, &effective).expect("insertion");
+                    } else {
+                        sim.apply_deletions(&db_after, &effective).expect("deletion");
+                    }
+                }
+                wall += start_t.elapsed();
+            }
+        }
+        let mut ops = 0usize;
+        for (name, sims) in &loops {
+            let solutions = session.solutions(name).expect("registered query");
+            assert_eq!(solutions.len(), sims.len(), "{id}: branch count diverged");
+            for (b, (sim, solution)) in sims.iter().zip(&solutions).enumerate() {
+                assert_eq!(
+                    sim.solution().chi,
+                    solution.chi,
+                    "{id}: `{name}` branch {b} diverged from its independent loop"
+                );
+                assert_eq!(
+                    sim.maintenance_stats().logical(),
+                    session.maintenance_stats(name).expect("registered query")[b].logical(),
+                    "{id}: `{name}` branch {b} did different logical work"
+                );
+                ops += sim.maintenance_stats().work_ops();
+            }
+        }
+        rows.push(SessionRow {
+            id: id.clone(),
+            mode: "independent",
+            queries: n,
+            batches: script.len(),
+            register_wall,
+            wall,
+            validations,
+            ops,
+            failures: 0,
+            replay_heals: 0,
+            rebuild_heals: 0,
+            quarantines: 0,
+        });
+
+        // Mode 3: the same session with one fan-out kill injected on
+        // the second batch — the first query in registry order degrades
+        // alone, serves its stale match set, and heals by backlog
+        // replay one batch later. The healing cost is inside `wall`.
+        let start_t = Instant::now();
+        let mut chaotic = QuerySession::new(db.clone(), SessionOptions::default());
+        for (name, text) in &fleet {
+            chaotic
+                .register(name, text, cfg.clone())
+                .expect("session registration");
+        }
+        let register_wall = start_t.elapsed();
+        let mut wall = Duration::ZERO;
+        for (k, (insert, batch)) in script.iter().enumerate() {
+            if k == 1 {
+                failpoints::arm("session-fanout", 0);
+            }
+            let start_t = Instant::now();
+            chaotic.apply_batch(*insert, batch).expect("session batch");
+            wall += start_t.elapsed();
+        }
+        failpoints::disarm_all();
+        let mut ops = 0usize;
+        for (name, _) in &fleet {
+            assert!(
+                chaotic.health(name).expect("registered query").is_healthy(),
+                "{id}: `{name}` did not heal before the stream ended"
+            );
+            let healed = chaotic.solutions(name).expect("registered query");
+            let reference = session.solutions(name).expect("registered query");
+            for (b, (h, r)) in healed.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    h.chi, r.chi,
+                    "{id}: `{name}` branch {b} healed to a different solution"
+                );
+            }
+            ops += chaotic
+                .maintenance_stats(name)
+                .expect("registered query")
+                .iter()
+                .map(|s| s.work_ops())
+                .sum::<usize>();
+        }
+        let s = chaotic.stats().clone();
+        rows.push(SessionRow {
+            id,
+            mode: "session-chaos",
+            queries: n,
+            batches: script.len(),
+            register_wall,
+            wall,
+            validations: s.triples_validated,
+            ops,
+            failures: s.failures,
+            replay_heals: s.replay_heals,
+            rebuild_heals: s.rebuild_heals,
+            quarantines: s.quarantines,
+        });
+    }
+    rows
+}
+
+/// Renders the resident-session ablation as the machine-readable
+/// `BENCH_session.json` document (schema `dualsim-session-v1`;
+/// hand-rolled writer — the workspace has no serde): per fleet size the
+/// shared-batch session against N independent maintenance loops
+/// (validation amortization at asserted work parity) and the chaos
+/// session's degrade → replay-heal cycle.
+pub fn session_report_json(data: &Datasets, rows: &[SessionRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dualsim-session-v1\",\n");
+    out.push_str(&datasets_json(data));
+    out.push_str("  \"fleets\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"mode\": {}, \"queries\": {}, \"batches\": {}, \
+             \"register_wall_s\": {:.6}, \"wall_s\": {:.6}, \"validations\": {}, \
+             \"ops\": {}, \"failures\": {}, \"replay_heals\": {}, \"rebuild_heals\": {}, \
+             \"quarantines\": {}}}{}\n",
+            json_str(&r.id),
+            json_str(r.mode),
+            r.queries,
+            r.batches,
+            r.register_wall.as_secs_f64(),
+            r.wall.as_secs_f64(),
+            r.validations,
+            r.ops,
+            r.failures,
+            r.replay_heals,
+            r.rebuild_heals,
+            r.quarantines,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// The queries of the §3.3 heuristics ablation: the two Fig. 6 queries,
 /// the other cyclic LUBM query, and two DBpedia shapes (the same slice
 /// the `ablation_strategies` criterion bench measures).

@@ -18,9 +18,11 @@
 //!   resolved backend, the support-counter slabs including
 //!   deferred/lazy-seed status and sparse-spill state, and the
 //!   cumulative `SolveStats` (robustness counters included). Snapshots
-//!   are written to a temp file, fsynced, and atomically renamed;
-//!   older snapshots are kept so a corrupted newest snapshot degrades
-//!   to an older one plus a longer WAL replay, never to data loss.
+//!   are written to a temp file, fsynced, and atomically renamed; the
+//!   newest [`DurabilityOptions::keep_snapshots`] snapshots are
+//!   retained (older ones are garbage-collected after each successful
+//!   write) so a corrupted newest snapshot degrades to a retained
+//!   older one plus a longer WAL replay, never to data loss.
 //! * **Recovery** — [`recover`] loads the newest snapshot whose
 //!   checksum verifies, replays the WAL records past its epoch id
 //!   through the ordinary `apply_insertions`/`apply_deletions` paths
@@ -239,17 +241,25 @@ pub struct DurabilityOptions {
     /// the query text and union-branch index here); recovery hands it
     /// back verbatim.
     pub meta: String,
+    /// Snapshot retention: after every successful snapshot write, only
+    /// the newest `keep_snapshots` snapshot files are kept and older
+    /// ones are garbage-collected (`0` disables pruning and keeps every
+    /// snapshot forever). The default keeps 2, so recovery can still
+    /// fall back across one corrupted newest snapshot to an older one
+    /// plus a longer WAL replay.
+    pub keep_snapshots: usize,
 }
 
 impl DurabilityOptions {
     /// Options with defaults: fsync on, no automatic snapshots, empty
-    /// metadata.
+    /// metadata, two retained snapshots.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityOptions {
             dir: dir.into(),
             snapshot_every: None,
             fsync: true,
             meta: String::new(),
+            keep_snapshots: 2,
         }
     }
 }
@@ -300,6 +310,7 @@ pub(crate) struct Durability {
     snapshot_every: Option<u64>,
     fsync: bool,
     meta: String,
+    keep_snapshots: usize,
 }
 
 impl Durability {
@@ -338,6 +349,7 @@ impl Durability {
             snapshot_every: opts.snapshot_every,
             fsync: opts.fsync,
             meta: opts.meta.clone(),
+            keep_snapshots: opts.keep_snapshots,
         })
     }
 
@@ -363,6 +375,7 @@ impl Durability {
             snapshot_every: opts.snapshot_every,
             fsync: opts.fsync,
             meta: opts.meta.clone(),
+            keep_snapshots: opts.keep_snapshots,
         })
     }
 
@@ -448,7 +461,10 @@ impl Durability {
 
     /// Serializes and atomically installs a snapshot of the full
     /// resident state: temp file → fsync → rename → directory fsync.
-    /// Older snapshots are left in place as fallbacks for recovery.
+    /// After a successful install, snapshots older than the newest
+    /// [`DurabilityOptions::keep_snapshots`] are garbage-collected
+    /// (best-effort — a failed unlink never fails the batch); the
+    /// retained ones stay in place as recovery fallbacks.
     pub(crate) fn write_snapshot(&mut self, state: &SnapshotState<'_>) -> Result<(), MaintainError> {
         failpoints::check("snapshot-write")?;
         let payload = encode_snapshot(state);
@@ -482,6 +498,15 @@ impl Durability {
             // Make the rename itself durable.
             if let Ok(d) = File::open(&self.dir) {
                 let _ = d.sync_all();
+            }
+        }
+        if self.keep_snapshots > 0 {
+            if let Ok(snapshots) = list_snapshots(&self.dir) {
+                // `list_snapshots` returns newest-first; everything past
+                // the retention window is pruned best-effort.
+                for (_, path) in snapshots.into_iter().skip(self.keep_snapshots) {
+                    let _ = fs::remove_file(path);
+                }
             }
         }
         Ok(())

@@ -109,6 +109,100 @@ impl fmt::Display for MaintainError {
 
 impl std::error::Error for MaintainError {}
 
+/// Why a [`crate::QuerySession`] operation could not proceed.
+///
+/// Per-query maintenance failures during a shared batch never surface
+/// here — they degrade only the affected query (see the session's
+/// health ladder) and are reported in the batch report. `SessionError`
+/// covers the session-level operations themselves: registry misuse,
+/// whole-batch input validation, and registration/healing work that
+/// cannot degrade because there is no committed state to fall back to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// `register` was called with a name the registry already holds.
+    DuplicateQuery {
+        /// The contested query name.
+        name: String,
+    },
+    /// The named query is not registered.
+    UnknownQuery {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A query name unusable as a durability directory component
+    /// (empty, or containing characters outside `[A-Za-z0-9._-]`).
+    InvalidName {
+        /// The rejected name.
+        name: String,
+    },
+    /// The query text failed to parse at registration.
+    Parse {
+        /// The query name being registered.
+        name: String,
+        /// The parser's diagnostic.
+        message: String,
+    },
+    /// A per-query operation with no degraded fallback failed:
+    /// registration (building the initial durable state) or an explicit
+    /// heal whose rebuild failed.
+    Query {
+        /// The affected query.
+        name: String,
+        /// The underlying maintenance error.
+        error: MaintainError,
+    },
+    /// Whole-batch input validation failed (e.g. an out-of-vocabulary
+    /// triple); no query was touched.
+    Batch {
+        /// The underlying maintenance error.
+        error: MaintainError,
+    },
+    /// Session-level recovery could not produce a serving session
+    /// (no durability root configured, or no query recovered).
+    Recovery {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::DuplicateQuery { name } => {
+                write!(f, "query `{name}` is already registered")
+            }
+            SessionError::UnknownQuery { name } => {
+                write!(f, "no registered query named `{name}`")
+            }
+            SessionError::InvalidName { name } => write!(
+                f,
+                "query name `{name}` is not usable as a durability path (allowed: [A-Za-z0-9._-])"
+            ),
+            SessionError::Parse { name, message } => {
+                write!(f, "query `{name}` failed to parse: {message}")
+            }
+            SessionError::Query { name, error } => {
+                write!(f, "query `{name}`: {error}")
+            }
+            SessionError::Batch { error } => {
+                write!(f, "batch rejected: {error}")
+            }
+            SessionError::Recovery { detail } => {
+                write!(f, "session recovery failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Query { error, .. } | SessionError::Batch { error } => Some(error),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +233,27 @@ mod tests {
             detail: "snapshot-3.snap: checksum mismatch".into(),
         };
         assert!(e.to_string().contains("snapshot-3.snap"));
+    }
+
+    #[test]
+    fn session_errors_display_and_chain_their_sources() {
+        use std::error::Error;
+        let e = SessionError::DuplicateQuery { name: "q1".into() };
+        assert!(e.to_string().contains("q1"));
+        assert!(e.source().is_none());
+        let e = SessionError::Query {
+            name: "q2".into(),
+            error: MaintainError::Poisoned,
+        };
+        assert!(e.to_string().contains("q2"));
+        assert!(e.to_string().contains("poisoned"));
+        assert!(e.source().is_some());
+        let e = SessionError::Batch {
+            error: MaintainError::OutOfVocabulary {
+                triple: Triple { s: 1, p: 2, o: 3 },
+            },
+        };
+        assert!(e.to_string().contains("(1, 2, 3)"));
+        assert!(e.source().is_some());
     }
 }

@@ -57,12 +57,25 @@ pub const DURABILITY_SITES: [&str; 7] = [
     "snapshot-rename",
 ];
 
+/// The failpoint site of the multi-query session layer: checked at the
+/// top of each registered query's share of a fan-out, *before* any of
+/// that query's engines are touched — a session-fanout kill degrades
+/// the query without even starting (and so without rolling back) its
+/// batch.
+pub const SESSION_SITES: [&str; 1] = ["session-fanout"];
+
 /// Every registered failpoint site — the engine's maintenance sites
-/// ([`SITES`]) followed by the durability layer's ([`DURABILITY_SITES`]).
-/// Chaos harnesses iterate this instead of hard-coding a site list, so
-/// a site added to either layer is automatically crash-tested.
+/// ([`SITES`]) followed by the durability layer's ([`DURABILITY_SITES`])
+/// and the session layer's ([`SESSION_SITES`]). Chaos harnesses iterate
+/// this instead of hard-coding a site list, so a site added to any
+/// layer is automatically crash-tested.
 pub fn registered_sites() -> Vec<&'static str> {
-    SITES.iter().chain(DURABILITY_SITES.iter()).copied().collect()
+    SITES
+        .iter()
+        .chain(DURABILITY_SITES.iter())
+        .chain(SESSION_SITES.iter())
+        .copied()
+        .collect()
 }
 
 /// Arms `point` to fire after `countdown` additional passes through the
@@ -153,11 +166,17 @@ mod tests {
     #[test]
     fn registered_sites_cover_both_layers_without_duplicates() {
         let sites = registered_sites();
-        assert_eq!(sites.len(), SITES.len() + DURABILITY_SITES.len());
+        assert_eq!(
+            sites.len(),
+            SITES.len() + DURABILITY_SITES.len() + SESSION_SITES.len()
+        );
         for s in SITES {
             assert!(sites.contains(&s), "{s} missing from registered_sites");
         }
         for s in DURABILITY_SITES {
+            assert!(sites.contains(&s), "{s} missing from registered_sites");
+        }
+        for s in SESSION_SITES {
             assert!(sites.contains(&s), "{s} missing from registered_sites");
         }
         let mut dedup = sites.clone();

@@ -243,6 +243,11 @@ impl IncrementalDualSim {
         &self.soi
     }
 
+    /// The solver configuration this instance maintains under.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
     /// Re-establishes the largest solution after triples were **deleted**
     /// (`db_after` must be the old database minus `deleted`; duplicates
     /// within the batch are ignored).
@@ -500,7 +505,7 @@ fn wal_append(
 /// Not `cfg(debug_assertions)`-gated: `debug_assert!` bodies are
 /// type-checked in release builds too, where the optimizer drops the
 /// dead call.
-fn in_vocabulary(db: &GraphDb, t: &Triple) -> bool {
+pub(crate) fn in_vocabulary(db: &GraphDb, t: &Triple) -> bool {
     (t.s as usize) < db.num_nodes()
         && (t.o as usize) < db.num_nodes()
         && (t.p as usize) < db.num_labels()
@@ -938,6 +943,89 @@ mod tests {
             rec.sim.solution().chi,
             solve(&db_after, &soi, &cfg(FixpointMode::DeltaCounting)).chi
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_retention_prunes_old_files_and_recovery_falls_back_across_retained() {
+        let db0 = db();
+        let q = parse("{ ?x p ?y . ?y q ?z }").unwrap();
+        let soi = build_sois(&db0, &q).remove(0);
+        let dir = tmpdir();
+        let mut opts = DurabilityOptions::new(&dir);
+        opts.snapshot_every = Some(1);
+        assert_eq!(opts.keep_snapshots, 2, "default retention window");
+        let mut durable = IncrementalDualSim::new_durable(
+            &db0,
+            soi.clone(),
+            cfg(FixpointMode::DeltaCounting),
+            &opts,
+        )
+        .unwrap();
+        let mut triples: Vec<Triple> = db0.triples().collect();
+        for _ in 0..4 {
+            let victim = triples.pop().unwrap();
+            let db_after = db0.with_triples(&triples).unwrap();
+            durable.apply_deletions(&db_after, &[victim]).unwrap();
+        }
+        drop(durable);
+        // Five snapshots were written (epochs 0..=4); the GC kept the
+        // newest two.
+        let snapshot_epochs = |dir: &std::path::Path| -> Vec<u64> {
+            let mut epochs: Vec<u64> = std::fs::read_dir(dir)
+                .unwrap()
+                .filter_map(|e| {
+                    let name = e.unwrap().file_name().to_string_lossy().into_owned();
+                    name.strip_prefix("snapshot-")?
+                        .strip_suffix(".snap")?
+                        .parse()
+                        .ok()
+                })
+                .collect();
+            epochs.sort_unstable();
+            epochs
+        };
+        assert_eq!(snapshot_epochs(&dir), vec![3, 4]);
+        // Corrupt the newest retained snapshot: recovery must fall back
+        // across the retention window to the older retained one and
+        // replay the WAL tail past it.
+        let newest = dir.join(format!("snapshot-{:020}.snap", 4));
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&newest, &bytes).unwrap();
+        let rec = IncrementalDualSim::recover(&opts).unwrap();
+        assert_eq!(rec.report.snapshots_skipped, 1);
+        assert_eq!(rec.report.snapshot_epoch, 3);
+        assert_eq!(rec.report.records_replayed, 1);
+        assert_eq!(rec.report.epoch, 4);
+        let db_after = db0.with_triples(&triples).unwrap();
+        assert_eq!(
+            rec.sim.solution().chi,
+            solve(&db_after, &soi, &cfg(FixpointMode::DeltaCounting)).chi
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // keep_snapshots = 0 disables pruning entirely.
+        let dir = tmpdir();
+        let mut opts = DurabilityOptions::new(&dir);
+        opts.snapshot_every = Some(1);
+        opts.keep_snapshots = 0;
+        let mut durable = IncrementalDualSim::new_durable(
+            &db0,
+            soi.clone(),
+            cfg(FixpointMode::DeltaCounting),
+            &opts,
+        )
+        .unwrap();
+        let mut triples: Vec<Triple> = db0.triples().collect();
+        for _ in 0..3 {
+            let victim = triples.pop().unwrap();
+            let db_after = db0.with_triples(&triples).unwrap();
+            durable.apply_deletions(&db_after, &[victim]).unwrap();
+        }
+        drop(durable);
+        assert_eq!(snapshot_epochs(&dir), vec![0, 1, 2, 3], "all kept");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -64,6 +64,7 @@ mod incremental;
 mod plan;
 mod pruning;
 mod quotient;
+mod session;
 mod soi;
 mod solver;
 mod strong;
@@ -72,8 +73,12 @@ mod strong;
 mod proptests;
 
 pub use durability::{DurabilityOptions, Recovered, RecoveryReport};
-pub use errors::MaintainError;
+pub use errors::{MaintainError, SessionError};
 pub use incremental::IncrementalDualSim;
+pub use session::{
+    BatchReport, HealPath, QueryHealth, QueryOutcome, QueryRecovery, QuerySession,
+    SessionDurability, SessionOptions, SessionRecovery, SessionStats,
+};
 pub use pruning::{
     prune, prune_with, prune_with_threads, solve_query, solve_query_with, PruneReport,
 };

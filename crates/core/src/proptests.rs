@@ -1045,3 +1045,227 @@ proptest! {
         }
     }
 }
+
+/// A query-text generator for the session tests ([`crate::QuerySession`]
+/// registers by text, not by parsed [`Query`]). Same shape as
+/// [`arb_query`].
+fn arb_query_text() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(arb_pattern(), 1..4),
+        proptest::collection::vec(arb_pattern(), 0..3),
+    )
+        .prop_map(|(mandatory, optional)| {
+            if optional.is_empty() {
+                format!("{{ {} }}", mandatory.join(" . "))
+            } else {
+                format!(
+                    "{{ {} OPTIONAL {{ {} }} }}",
+                    mandatory.join(" . "),
+                    optional.join(" . ")
+                )
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Session chaos isolation: drive a durable multi-query session and
+    /// an uninterrupted memory-only reference session through the same
+    /// churn script, arming one registered failpoint site per batch.
+    /// A kill must degrade at most the one query it fired in — every
+    /// query that committed a batch stays bit-identical (χ *and*
+    /// logical `SolveStats`, per branch) to the reference throughout,
+    /// and once healing has run its ladder every query converges back
+    /// to the reference's χ. Queries are spread across
+    /// χ {Dense, Rle} × slab {Dense, Sparse} × drain
+    /// {Sequential, Sharded} so isolation holds on every backend.
+    #[test]
+    fn chaos_session_kills_isolate_to_one_query(
+        db in arb_db(),
+        texts in proptest::collection::vec(arb_query_text(), 3..5),
+        script in proptest::collection::vec((any::<bool>(), 0u8..250), 2..7),
+        site_pick in 0usize..16,
+        countdown in 0u32..3,
+    ) {
+        use crate::{
+            failpoints, QueryOutcome, QuerySession, SessionDurability, SessionOptions,
+        };
+        use std::collections::BTreeSet;
+
+        let configs = [
+            cfg(FixpointMode::DeltaCounting, false),
+            SolverConfig {
+                chi_backend: ChiBackend::Rle,
+                slab_backend: SlabBackend::Sparse,
+                ..cfg(FixpointMode::DeltaCounting, false)
+            },
+            SolverConfig {
+                slab_backend: SlabBackend::Sparse,
+                drain: DrainStrategy::Sharded { threads: 2 },
+                drain_inline_below: 0,
+                ..cfg(FixpointMode::DeltaCounting, false)
+            },
+        ];
+        let sites = failpoints::registered_sites();
+        let dir = scratch_dir();
+        let opts = SessionOptions {
+            durability: Some(SessionDurability {
+                root: dir.clone(),
+                snapshot_every: Some(2),
+                fsync: true,
+                keep_snapshots: 2,
+            }),
+            ..SessionOptions::default()
+        };
+        failpoints::disarm_all();
+        let mut chaotic = QuerySession::new(db.clone(), opts);
+        let mut reference = QuerySession::new(db.clone(), SessionOptions::default());
+        let mut names: Vec<String> = Vec::new();
+        for (i, text) in texts.iter().enumerate() {
+            let name = format!("q{i}");
+            let config = configs[i % configs.len()].clone();
+            chaotic.register(&name, text, config.clone()).unwrap();
+            reference.register(&name, text, config).unwrap();
+            names.push(name);
+        }
+
+        // Names that ever saw a non-Committed outcome: their engines may
+        // have been rolled back, replayed, or rebuilt, so only their χ
+        // (not their physical work counters) must converge.
+        let mut tainted: BTreeSet<String> = BTreeSet::new();
+        let mut present: Vec<Triple> = db.triples().collect();
+        let mut absent: Vec<Triple> = Vec::new();
+        let drive = |chaotic: &mut QuerySession,
+                         reference: &mut QuerySession,
+                         tainted: &mut BTreeSet<String>,
+                         insert: bool,
+                         batch: &[Triple],
+                         point: Option<&'static str>|
+         -> Result<(), proptest::test_runner::TestCaseError> {
+            failpoints::disarm_all();
+            if let Some(point) = point {
+                failpoints::arm(point, countdown);
+                if point == "rollback" {
+                    failpoints::arm("pre-drain", 0);
+                }
+            }
+            let report = chaotic.apply_batch(insert, batch).unwrap();
+            failpoints::disarm_all();
+            let ref_report = reference.apply_batch(insert, batch).unwrap();
+            prop_assert_eq!(report.applied, ref_report.applied);
+            for (name, outcome) in &report.outcomes {
+                if !matches!(outcome, QueryOutcome::Committed { .. }) {
+                    tainted.insert(name.clone());
+                    continue;
+                }
+                if tainted.contains(name) {
+                    continue;
+                }
+                // The isolation invariant: a query untouched by every
+                // kill so far is bit-identical to the uninterrupted
+                // reference after each committed batch.
+                let mine = chaotic.solutions(name).unwrap();
+                let theirs = reference.solutions(name).unwrap();
+                prop_assert_eq!(mine.len(), theirs.len());
+                for (m, t) in mine.iter().zip(&theirs) {
+                    prop_assert_eq!(&m.chi, &t.chi, "{} diverged", name);
+                }
+                let mine = chaotic.maintenance_stats(name).unwrap();
+                let theirs = reference.maintenance_stats(name).unwrap();
+                for (m, t) in mine.iter().zip(&theirs) {
+                    prop_assert_eq!(
+                        m.logical(), t.logical(),
+                        "{} logical stats diverged", name
+                    );
+                }
+            }
+            Ok(())
+        };
+
+        for (step, &(insert, pick)) in script.iter().enumerate() {
+            let (from, to) = if insert {
+                (&mut absent, &mut present)
+            } else {
+                (&mut present, &mut absent)
+            };
+            if from.is_empty() {
+                continue;
+            }
+            let mut batch: Vec<Triple> = Vec::new();
+            for round in 0..=(pick as usize % 2) {
+                if from.is_empty() {
+                    break;
+                }
+                let idx = (pick as usize + round) % from.len();
+                batch.push(from.swap_remove(idx));
+            }
+            to.extend(&batch);
+            let point = sites[(step + site_pick) % sites.len()];
+            drive(
+                &mut chaotic,
+                &mut reference,
+                &mut tainted,
+                insert,
+                &batch,
+                Some(point),
+            )?;
+        }
+
+        // Aftermath: fault-free churn lets due replays heal; anything
+        // still degraded or quarantined after that is healed explicitly.
+        for _ in 0..6 {
+            if names.iter().all(|n| chaotic.health(n).unwrap().is_healthy()) {
+                break;
+            }
+            let insert = present.is_empty() || (!absent.is_empty() && absent.len() > present.len());
+            let (from, to) = if insert {
+                (&mut absent, &mut present)
+            } else {
+                (&mut present, &mut absent)
+            };
+            if from.is_empty() {
+                break;
+            }
+            let batch = vec![from.swap_remove(0)];
+            to.extend(&batch);
+            drive(
+                &mut chaotic,
+                &mut reference,
+                &mut tainted,
+                insert,
+                &batch,
+                None,
+            )?;
+        }
+        for name in &names {
+            if !chaotic.health(name).unwrap().is_healthy() {
+                chaotic.heal(name).unwrap();
+            }
+        }
+
+        // Convergence: every query — killed, healed, rebuilt, or never
+        // touched — serves the reference's χ; untouched queries match
+        // its logical work counters too.
+        for name in &names {
+            prop_assert!(chaotic.health(name).unwrap().is_healthy(), "{} not healed", name);
+            let mine = chaotic.solutions(name).unwrap();
+            let theirs = reference.solutions(name).unwrap();
+            prop_assert_eq!(mine.len(), theirs.len());
+            for (m, t) in mine.iter().zip(&theirs) {
+                prop_assert_eq!(
+                    &m.chi, &t.chi,
+                    "{} did not converge back to the reference", name
+                );
+            }
+            if !tainted.contains(name) {
+                let mine = chaotic.maintenance_stats(name).unwrap();
+                let theirs = reference.maintenance_stats(name).unwrap();
+                for (m, t) in mine.iter().zip(&theirs) {
+                    prop_assert_eq!(m.logical(), t.logical(), "{}", name);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,6 +8,7 @@
 //! sparqlsim eval     --data DB.nt (--query Q.rq | --query-text '…') [--engine nested|hash] [--limit N] [--pruned]
 //! sparqlsim maintain --data DB.nt (--query Q.rq | --query-text '…') --updates U.txt [--fixpoint delta] [--wal DIR [--snapshot-every N]]
 //! sparqlsim maintain --resume --wal DIR [--updates MORE.txt]
+//! sparqlsim serve    --data DB.nt --queries DIR --updates U.txt [--wal DIR] [--on-error P]
 //! ```
 //!
 //! `solve` prints the largest dual simulation per query variable,
@@ -21,10 +22,19 @@
 //! is written ahead to a checksummed log and full-state snapshots are
 //! kept, so a later `--resume` run recovers the database, the query and
 //! the warm solution from disk instead of `--data`/`--query`.
+//!
+//! `serve` is the multi-query resident session: every `.rq` file under
+//! `--queries DIR` becomes a standing query over one shared database,
+//! each shared update batch is validated and deduplicated once and
+//! fanned out to every query, and a failure in one query degrades only
+//! that query (it keeps serving its last committed match set, marked
+//! stale, and heals by deterministic retry/backoff escalating to a cold
+//! rebuild) while the others commit normally.
 
 use dualsim::core::{
     build_sois, prune, solve_query, ChiBackend, DrainStrategy, DurabilityOptions, EvalStrategy,
-    FixpointMode, IncrementalDualSim, KernelBackend, SlabBackend, SolverConfig,
+    FixpointMode, IncrementalDualSim, KernelBackend, QueryOutcome, QuerySession,
+    SessionDurability, SessionOptions, SlabBackend, SolverConfig,
 };
 use dualsim::engine::{Engine, HashJoinEngine, NestedLoopEngine};
 use dualsim::graph::{parse_ntriples, write_ntriples, GraphDb};
@@ -70,6 +80,7 @@ commands:
   prune        prune the database for a query (Sect. 5.2)
   eval         evaluate a query with a reference engine
   maintain     maintain one solution across a +/- update stream
+  serve        maintain many standing queries across one shared stream
   fingerprint  build the simulation-quotient index (Sect. 6 extension)
 
 options:
@@ -116,6 +127,17 @@ options:
   --snapshot-every N    maintain: with --wal, also write a snapshot after
                         every N committed batches (default: only the
                         initial post-solve snapshot; N must be > 0)
+  --keep-snapshots N    with --wal, retain only the newest N snapshots
+                        per branch, pruning older ones after each
+                        successful write (default 2 so recovery can fall
+                        back across one corrupted newest; 0 keeps all)
+  --queries DIR         serve: register every .rq file under DIR as a
+                        standing query (named by file stem) over the
+                        shared database; --on-error maps to the session
+                        ladder — skip heals degraded queries by
+                        retry/backoff (default), rollback quarantines
+                        them at the first failure (still serving their
+                        last committed match set), abort stops the run
   --resume              maintain: recover database, query and resident
                         solution from --wal DIR (newest snapshot whose
                         checksum verifies, plus the WAL tail; a torn
@@ -166,6 +188,8 @@ struct Opts {
     updates: Option<String>,
     wal: Option<String>,
     snapshot_every: Option<u64>,
+    keep_snapshots: usize,
+    queries_dir: Option<String>,
     resume: bool,
     on_error: OnError,
     drain_budget: Option<usize>,
@@ -194,6 +218,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         updates: None,
         wal: None,
         snapshot_every: None,
+        keep_snapshots: 2,
+        queries_dir: None,
         resume: false,
         on_error: OnError::Abort,
         drain_budget: None,
@@ -224,6 +250,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 }
                 opts.snapshot_every = Some(n);
             }
+            "--keep-snapshots" => {
+                opts.keep_snapshots = value()?
+                    .parse()
+                    .map_err(|e| format!("--keep-snapshots: {e}"))?;
+            }
+            "--queries" => opts.queries_dir = Some(value()?),
             "--resume" => opts.resume = true,
             "--on-error" => {
                 opts.on_error = match value()?.as_str() {
@@ -338,6 +370,7 @@ fn run(args: &[String]) -> Result<(), String> {
         ),
         "eval" => cmd_eval(&db, &load_query(&opts)?, &opts),
         "maintain" => cmd_maintain(&db, &load_query(&opts)?, &opts),
+        "serve" => cmd_serve(&db, &opts),
         "fingerprint" => cmd_fingerprint(&db, &opts),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -461,6 +494,7 @@ fn cmd_maintain(db: &GraphDb, query: &Query, opts: &Opts) -> Result<(), String> 
             for (i, soi) in sois.into_iter().enumerate() {
                 let mut d = DurabilityOptions::new(branch_dir(wal, i));
                 d.snapshot_every = opts.snapshot_every;
+                d.keep_snapshots = opts.keep_snapshots;
                 d.meta = meta.clone();
                 let sim = IncrementalDualSim::new_durable(db, soi, cfg.clone(), &d)
                     .map_err(|e| format!("durability for union branch {i}: {e}"))?;
@@ -505,6 +539,7 @@ fn cmd_maintain_resume(opts: &Opts) -> Result<(), String> {
         }
         let mut d = DurabilityOptions::new(&dir);
         d.snapshot_every = opts.snapshot_every;
+        d.keep_snapshots = opts.keep_snapshots;
         let rec = IncrementalDualSim::recover(&d)
             .map_err(|e| format!("recovering union branch {i} from {}: {e}", dir.display()))?;
         print!(
@@ -703,6 +738,159 @@ fn maintain_stream(
             s.rollbacks, s.poisonings, s.budget_aborts, s.journal_entries
         );
     }
+    Ok(())
+}
+
+/// The resident multi-query session loop: every `.rq` file under
+/// `--queries DIR` is registered as a standing query, then each shared
+/// update batch is validated once and fanned out to all of them. The
+/// per-query outcome of every batch is reported, and a final summary
+/// prints each query's health, per-variable candidates and maintenance
+/// work.
+fn cmd_serve(db: &GraphDb, opts: &Opts) -> Result<(), String> {
+    let dir = opts
+        .queries_dir
+        .as_deref()
+        .ok_or("serve requires --queries DIR")?;
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rq"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .rq query files under {dir}"));
+    }
+
+    let sopts = SessionOptions {
+        // `rollback` maps to the quarantine-at-first-failure rung of
+        // the session ladder: the query keeps serving its rolled-back
+        // (stale) match set, but is never retried automatically.
+        auto_heal: opts.on_error != OnError::Rollback,
+        durability: opts.wal.as_deref().map(|wal| SessionDurability {
+            root: wal.into(),
+            snapshot_every: opts.snapshot_every,
+            fsync: true,
+            keep_snapshots: opts.keep_snapshots,
+        }),
+        ..SessionOptions::default()
+    };
+    let cfg = config(opts);
+    let started = std::time::Instant::now();
+    let mut session = QuerySession::new(db.clone(), sopts);
+    for path in &files {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let branches = session
+            .register(&name, &text, cfg.clone())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "registered `{name}` ({branches} union branch(es), {} candidate(s))",
+            session.candidates(&name).map_err(|e| e.to_string())?
+        );
+    }
+    println!(
+        "session of {} quer(ies) solved in {:?}{}",
+        session.len(),
+        started.elapsed(),
+        if opts.wal.is_some() { ", durable" } else { "" }
+    );
+
+    let path = opts.updates.as_deref().ok_or("--updates is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (batches, bad_lines) = parse_update_batches(&text, db, opts.on_error == OnError::Skip)?;
+    for msg in &bad_lines {
+        eprintln!("warning: {msg} — line skipped");
+    }
+    'stream: for (i, (insert, batch)) in batches.iter().enumerate() {
+        let started = std::time::Instant::now();
+        let report = session
+            .apply_batch(*insert, batch)
+            .map_err(|e| format!("update batch {}: {e}", i + 1))?;
+        println!(
+            "batch {}: {}{} triple(s) applied ({} duplicate(s), {} no-op(s) dropped) in {:?}",
+            i + 1,
+            if *insert { "+" } else { "-" },
+            report.applied,
+            report.deduped,
+            report.noops,
+            started.elapsed()
+        );
+        for (name, outcome) in &report.outcomes {
+            match outcome {
+                QueryOutcome::Committed {
+                    gained,
+                    dropped,
+                    warm,
+                } => println!(
+                    "  `{name}`: committed, +{gained}/-{dropped} candidate(s), {}",
+                    if *warm { "warm maintenance" } else { "cold re-solve" }
+                ),
+                QueryOutcome::Healed {
+                    via,
+                    gained,
+                    dropped,
+                } => println!(
+                    "  `{name}`: healed by {}, +{gained}/-{dropped} candidate(s) vs stale set",
+                    match via {
+                        dualsim::core::HealPath::Replay => "backlog replay",
+                        dualsim::core::HealPath::Rebuild => "cold rebuild",
+                    }
+                ),
+                QueryOutcome::Failed { error, health } => {
+                    eprintln!("warning: `{name}` failed batch {}: {error} — now {health}", i + 1);
+                    if opts.on_error == OnError::Abort {
+                        eprintln!("warning: dropping the rest of the stream (--on-error abort)");
+                        break 'stream;
+                    }
+                }
+                QueryOutcome::Stale { health } => {
+                    println!("  `{name}`: serving stale — {health}");
+                }
+            }
+        }
+    }
+
+    for name in session.query_names().into_iter().map(String::from).collect::<Vec<_>>() {
+        let health = session.health(&name).map_err(|e| e.to_string())?.clone();
+        println!("— query `{name}`: {health} —");
+        let query = parse(session.query_text(&name).map_err(|e| e.to_string())?)
+            .map_err(|e| format!("`{name}`: {e}"))?;
+        let sois = session.sois(&name).map_err(|e| e.to_string())?;
+        let solutions = session.solutions(&name).map_err(|e| e.to_string())?;
+        for (b, (soi, solution)) in sois.iter().zip(&solutions).enumerate() {
+            if solutions.len() > 1 {
+                println!("  — union branch {b} —");
+            }
+            for var in query.vars() {
+                let chi = solution.var_solution(soi, var);
+                let count = chi.count_ones();
+                let preview: Vec<&str> = chi
+                    .iter_ones()
+                    .take(5)
+                    .map(|n| db.node_name(n as u32))
+                    .collect();
+                let ellipsis = if count > 5 { ", …" } else { "" };
+                println!("  ?{var}: {count} candidates [{}{ellipsis}]", preview.join(", "));
+            }
+        }
+    }
+    let s = session.stats();
+    println!(
+        "session: {} batch(es), {} triple(s) validated once, {} duplicate(s) + {} no-op(s) \
+         dropped, {} fan-out application(s)",
+        s.batches, s.triples_validated, s.duplicates_dropped, s.noops_dropped,
+        s.fanout_applications
+    );
+    println!(
+        "healing: {} failure(s), {} replay heal(s), {} rebuild heal(s), {} failed retr(ies), \
+         {} quarantine(s)",
+        s.failures, s.replay_heals, s.rebuild_heals, s.failed_retries, s.quarantines
+    );
     Ok(())
 }
 
@@ -1004,6 +1192,52 @@ mod tests {
             assert_eq!(parse_args(&args).unwrap().kernel_backend, expected);
         }
         let args: Vec<String> = ["solve", "--kernel-backend", "avx512"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn parse_args_reads_serve_flags() {
+        let args: Vec<String> = [
+            "serve",
+            "--data",
+            "db.nt",
+            "--queries",
+            "queries/",
+            "--updates",
+            "u.txt",
+            "--wal",
+            "wal/",
+            "--keep-snapshots",
+            "5",
+            "--on-error",
+            "rollback",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.command, "serve");
+        assert_eq!(opts.queries_dir.as_deref(), Some("queries/"));
+        assert_eq!(opts.updates.as_deref(), Some("u.txt"));
+        assert_eq!(opts.wal.as_deref(), Some("wal/"));
+        assert_eq!(opts.keep_snapshots, 5);
+        assert_eq!(opts.on_error, OnError::Rollback);
+    }
+
+    #[test]
+    fn parse_args_defaults_snapshot_retention_to_two() {
+        let args: Vec<String> = ["maintain"].iter().map(|s| s.to_string()).collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.keep_snapshots, 2);
+        assert!(opts.queries_dir.is_none());
+    }
+
+    #[test]
+    fn parse_args_rejects_bad_snapshot_retention() {
+        let args: Vec<String> = ["serve", "--keep-snapshots", "many"]
             .iter()
             .map(|s| s.to_string())
             .collect();
